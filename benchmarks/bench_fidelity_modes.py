@@ -1,0 +1,64 @@
+"""Validation: the analytic DMA engine equals the word-stepping engine.
+
+The big reproduction benches run the engine in analytic mode (one
+completion event) for speed.  This bench validates that shortcut: the
+word-stepping engine -- which moves real data burst by burst -- produces
+the *same end-to-end cycle counts* for the same workload, and its extra
+fidelity only shows up in mid-transfer observability (progress, partial
+data on abort), which the unit tests cover.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Row, print_table
+from repro.bench.workloads import make_payload
+from repro.devices import SinkDevice
+from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+
+from benchmarks.conftest import SinkRig
+
+
+def run_workload(burst_bytes: int):
+    from repro import Machine
+
+    machine = Machine(mem_size=1 << 20, dma_burst_bytes=burst_bytes)
+    sink = SinkDevice("sink", size=1 << 16)
+    machine.attach_device(sink)
+    p = machine.create_process("app")
+    buf = machine.kernel.syscalls.alloc(p, 1 << 14)
+    grant = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+    udma = UdmaUser(machine, p)
+    for i, size in enumerate((64, 512, 4096, 12000)):
+        data = make_payload(size, seed=i + 1)
+        machine.cpu.write_bytes(buf, data)
+        udma.transfer(MemoryRef(buf), DeviceRef(grant + (i << 14) % (1 << 16)), size)
+        machine.run_until_idle()
+    return machine.clock.now, machine.cpu.charged_cycles, sink.peek(0, 64)
+
+
+def test_fidelity_mode_equivalence(benchmark):
+    (a_end, a_cpu, a_data), (s_end, s_cpu, s_data) = benchmark.pedantic(
+        lambda: (run_workload(0), run_workload(64)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        Row("end-to-end cycles (analytic)", "equal", str(a_end), None),
+        Row("end-to-end cycles (stepping, 64 B bursts)", "equal", str(s_end),
+            a_end == s_end),
+        Row("CPU busy-wait cycles", "stepping >= analytic",
+            f"{a_cpu} vs {s_cpu}", s_cpu >= a_cpu),
+        Row("data movement", "identical", "checked", a_data == s_data),
+    ]
+    print_table(
+        "FIDELITY: analytic vs word-stepping DMA engine",
+        rows,
+        notes=[
+            "the analytic mode used by the reproduction benches is a pure "
+            "performance optimisation; end-to-end timing is identical",
+            "the spinning CPU polls once per hardware event, so the "
+            "stepping engine's burst events attract more (harmless) "
+            "status loads while waiting -- total time is unchanged",
+        ],
+    )
+    assert all(r.ok in (True, None) for r in rows)

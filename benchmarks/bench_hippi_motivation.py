@@ -1,0 +1,95 @@
+"""HIPPI -- the section-1 motivation numbers on a HIPPI/Paragon-like node.
+
+Paper targets:
+
+* "the overhead of sending a piece of data over a 100 MByte/sec HIPPI
+  channel on the Paragon multicomputer is more than 350 microseconds";
+* "with a data block size of 1 Kbyte, the transfer rate achieved is only
+  2.7 MByte/sec, which is less than 2% of the raw hardware bandwidth";
+* "achieving a transfer rate of 80 MBytes/sec requires the data block
+  size to be larger than 64 KBytes".
+"""
+
+from __future__ import annotations
+
+from repro.bench import Row, hippi_block_sizes, print_table
+from repro.bench.report import fmt_mbs, fmt_us
+from repro.bench.workloads import make_payload
+from repro.params import hippi_paragon
+
+from benchmarks.conftest import SinkRig
+
+PAGE = 4096
+
+
+def build_hippi_rig():
+    return SinkRig(
+        costs=hippi_paragon(),
+        mem_size=1 << 22,
+        sink_bytes=1 << 20,
+        buffer_bytes=1 << 19,
+    )
+
+
+def measure_block_rate(rig, nbytes):
+    """Effective MB/s for kernel-DMA sends of ``nbytes`` blocks."""
+    machine = rig.machine
+    machine.cpu.write_bytes(rig.buffer, make_payload(min(nbytes, 1 << 16)))
+    start = machine.clock.now
+    machine.kernel.syscalls.dma(
+        rig.process, "sink", 0, rig.buffer, nbytes, to_device=True
+    )
+    cycles = machine.clock.now - start
+    return nbytes / cycles * rig.costs.cpu_hz  # bytes/second
+
+
+def run_sweep(rig):
+    return [(size, measure_block_rate(rig, size)) for size in hippi_block_sizes()]
+
+
+def test_hippi_motivation(benchmark):
+    rig = build_hippi_rig()
+    curve = benchmark.pedantic(lambda: run_sweep(rig), rounds=1, iterations=1)
+    costs = rig.costs
+    raw = costs.bytes_per_second(costs.dma_bytes_per_cycle)
+    rate = dict(curve)
+
+    # Software overhead of one small send (subtract the wire time).
+    one_k_cycles = 1024 / (rate[1024] / costs.cpu_hz)
+    overhead_us = costs.cycles_to_us(one_k_cycles - 1024 / costs.dma_bytes_per_cycle)
+
+    print()
+    print(f"Block-size sweep on a {raw / 1e6:.0f} MB/s channel:")
+    for size, bps in curve:
+        print(f"  {size:7d} B  {bps / 1e6:7.2f} MB/s  ({bps / raw * 100:5.1f}% of raw)")
+
+    crossover = next((s for s, bps in curve if bps >= 80e6), None)
+    rows = [
+        Row("raw channel bandwidth", "100 MB/s", fmt_mbs(raw),
+            95e6 <= raw <= 105e6),
+        Row("software overhead per send", "> 350 us", fmt_us(overhead_us),
+            overhead_us > 350),
+        Row("rate at 1 KB blocks", "~2.7 MB/s", fmt_mbs(rate[1024]),
+            2.2e6 <= rate[1024] <= 3.3e6),
+        Row("1 KB rate as % of raw", "< 2% (paper's own 2.7/100 = 2.7%)",
+            f"{rate[1024] / raw * 100:.2f}%", rate[1024] / raw < 0.03),
+        Row("80 MB/s at 64 KB blocks?", "no (needs larger)",
+            fmt_mbs(rate[65536]), rate[65536] < 80e6),
+        Row("block size reaching 80 MB/s", "> 64 KB",
+            f"{crossover} B" if crossover else "not reached",
+            crossover is None or crossover > 65536),
+        Row("80 MB/s eventually reachable", "yes", "yes" if crossover else "no",
+            crossover is not None),
+    ]
+    print_table(
+        "HIPPI: traditional-DMA motivation numbers (section 1)",
+        rows,
+        notes=[
+            "the kernel path on this preset costs ~350 us of fixed software "
+            "overhead, dominating fine-grained transfers exactly as the "
+            "paper argues",
+            "the paper's '<2%' and '2.7 MB/s of 100 MB/s' are mutually "
+            "inconsistent by rounding; we reproduce the 2.7 MB/s figure",
+        ],
+    )
+    assert all(r.ok for r in rows)

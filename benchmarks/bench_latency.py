@@ -1,0 +1,85 @@
+"""Supplementary: small-message latency decomposition.
+
+The paper reports initiation cost and bandwidth, not end-to-end latency;
+this bench is *supplementary* (marked as such in EXPERIMENTS.md).  It
+checks the structural properties the architecture implies:
+
+* small-message one-way latency is dominated by fixed per-message costs
+  (initiation + DMA start + header + check), not by payload time;
+* latency grows linearly with routing distance at ``hop_cycles`` per hop;
+* the latency floor is consistent with the cost model's components.
+"""
+
+from __future__ import annotations
+
+from repro import Sender, ShrimpCluster
+from repro.bench import Row, make_payload, print_table
+from repro.bench.report import fmt_us
+
+PAGE = 4096
+
+
+def one_way_cycles(cluster, sender, nbytes):
+    sender._ensure_current()
+    sender.machine.cpu.write_bytes(sender.buffer, make_payload(nbytes))
+    nic = cluster.nic(sender.channel.dst_node)
+    start = cluster.now
+    sender.send_buffer(nbytes)
+    cluster.run_until_idle()
+    return nic.last_delivery_done - start
+
+
+def build_pair(distance):
+    cluster = ShrimpCluster(num_nodes=distance + 1, mem_size=1 << 20)
+    rx = cluster.node(distance).create_process("rx")
+    buf = cluster.node(distance).kernel.syscalls.alloc(rx, 2 * PAGE)
+    channel = cluster.create_channel(0, distance, rx, buf, 2 * PAGE)
+    tx = cluster.node(0).create_process("tx")
+    return cluster, Sender(cluster, tx, channel)
+
+
+def test_small_message_latency(benchmark):
+    def run():
+        cluster, sender = build_pair(distance=1)
+        one_way_cycles(cluster, sender, 4)  # warm mappings and TLB
+        lat_4 = one_way_cycles(cluster, sender, 4)
+        lat_64 = one_way_cycles(cluster, sender, 64)
+        lat_1k = one_way_cycles(cluster, sender, 1024)
+        far_cluster, far_sender = build_pair(distance=3)
+        one_way_cycles(far_cluster, far_sender, 4)  # warm
+        lat_far = one_way_cycles(far_cluster, far_sender, 4)
+        return cluster.costs, lat_4, lat_64, lat_1k, lat_far
+
+    costs, lat_4, lat_64, lat_1k, lat_far = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Floor: the serial components (header building overlaps the fill in
+    # the cut-through pipeline, so it is not included).
+    fixed_floor = (
+        costs.udma_initiation_cycles
+        + costs.dma_start_cycles
+        + costs.hop_cycles
+        + costs.rx_check_cycles
+    )
+    hop_delta = (lat_far - lat_4) / 2  # two extra hops
+
+    rows = [
+        Row("4 B one-way latency", f">= fixed floor ({fmt_us(costs.cycles_to_us(fixed_floor))})",
+            fmt_us(costs.cycles_to_us(lat_4)), lat_4 >= fixed_floor),
+        Row("64 B vs 4 B", "nearly identical (fixed-cost bound)",
+            f"+{(lat_64 - lat_4)} cycles", lat_64 - lat_4 < 0.25 * lat_4),
+        Row("1 KB vs 4 B", "payload time emerges",
+            f"+{(lat_1k - lat_4)} cycles", lat_1k > lat_64),
+        Row("per-hop latency", f"~{costs.hop_cycles} cycles/hop",
+            f"{hop_delta:.0f} cycles/hop",
+            0.5 * costs.hop_cycles <= hop_delta <= 2 * costs.hop_cycles),
+    ]
+    print_table(
+        "LATENCY (supplementary): small-message one-way latency",
+        rows,
+        notes=[
+            "no paper figure reports latency directly; these are "
+            "structural checks of the simulated pipeline",
+        ],
+    )
+    assert all(r.ok for r in rows)

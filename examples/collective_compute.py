@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Distributed computation with user-level collectives.
+
+The paper's goal -- communication cheap enough for fine-grained
+parallelism -- is what makes bulk-synchronous computation on a
+multicomputer practical.  This example runs a small distributed dot
+product on four SHRIMP nodes:
+
+1. the root broadcasts one operand vector;
+2. every rank computes its partial dot product over its slice;
+3. a reduce sums the partials at the root;
+4. a barrier closes the step.
+
+Every message underneath is user-level UDMA; after setup, the kernels on
+all four nodes are never entered again.
+
+Run:  python examples/collective_compute.py
+"""
+
+import struct
+
+from repro import ShrimpCluster
+from repro.userlib import CollectiveGroup
+
+N = 64          # vector length
+RANKS = 4
+SLICE = N // RANKS
+
+
+def main() -> None:
+    cluster = ShrimpCluster(num_nodes=RANKS, mem_size=1 << 21)
+    procs = [cluster.node(i).create_process(f"rank{i}") for i in range(RANKS)]
+    group = CollectiveGroup(cluster, procs, slot_bytes=4096)
+    print(f"{RANKS} ranks, full-mesh channels wired "
+          f"({RANKS * (RANKS - 1)} deliberate-update channels)\n")
+
+    # Rank r's local slice of vector B lives only on rank r.
+    vector_a = [i % 7 - 3 for i in range(N)]
+    slices_b = [
+        [(r * SLICE + i) % 5 - 2 for i in range(SLICE)] for r in range(RANKS)
+    ]
+
+    # --- 1. broadcast A from the root ------------------------------------
+    packed_a = struct.pack(f"<{N}i", *vector_a)
+    copies = group.broadcast(0, packed_a)
+    assert all(copy == packed_a for copy in copies)
+    print(f"broadcast: {len(packed_a)} bytes of operand data to every rank")
+
+    # --- 2. each rank computes its partial -------------------------------
+    partials = []
+    for r in range(RANKS):
+        a = struct.unpack(f"<{N}i", copies[r])
+        partial = sum(
+            a[r * SLICE + i] * slices_b[r][i] for i in range(SLICE)
+        )
+        # Charge the computation to the rank's CPU, like real work.
+        cluster.node(r).cpu.execute(SLICE * 4)
+        partials.append(partial)
+    print(f"partials computed per rank: {partials}")
+
+    # --- 3. reduce to the root --------------------------------------------
+    totals = group.reduce_sum(0, [[p] for p in partials])
+    expected = sum(
+        vector_a[j] * slices_b[j // SLICE][j % SLICE] for j in range(N)
+    )
+    assert totals == [expected], (totals, expected)
+    print(f"reduced dot product at root: {totals[0]} (expected {expected})")
+
+    # --- 4. barrier --------------------------------------------------------
+    group.barrier()
+    sent = sum(nic.packets_sent for nic in cluster.nics)
+    print(f"barrier passed; {sent} packets crossed the backplane in total")
+    print("collective example OK")
+
+
+if __name__ == "__main__":
+    main()

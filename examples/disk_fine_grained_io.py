@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fine-grained disk I/O: where UDMA's low overhead pays off.
+
+The paper's introduction argues that traditional DMA's kernel overhead
+"is the dominating factor which limits the utilization of DMA devices for
+fine grained data transfers".  This example runs a workload of many small
+record writes to a disk, once through the traditional syscall path and
+once through UDMA, and reports the software overhead each pays.
+
+Run:  python examples/disk_fine_grained_io.py
+"""
+
+from repro import Machine
+from repro.bench import make_payload
+from repro.devices import Disk
+from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+
+RECORDS = 32
+RECORD_BYTES = 512
+
+
+def main() -> None:
+    machine = Machine(mem_size=1 << 20)
+    disk = Disk("disk", num_blocks=256, block_size=512,
+                seek_cycles=2_000, bytes_per_cycle=0.5)
+    machine.attach_device(disk)
+    process = machine.create_process("db")
+    buffer = machine.kernel.syscalls.alloc(process, 1 << 15)
+    grant = machine.kernel.syscalls.grant_device_proxy(process, "disk")
+    udma = UdmaUser(machine, process)
+
+    records = [make_payload(RECORD_BYTES, seed=i + 1) for i in range(RECORDS)]
+    for i, record in enumerate(records):
+        machine.cpu.write_bytes(buffer + i * RECORD_BYTES, record)
+
+    # --- traditional path: one syscall per record -------------------------
+    t0 = machine.now
+    for i in range(RECORDS):
+        machine.kernel.syscalls.dma(
+            process, "disk",
+            device_offset=i * RECORD_BYTES,
+            vaddr=buffer + i * RECORD_BYTES,
+            nbytes=RECORD_BYTES,
+            to_device=True,
+        )
+    traditional_cycles = machine.now - t0
+    for i in range(RECORDS):
+        assert disk.read_block(i) == records[i]
+
+    # --- UDMA path: two instructions per record ---------------------------
+    t0 = machine.now
+    for i in range(RECORDS):
+        udma.transfer(
+            MemoryRef(buffer + i * RECORD_BYTES),
+            DeviceRef(grant + (RECORDS + i) * RECORD_BYTES),
+            RECORD_BYTES,
+        )
+    machine.run_until_idle()
+    udma_cycles = machine.now - t0
+    for i in range(RECORDS):
+        assert disk.read_block(RECORDS + i) == records[i]
+
+    us = machine.costs.cycles_to_us
+    print(f"{RECORDS} writes of {RECORD_BYTES} B each:")
+    print(f"  traditional DMA: {us(traditional_cycles):9.1f} us "
+          f"({machine.kernel.syscalls.dma_calls} syscalls, "
+          f"{machine.kernel.syscalls.pages_pinned} page pins)")
+    print(f"  UDMA:            {us(udma_cycles):9.1f} us "
+          f"(0 syscalls, 0 pins)")
+    print(f"  speedup: {traditional_cycles / udma_cycles:.2f}x at "
+          f"{RECORD_BYTES}-byte granularity")
+    print("\n(Device time is identical on both paths -- the entire gap is "
+          "kernel software overhead.)")
+    print("disk example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Blitting to a memory-mapped frame-buffer with UDMA.
+
+The paper lists "memory-mapped devices such as graphics frame-buffers"
+among UDMA's targets, with a device-proxy address "specify[ing] a pixel"
+(section 4).  This example renders a checkerboard-and-gradient image by
+UDMA-blitting scanlines straight out of user memory, then displays the
+result as ASCII art and reports the cost per frame.
+
+Run:  python examples/framebuffer_blit.py
+"""
+
+from repro import Machine
+from repro.devices import FrameBuffer
+from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+
+WIDTH, HEIGHT = 48, 16
+SHADES = " .:-=+*#%@"
+
+
+def render_scanline(y: int) -> bytes:
+    """One scanline of a checkerboard fading left to right (4 B/pixel)."""
+    line = bytearray()
+    for x in range(WIDTH):
+        checker = 64 if (x // 4 + y // 4) % 2 else 0
+        gradient = x * 191 // max(1, WIDTH - 1)
+        lum = min(255, checker + gradient)
+        line += bytes((lum, lum, lum, 255))  # greyscale RGBA
+    return bytes(line)
+
+
+def main() -> None:
+    machine = Machine(mem_size=1 << 20)
+    fb = FrameBuffer("fb", width=WIDTH, height=HEIGHT, bytes_per_pixel=4)
+    machine.attach_device(fb)
+    process = machine.create_process("render")
+    buffer = machine.kernel.syscalls.alloc(process, WIDTH * 4 * HEIGHT)
+    grant = machine.kernel.syscalls.grant_device_proxy(process, "fb")
+    udma = UdmaUser(machine, process)
+
+    # Draw the whole frame into user memory, then blit scanline by
+    # scanline -- each blit is a protected user-level DMA.
+    t0 = machine.now
+    for y in range(HEIGHT):
+        line = render_scanline(y)
+        machine.cpu.write_bytes(buffer + y * len(line), line)
+        udma.transfer(
+            MemoryRef(buffer + y * len(line)),
+            DeviceRef(grant + fb.pixel_offset(0, y)),
+            len(line),
+        )
+    machine.run_until_idle()
+    frame_us = machine.costs.cycles_to_us(machine.now - t0)
+
+    print("frame rendered via UDMA blits:\n")
+    for y in range(HEIGHT):
+        row = fb.row(y)
+        text = "".join(
+            SHADES[row[x * 4] * (len(SHADES) - 1) // 255] for x in range(WIDTH)
+        )
+        print("   " + text)
+    print(f"\n{HEIGHT} scanline blits ({fb.blits} device writes), "
+          f"{frame_us:.0f} us simulated per frame "
+          f"({1e6 / frame_us:.0f} fps equivalent)")
+    assert fb.blits == HEIGHT
+    print("framebuffer example OK")
+
+
+if __name__ == "__main__":
+    main()

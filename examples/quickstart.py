@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: one node, one device, one protected user-level DMA.
+
+Walks through the paper's mechanism step by step on a single simulated
+node with a simple storage-like device:
+
+1. build a machine and attach a device (which reserves its device-proxy
+   window);
+2. create a process, allocate a buffer, and ask the OS for a device-proxy
+   grant -- the *only* kernel involvement in the whole program;
+3. issue the two-instruction initiation sequence by hand and decode the
+   status word the LOAD returns;
+4. poll for completion by repeating the LOAD;
+5. do the same through the user-level runtime, which handles page
+   splitting and retries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine, UdmaStatus
+from repro.devices import SinkDevice
+from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+
+
+def main() -> None:
+    # --- 1. hardware -----------------------------------------------------
+    machine = Machine(mem_size=1 << 20)  # 1 MB node, basic UDMA device
+    device = SinkDevice("store", size=1 << 16)
+    machine.attach_device(device)
+    print(f"built {machine}")
+    print(f"  PROXY(0x2000) = {machine.proxy(0x2000):#x} "
+          "(the memory-proxy alias of a real address)")
+
+    # --- 2. one-time OS setup --------------------------------------------
+    process = machine.create_process("app")
+    buffer = machine.kernel.syscalls.alloc(process, 8192)
+    grant = machine.kernel.syscalls.grant_device_proxy(process, "store")
+    print(f"  buffer at {buffer:#x}, device grant at {grant:#x}")
+
+    # --- 3. the two-instruction initiation, by hand ----------------------
+    message = b"protected, user-level DMA!"
+    machine.cpu.write_bytes(buffer, message)
+
+    # Warm the proxy mapping once (the first touch demand-maps it via a
+    # page fault; steady-state initiations are fault-free).
+    machine.cpu.load(machine.proxy(buffer))
+
+    t0 = machine.now
+    machine.cpu.execute(machine.costs.udma_align_check_cycles)  # alignment check
+    machine.cpu.store(grant, len(message))          # STORE nbytes TO destAddr
+    machine.cpu.fence()                              # keep the pair ordered
+    word = machine.cpu.load(machine.proxy(buffer))   # LOAD status FROM srcAddr
+    status = UdmaStatus.decode(word)
+    print(f"\ninitiation took {machine.us(machine.now - t0):.2f} us "
+          f"(paper: ~2.8 us); status = {status.describe()}")
+    assert status.started
+
+    # --- 4. completion: repeat the LOAD ----------------------------------
+    polls = 0
+    while UdmaStatus.decode(machine.cpu.load(machine.proxy(buffer))).match:
+        machine.clock.run(until=machine.clock.next_event_time())
+        polls += 1
+    print(f"transfer complete after {polls} polls; "
+          f"device holds: {device.peek(0, len(message))!r}")
+    assert device.peek(0, len(message)) == message
+
+    # --- 5. the runtime does all of that for you -------------------------
+    udma = UdmaUser(machine, process)
+    big = bytes(range(256)) * 24  # 6 KB: crosses a page boundary
+    machine.cpu.write_bytes(buffer, big)
+    stats = udma.transfer(MemoryRef(buffer), DeviceRef(grant + 4096), len(big))
+    machine.run_until_idle()
+    assert device.peek(4096, len(big)) == big
+    print(f"\n6 KB transfer via the runtime: {stats.pieces} pieces "
+          f"(split at the page boundary), {stats.initiations} initiations, "
+          f"{stats.retries} retries")
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The SHRIMP prototype: four nodes passing messages at user level.
+
+Recreates the paper's setting -- "a four-processor prototype" where "a
+user process sends a packet to another machine with a simple UDMA
+transfer of the data from memory to the network interface device"
+(section 8).  The script:
+
+* builds a 4-node cluster on one routing backplane;
+* wires a ring of deliberate-update channels (0->1->2->3->0);
+* passes a token around the ring, verifying it at each hop;
+* measures one-way latency and the bandwidth curve's anchor points.
+
+Run:  python examples/shrimp_message_passing.py
+"""
+
+from repro import Receiver, Sender, ShrimpCluster
+from repro.bench import make_payload, measure_message, measure_peak_bandwidth
+
+PAGE = 4096
+
+
+def main() -> None:
+    cluster = ShrimpCluster(num_nodes=4, mem_size=1 << 21)
+    print(f"cluster: {cluster.num_nodes} nodes on one backplane, "
+          f"{cluster.costs.cpu_hz / 1e6:.0f} MHz each")
+
+    # --- ring topology setup (OS work, once) ------------------------------
+    procs = [cluster.node(i).create_process(f"rank{i}") for i in range(4)]
+    senders = []
+    receivers = []
+    for i in range(4):
+        dst = (i + 1) % 4
+        buf = cluster.node(dst).kernel.syscalls.alloc(procs[dst], 2 * PAGE)
+        channel = cluster.create_channel(i, dst, procs[dst], buf, 2 * PAGE)
+        senders.append(Sender(cluster, procs[i], channel))
+        receivers.append(Receiver(cluster, procs[dst], channel))
+    print("ring channels wired: 0->1->2->3->0 "
+          "(receive buffers exported, NIPT entries installed)\n")
+
+    # --- token ring: pure user-level communication -------------------------
+    token = make_payload(1024)
+    for hop in range(4):
+        src = hop % 4
+        senders[src].send_bytes(token)
+        cluster.run_until_idle()
+        landed = receivers[src].recv_bytes(len(token))
+        assert landed == token, f"token corrupted at hop {hop}"
+        print(f"hop {src} -> {(src + 1) % 4}: 1 KB token verified "
+              f"({cluster.nic((src + 1) % 4).packets_received} packets at receiver)")
+
+    # --- latency and bandwidth anchors -------------------------------------
+    print("\nmeasured on the 0->1 channel:")
+    small = measure_message(senders[0], 64)
+    print(f"  64 B one-way:  {cluster.costs.cycles_to_us(small.total_cycles):7.2f} us")
+    page = measure_message(senders[0], PAGE)
+    print(f"  4 KB one-way:  {cluster.costs.cycles_to_us(page.total_cycles):7.2f} us")
+
+    # A wide channel for the peak-bandwidth probe (the ring channels are
+    # deliberately small).
+    wide_buf = cluster.node(1).kernel.syscalls.alloc(procs[1], 1 << 17)
+    wide = cluster.create_channel(0, 1, procs[1], wide_buf, 1 << 17)
+    wide_sender = Sender(cluster, procs[0], wide)
+    peak = measure_peak_bandwidth(wide_sender)
+    peak_mbs = cluster.costs.bytes_per_second(peak) / 1e6
+    for size in (512, PAGE, 2 * PAGE):
+        t = measure_message(wide_sender, size)
+        pct = t.bytes_per_cycle / peak * 100
+        print(f"  {size:5d} B message: {pct:5.1f}% of the {peak_mbs:.1f} MB/s peak")
+    print("\n(Figure 8's anchors: >50% at 512 B, ~94% at one page)")
+    print("message passing OK")
+
+
+if __name__ == "__main__":
+    main()

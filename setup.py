@@ -1,0 +1,11 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+The environment has no network access and no `wheel` distribution, so
+PEP-660 editable installs (which build a wheel) fail; this setup.py lets
+pip fall back to the classic `setup.py develop` path.  All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

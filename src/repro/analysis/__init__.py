@@ -1,0 +1,28 @@
+"""Post-hoc analysis over traces and counters."""
+
+from repro.analysis.metrics import (
+    cluster_metrics,
+    machine_metrics,
+    nic_metrics,
+    render,
+)
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.traffic import (
+    TrafficReport,
+    bandwidth_timeline,
+    packet_latencies,
+    traffic_report,
+)
+
+__all__ = [
+    "Summary",
+    "TrafficReport",
+    "bandwidth_timeline",
+    "cluster_metrics",
+    "machine_metrics",
+    "nic_metrics",
+    "packet_latencies",
+    "render",
+    "summarize",
+    "traffic_report",
+]

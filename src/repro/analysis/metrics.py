@@ -1,0 +1,123 @@
+"""Uniform metrics collection across a machine or cluster.
+
+Every component keeps its own counters (CPU instructions, TLB hits, VM
+faults, UDMA initiations, NIC packets...).  :func:`machine_metrics` and
+:func:`cluster_metrics` gather them into one nested dict -- the system
+report a long-running deployment would export -- and :func:`render`
+pretty-prints it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.cluster import ShrimpCluster
+from repro.core.queueing import QueuedUdmaController
+from repro.machine import Machine
+from repro.net.nic import ShrimpNic
+
+
+def machine_metrics(machine: Machine) -> Dict[str, Any]:
+    """Counters of one node, grouped by subsystem."""
+    cpu = machine.cpu
+    tlb = machine.mmu.tlb
+    vm = machine.kernel.vm
+    sched = machine.kernel.scheduler
+    sys = machine.kernel.syscalls
+    udma = machine.udma
+    sm = getattr(udma, "sm", None)
+
+    metrics: Dict[str, Any] = {
+        "cpu": {
+            "instructions": cpu.instructions,
+            "loads": cpu.loads,
+            "stores": cpu.stores,
+            "charged_cycles": cpu.charged_cycles,
+        },
+        "tlb": {
+            "hits": tlb.hits,
+            "misses": tlb.misses,
+            "hit_rate": round(tlb.hit_rate, 4),
+            "flushes": tlb.flushes,
+        },
+        "vm": {
+            "faults": vm.faults_handled,
+            "proxy_faults": vm.proxy_faults,
+            "pages_in": vm.pages_in,
+            "pages_out": vm.pages_out,
+            "cleans": vm.cleans,
+            "cleans_deferred": vm.cleans_deferred,
+            "evictions_redirected": vm.evictions_redirected,
+        },
+        "scheduler": {
+            "switches": sched.switches,
+            "invals_fired": sched.invals_fired,
+        },
+        "syscalls": {
+            "dma_calls": sys.dma_calls,
+            "pages_pinned": sys.pages_pinned,
+            "bytes_copied": sys.bytes_copied,
+        },
+        "udma": {
+            "engine_transfers": machine.udma_engine.transfers_completed,
+            "engine_bytes": machine.udma_engine.bytes_transferred,
+        },
+    }
+    if isinstance(udma, QueuedUdmaController):
+        metrics["udma"].update(
+            accepted=udma.accepted,
+            refused=udma.refused,
+            backlog=udma.backlog_requests,
+        )
+    elif sm is not None:
+        metrics["udma"].update(
+            initiations=sm.initiations,
+            completions=sm.completions,
+            bad_loads=sm.bad_loads,
+            invals=sm.invals,
+        )
+    return metrics
+
+
+def nic_metrics(nic: ShrimpNic) -> Dict[str, Any]:
+    """Counters of one network interface."""
+    return {
+        "packets_sent": nic.packets_sent,
+        "packets_received": nic.packets_received,
+        "bytes_sent": nic.bytes_sent,
+        "bytes_received": nic.bytes_received,
+        "rx_errors": nic.rx_errors,
+        "out_fifo_high_water": nic.outgoing.high_water,
+        "in_fifo_high_water": nic.incoming.high_water,
+    }
+
+
+def cluster_metrics(cluster: ShrimpCluster) -> Dict[str, Any]:
+    """Counters of a whole multicomputer, per node plus the backplane."""
+    report: Dict[str, Any] = {
+        "backplane": {
+            "packets_routed": cluster.interconnect.packets_routed,
+            "bytes_routed": cluster.interconnect.bytes_routed,
+            "topology": cluster.interconnect.topology,
+        },
+        "now_cycles": cluster.now,
+    }
+    for i, node in enumerate(cluster.nodes):
+        node_report = machine_metrics(node)
+        node_report["nic"] = nic_metrics(cluster.nic(i))
+        report[f"node{i}"] = node_report
+    return report
+
+
+def render(metrics: Dict[str, Any], indent: int = 0) -> str:
+    """Pretty-print a metrics dict as an aligned tree."""
+    lines = []
+    pad = "  " * indent
+    width = max((len(str(k)) for k in metrics), default=0)
+    for key, value in metrics.items():
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.append(render(value, indent + 1))
+        else:
+            lines.append(f"{pad}{str(key):<{width}}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Small, dependency-free descriptive statistics.
+
+The bench harness and the traffic analyser need mean/percentiles over
+cycle counts; this module provides them without pulling in numpy for a
+handful of numbers (keeping the core library dependency-free).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def describe(self) -> str:
+        """One-line rendering for bench notes."""
+        return (
+            f"n={self.count} mean={self.mean:.1f} sd={self.stdev:.1f} "
+            f"min={self.minimum:.0f} p50={self.p50:.0f} "
+            f"p95={self.p95:.0f} max={self.maximum:.0f}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(sorted_values[low])
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    ordered: List[float] = sorted(float(v) for v in values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    variance = sum((v - mean) ** 2 for v in ordered) / count
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        p50=percentile(ordered, 0.50),
+        p95=percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )

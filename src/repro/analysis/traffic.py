@@ -1,0 +1,89 @@
+"""Network-traffic analysis over recorded traces.
+
+Works on the trace events the NICs emit (``packet-tx`` / ``packet-rx``
+with ``seq`` and ``bytes`` fields), pairing transmissions with deliveries
+to extract per-packet latency and windowed bandwidth -- the quantities a
+follow-up evaluation of the SHRIMP interconnect would plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import Summary, summarize
+from repro.sim.trace import TraceEvent
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Aggregate view of a traced run."""
+
+    packets: int
+    bytes: int
+    latency: Optional[Summary]
+    span_cycles: int
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Mean delivered bandwidth over the traced span."""
+        return self.bytes / self.span_cycles if self.span_cycles else 0.0
+
+
+def packet_latencies(events: Sequence[TraceEvent]) -> List[int]:
+    """Wire+route+receive latency of each delivered packet, in cycles.
+
+    Pairs ``packet-tx`` and ``packet-rx`` events by (source NIC, seq).
+    Unmatched packets (still in flight, or dropped) are skipped.
+    """
+    sent: Dict[Tuple[str, int], int] = {}
+    latencies: List[int] = []
+    for event in events:
+        if event.kind == "packet-tx":
+            sent[(event.source, event.detail.get("seq", -1))] = event.time
+    for event in events:
+        if event.kind != "packet-rx":
+            continue
+        src_node = event.detail.get("src")
+        seq = event.detail.get("seq", -1)
+        # tx source names the *sending* NIC, e.g. "nic0" for src node 0.
+        key = (f"nic{src_node}", seq)
+        if key in sent:
+            latencies.append(event.time - sent[key])
+    return latencies
+
+
+def bandwidth_timeline(
+    events: Sequence[TraceEvent], bucket_cycles: int
+) -> List[Tuple[int, float]]:
+    """Delivered bytes/cycle per time bucket: ``[(bucket_start, rate)...]``."""
+    if bucket_cycles <= 0:
+        raise ValueError(f"bucket_cycles must be positive, got {bucket_cycles}")
+    deliveries = [e for e in events if e.kind == "packet-rx"]
+    if not deliveries:
+        return []
+    start = min(e.time for e in deliveries)
+    buckets: Dict[int, int] = {}
+    for event in deliveries:
+        index = (event.time - start) // bucket_cycles
+        buckets[index] = buckets.get(index, 0) + int(event.detail.get("bytes", 0))
+    last = max(buckets)
+    return [
+        (start + i * bucket_cycles, buckets.get(i, 0) / bucket_cycles)
+        for i in range(last + 1)
+    ]
+
+
+def traffic_report(events: Sequence[TraceEvent]) -> TrafficReport:
+    """Build the aggregate report from a recorded trace."""
+    deliveries = [e for e in events if e.kind == "packet-rx"]
+    total_bytes = sum(int(e.detail.get("bytes", 0)) for e in deliveries)
+    latencies = packet_latencies(events)
+    times = [e.time for e in events if e.kind in ("packet-tx", "packet-rx")]
+    span = (max(times) - min(times)) if len(times) > 1 else 0
+    return TrafficReport(
+        packets=len(deliveries),
+        bytes=total_bytes,
+        latency=summarize(latencies) if latencies else None,
+        span_cycles=span,
+    )

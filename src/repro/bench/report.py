@@ -1,0 +1,61 @@
+"""Paper-vs-measured table rendering for the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Row:
+    """One line of a paper-vs-measured table."""
+
+    label: str
+    paper: str
+    measured: str
+    ok: Optional[bool] = None
+
+    @property
+    def verdict(self) -> str:
+        if self.ok is None:
+            return ""
+        return "OK" if self.ok else "DIFFERS"
+
+
+def print_table(title: str, rows: Sequence[Row], notes: Iterable[str] = ()) -> None:
+    """Render a fixed-width paper-vs-measured table to stdout."""
+    label_w = max([len("quantity")] + [len(r.label) for r in rows])
+    paper_w = max([len("paper")] + [len(r.paper) for r in rows])
+    meas_w = max([len("measured")] + [len(r.measured) for r in rows])
+    line = f"{'-' * (label_w + paper_w + meas_w + 16)}"
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print(
+        f"{'quantity':<{label_w}}  {'paper':>{paper_w}}  "
+        f"{'measured':>{meas_w}}  verdict"
+    )
+    print(line)
+    for row in rows:
+        print(
+            f"{row.label:<{label_w}}  {row.paper:>{paper_w}}  "
+            f"{row.measured:>{meas_w}}  {row.verdict}"
+        )
+    print(line)
+    for note in notes:
+        print(f"  note: {note}")
+
+
+def fmt_pct(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.1f}%"
+
+
+def fmt_us(value: float) -> str:
+    """Format microseconds."""
+    return f"{value:.2f} us"
+
+
+def fmt_mbs(value: float) -> str:
+    """Format bytes/second as MB/s."""
+    return f"{value / 1e6:.2f} MB/s"

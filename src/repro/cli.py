@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``  -- print the active cost model and its calibration anchors.
+* ``fig8``  -- run the Figure 8 bandwidth sweep and print the curve.
+* ``init``  -- compare UDMA vs traditional initiation cost.
+* ``demo``  -- run one traced transfer and render its pipeline timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import Machine, ShrimpCluster
+from repro.bench import (
+    bandwidth_curve,
+    fig8_sizes,
+    make_payload,
+    measure_peak_bandwidth,
+)
+from repro.devices import SinkDevice
+from repro.params import shrimp
+from repro.sim.timeline import legend, render_timeline
+from repro.userlib import DeviceRef, MemoryRef, Sender, UdmaUser
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    costs = shrimp()
+    print("SHRIMP-calibrated cost model:")
+    print(f"  CPU clock                 {costs.cpu_hz / 1e6:.0f} MHz")
+    print(f"  page size                 {costs.page_size} bytes")
+    print(f"  uncached I/O reference    {costs.io_ref_cycles} cycles")
+    print(f"  UDMA initiation           {costs.udma_initiation_cycles} cycles "
+          f"= {costs.cycles_to_us(costs.udma_initiation_cycles):.2f} us "
+          "(paper anchor: ~2.8 us)")
+    print(f"  traditional DMA (1 page)  "
+          f"{costs.traditional_dma_overhead_cycles(1)} cycles "
+          f"= {costs.cycles_to_us(costs.traditional_dma_overhead_cycles(1)):.1f} us")
+    print(f"  DMA fill bandwidth        "
+          f"{costs.bytes_per_second(costs.dma_bytes_per_cycle) / 1e6:.1f} MB/s")
+    print(f"  wire bandwidth            "
+          f"{costs.bytes_per_second(costs.wire_bytes_per_cycle) / 1e6:.1f} MB/s")
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    rx = cluster.node(1).create_process("rx")
+    buf = cluster.node(1).kernel.syscalls.alloc(rx, 1 << 19)
+    channel = cluster.create_channel(0, 1, rx, buf, 1 << 19)
+    tx = cluster.node(0).create_process("tx")
+    sender = Sender(cluster, tx, channel)
+    peak = measure_peak_bandwidth(sender)
+    print("Figure 8: % of peak bandwidth vs message size "
+          f"(peak {cluster.costs.bytes_per_second(peak) / 1e6:.1f} MB/s)")
+    for size, bw in bandwidth_curve(sender, fig8_sizes()):
+        pct = bw / peak * 100
+        print(f"  {size:6d} B  {pct:5.1f}%  {'#' * int(pct / 2)}")
+    return 0
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    machine = Machine(mem_size=1 << 20)
+    machine.attach_device(SinkDevice("sink", size=1 << 16))
+    p = machine.create_process("app")
+    buf = machine.kernel.syscalls.alloc(p, 4096)
+    grant = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+    udma = UdmaUser(machine, p)
+    machine.cpu.write_bytes(buf, make_payload(64))
+    udma.transfer(MemoryRef(buf), DeviceRef(grant), 4)  # warm mappings
+    machine.run_until_idle()
+
+    before = machine.cpu.charged_cycles
+    machine.cpu.execute(machine.costs.udma_align_check_cycles)
+    status = udma.initiate(grant, machine.proxy(buf), 64)
+    udma_cycles = machine.cpu.charged_cycles - before
+    machine.run_until_idle()
+    assert status.started
+
+    t0 = machine.clock.now
+    machine.kernel.syscalls.dma(p, "sink", 0, buf, 64, to_device=True)
+    trad_cycles = machine.clock.now - t0
+
+    us = machine.costs.cycles_to_us
+    print(f"UDMA initiation:        {udma_cycles:6d} cycles = {us(udma_cycles):6.2f} us")
+    print(f"traditional DMA (64 B): {trad_cycles:6d} cycles = {us(trad_cycles):6.2f} us")
+    print(f"ratio: {trad_cycles / udma_cycles:.1f}x")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    machine = Machine(mem_size=1 << 20, record_trace=True)
+    machine.attach_device(SinkDevice("sink", size=1 << 16))
+    p = machine.create_process("app")
+    buf = machine.kernel.syscalls.alloc(p, 8192)
+    grant = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+    udma = UdmaUser(machine, p)
+    machine.cpu.write_bytes(buf, make_payload(args.nbytes))
+    machine.tracer.clear()
+    udma.transfer(MemoryRef(buf), DeviceRef(grant), args.nbytes)
+    machine.run_until_idle()
+    print(f"one {args.nbytes}-byte UDMA transfer, traced:")
+    print(render_timeline(machine.tracer.events, width=64))
+    print(f"\nlegend: {legend()}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis import machine_metrics, render
+    from repro.userlib import DeviceRef, MemoryRef
+
+    machine = Machine(mem_size=1 << 20)
+    machine.attach_device(SinkDevice("sink", size=1 << 16))
+    p = machine.create_process("app")
+    buf = machine.kernel.syscalls.alloc(p, 8192)
+    grant = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+    udma = UdmaUser(machine, p)
+    for i, size in enumerate((64, 512, 4096)):
+        machine.cpu.write_bytes(buf, make_payload(size, seed=i + 1))
+        udma.transfer(MemoryRef(buf), DeviceRef(grant), size)
+        machine.run_until_idle()
+    print("system counters after a small workload:")
+    print(render(machine_metrics(machine)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SHRIMP UDMA reproduction (HPCA 1996) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="print the cost model").set_defaults(func=_cmd_info)
+    sub.add_parser("fig8", help="run the Figure 8 sweep").set_defaults(func=_cmd_fig8)
+    sub.add_parser("init", help="initiation cost comparison").set_defaults(func=_cmd_init)
+    demo = sub.add_parser("demo", help="run one traced transfer")
+    demo.add_argument("--nbytes", type=int, default=2048,
+                      help="transfer size in bytes (default 2048)")
+    demo.set_defaults(func=_cmd_demo)
+    sub.add_parser(
+        "metrics", help="run a small workload and dump every counter"
+    ).set_defaults(func=_cmd_metrics)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

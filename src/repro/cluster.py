@@ -1,0 +1,272 @@
+"""Multi-node assembly: the SHRIMP multicomputer.
+
+A :class:`ShrimpCluster` builds N :class:`~repro.machine.Machine` nodes on
+one shared clock, gives each a :class:`~repro.net.nic.ShrimpNic`, and
+plugs them all into one routing backplane -- the shape of the real
+four-node prototype ("each node ... is an Intel Pentium Xpress PC system
+and the interconnect is an Intel Paragon routing backplane").
+
+Communication setup follows the paper's model: the *receiving* side
+exports physical pages, the *sending* side's OS installs NIPT entries
+naming them, and from then on user processes send with pure UDMA
+initiations -- no kernel involvement per message.
+
+Design note (documented substitution): NIPT entries name physical frames
+on the receiving node, so the receiving kernel must keep exported frames
+resident for the lifetime of the export.  We model that as a *mapping-time*
+pin, taken once per buffer export.  This preserves the paper's claim that
+no **per-transfer** pinning ever happens; the export is the analogue of
+SHRIMP's receive-buffer mapping setup.  Exported pages are also marked
+dirty, the receiving-side I3 discipline for device-to-memory writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SyscallError
+from repro.kernel.process import Process
+from repro.machine import Machine
+from repro.mem.layout import ProxyScheme
+from repro.net.interconnect import Interconnect
+from repro.net.nic import ShrimpNic
+from repro.params import CostModel, shrimp
+from repro.sim.clock import Clock
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A configured deliberate-update path from one node to another.
+
+    Attributes:
+        src_node: sender node index.
+        dst_node: receiver node index.
+        nipt_base: first NIPT index of the channel on the sender's NIC.
+        npages: channel length in pages.
+        dst_vaddr: receiver-process virtual base address of the buffer.
+        dst_frames: receiver physical frames, one per page.
+        page_size: the cluster's page size (offset arithmetic).
+    """
+
+    src_node: int
+    dst_node: int
+    nipt_base: int
+    npages: int
+    dst_vaddr: int
+    dst_frames: Tuple[int, ...]
+    page_size: int
+
+    def device_offset(self, byte_offset: int) -> int:
+        """NIC device-proxy offset addressing ``byte_offset`` in the channel."""
+        if byte_offset < 0:
+            raise ConfigurationError(f"negative channel offset {byte_offset}")
+        return self.nipt_base * self.page_size + byte_offset
+
+    @property
+    def nbytes(self) -> int:
+        """Channel capacity in bytes."""
+        return self.npages * self.page_size
+
+
+class ShrimpCluster:
+    """N SHRIMP nodes on one backplane."""
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        costs: Optional[CostModel] = None,
+        mem_size: int = 1 << 22,
+        nipt_entries: int = 1 << 12,
+        queue_depth: Optional[int] = None,
+        scheme: ProxyScheme = ProxyScheme.HIGH_BIT,
+        record_trace: bool = False,
+        cut_through: bool = True,
+        topology: str = "linear",
+        mesh_width: int = 0,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
+        self.costs = costs if costs is not None else shrimp()
+        self.clock = Clock()
+        self.tracer = Tracer(record=record_trace)
+        self.interconnect = Interconnect(
+            self.clock, self.costs, self.tracer,
+            topology=topology, mesh_width=mesh_width,
+        )
+        self.nodes: List[Machine] = []
+        self.nics: List[ShrimpNic] = []
+        self._next_nipt: List[int] = []
+        for i in range(num_nodes):
+            node = Machine(
+                costs=self.costs,
+                mem_size=mem_size,
+                scheme=scheme,
+                queue_depth=queue_depth,
+                clock=self.clock,
+                tracer=self.tracer,
+                name=f"node{i}",
+            )
+            nic = ShrimpNic(
+                node_id=i,
+                costs=self.costs,
+                physmem=node.physmem,
+                nipt_entries=nipt_entries,
+                cut_through=cut_through,
+            )
+            node.attach_device(nic)
+            nic.connect(self.interconnect)
+            # Wire the bus snooper for the automatic-update extension.
+            node.cpu.store_snoop = nic.snoop_store
+            self.nodes.append(node)
+            self.nics.append(nic)
+            self._next_nipt.append(0)
+
+    # ------------------------------------------------------------- access
+    def node(self, index: int) -> Machine:
+        """Node by index."""
+        return self.nodes[index]
+
+    def nic(self, index: int) -> ShrimpNic:
+        """NIC by node index."""
+        return self.nics[index]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ----------------------------------------------------------- channels
+    def export_receive_buffer(
+        self, node_index: int, process: Process, vaddr: int, npages: int
+    ) -> Tuple[int, ...]:
+        """Receiver-side export: make pages resident, dirty, and pinned.
+
+        Returns the physical frames backing the buffer (what NIPT entries
+        will name).  See the module docstring for the pinning rationale.
+        """
+        node = self.nodes[node_index]
+        if vaddr % node.layout.page_size:
+            raise SyscallError("EINVAL", "receive buffers must be page aligned")
+        frames: List[int] = []
+        base_vpage = vaddr // node.layout.page_size
+        for i in range(npages):
+            vpage = base_vpage + i
+            if not process.owns_vpage(vpage):
+                raise SyscallError("EFAULT", f"vpage {vpage:#x} not owned")
+            if not process.vpage_is_writable(vpage):
+                raise SyscallError("EFAULT", f"vpage {vpage:#x} is read-only")
+            frame = node.kernel.vm.touch_resident(process, vpage)
+            pte = process.page_table.get(vpage)
+            assert pte is not None
+            pte.dirty = True  # receiving-side I3: incoming DMA will write it
+            node.kernel.frames.pin(frame)
+            frames.append(frame)
+        return tuple(frames)
+
+    def create_channel(
+        self,
+        src_node: int,
+        dst_node: int,
+        dst_process: Process,
+        dst_vaddr: int,
+        nbytes: int,
+    ) -> Channel:
+        """Wire a deliberate-update channel (the OS-level setup path).
+
+        Exports the receive buffer on ``dst_node`` and installs NIPT
+        entries on ``src_node``'s NIC.  After this returns, any process on
+        ``src_node`` holding a grant for the NIC window pages can send
+        with pure user-level UDMA.
+        """
+        if src_node == dst_node:
+            raise ConfigurationError("loopback channels are not supported")
+        page_size = self.costs.page_size
+        npages = -(-nbytes // page_size)
+        frames = self.export_receive_buffer(dst_node, dst_process, dst_vaddr, npages)
+        base = self._alloc_nipt(src_node, npages)
+        nic = self.nics[src_node]
+        for i, frame in enumerate(frames):
+            nic.nipt.set_entry(base + i, dst_node, frame)
+        return Channel(
+            src_node=src_node,
+            dst_node=dst_node,
+            nipt_base=base,
+            npages=npages,
+            dst_vaddr=dst_vaddr,
+            dst_frames=frames,
+            page_size=page_size,
+        )
+
+    def bind_automatic_update(
+        self,
+        src_node: int,
+        src_process: Process,
+        src_vaddr: int,
+        dst_node: int,
+        dst_process: Process,
+        dst_vaddr: int,
+        nbytes: int,
+    ) -> Channel:
+        """Wire an *automatic update* binding (the earlier SHRIMP strategy).
+
+        "Our current design retains the automatic update transfer strategy
+        ... which still relies upon fixed mappings between source and
+        destination pages" (section 9).  Every ordinary store the source
+        process makes to the bound pages is snooped off the memory bus and
+        propagated, word by word, to the fixed remote page -- no
+        initiation sequence at all, but one packet per store.
+
+        Both sides' pages are made resident and pinned for the lifetime of
+        the binding (the mapping is fixed by definition).  Returns a
+        :class:`Channel` describing the destination side.
+        """
+        if src_node == dst_node:
+            raise ConfigurationError("loopback bindings are not supported")
+        node = self.nodes[src_node]
+        page_size = self.costs.page_size
+        if src_vaddr % page_size:
+            raise SyscallError("EINVAL", "automatic-update source must be page aligned")
+        npages = -(-nbytes // page_size)
+        channel = self.create_channel(src_node, dst_node, dst_process, dst_vaddr, nbytes)
+        nic = self.nics[src_node]
+        base_vpage = src_vaddr // page_size
+        for i in range(npages):
+            vpage = base_vpage + i
+            if not src_process.owns_vpage(vpage):
+                raise SyscallError("EFAULT", f"vpage {vpage:#x} not owned")
+            frame = node.kernel.vm.touch_resident(src_process, vpage)
+            node.kernel.frames.pin(frame)  # the fixed mapping must hold
+            nic.bind_automatic(frame, channel.nipt_base + i)
+        return channel
+
+    def unbind_automatic_update(
+        self, src_node: int, src_process: Process, src_vaddr: int, npages: int
+    ) -> None:
+        """Tear down an automatic-update binding (unpins the source pages)."""
+        node = self.nodes[src_node]
+        nic = self.nics[src_node]
+        base_vpage = src_vaddr // self.costs.page_size
+        for i in range(npages):
+            frame = node.kernel.vm.resident_frame(src_process, base_vpage + i)
+            if frame is not None:
+                nic.unbind_automatic(frame)
+                if node.kernel.frames.is_pinned(frame):
+                    node.kernel.frames.unpin(frame)
+
+    def _alloc_nipt(self, node_index: int, npages: int) -> int:
+        base = self._next_nipt[node_index]
+        if base + npages > self.nics[node_index].nipt.num_entries:
+            raise SyscallError("ENOSPC", "sender NIPT exhausted")
+        self._next_nipt[node_index] = base + npages
+        return base
+
+    # ----------------------------------------------------------- running
+    def run_until_idle(self) -> None:
+        """Drain all in-flight packets and DMA on every node."""
+        self.clock.run_until_idle()
+
+    @property
+    def now(self) -> int:
+        """Current shared cycle time."""
+        return self.clock.now

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: protected, user-level DMA (UDMA).
+
+This package implements the hardware side of the mechanism exactly as
+specified in sections 3-5 and 7 of the paper:
+
+* :mod:`repro.core.status` -- the status word returned by every proxy LOAD.
+* :mod:`repro.core.events` -- the transition-event vocabulary of Figure 5.
+* :mod:`repro.core.state_machine` -- the Idle/DestLoaded/Transferring
+  machine, verbatim from Figure 5 plus the BadLoad edge.
+* :mod:`repro.core.controller` -- proxy-address decode, PROXY^-1
+  translation, and glue to the standard DMA engine (Figure 4).
+* :mod:`repro.core.queueing` -- the section-7 extension: a hardware request
+  queue supporting multi-page and gather/scatter transfers, per-page
+  reference counters, and a two-priority variant.
+"""
+
+from repro.core.controller import UdmaController
+from repro.core.events import UdmaEvent
+from repro.core.queueing import QueuedUdmaController
+from repro.core.state_machine import UdmaState, UdmaStateMachine
+from repro.core.status import UdmaStatus
+
+__all__ = [
+    "QueuedUdmaController",
+    "UdmaController",
+    "UdmaEvent",
+    "UdmaState",
+    "UdmaStateMachine",
+    "UdmaStatus",
+]

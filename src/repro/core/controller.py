@@ -1,0 +1,238 @@
+"""The UDMA controller: Figure 4's box between the CPU and the DMA engine.
+
+Responsibilities, in the paper's words:
+
+* "provide translation from physical proxy addresses to real addresses"
+  (PROXY^-1 for memory-proxy; window decode for device-proxy),
+* "interpret the transfer initiation instruction sequence" (delegated to
+  :class:`repro.core.state_machine.UdmaStateMachine`),
+* "guarantee atomicity for context switches" (the :meth:`inval` line the
+  kernel strobes on every switch), and
+* expose the SOURCE/DESTINATION registers for the kernel's I4 remap check.
+
+The controller is memory-mapped: the bus routes every physical access that
+falls in a proxy region to :meth:`io_store` / :meth:`io_load`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set
+
+from repro.core.state_machine import (
+    ProxyOperand,
+    SpaceKind,
+    StartDirective,
+    UdmaState,
+    UdmaStateMachine,
+)
+
+from repro.devices.base import UDMADevice
+from repro.dma.engine import DeviceEndpoint, DmaEngine, Endpoint, MemoryEndpoint
+from repro.errors import AddressError, ConfigurationError
+from repro.mem.layout import DeviceWindow, Layout, Region
+from repro.mem.physmem import PhysicalMemory
+from repro.sim.clock import Clock
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class UdmaController:
+    """The basic (unqueued) UDMA device of sections 3-6."""
+
+    def __init__(
+        self,
+        layout: Layout,
+        physmem: PhysicalMemory,
+        engine: DmaEngine,
+        clock: Clock,
+        name: str = "udma",
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.layout = layout
+        self.physmem = physmem
+        self.engine = engine
+        self.clock = clock
+        self.name = name
+        self.tracer = tracer
+        self.page_size = layout.page_size
+        self.sm = UdmaStateMachine(
+            page_size=layout.page_size,
+            remaining_in_flight=self._remaining_in_flight,
+        )
+        self._devices: Dict[str, UDMADevice] = {}
+        self._transfer_start_time = 0
+        self._transfer_duration = 0
+        self._transfer_count = 0
+
+    # ------------------------------------------------------------- devices
+    def attach_device(self, device: UDMADevice) -> DeviceWindow:
+        """Register a device, reserving its device-proxy window."""
+        window = self.layout.register_device(device.name, device.proxy_size)
+        self._devices[device.name] = device
+        device.attach(self.clock, self.tracer)
+        return window
+
+    def device(self, name: str) -> UDMADevice:
+        """Look up an attached device by name."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise ConfigurationError(f"no device {name!r} attached to {self.name}") from None
+
+    # ---------------------------------------------------------- bus access
+    def io_store(self, paddr: int, value: int) -> None:
+        """A CPU STORE reached proxy space (value = nbytes, or <=0 = Inval)."""
+        operand = self._decode(paddr)
+        event = self.sm.store(operand, value)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now,
+                self.name,
+                "proxy-store",
+                addr=f"{paddr:#x}",
+                value=value,
+                event=event.value,
+                state=self.sm.state.value,
+            )
+
+    def io_load(self, paddr: int) -> int:
+        """A CPU LOAD reached proxy space; returns the encoded status word."""
+        operand = self._decode(paddr)
+        device_errors = self._prospective_device_errors(operand)
+        result = self.sm.load(operand, device_errors=device_errors)
+        if result.start is not None:
+            self._launch(result.start)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now,
+                self.name,
+                "proxy-load",
+                addr=f"{paddr:#x}",
+                event=result.event.value,
+                state=self.sm.state.value,
+                status=result.status.describe(),
+            )
+        return result.status.encode(self.page_size)
+
+    def inval(self) -> None:
+        """The kernel's context-switch Inval: one store of a negative count.
+
+        "This can be done by causing a hardware Inval event (i.e. by
+        storing a negative nbytes value to any valid proxy address)"
+        (section 6).  The kernel charges the store's cost itself.
+        """
+        operand = ProxyOperand(self.layout.proxy(0), SpaceKind.MEMORY)
+        self.sm.store(operand, -1)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now, self.name, "inval", state=self.sm.state.value
+            )
+
+    def terminate_transfer(self) -> bool:
+        """Abort an in-flight transfer (the paper's sketched extension)."""
+        if not self.sm.terminate():
+            return False
+        self.engine.abort()
+        return True
+
+    # --------------------------------------------------------- I4 support
+    def memory_pages_in_registers(self) -> Set[int]:
+        """Physical page numbers currently named by the hardware registers.
+
+        This is what the kernel's remap guard consults before paging
+        anything out: the engine's SOURCE and DESTINATION registers while
+        Transferring, and the latched DESTINATION while DestLoaded.  A
+        basic transfer never crosses a page, so each register names exactly
+        one page.
+        """
+        pages: Set[int] = set()
+        for base in (
+            self.engine.source_memory_base(),
+            self.engine.destination_memory_base(),
+        ):
+            if base is not None:
+                pages.add(base // self.page_size)
+        if (
+            self.sm.state is UdmaState.DEST_LOADED
+            and self.sm.destination is not None
+            and self.sm.destination.space is SpaceKind.MEMORY
+        ):
+            real = self.layout.unproxy(self.sm.destination.proxy_addr)
+            pages.add(real // self.page_size)
+        return pages
+
+    @property
+    def busy(self) -> bool:
+        """True while a transfer is in flight."""
+        return self.sm.state is UdmaState.TRANSFERRING
+
+    # ------------------------------------------------------------ internal
+    def _decode(self, paddr: int) -> ProxyOperand:
+        region = self.layout.region_of(paddr)
+        if region is Region.MEMORY_PROXY:
+            return ProxyOperand(paddr, SpaceKind.MEMORY)
+        if region is Region.DEVICE_PROXY:
+            return ProxyOperand(paddr, SpaceKind.DEVICE)
+        raise AddressError(paddr, f"{self.name} was handed a non-proxy address")
+
+    def _prospective_device_errors(self, source_operand: ProxyOperand) -> int:
+        """Device error bits for the transfer a Load would start, if any."""
+        if self.sm.state is not UdmaState.DEST_LOADED:
+            return 0
+        dest = self.sm.destination
+        assert dest is not None
+        if source_operand.space is dest.space:
+            return 0  # BadLoad path; no device consulted
+        count = min(
+            self.sm.count,
+            self.page_size - (source_operand.proxy_addr % self.page_size),
+        )
+        errors = 0
+        if source_operand.space is SpaceKind.DEVICE:
+            device, offset = self._device_at(source_operand.proxy_addr)
+            errors |= device.check_transfer(True, offset, count)
+        if dest.space is SpaceKind.DEVICE:
+            device, offset = self._device_at(dest.proxy_addr)
+            errors |= device.check_transfer(False, offset, count)
+        return errors
+
+    def _launch(self, directive: StartDirective) -> None:
+        source = self._endpoint(directive.source)
+        destination = self._endpoint(directive.destination)
+        duration = self.engine.transfer_duration(source, destination, directive.count)
+        self._transfer_start_time = self.clock.now
+        self._transfer_duration = duration
+        self._transfer_count = directive.count
+        self.engine.start(source, destination, directive.count, self._transfer_done)
+
+    def _endpoint(self, operand: ProxyOperand) -> Endpoint:
+        if operand.space is SpaceKind.MEMORY:
+            return MemoryEndpoint(self.physmem, self.layout.unproxy(operand.proxy_addr))
+        device, offset = self._device_at(operand.proxy_addr)
+        return DeviceEndpoint(device, offset)
+
+    def _device_at(self, proxy_addr: int) -> "tuple[UDMADevice, int]":
+        window = self.layout.window_of(proxy_addr)
+        return self._devices[window.name], proxy_addr - window.base
+
+    def _transfer_done(self) -> None:
+        self.sm.transfer_done()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now, self.name, "transfer-done", state=self.sm.state.value
+            )
+
+    def _remaining_in_flight(self) -> int:
+        """Bytes left in the in-flight transfer.
+
+        A word-stepping engine exposes true progress; the analytic engine
+        is approximated linearly from its completion schedule (hardware
+        with no progress counter would report similarly).
+        """
+        if self.engine.busy and self.engine.progress_bytes is not None:
+            return max(0, self.engine.count - self.engine.progress_bytes)
+        if self._transfer_duration <= 0:
+            return self._transfer_count
+        elapsed = self.clock.now - self._transfer_start_time
+        frac_left = max(0.0, 1.0 - elapsed / self._transfer_duration)
+        return int(math.ceil(self._transfer_count * frac_left))

@@ -1,0 +1,44 @@
+"""Transition-event vocabulary of the UDMA state machine (Figure 5).
+
+The paper names four software-visible events plus the hardware completion:
+
+* **Store** -- a STORE of a positive value to proxy space.
+* **Inval** -- a STORE of a non-positive value ("a negative, and hence
+  invalid, value of nbytes"); zero is not a legal byte count either, so
+  this implementation folds it into Inval.
+* **Load** -- a LOAD from proxy space.
+* **BadLoad** -- a LOAD, while DestLoaded, from a proxy address in the
+  *same* proxy region (memory or device) as the DESTINATION register: a
+  request for a memory-to-memory or device-to-device transfer, which the
+  basic device does not support.
+* **TransferDone** -- the DMA engine's completion line.
+
+Store/Inval classification from the stored value lives here so the state
+machine and the controller agree on it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class UdmaEvent(enum.Enum):
+    """The five transition events."""
+
+    STORE = "Store"
+    LOAD = "Load"
+    INVAL = "Inval"
+    BAD_LOAD = "BadLoad"
+    TRANSFER_DONE = "TransferDone"
+
+
+def classify_store(value: int) -> UdmaEvent:
+    """Store-vs-Inval classification of a proxy-space STORE.
+
+    "Store events represent STOREs of positive values to proxy space ...
+    Inval events represent STOREs of negative values."  A stored zero is
+    not a positive byte count, so it classifies as Inval as well (the
+    safest hardware reading; documented deviation from the strictly
+    negative wording).
+    """
+    return UdmaEvent.STORE if value > 0 else UdmaEvent.INVAL

@@ -1,0 +1,144 @@
+"""The UDMA status word.
+
+Section 5, "Status Returned by Proxy LOADs": every LOAD from proxy space
+returns a word with five single-bit flags, a REMAINING-BYTES field whose
+width depends on the page size, and device-specific error bits above that.
+
+Note the *inverted* sense of the initiation flag: **zero** means the access
+started a transfer.  The :attr:`UdmaStatus.started` property exists so
+user-level code never has to remember that.
+
+Word layout (little end first)::
+
+    bit 0              INITIATION   (0 = this access started a transfer)
+    bit 1              TRANSFERRING (device is in the Transferring state)
+    bit 2              INVALID      (device is in the Idle state)
+    bit 3              MATCH        (Transferring and address == transfer base)
+    bit 4              WRONG-SPACE  (this access was a BadLoad)
+    bits 5 .. 5+R-1    REMAINING-BYTES (R = bits to express one page, +1)
+    bits 5+R ..        DEVICE-SPECIFIC ERRORS
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import DEFAULT_PAGE_SIZE
+
+_INITIATION_BIT = 1 << 0
+_TRANSFERRING_BIT = 1 << 1
+_INVALID_BIT = 1 << 2
+_MATCH_BIT = 1 << 3
+_WRONG_SPACE_BIT = 1 << 4
+_FLAG_BITS = 5
+
+
+def remaining_field_bits(page_size: int) -> int:
+    """Width of the REMAINING-BYTES field ("variable size, based on page size").
+
+    A basic transfer never exceeds one page, so the field must express the
+    inclusive range 0..page_size.
+    """
+    return page_size.bit_length()  # e.g. 4096 -> 13 bits (0..4096 inclusive)
+
+
+@dataclass(frozen=True)
+class UdmaStatus:
+    """Decoded status word.
+
+    Attributes mirror the paper's flag list; ``remaining_bytes`` and
+    ``device_errors`` are the two variable-width fields.
+    """
+
+    initiation: bool = True  # True = "one" = did NOT start a transfer
+    transferring: bool = False
+    invalid: bool = False
+    match: bool = False
+    wrong_space: bool = False
+    remaining_bytes: int = 0
+    device_errors: int = 0
+
+    # ------------------------------------------------------- user-friendly
+    @property
+    def started(self) -> bool:
+        """True if this very access initiated a DMA transfer.
+
+        (The raw flag is zero on success -- see module docstring.)
+        """
+        return not self.initiation
+
+    @property
+    def hard_error(self) -> bool:
+        """True when retrying is pointless ("a real error has occurred").
+
+        Wrong-space and device-specific errors are real errors; a set
+        transferring or invalid flag merely means "re-try your
+        two-instruction sequence" (section 5).
+        """
+        return self.wrong_space or self.device_errors != 0
+
+    @property
+    def should_retry(self) -> bool:
+        """True when the initiation failed for a transient reason."""
+        return (not self.started) and not self.hard_error
+
+    # ------------------------------------------------------------ encoding
+    def encode(self, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+        """Pack into the integer the hardware actually returns."""
+        rem_bits = remaining_field_bits(page_size)
+        if not 0 <= self.remaining_bytes <= page_size:
+            raise ValueError(
+                f"remaining_bytes {self.remaining_bytes} out of range "
+                f"0..{page_size}"
+            )
+        if self.device_errors < 0:
+            raise ValueError(f"device_errors must be non-negative")
+        word = 0
+        if self.initiation:
+            word |= _INITIATION_BIT
+        if self.transferring:
+            word |= _TRANSFERRING_BIT
+        if self.invalid:
+            word |= _INVALID_BIT
+        if self.match:
+            word |= _MATCH_BIT
+        if self.wrong_space:
+            word |= _WRONG_SPACE_BIT
+        word |= self.remaining_bytes << _FLAG_BITS
+        word |= self.device_errors << (_FLAG_BITS + rem_bits)
+        return word
+
+    @classmethod
+    def decode(cls, word: int, page_size: int = DEFAULT_PAGE_SIZE) -> "UdmaStatus":
+        """Unpack a status integer (inverse of :meth:`encode`)."""
+        if word < 0:
+            raise ValueError(f"status word must be non-negative, got {word}")
+        rem_bits = remaining_field_bits(page_size)
+        return cls(
+            initiation=bool(word & _INITIATION_BIT),
+            transferring=bool(word & _TRANSFERRING_BIT),
+            invalid=bool(word & _INVALID_BIT),
+            match=bool(word & _MATCH_BIT),
+            wrong_space=bool(word & _WRONG_SPACE_BIT),
+            remaining_bytes=(word >> _FLAG_BITS) & ((1 << rem_bits) - 1),
+            device_errors=word >> (_FLAG_BITS + rem_bits),
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable form for traces and examples."""
+        flags = []
+        if self.started:
+            flags.append("STARTED")
+        if self.transferring:
+            flags.append("TRANSFERRING")
+        if self.invalid:
+            flags.append("INVALID")
+        if self.match:
+            flags.append("MATCH")
+        if self.wrong_space:
+            flags.append("WRONG-SPACE")
+        if self.device_errors:
+            flags.append(f"DEVERR={self.device_errors:#x}")
+        if self.remaining_bytes:
+            flags.append(f"remaining={self.remaining_bytes}")
+        return "|".join(flags) if flags else "(none)"

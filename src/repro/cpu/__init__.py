@@ -1,0 +1,5 @@
+"""The CPU model: issues loads/stores through the MMU onto the bus."""
+
+from repro.cpu.cpu import CPU
+
+__all__ = ["CPU"]

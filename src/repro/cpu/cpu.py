@@ -1,0 +1,223 @@
+"""The CPU: the only agent that issues virtual-address loads and stores.
+
+Every user-level access is translated by the MMU; page faults trap to the
+kernel's fault handler, which either repairs the mapping (demand paging,
+proxy-page materialisation, I3 dirty upgrade -- section 6's three cases)
+and lets the access retry, or refuses, in which case the access raises
+:class:`ProtectionFault` to the application.
+
+After translation the access is routed by physical region:
+
+* real memory -> the RAM array;
+* memory-proxy or device-proxy -> the UDMA controller's I/O port
+  (uncachable, so each reference costs a full I/O bus round trip --
+  this is where the "two user-level memory references" of an initiation
+  get their 2.8 us).
+
+The CPU charges every instruction to the shared clock, so device activity
+(DMA bursts, packets in flight) interleaves with instruction execution at
+cycle granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.controller import UdmaController
+from repro.errors import AddressError, PageFault, ProtectionFault
+from repro.mem.layout import Layout, Region
+from repro.mem.physmem import PhysicalMemory
+from repro.params import CostModel
+from repro.sim.clock import Clock
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.vm.mmu import MMU, Access
+from repro.vm.page_table import PageTable
+
+#: fault handler signature: (vaddr, access, reason) -> repaired?
+FaultHandler = Callable[[int, str, str], bool]
+
+#: How many times one access may fault-and-retry before the CPU declares
+#: the kernel's handler broken.  Two legitimate faults can stack (page-in,
+#: then a dirty upgrade), so the bound is generous.
+_MAX_FAULT_RETRIES = 8
+
+
+class CPU:
+    """One node's processor.
+
+    Args:
+        clock: the node's shared cycle clock.
+        costs: cost model for instruction charging.
+        mmu: the node's MMU.
+        layout: physical address map (for region routing).
+        physmem: the RAM array.
+        udma: the UDMA controller servicing proxy regions (optional for
+            memory-only configurations).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        costs: CostModel,
+        mmu: MMU,
+        layout: Layout,
+        physmem: PhysicalMemory,
+        udma: Optional[UdmaController] = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.mmu = mmu
+        self.layout = layout
+        self.physmem = physmem
+        self.udma = udma
+        self.tracer = tracer
+        # Execution context, set by the kernel on context switch.
+        self.page_table: Optional[PageTable] = None
+        self.asid = 0
+        self.fault_handler: Optional[FaultHandler] = None
+        #: optional bus snooper for the automatic-update extension: called
+        #: with (paddr, bytes) after every store that lands in real memory
+        self.store_snoop: Optional[Callable[[int, bytes], None]] = None
+        # Metrics.
+        self.loads = 0
+        self.stores = 0
+        self.instructions = 0
+        self.charged_cycles = 0
+
+    # ------------------------------------------------------------- context
+    def set_context(self, page_table: PageTable, asid: int) -> None:
+        """Install an address space (the MMU part of a context switch)."""
+        self.page_table = page_table
+        self.asid = asid
+
+    # --------------------------------------------------------- word access
+    def load(self, vaddr: int) -> int:
+        """User-level word LOAD; returns the loaded value.
+
+        For proxy addresses the returned value is the UDMA status word.
+        """
+        paddr, region = self._access(vaddr, Access.READ)
+        self.loads += 1
+        self.instructions += 1
+        if region is Region.MEMORY:
+            self._charge(self.costs.mem_ref_cycles)
+            return self.physmem.read_word(paddr)
+        self._charge(self.costs.io_ref_cycles)
+        return self._require_udma().io_load(paddr)
+
+    def store(self, vaddr: int, value: int) -> None:
+        """User-level word STORE.
+
+        For proxy addresses ``value`` is the byte count (or a non-positive
+        Inval); for memory it is stored as a little-endian word.
+        """
+        paddr, region = self._access(vaddr, Access.WRITE)
+        self.stores += 1
+        self.instructions += 1
+        if region is Region.MEMORY:
+            self._charge(self.costs.mem_ref_cycles)
+            self.physmem.write_word(paddr, value)
+            if self.store_snoop is not None:
+                self.store_snoop(paddr, self.physmem.read(paddr, self.costs.word_size))
+            return
+        self._charge(self.costs.io_ref_cycles)
+        self._require_udma().io_store(paddr, value)
+
+    def fence(self) -> None:
+        """Order the STORE before the LOAD of an initiation sequence.
+
+        "It is imperative that the order of the two memory references be
+        maintained ... all [processors] provide some mechanism that
+        software can use to ensure program order execution for
+        memory-mapped I/O" (section 3).
+        """
+        self.instructions += 1
+        self._charge(self.costs.fence_cycles)
+
+    def execute(self, instructions: int) -> None:
+        """Charge ``instructions`` cycles of plain computation."""
+        self.instructions += instructions
+        self._charge(instructions * self.costs.alu_cycles)
+
+    # --------------------------------------------------------- buffer I/O
+    # Word-by-word through the MMU, so protection applies to every byte.
+    def read_bytes(self, vaddr: int, nbytes: int) -> bytes:
+        """Read a user buffer (charging one cached reference per word)."""
+        out = bytearray()
+        offset = 0
+        while offset < nbytes:
+            chunk = min(self.costs.page_size - ((vaddr + offset) % self.costs.page_size),
+                        nbytes - offset)
+            paddr, region = self._access(vaddr + offset, Access.READ)
+            if region is not Region.MEMORY:
+                raise AddressError(vaddr + offset, "buffer reads must target memory")
+            words = -(-chunk // self.costs.word_size)
+            self.loads += words
+            self.instructions += words
+            self._charge(words * self.costs.mem_ref_cycles)
+            out += self.physmem.read(paddr, chunk)
+            offset += chunk
+        return bytes(out)
+
+    def write_bytes(self, vaddr: int, data: bytes) -> None:
+        """Write a user buffer (charging one cached reference per word)."""
+        offset = 0
+        nbytes = len(data)
+        while offset < nbytes:
+            chunk = min(self.costs.page_size - ((vaddr + offset) % self.costs.page_size),
+                        nbytes - offset)
+            paddr, region = self._access(vaddr + offset, Access.WRITE)
+            if region is not Region.MEMORY:
+                raise AddressError(vaddr + offset, "buffer writes must target memory")
+            words = -(-chunk // self.costs.word_size)
+            self.stores += words
+            self.instructions += words
+            self._charge(words * self.costs.mem_ref_cycles)
+            self.physmem.write(paddr, data[offset : offset + chunk])
+            if self.store_snoop is not None:
+                self.store_snoop(paddr, data[offset : offset + chunk])
+            offset += chunk
+
+    # ------------------------------------------------------------ internal
+    def _access(self, vaddr: int, access: Access) -> "tuple[int, Region]":
+        if self.page_table is None:
+            raise ProtectionFault(vaddr, access.value, "no address space installed")
+        for _ in range(_MAX_FAULT_RETRIES):
+            try:
+                paddr = self.mmu.translate(
+                    self.page_table, self.asid, vaddr, access, user_mode=True
+                )
+            except PageFault as fault:
+                if self.fault_handler is None:
+                    raise ProtectionFault(vaddr, access.value, fault.reason) from fault
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.clock.now,
+                        "cpu",
+                        "page-fault",
+                        vaddr=f"{vaddr:#x}",
+                        access=access.value,
+                        reason=fault.reason,
+                    )
+                if not self.fault_handler(vaddr, access.value, fault.reason):
+                    raise ProtectionFault(vaddr, access.value, fault.reason) from fault
+                continue  # mapping repaired; retry the access
+            region = self.layout.region_of(paddr)
+            if region is Region.UNMAPPED:
+                raise AddressError(paddr, "translation produced an unmapped physical address")
+            return paddr, region
+        raise ProtectionFault(
+            vaddr,
+            access.value,
+            f"access still faulting after {_MAX_FAULT_RETRIES} kernel repairs",
+        )
+
+    def _require_udma(self) -> UdmaController:
+        if self.udma is None:
+            raise AddressError(0, "no UDMA controller attached but proxy space accessed")
+        return self.udma
+
+    def _charge(self, cycles: int) -> None:
+        self.charged_cycles += cycles
+        self.clock.advance(cycles)

@@ -1,0 +1,100 @@
+"""A block-storage device.
+
+"If the device is a disk, a device address might name a block" (section
+4): the device-proxy offset, divided by the block size, names the block;
+the remainder is the offset within it.  Transfers add a seek cost when the
+head moves, so traditional-vs-UDMA comparisons on the disk keep realistic
+device latencies.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import UDMADevice
+from repro.errors import DeviceError
+from repro.sim.clock import transfer_cycles
+
+
+class Disk(UDMADevice):
+    """A seek-modelled block device.
+
+    Args:
+        num_blocks: capacity in blocks.
+        block_size: bytes per block (power of two).
+        seek_cycles: head-move cost when the target block differs from the
+            previous one (taken from the cost model by the machine builder).
+        bytes_per_cycle: streaming rate after the seek.
+    """
+
+    def __init__(
+        self,
+        name: str = "disk",
+        num_blocks: int = 4096,
+        block_size: int = 512,
+        seek_cycles: int = 600_000,
+        bytes_per_cycle: float = 0.17,
+        alignment: int = 4,
+    ) -> None:
+        if block_size <= 0 or block_size & (block_size - 1):
+            raise DeviceError(f"block_size must be a power of two, got {block_size}")
+        super().__init__(name, proxy_size=num_blocks * block_size, alignment=alignment)
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self.seek_cycles = seek_cycles
+        self.bytes_per_cycle = bytes_per_cycle
+        self._data = bytearray(num_blocks * block_size)
+        self._head_block = 0
+        self.seeks = 0
+        self.reads = 0
+        self.writes = 0
+
+    # ----------------------------------------------------------- DMA hooks
+    def dma_read(self, offset: int, nbytes: int) -> bytes:
+        self._check(offset, nbytes)
+        self._seek(offset // self.block_size)
+        self.reads += 1
+        return bytes(self._data[offset : offset + nbytes])
+
+    def dma_write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self._seek(offset // self.block_size)
+        self.writes += 1
+        self._data[offset : offset + len(data)] = data
+
+    def dma_extra_cycles(self, offset: int, nbytes: int) -> int:
+        extra = transfer_cycles(nbytes, self.bytes_per_cycle)
+        if offset // self.block_size != self._head_block:
+            extra += self.seek_cycles
+        return extra
+
+    # ----------------------------------------------------------- test aids
+    def read_block(self, block: int) -> bytes:
+        """Direct (non-DMA) block read for tests and examples."""
+        self._check_block(block)
+        base = block * self.block_size
+        return bytes(self._data[base : base + self.block_size])
+
+    def write_block(self, block: int, data: bytes) -> None:
+        """Direct (non-DMA) block write for tests and examples."""
+        self._check_block(block)
+        if len(data) > self.block_size:
+            raise DeviceError(
+                f"{self.name}: {len(data)} bytes exceed block size {self.block_size}"
+            )
+        base = block * self.block_size
+        self._data[base : base + len(data)] = data
+
+    # ------------------------------------------------------------ internal
+    def _seek(self, block: int) -> None:
+        if block != self._head_block:
+            self.seeks += 1
+            self._head_block = block
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.proxy_size:
+            raise DeviceError(
+                f"{self.name}: access [{offset}, {offset + nbytes}) outside disk"
+            )
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.num_blocks:
+            raise DeviceError(f"{self.name}: no block {block}")

@@ -1,0 +1,71 @@
+"""A graphics frame-buffer device.
+
+"If the device is a graphics frame-buffer, a device address might specify
+a pixel" (section 4).  The proxy offset is a byte offset into the pixel
+array (row-major, ``bytes_per_pixel`` wide).  This is also the paper's
+example of a memory-mapped device benefitting from UDMA bursts.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.devices.base import UDMADevice
+from repro.errors import DeviceError
+
+
+class FrameBuffer(UDMADevice):
+    """A ``width x height`` pixel array accepting UDMA blits."""
+
+    def __init__(
+        self,
+        name: str = "fb",
+        width: int = 640,
+        height: int = 480,
+        bytes_per_pixel: int = 4,
+    ) -> None:
+        if width <= 0 or height <= 0 or bytes_per_pixel <= 0:
+            raise DeviceError("frame-buffer dimensions must be positive")
+        super().__init__(
+            name,
+            proxy_size=width * height * bytes_per_pixel,
+            alignment=bytes_per_pixel,
+        )
+        self.width = width
+        self.height = height
+        self.bytes_per_pixel = bytes_per_pixel
+        self._pixels = bytearray(self.proxy_size)
+        self.blits = 0
+
+    # ----------------------------------------------------------- DMA hooks
+    def dma_read(self, offset: int, nbytes: int) -> bytes:
+        self._check(offset, nbytes)
+        return bytes(self._pixels[offset : offset + nbytes])
+
+    def dma_write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self.blits += 1
+        self._pixels[offset : offset + len(data)] = data
+
+    # -------------------------------------------------------------- pixels
+    def pixel_offset(self, x: int, y: int) -> int:
+        """Device-proxy byte offset of pixel ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise DeviceError(f"{self.name}: pixel ({x}, {y}) out of bounds")
+        return (y * self.width + x) * self.bytes_per_pixel
+
+    def get_pixel(self, x: int, y: int) -> bytes:
+        """Raw bytes of one pixel."""
+        base = self.pixel_offset(x, y)
+        return bytes(self._pixels[base : base + self.bytes_per_pixel])
+
+    def row(self, y: int) -> bytes:
+        """One scanline's raw bytes."""
+        base = self.pixel_offset(0, y)
+        return bytes(self._pixels[base : base + self.width * self.bytes_per_pixel])
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.proxy_size:
+            raise DeviceError(
+                f"{self.name}: blit [{offset}, {offset + nbytes}) outside frame-buffer"
+            )

@@ -1,0 +1,55 @@
+"""A trivial loop-back device for unit tests and microbenchmarks.
+
+The sink stores whatever is written into a flat buffer and serves reads
+from it, with configurable alignment so tests can exercise the
+DEVICE-SPECIFIC ERRORS path.  Its device-proxy addresses are simply byte
+offsets into the buffer.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import UDMADevice
+from repro.errors import DeviceError
+
+
+class SinkDevice(UDMADevice):
+    """Byte-bucket device; proxy offset == buffer offset."""
+
+    def __init__(
+        self,
+        name: str = "sink",
+        size: int = 1 << 20,
+        alignment: int = 0,
+    ) -> None:
+        super().__init__(name, proxy_size=size, alignment=alignment)
+        self._buffer = bytearray(size)
+        self.reads = 0
+        self.writes = 0
+
+    def dma_read(self, offset: int, nbytes: int) -> bytes:
+        self._check(offset, nbytes)
+        self.reads += 1
+        return bytes(self._buffer[offset : offset + nbytes])
+
+    def dma_write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self.writes += 1
+        self._buffer[offset : offset + len(data)] = data
+
+    # ----------------------------------------------------------- test aids
+    def peek(self, offset: int, nbytes: int) -> bytes:
+        """Inspect buffer contents without counting a DMA read."""
+        self._check(offset, nbytes)
+        return bytes(self._buffer[offset : offset + nbytes])
+
+    def poke(self, offset: int, data: bytes) -> None:
+        """Preload buffer contents without counting a DMA write."""
+        self._check(offset, len(data))
+        self._buffer[offset : offset + len(data)] = data
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.proxy_size:
+            raise DeviceError(
+                f"{self.name}: access [{offset}, {offset + nbytes}) outside "
+                f"device of size {self.proxy_size}"
+            )

@@ -1,0 +1,67 @@
+"""A sequential tape drive.
+
+Tape is the paper's example of a device where sequential access matters
+("data storage devices such as disks and tape drives").  The proxy offset
+names a position on the tape; non-sequential access pays a (large) wind
+cost proportional to the distance moved, which makes tape a good stress
+case for the device-specific extra-cycles hook.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import UDMADevice
+from repro.errors import DeviceError
+from repro.sim.clock import transfer_cycles
+
+
+class TapeDrive(UDMADevice):
+    """A linear store with distance-proportional positioning cost."""
+
+    def __init__(
+        self,
+        name: str = "tape",
+        length: int = 1 << 22,
+        wind_cycles_per_kb: int = 100,
+        bytes_per_cycle: float = 0.05,
+        alignment: int = 0,
+    ) -> None:
+        super().__init__(name, proxy_size=length, alignment=alignment)
+        self.length = length
+        self.wind_cycles_per_kb = wind_cycles_per_kb
+        self.bytes_per_cycle = bytes_per_cycle
+        self._data = bytearray(length)
+        self._position = 0
+        self.winds = 0
+
+    def dma_read(self, offset: int, nbytes: int) -> bytes:
+        self._check(offset, nbytes)
+        self._wind(offset)
+        data = bytes(self._data[offset : offset + nbytes])
+        self._position = offset + nbytes
+        return data
+
+    def dma_write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self._wind(offset)
+        self._data[offset : offset + len(data)] = data
+        self._position = offset + len(data)
+
+    def dma_extra_cycles(self, offset: int, nbytes: int) -> int:
+        distance = abs(offset - self._position)
+        wind = (distance // 1024) * self.wind_cycles_per_kb
+        return wind + transfer_cycles(nbytes, self.bytes_per_cycle)
+
+    @property
+    def position(self) -> int:
+        """Current head position (for tests)."""
+        return self._position
+
+    def _wind(self, offset: int) -> None:
+        if offset != self._position:
+            self.winds += 1
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.length:
+            raise DeviceError(
+                f"{self.name}: access [{offset}, {offset + nbytes}) off the tape"
+            )

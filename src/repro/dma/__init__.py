@@ -1,0 +1,12 @@
+"""Classic DMA substrate: the transfer engine and the traditional controller."""
+
+from repro.dma.engine import DeviceEndpoint, DmaEngine, MemoryEndpoint
+from repro.dma.traditional import DmaDescriptor, TraditionalDmaController
+
+__all__ = [
+    "DeviceEndpoint",
+    "DmaDescriptor",
+    "DmaEngine",
+    "MemoryEndpoint",
+    "TraditionalDmaController",
+]

@@ -1,0 +1,345 @@
+"""The standard DMA transfer engine (Figure 1).
+
+One engine moves ``COUNT`` bytes between a source and a destination
+endpoint, burst by burst, then raises its completion line.  Both the
+traditional controller and the UDMA controller are thin layers over this
+engine -- exactly the structure of the paper's Figure 4, where the UDMA
+additions sit *between* the CPU and an unmodified DMA engine.
+
+Endpoints hide whether a side is memory or a device port.  Unlike 1980s
+DMA, the engine increments the device offset along with the memory address
+("the UDMA mechanism can increment the device address along with the
+memory address as the transfer progresses", section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol, Union
+
+from repro.errors import DmaError
+from repro.mem.physmem import PhysicalMemory
+from repro.params import CostModel
+from repro.sim.clock import Clock, Event, transfer_cycles
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class Endpoint(Protocol):
+    """One side of a DMA transfer."""
+
+    def read(self, nbytes: int) -> bytes:
+        """Produce ``nbytes`` from this endpoint (endpoint is the source)."""
+        ...
+
+    def write(self, data: bytes) -> None:
+        """Consume ``data`` into this endpoint (endpoint is the destination)."""
+        ...
+
+    def extra_cycles(self, nbytes: int) -> int:
+        """Endpoint-specific latency added to the transfer (e.g. disk seek)."""
+        ...
+
+    def memory_base(self) -> Optional[int]:
+        """Physical base address if this endpoint is memory, else None."""
+        ...
+
+    def describe(self) -> str:
+        """Short label for traces."""
+        ...
+
+
+class MemoryEndpoint:
+    """A physical-memory endpoint starting at ``paddr``."""
+
+    def __init__(self, physmem: PhysicalMemory, paddr: int) -> None:
+        self.physmem = physmem
+        self.paddr = paddr
+
+    def read(self, nbytes: int) -> bytes:
+        return self.physmem.read(self.paddr, nbytes)
+
+    def write(self, data: bytes) -> None:
+        self.physmem.write(self.paddr, data)
+
+    def read_slice(self, offset: int, nbytes: int) -> bytes:
+        """Burst-granular read (word-stepping mode)."""
+        return self.physmem.read(self.paddr + offset, nbytes)
+
+    def write_slice(self, offset: int, data: bytes) -> None:
+        """Burst-granular write (word-stepping mode)."""
+        self.physmem.write(self.paddr + offset, data)
+
+    def supports_incremental_write(self) -> bool:
+        return True
+
+    def extra_cycles(self, nbytes: int) -> int:
+        return 0
+
+    def memory_base(self) -> Optional[int]:
+        return self.paddr
+
+    def describe(self) -> str:
+        return f"mem[{self.paddr:#x}]"
+
+
+class DeviceEndpoint:
+    """A device endpoint at a device-specific offset.
+
+    The ``device`` must provide ``dma_read(offset, nbytes)``,
+    ``dma_write(offset, data)`` and ``dma_extra_cycles(direction, offset,
+    nbytes)`` (see :class:`repro.devices.base.UDMADevice`).
+    """
+
+    def __init__(self, device: object, offset: int) -> None:
+        self.device = device
+        self.offset = offset
+
+    def read(self, nbytes: int) -> bytes:
+        return self.device.dma_read(self.offset, nbytes)  # type: ignore[attr-defined]
+
+    def write(self, data: bytes) -> None:
+        self.device.dma_write(self.offset, data)  # type: ignore[attr-defined]
+
+    def read_slice(self, offset: int, nbytes: int) -> bytes:
+        """Burst-granular device read (word-stepping mode)."""
+        return self.device.dma_read(self.offset + offset, nbytes)  # type: ignore[attr-defined]
+
+    def write_slice(self, offset: int, data: bytes) -> None:  # pragma: no cover
+        raise DmaError(
+            "devices receive their payload in one delivery; incremental "
+            "writes are staged by the engine"
+        )
+
+    def supports_incremental_write(self) -> bool:
+        # Devices (a NIC packetizer, an audio ring) consume a transfer as
+        # one unit; the stepping engine stages bursts and delivers once.
+        return False
+
+    def extra_cycles(self, nbytes: int) -> int:
+        return self.device.dma_extra_cycles(self.offset, nbytes)  # type: ignore[attr-defined]
+
+    def memory_base(self) -> Optional[int]:
+        return None
+
+    def describe(self) -> str:
+        name = getattr(self.device, "name", type(self.device).__name__)
+        return f"{name}[{self.offset:#x}]"
+
+
+class DmaEngine:
+    """The state machine + register file of a standard DMA engine.
+
+    The engine is busy from :meth:`start` until the scheduled completion
+    event fires; data is materialised at completion time (the registers,
+    which is all the kernel's I4 check can see, hold the *base* addresses
+    throughout, matching the paper's MATCH-flag definition).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        costs: CostModel,
+        name: str = "dma",
+        tracer: Tracer = NULL_TRACER,
+        burst_bytes: int = 0,
+    ) -> None:
+        """``burst_bytes > 0`` selects *word-stepping* mode: the transfer
+        advances in bursts of that many bytes, each moving real data at
+        its own simulated time.  Progress is then observable
+        (:attr:`progress_bytes`) and an abort leaves partially written
+        memory behind -- higher fidelity at higher event cost.  The
+        default (0) is the analytic mode: one completion event, data
+        materialised at completion."""
+        self.clock = clock
+        self.costs = costs
+        self.name = name
+        self.tracer = tracer
+        self.burst_bytes = burst_bytes
+        self.busy = False
+        self.source: Optional[Endpoint] = None
+        self.destination: Optional[Endpoint] = None
+        self.count = 0
+        self.transfers_completed = 0
+        self.bytes_transferred = 0
+        #: bytes moved so far for the in-flight transfer (stepping mode
+        #: only; None in analytic mode)
+        self.progress_bytes: Optional[int] = None
+        self._completion_event: Optional[Event] = None
+        self._burst_events: List[Event] = []
+        self._staged: bytearray = bytearray()
+        self._source_snapshot: Optional[bytes] = None
+        self._oneshot: List[Callable[[], None]] = []
+        self._listeners: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------ controls
+    def start(
+        self,
+        source: Endpoint,
+        destination: Endpoint,
+        count: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Begin moving ``count`` bytes; raises :class:`DmaError` if busy."""
+        if self.busy:
+            raise DmaError(f"{self.name}: engine started while busy")
+        if count <= 0:
+            raise DmaError(f"{self.name}: byte count must be positive, got {count}")
+        self.busy = True
+        self.source = source
+        self.destination = destination
+        self.count = count
+        if on_complete is not None:
+            self._oneshot.append(on_complete)
+        duration = self.transfer_duration(source, destination, count)
+        if self.burst_bytes > 0:
+            self._start_stepping(duration)
+        else:
+            self._completion_event = self.clock.schedule(duration, self._complete)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now,
+                self.name,
+                "dma-start",
+                src=source.describe(),
+                dst=destination.describe(),
+                count=count,
+                duration=duration,
+            )
+
+    def transfer_duration(
+        self, source: Endpoint, destination: Endpoint, count: int
+    ) -> int:
+        """Cycles the engine will stay busy for this transfer."""
+        return (
+            self.costs.dma_start_cycles
+            + transfer_cycles(count, self.costs.dma_bytes_per_cycle)
+            + source.extra_cycles(count)
+            + destination.extra_cycles(count)
+        )
+
+    def abort(self) -> None:
+        """Cancel an in-flight transfer.
+
+        This implements the terminate edge the paper sketches ("it is not
+        hard to imagine adding one", section 5) -- for memory-system errors
+        the hardware cannot handle transparently.  In analytic mode no
+        data has moved yet; in word-stepping mode the bursts already
+        delivered stay delivered, exactly like real hardware.
+        """
+        if not self.busy:
+            return
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+        for event in self._burst_events:
+            event.cancel()
+        if self.tracer.enabled:
+            self.tracer.emit(self.clock.now, self.name, "dma-abort", count=self.count)
+        self._reset()
+
+    def add_completion_listener(self, callback: Callable[[], None]) -> None:
+        """Register a persistent completion callback (the interrupt line)."""
+        self._listeners.append(callback)
+
+    # ------------------------------------------------------------ register
+    # The kernel's I4 remap guard reads these ("the kernel reads the two
+    # registers to perform the check", section 6).
+    def source_memory_base(self) -> Optional[int]:
+        """Physical base in the SOURCE register, if it names memory."""
+        return self.source.memory_base() if self.busy and self.source else None
+
+    def destination_memory_base(self) -> Optional[int]:
+        """Physical base in the DESTINATION register, if it names memory."""
+        return (
+            self.destination.memory_base()
+            if self.busy and self.destination
+            else None
+        )
+
+    # --------------------------------------------------------- word stepping
+    def _start_stepping(self, duration: int) -> None:
+        """Schedule one event per burst, spaced evenly over the data time."""
+        import math
+
+        assert self.source is not None and self.destination is not None
+        self.progress_bytes = 0
+        self._staged = bytearray()
+        # A device source streams into the engine FIFO as the transfer
+        # starts (device reads can have side effects, so exactly once).
+        self._source_snapshot: Optional[bytes] = None
+        if not isinstance(self.source, MemoryEndpoint):
+            self._source_snapshot = self.source.read(self.count)
+        bursts = max(1, math.ceil(self.count / self.burst_bytes))
+        lead = duration - transfer_cycles(self.count, self.costs.dma_bytes_per_cycle)
+        data_cycles = duration - lead
+        self._burst_events = []
+        for i in range(1, bursts + 1):
+            at = lead + math.ceil(data_cycles * i / bursts)
+            last = i == bursts
+            size = (
+                self.count - (bursts - 1) * self.burst_bytes
+                if last
+                else self.burst_bytes
+            )
+            offset = (i - 1) * self.burst_bytes
+            event = self.clock.schedule(
+                at, self._make_burst(offset, size, last)
+            )
+            self._burst_events.append(event)
+
+    def _make_burst(self, offset: int, size: int, last: bool) -> Callable[[], None]:
+        def burst() -> None:
+            assert self.source is not None and self.destination is not None
+            if self._source_snapshot is not None:
+                chunk = self._source_snapshot[offset : offset + size]
+            else:
+                chunk = self.source.read_slice(offset, size)  # type: ignore[attr-defined]
+            if self.destination.supports_incremental_write():
+                self.destination.write_slice(offset, chunk)  # type: ignore[attr-defined]
+            else:
+                self._staged += chunk
+            self.progress_bytes = offset + size
+            if last:
+                if not self.destination.supports_incremental_write():
+                    self.destination.write(bytes(self._staged))
+                self._finish()
+
+        return burst
+
+    def _finish(self) -> None:
+        self.transfers_completed += 1
+        self.bytes_transferred += self.count
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now, self.name, "dma-complete", count=self.count
+            )
+        callbacks = self._oneshot + list(self._listeners)
+        self._reset()
+        for callback in callbacks:
+            callback()
+
+    # ------------------------------------------------------------ internal
+    def _complete(self) -> None:
+        assert self.source is not None and self.destination is not None
+        data = self.source.read(self.count)
+        self.destination.write(data)
+        self.transfers_completed += 1
+        self.bytes_transferred += self.count
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now, self.name, "dma-complete", count=self.count
+            )
+        callbacks = self._oneshot + list(self._listeners)
+        self._reset()
+        for callback in callbacks:
+            callback()
+
+    def _reset(self) -> None:
+        self.busy = False
+        self.source = None
+        self.destination = None
+        self.count = 0
+        self.progress_bytes = None
+        self._completion_event = None
+        self._burst_events = []
+        self._staged = bytearray()
+        self._source_snapshot = None
+        self._oneshot = []

@@ -1,0 +1,35 @@
+"""Operating-system substrate: processes, scheduling, VM management, syscalls.
+
+This package implements section 6 of the paper -- everything the kernel
+must do so that UDMA initiations need no kernel on the critical path:
+
+* :mod:`repro.kernel.scheduler` fires the **I1** Inval on every context
+  switch (one store).
+* :mod:`repro.kernel.vm_manager` maintains **I2** (proxy mappings valid
+  only while the underlying mapping is) and **I3** (writable proxy implies
+  dirty page), services the three proxy-fault cases, and runs demand
+  paging.
+* :mod:`repro.kernel.remap_guard` enforces **I4** (never remap a page the
+  hardware registers/queue name) -- the replacement for pinning.
+* :mod:`repro.kernel.syscalls` provides the *traditional* DMA path of
+  section 2 as the baseline, plus the proxy-grant call.
+* :mod:`repro.kernel.invariants` contains runtime checkers used by the
+  test suite to prove I1-I4 hold under adversarial workloads.
+"""
+
+from repro.kernel.invariants import InvariantChecker
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.remap_guard import RemapGuard
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.vm_manager import VmManager
+
+__all__ = [
+    "InvariantChecker",
+    "Kernel",
+    "Process",
+    "ProcessState",
+    "RemapGuard",
+    "Scheduler",
+    "VmManager",
+]

@@ -1,0 +1,150 @@
+"""Runtime checkers for the paper's invariants I1-I4.
+
+"The operating system maintains four invariants" (section 6).  These
+checkers walk the live system state and raise
+:class:`~repro.errors.InvariantViolation` on any breach.  The test suite
+runs them after adversarial workloads (paging pressure during transfers,
+context switches mid-initiation, cleaning races) to demonstrate the
+maintenance rules actually work -- and mutates the kernel in targeted ways
+to show the checkers would catch a broken kernel.
+
+I1 is a temporal property (no LOAD completes another process's STORE); it
+is enforced by construction (the scheduler's Inval) and verified here by
+bookkeeping: every context switch must have fired one Inval per
+controller.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import InvariantViolation
+from repro.kernel.kernel import Kernel
+from repro.kernel.vm_manager import I3_WRITE_PROTECT
+from repro.mem.layout import Region
+
+
+class InvariantChecker:
+    """Checks I1-I4 against a kernel's live state."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.layout = kernel.layout
+        self.page_size = kernel.layout.page_size
+
+    def check_all(self) -> None:
+        """Run every checker."""
+        self.check_i1()
+        self.check_i2()
+        self.check_i3()
+        self.check_i4()
+
+    # ------------------------------------------------------------------ I1
+    def check_i1(self) -> None:
+        """Every context switch fired one Inval per UDMA controller."""
+        sched = self.kernel.scheduler
+        expected = sched.switches * len(sched.udma_controllers)
+        if sched.invals_fired != expected:
+            raise InvariantViolation(
+                "I1",
+                f"{sched.switches} switches x {len(sched.udma_controllers)} "
+                f"controllers require {expected} Invals but {sched.invals_fired} fired",
+            )
+
+    # ------------------------------------------------------------------ I2
+    def check_i2(self) -> None:
+        """Proxy mappings are valid only where the real mapping is valid.
+
+        "If there is a mapping from PROXY(vmem_addr) to PROXY(pmem_addr),
+        then there must be a virtual memory mapping from vmem_addr to
+        pmem_addr."
+        """
+        for process in self.kernel.processes.values():
+            for vpage, pte in process.page_table.entries():
+                if not pte.present:
+                    continue
+                pfn_addr = pte.pfn * self.page_size
+                if self.layout.region_of(pfn_addr) is not Region.MEMORY_PROXY:
+                    continue
+                mem_vpage = self.layout.unproxy(vpage * self.page_size) // self.page_size
+                mem_pte = process.page_table.get(mem_vpage)
+                if mem_pte is None or not mem_pte.present:
+                    raise InvariantViolation(
+                        "I2",
+                        f"pid {process.pid}: proxy vpage {vpage:#x} mapped but "
+                        f"real vpage {mem_vpage:#x} is not",
+                    )
+                expected_pfn = (
+                    self.layout.proxy(mem_pte.pfn * self.page_size) // self.page_size
+                )
+                if pte.pfn != expected_pfn:
+                    raise InvariantViolation(
+                        "I2",
+                        f"pid {process.pid}: proxy vpage {vpage:#x} points at "
+                        f"pfn {pte.pfn:#x}, but PROXY of the real frame is "
+                        f"{expected_pfn:#x}",
+                    )
+
+    # ------------------------------------------------------------------ I3
+    def check_i3(self) -> None:
+        """Writable proxy page implies dirty real page.
+
+        "If PROXY(vmem_addr) is writable, then vmem_addr must be dirty."
+        Only meaningful under the write-protect strategy; the alternative
+        strategy replaces I3 with the OR-of-dirty-bits rule, which is
+        checked by construction in the VM manager.
+        """
+        if self.kernel.vm.i3_strategy != I3_WRITE_PROTECT:
+            return
+        for process in self.kernel.processes.values():
+            for vpage, pte in process.page_table.entries():
+                if not pte.present or not pte.writable:
+                    continue
+                pfn_addr = pte.pfn * self.page_size
+                if self.layout.region_of(pfn_addr) is not Region.MEMORY_PROXY:
+                    continue
+                mem_vpage = self.layout.unproxy(vpage * self.page_size) // self.page_size
+                mem_pte = process.page_table.get(mem_vpage)
+                if mem_pte is None or not mem_pte.dirty:
+                    raise InvariantViolation(
+                        "I3",
+                        f"pid {process.pid}: PROXY({mem_vpage:#x}) is writable "
+                        f"but the real page is not dirty",
+                    )
+
+    # ------------------------------------------------------------------ I4
+    def check_i4(self) -> None:
+        """Pages named by the hardware registers/queues are still mapped.
+
+        "If pmem_addr is in the hardware SOURCE or DESTINATION register,
+        then pmem_addr will not be remapped."  A violation manifests as a
+        register page that is free, unowned, or no longer mapped where it
+        was.
+        """
+        guard = self.kernel.remap_guard
+        for page in guard.pages_in_use():
+            if not self.kernel.frames.is_allocated(page):
+                raise InvariantViolation(
+                    "I4",
+                    f"frame {page:#x} is in hardware registers but has been freed",
+                )
+            owner = self.kernel.vm.frame_owner(page)
+            if owner is None:
+                raise InvariantViolation(
+                    "I4",
+                    f"frame {page:#x} is in hardware registers but has no owner",
+                )
+            asid, vpage = owner
+            process = self.kernel.processes.get(asid)
+            if process is None:
+                raise InvariantViolation(
+                    "I4",
+                    f"frame {page:#x} owned by dead asid {asid}",
+                )
+            pte = process.page_table.get(vpage)
+            if pte is None or not pte.present or pte.pfn != page:
+                raise InvariantViolation(
+                    "I4",
+                    f"frame {page:#x} remapped away from pid {asid} "
+                    f"vpage {vpage:#x} while in hardware registers",
+                )

@@ -1,0 +1,78 @@
+"""A background page-cleaning daemon.
+
+"The operating system may 'clean' a dirty page by writing its contents to
+backing store and simultaneously clearing the page's dirty bit" (section
+6).  Kernels run such cleaning in the background so that page replacement
+usually finds clean victims (evicting a clean page skips the swap write).
+The daemon honours both I3 rules:
+
+* pages a DMA transfer is touching are skipped (`clean_page` defers via
+  the remap guard -- the race rule), and
+* under the write-protect strategy every clean write-protects the proxy
+  page, so the next user-level device-to-memory transfer takes the
+  documented upgrade fault.
+
+Scheduling: ticks are *bounded* -- the caller either invokes :meth:`tick`
+directly or schedules a finite burst with :meth:`run_for`.  An unbounded
+self-rescheduling event would make ``run_until_idle`` (the simulation's
+quiescence point) meaningless.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kernel.kernel import Kernel
+from repro.mem.layout import Region
+
+
+class PagerDaemon:
+    """Cleans dirty pages in batches, oldest-referenced first."""
+
+    def __init__(self, kernel: Kernel, batch: int = 4) -> None:
+        self.kernel = kernel
+        self.batch = batch
+        self.ticks = 0
+        self.pages_cleaned = 0
+        self.pages_deferred = 0
+
+    # ------------------------------------------------------------- ticking
+    def tick(self) -> int:
+        """Clean up to ``batch`` dirty resident pages; returns how many."""
+        self.ticks += 1
+        cleaned = 0
+        for process, vpage in self._dirty_pages():
+            if cleaned >= self.batch:
+                break
+            if self.kernel.vm.clean_page(process, vpage):
+                cleaned += 1
+                self.pages_cleaned += 1
+            else:
+                # The I3 race rule: a transfer is writing this page.
+                self.pages_deferred += 1
+        return cleaned
+
+    def run_for(self, ticks: int, interval_cycles: int) -> None:
+        """Schedule a bounded burst of ticks on the kernel's clock."""
+        if ticks <= 0 or interval_cycles <= 0:
+            raise ValueError("ticks and interval must be positive")
+        for i in range(1, ticks + 1):
+            self.kernel.clock.schedule(i * interval_cycles, self.tick)
+
+    # ------------------------------------------------------------ internal
+    def _dirty_pages(self) -> List[Tuple[object, int]]:
+        """(process, vpage) of every dirty resident real-memory page,
+        least-recently-referenced first (referenced-bit approximation)."""
+        found = []
+        for process in self.kernel.processes.values():
+            for vpage, pte in process.page_table.entries():
+                if not pte.present or not pte.dirty:
+                    continue
+                paddr = pte.pfn * self.kernel.layout.page_size
+                if self.kernel.layout.region_of(paddr) is not Region.MEMORY:
+                    continue
+                if not process.owns_vpage(vpage):
+                    continue
+                found.append((pte.referenced, process, vpage))
+        found.sort(key=lambda item: (item[0], item[1].pid, item[2]))
+        return [(process, vpage) for _, process, vpage in found]

@@ -1,0 +1,232 @@
+"""Single-node assembly: CPU + MMU + kernel + UDMA + devices.
+
+:class:`Machine` is the library's main entry point for single-node use.
+It wires every substrate together with one shared clock and a consistent
+address map, following Figure 4's structure:
+
+* the CPU issues loads/stores through the MMU;
+* accesses landing in proxy space hit the UDMA controller, which sits in
+  front of a standard DMA engine;
+* a second, traditional DMA controller provides the section-2 baseline;
+* the kernel supplies scheduling (with the I1 hook), demand paging with
+  the I2/I3 machinery, the I4 remap guard, and the syscall surface.
+
+Example::
+
+    from repro import Machine
+    from repro.devices import SinkDevice
+
+    m = Machine(mem_size=1 << 22)
+    m.attach_device(SinkDevice("sink", size=1 << 16))
+    p = m.create_process("app")
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.controller import UdmaController
+from repro.core.queueing import QueuedUdmaController
+from repro.cpu.cpu import CPU
+from repro.devices.base import UDMADevice
+from repro.dma.engine import DmaEngine
+from repro.dma.traditional import TraditionalDmaController
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.kernel.remap_guard import GuardStrategy
+from repro.kernel.vm_manager import I3_WRITE_PROTECT
+from repro.mem.layout import DeviceWindow, Layout, ProxyScheme
+from repro.mem.physmem import PhysicalMemory
+from repro.params import CostModel, shrimp
+from repro.sim.clock import Clock
+from repro.sim.trace import Tracer
+from repro.vm.mmu import MMU
+
+
+class Machine:
+    """One simulated node.
+
+    Args:
+        costs: cost model; defaults to the SHRIMP preset.
+        mem_size: bytes of RAM.
+        scheme: PROXY() implementation (high-bit flip or fixed offset).
+        queue_depth: if positive, build the section-7 *queued* UDMA device
+            with this queue depth; 0 (default, or from the cost model)
+            builds the basic device.
+        replacement_policy: "fifo" | "lru" | "clock".
+        i3_strategy: "write-protect" (the paper's primary) or
+            "proxy-dirty" (the alternative of section 6).
+        guard_strategy: how the I4 remap guard queries the hardware.
+        record_trace: keep a full event trace (tests/debugging).
+    """
+
+    def __init__(
+        self,
+        costs: Optional[CostModel] = None,
+        mem_size: int = 1 << 22,
+        scheme: ProxyScheme = ProxyScheme.HIGH_BIT,
+        queue_depth: Optional[int] = None,
+        replacement_policy: str = "clock",
+        i3_strategy: str = I3_WRITE_PROTECT,
+        guard_strategy: GuardStrategy = GuardStrategy.REGISTERS,
+        bounce_frames: int = 8,
+        record_trace: bool = False,
+        clock: Optional[Clock] = None,
+        tracer: Optional[Tracer] = None,
+        name: str = "node",
+        dma_burst_bytes: int = 0,
+        swap: str = "dict",
+    ) -> None:
+        self.costs = costs if costs is not None else shrimp()
+        self.name = name
+        self.clock = clock if clock is not None else Clock()
+        self.tracer = tracer if tracer is not None else Tracer(record=record_trace)
+        self.layout = Layout(
+            mem_size=mem_size,
+            scheme=scheme,
+            page_size=self.costs.page_size,
+        )
+        self.physmem = PhysicalMemory(mem_size, self.costs.page_size)
+        self.mmu = MMU(self.costs, clock=None)  # walk penalty charged via CPU path
+
+        depth = queue_depth if queue_depth is not None else self.costs.udma_queue_depth
+        self.udma_engine = DmaEngine(
+            self.clock, self.costs, name=f"{name}.udma-engine",
+            tracer=self.tracer, burst_bytes=dma_burst_bytes,
+        )
+        if depth > 0:
+            self.udma: UdmaController = QueuedUdmaController(
+                self.layout,
+                self.physmem,
+                self.udma_engine,
+                self.clock,
+                queue_depth=depth,
+                name=f"{name}.udma",
+                tracer=self.tracer,
+            )
+        else:
+            self.udma = UdmaController(
+                self.layout,
+                self.physmem,
+                self.udma_engine,
+                self.clock,
+                name=f"{name}.udma",
+                tracer=self.tracer,
+            )
+
+        self.tdma_engine = DmaEngine(
+            self.clock, self.costs, name=f"{name}.tdma-engine", tracer=self.tracer
+        )
+        self.tdma = TraditionalDmaController(
+            self.tdma_engine, name=f"{name}.tdma", tracer=self.tracer
+        )
+
+        self.cpu = CPU(
+            self.clock,
+            self.costs,
+            self.mmu,
+            self.layout,
+            self.physmem,
+            udma=self.udma,
+            tracer=self.tracer,
+        )
+        self.kernel = Kernel(
+            clock=self.clock,
+            costs=self.costs,
+            layout=self.layout,
+            physmem=self.physmem,
+            mmu=self.mmu,
+            cpu=self.cpu,
+            udma_controllers=[self.udma],
+            tdma=self.tdma,
+            replacement_policy=replacement_policy,
+            i3_strategy=i3_strategy,
+            guard_strategy=guard_strategy,
+            bounce_frames=bounce_frames,
+            tracer=self.tracer,
+        )
+        self.swap_disk = None
+        if swap != "dict":
+            self._attach_swap_disk(swap, bounce_frames)
+
+    def _attach_swap_disk(self, swap: str, bounce_frames: int) -> None:
+        """Replace the dict backing store with a real swap disk.
+
+        ``swap`` is ``"disk"`` (kernel pages through the traditional DMA
+        engine) or ``"disk-system-queue"`` (kernel paging rides the
+        section-7 system-priority queue of a queued UDMA device).
+        """
+        from repro.devices.disk import Disk
+        from repro.kernel.swapdisk import DiskBackingStore
+
+        if swap not in ("disk", "disk-system-queue"):
+            raise ConfigurationError(f"unknown swap mode {swap!r}")
+        if bounce_frames < 2:
+            raise ConfigurationError(
+                "a swap disk needs bounce_frames >= 2 (frame 1 stages pages)"
+            )
+        transport = "system-queue" if swap == "disk-system-queue" else "traditional"
+        if transport == "system-queue" and not isinstance(
+            self.udma, QueuedUdmaController
+        ):
+            raise ConfigurationError(
+                "swap='disk-system-queue' requires a queued UDMA device "
+                "(set queue_depth > 0)"
+            )
+        # Generously sized: four times RAM, in page-sized blocks.
+        self.swap_disk = Disk(
+            "swapdisk",
+            num_blocks=(self.physmem.size * 4) // 512,
+            block_size=512,
+            seek_cycles=self.costs.disk_seek_cycles // 10,  # fast swap area
+            bytes_per_cycle=self.costs.disk_bytes_per_cycle,
+            alignment=4,
+        )
+        self.attach_device(self.swap_disk)
+        store = DiskBackingStore(
+            clock=self.clock,
+            costs=self.costs,
+            layout=self.layout,
+            physmem=self.physmem,
+            disk=self.swap_disk,
+            udma=self.udma if transport == "system-queue" else None,
+            transport=transport,
+            tdma_engine=self.tdma_engine,
+        )
+        self.kernel.backing = store
+        self.kernel.vm.backing = store
+
+    # ------------------------------------------------------------ assembly
+    def attach_device(self, device: UDMADevice) -> DeviceWindow:
+        """Attach a device to the UDMA controller (reserves a proxy window)."""
+        return self.udma.attach_device(device)
+
+    # ------------------------------------------------------------- helpers
+    def create_process(self, name: str) -> Process:
+        """Create and schedule a process."""
+        return self.kernel.create_process(name)
+
+    def proxy(self, vaddr: int) -> int:
+        """Virtual PROXY(): the address user code stores/loads to."""
+        return self.layout.proxy(vaddr)
+
+    def run_until_idle(self) -> None:
+        """Drain all pending hardware events (DMA, packets...)."""
+        self.clock.run_until_idle()
+
+    @property
+    def now(self) -> int:
+        """Current cycle time."""
+        return self.clock.now
+
+    def us(self, cycles: int) -> float:
+        """Convert cycles to microseconds under this machine's cost model."""
+        return self.costs.cycles_to_us(cycles)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine {self.name!r} mem={self.physmem.size:#x} "
+            f"udma={'queued' if isinstance(self.udma, QueuedUdmaController) else 'basic'}>"
+        )

@@ -1,0 +1,13 @@
+"""Physical memory substrate: RAM, the physical address map, and PROXY()."""
+
+from repro.mem.frames import FrameAllocator
+from repro.mem.layout import Layout, ProxyScheme, Region
+from repro.mem.physmem import PhysicalMemory
+
+__all__ = [
+    "FrameAllocator",
+    "Layout",
+    "PhysicalMemory",
+    "ProxyScheme",
+    "Region",
+]

@@ -1,0 +1,93 @@
+"""Physical frame allocator.
+
+The kernel owns one :class:`FrameAllocator` per node.  It hands out frame
+numbers for process pages, tracks pinned frames (used only by the
+*traditional* DMA baseline -- the whole point of UDMA is that its transfers
+never pin), and knows which frames are free for the page-replacement path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set
+
+from repro.errors import ConfigurationError, DmaError
+
+
+class FrameAllocator:
+    """Free-list allocator over ``num_frames`` physical frames.
+
+    Frames below ``reserved`` are never handed out; the kernel keeps them
+    for its own structures (and the traditional-DMA bounce buffers).
+    """
+
+    def __init__(self, num_frames: int, reserved: int = 0) -> None:
+        if num_frames <= 0:
+            raise ConfigurationError(f"num_frames must be positive, got {num_frames}")
+        if not 0 <= reserved < num_frames:
+            raise ConfigurationError(
+                f"reserved frame count {reserved} out of range [0, {num_frames})"
+            )
+        self.num_frames = num_frames
+        self.reserved = reserved
+        self._free: List[int] = list(range(num_frames - 1, reserved - 1, -1))
+        self._allocated: Set[int] = set()
+        self._pinned: Set[int] = set()
+
+    # ---------------------------------------------------------- allocation
+    @property
+    def available(self) -> int:
+        """Number of frames currently free."""
+        return len(self._free)
+
+    def alloc(self) -> Optional[int]:
+        """Allocate one frame, or None if memory is exhausted.
+
+        The caller (the kernel VM manager) reacts to None by running page
+        replacement and retrying.
+        """
+        if not self._free:
+            return None
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return frame
+
+    def free(self, frame: int) -> None:
+        """Return a frame to the free list."""
+        if frame not in self._allocated:
+            raise ConfigurationError(f"frame {frame} is not allocated")
+        if frame in self._pinned:
+            raise DmaError(f"cannot free pinned frame {frame}")
+        self._allocated.discard(frame)
+        self._free.append(frame)
+
+    def is_allocated(self, frame: int) -> bool:
+        """True if the frame is currently handed out."""
+        return frame in self._allocated
+
+    def allocated_frames(self) -> Iterator[int]:
+        """Iterate over allocated frames (unspecified order)."""
+        return iter(set(self._allocated))
+
+    # ------------------------------------------------------------- pinning
+    # Pinning exists solely for the traditional-DMA baseline of section 2.
+    # UDMA replaces it with the I4 register/queue check (section 6).
+    def pin(self, frame: int) -> None:
+        """Pin an allocated frame against replacement."""
+        if frame not in self._allocated:
+            raise DmaError(f"cannot pin unallocated frame {frame}")
+        self._pinned.add(frame)
+
+    def unpin(self, frame: int) -> None:
+        """Release a pin."""
+        if frame not in self._pinned:
+            raise DmaError(f"frame {frame} is not pinned")
+        self._pinned.discard(frame)
+
+    def is_pinned(self, frame: int) -> bool:
+        """True while the frame is pinned."""
+        return frame in self._pinned
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of currently pinned frames."""
+        return len(self._pinned)

@@ -1,0 +1,90 @@
+"""Byte-addressable physical memory.
+
+A :class:`PhysicalMemory` is a flat ``bytearray`` of frames.  All data that
+"really exists" in a simulated node lives here; DMA engines, the CPU (via
+the MMU) and the receive side of the NIC all read and write through this
+object, so tests can verify end-to-end data movement byte for byte.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+from repro.params import DEFAULT_PAGE_SIZE, WORD_SIZE
+
+
+class PhysicalMemory:
+    """Main memory of one node.
+
+    Args:
+        size: total bytes of RAM; must be a positive multiple of ``page_size``.
+        page_size: frame size in bytes (power of two).
+    """
+
+    def __init__(self, size: int, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        if size <= 0 or size % page_size:
+            raise ValueError(
+                f"memory size {size} must be a positive multiple of the "
+                f"page size {page_size}"
+            )
+        self.size = size
+        self.page_size = page_size
+        self._data = bytearray(size)
+
+    @property
+    def num_frames(self) -> int:
+        """Number of physical frames."""
+        return self.size // self.page_size
+
+    # ------------------------------------------------------------ byte I/O
+    def read(self, paddr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` starting at physical address ``paddr``."""
+        self._check_range(paddr, nbytes)
+        return bytes(self._data[paddr : paddr + nbytes])
+
+    def write(self, paddr: int, data: bytes) -> None:
+        """Write ``data`` starting at physical address ``paddr``."""
+        self._check_range(paddr, len(data))
+        self._data[paddr : paddr + len(data)] = data
+
+    # ------------------------------------------------------------ word I/O
+    def read_word(self, paddr: int) -> int:
+        """Read one little-endian word as an unsigned integer."""
+        return int.from_bytes(self.read(paddr, WORD_SIZE), "little")
+
+    def write_word(self, paddr: int, value: int) -> None:
+        """Write one little-endian word (value taken modulo 2**32)."""
+        self.write(paddr, (value % (1 << 32)).to_bytes(WORD_SIZE, "little"))
+
+    # ----------------------------------------------------------- frame I/O
+    def frame_base(self, frame: int) -> int:
+        """Physical address of the first byte of ``frame``."""
+        if not 0 <= frame < self.num_frames:
+            raise AddressError(frame * self.page_size, "no such frame")
+        return frame * self.page_size
+
+    def read_frame(self, frame: int) -> bytes:
+        """Read an entire frame."""
+        return self.read(self.frame_base(frame), self.page_size)
+
+    def write_frame(self, frame: int, data: bytes) -> None:
+        """Overwrite an entire frame (data must be exactly one page)."""
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"frame write must be exactly {self.page_size} bytes, "
+                f"got {len(data)}"
+            )
+        self.write(self.frame_base(frame), data)
+
+    def zero_frame(self, frame: int) -> None:
+        """Fill a frame with zero bytes (fresh-page semantics)."""
+        base = self.frame_base(frame)
+        self._data[base : base + self.page_size] = bytes(self.page_size)
+
+    # ------------------------------------------------------------ internal
+    def _check_range(self, paddr: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative length {nbytes}")
+        if paddr < 0 or paddr + nbytes > self.size:
+            raise AddressError(paddr, f"{nbytes}-byte access exceeds RAM size {self.size:#x}")

@@ -1,0 +1,24 @@
+"""The SHRIMP network substrate (section 8).
+
+* :mod:`repro.net.packet` -- packet header/payload encoding.
+* :mod:`repro.net.fifo` -- the outgoing/incoming FIFOs of Figure 6.
+* :mod:`repro.net.nipt` -- the Network Interface Page Table.
+* :mod:`repro.net.interconnect` -- the routing backplane.
+* :mod:`repro.net.nic` -- the SHRIMP network interface, a UDMA device
+  implementing deliberate update (plus the automatic-update extension).
+"""
+
+from repro.net.fifo import BoundedFifo
+from repro.net.interconnect import Interconnect
+from repro.net.nipt import NetworkInterfacePageTable, NiptEntry
+from repro.net.nic import ShrimpNic
+from repro.net.packet import Packet
+
+__all__ = [
+    "BoundedFifo",
+    "Interconnect",
+    "NetworkInterfacePageTable",
+    "NiptEntry",
+    "Packet",
+    "ShrimpNic",
+]

@@ -1,0 +1,73 @@
+"""Bounded byte-accounted FIFOs (the Outgoing/Incoming FIFOs of Figure 6)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+from repro.errors import ConfigurationError, NetworkError
+
+T = TypeVar("T")
+
+
+class BoundedFifo(Generic[T]):
+    """A FIFO of items with a byte budget.
+
+    Items must expose a ``wire_bytes`` attribute (packets do); plain
+    byte-strings are also accepted and use their length.
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "fifo") -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"{name}: capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.used_bytes = 0
+        self.high_water = 0
+        self.overruns = 0
+
+    @staticmethod
+    def _size(item: object) -> int:
+        size = getattr(item, "wire_bytes", None)
+        if size is None:
+            size = len(item)  # type: ignore[arg-type]
+        return int(size)
+
+    def can_accept(self, item: T) -> bool:
+        """True if pushing ``item`` would not overflow."""
+        return self.used_bytes + self._size(item) <= self.capacity_bytes
+
+    def push(self, item: T) -> None:
+        """Append an item; raises :class:`NetworkError` on overflow."""
+        size = self._size(item)
+        if self.used_bytes + size > self.capacity_bytes:
+            self.overruns += 1
+            raise NetworkError(
+                f"{self.name}: overflow pushing {size} bytes "
+                f"({self.used_bytes}/{self.capacity_bytes} used)"
+            )
+        self._items.append(item)
+        self.used_bytes += size
+        self.high_water = max(self.high_water, self.used_bytes)
+
+    def pop(self) -> T:
+        """Remove and return the head item."""
+        if not self._items:
+            raise NetworkError(f"{self.name}: pop from empty FIFO")
+        item = self._items.popleft()
+        self.used_bytes -= self._size(item)
+        return item
+
+    def peek(self) -> Optional[T]:
+        """The head item without removing it, or None."""
+        return self._items[0] if self._items else None
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,108 @@
+"""The routing backplane connecting SHRIMP nodes.
+
+The real machine used an Intel Paragon routing backplane.  We model the
+essentials: nodes live on a linear array of routers, a packet pays a
+per-hop routing latency proportional to the Manhattan distance, and
+delivery hands the encoded packet to the destination NIC's incoming FIFO.
+Link serialisation is the *sender's* job (the NIC owns its wire), so the
+backplane adds latency, not bandwidth limits.
+
+Packets are carried in encoded (wire) form and decoded -- checksum and
+all -- at the receiver, so corruption injected by tests is detected where
+real hardware would detect it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.params import CostModel
+from repro.sim.clock import Clock
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class Interconnect:
+    """The backplane: routes encoded packets between registered NICs."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        costs: CostModel,
+        tracer: Tracer = NULL_TRACER,
+        topology: str = "linear",
+        mesh_width: int = 0,
+    ) -> None:
+        """``topology`` is ``"linear"`` (a row of routers) or ``"mesh2d"``
+        (the Paragon's 2D mesh, dimension-ordered routing); for mesh2d,
+        ``mesh_width`` gives the number of columns (0 = square-ish,
+        derived from the registered node count at routing time)."""
+        if topology not in ("linear", "mesh2d"):
+            raise ConfigurationError(f"unknown topology {topology!r}")
+        self.clock = clock
+        self.costs = costs
+        self.tracer = tracer
+        self.topology = topology
+        self.mesh_width = mesh_width
+        self._nics: Dict[int, "ReceiverPort"] = {}
+        self.packets_routed = 0
+        self.bytes_routed = 0
+        #: optional fault injector: wire bytes -> (possibly corrupted) bytes
+        self.fault_injector: Optional[Callable[[bytes], bytes]] = None
+
+    def register(self, node_id: int, port: "ReceiverPort") -> None:
+        """Attach a node's NIC receive port."""
+        if node_id in self._nics:
+            raise ConfigurationError(f"node {node_id} already registered")
+        self._nics[node_id] = port
+
+    def hops(self, src_node: int, dst_node: int) -> int:
+        """Routing distance under the configured topology (minimum 1).
+
+        Linear: a row of routers, distance = |src - dst|.  Mesh2d:
+        dimension-ordered (X then Y) routing on a ``mesh_width``-column
+        grid, the Paragon backplane's scheme.
+        """
+        if self.topology == "linear":
+            return max(1, abs(src_node - dst_node))
+        width = self.mesh_width
+        if width <= 0:
+            count = max(len(self._nics), 1)
+            width = max(1, int(count ** 0.5))
+        sx, sy = src_node % width, src_node // width
+        dx, dy = dst_node % width, dst_node // width
+        return max(1, abs(sx - dx) + abs(sy - dy))
+
+    def route(self, src_node: int, dst_node: int, wire: bytes) -> None:
+        """Inject an encoded packet; schedules delivery after routing delay."""
+        if dst_node not in self._nics:
+            raise NetworkError(f"no node {dst_node} on the backplane")
+        if self.fault_injector is not None:
+            wire = self.fault_injector(wire)
+        delay = self.hops(src_node, dst_node) * self.costs.hop_cycles
+        self.packets_routed += 1
+        self.bytes_routed += len(wire)
+        port = self._nics[dst_node]
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now,
+                "net",
+                "route",
+                src=src_node,
+                dst=dst_node,
+                bytes=len(wire),
+                delay=delay,
+            )
+        self.clock.schedule(delay, lambda: port.deliver(wire))
+
+    @property
+    def node_ids(self) -> "list[int]":
+        """All registered node ids."""
+        return sorted(self._nics)
+
+
+class ReceiverPort:
+    """Protocol-ish base for things the backplane can deliver to."""
+
+    def deliver(self, wire: bytes) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

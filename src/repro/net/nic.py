@@ -1,0 +1,293 @@
+"""The SHRIMP network interface (Figure 6), as a UDMA device.
+
+Send path ("deliberate update"):
+
+1. A user process initiates a UDMA transfer from memory to the NIC's
+   device-proxy window.  The proxy page number indexes the NIPT; the
+   in-page offset is carried to the destination ("the offset is combined
+   with that page to form a remote physical memory address").
+2. The DMA engine bursts the data over the I/O bus into the outgoing
+   FIFO (this is the engine's transfer; the NIC's :meth:`dma_write` is the
+   FIFO-side landing point).
+3. The packetizing block builds a header and launches the packet onto the
+   wire; the wire serialises packets one at a time, which is what lets a
+   *subsequent* UDMA initiation overlap the previous packet's drain --
+   the effect behind the Figure 8 curve's shape.
+4. The backplane routes the packet; the receiving NIC's unpacking/checking
+   block verifies it and the receive-side DMA writes the payload directly
+   into physical memory ("at the receiving node, packet data is
+   transferred directly to physical memory by the EISA DMA logic").
+
+The NIC is send-only as a UDMA device, exactly like the real SHRIMP board:
+"SHRIMP uses UDMA only for memory-to-device transfers".
+
+The **automatic update** strategy of the earlier SHRIMP design (kept in
+the final hardware, section 9) is implemented as an optional snooper:
+stores to bound local pages are forwarded word-by-word to a fixed remote
+page.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.devices.base import ERR_DEVICE_BASE, UDMADevice
+from repro.errors import ConfigurationError, NetworkError
+from repro.mem.physmem import PhysicalMemory
+from repro.net.fifo import BoundedFifo
+from repro.net.interconnect import Interconnect, ReceiverPort
+from repro.net.nipt import NetworkInterfacePageTable
+from repro.net.packet import Packet
+from repro.params import CostModel
+from repro.sim.clock import transfer_cycles
+
+#: device-specific error bits (above the standard low bits)
+ERR_NO_RECEIVE = ERR_DEVICE_BASE  # NIC cannot be a UDMA source
+ERR_NIPT_INVALID = ERR_DEVICE_BASE << 1  # destination page not exported
+
+
+class ShrimpNic(UDMADevice, ReceiverPort):
+    """One node's network interface board."""
+
+    def __init__(
+        self,
+        node_id: int,
+        costs: CostModel,
+        physmem: PhysicalMemory,
+        nipt_entries: int = 1 << 15,
+        fifo_bytes: int = 1 << 20,
+        name: Optional[str] = None,
+        cut_through: bool = True,
+    ) -> None:
+        page_size = costs.page_size
+        super().__init__(
+            name if name is not None else f"nic{node_id}",
+            proxy_size=nipt_entries * page_size,
+            alignment=4,  # "aligned on 4-byte boundaries"
+        )
+        self.node_id = node_id
+        self.costs = costs
+        self.physmem = physmem
+        self.page_size = page_size
+        #: cut-through (the real SHRIMP pipeline: wire chases the DMA fill,
+        #: receive DMA chases the wire) vs store-and-forward (each stage
+        #: waits for the whole packet) -- the ablation bench quantifies
+        #: what cut-through buys
+        self.cut_through = cut_through
+        self.nipt = NetworkInterfacePageTable(nipt_entries)
+        self.outgoing = BoundedFifo(fifo_bytes, name=f"{self.name}.out")
+        self.incoming = BoundedFifo(fifo_bytes, name=f"{self.name}.in")
+        self.interconnect: Optional[Interconnect] = None
+        # Wire and receive-DMA busy timelines (absolute cycle times).
+        self._wire_free_at = 0
+        self._rx_free_at = 0
+        self._seq = 0
+        # Automatic-update bindings: local physical page -> NIPT index.
+        self._automatic: Dict[int, int] = {}
+        # Metrics and measurement hooks.
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.rx_errors = 0
+        self.last_wire_done = 0
+        self.last_delivery_done = 0
+        self.on_receive: List[Callable[[Packet], None]] = []
+
+    # ------------------------------------------------------------- wiring
+    def connect(self, interconnect: Interconnect) -> None:
+        """Plug the NIC into the backplane."""
+        if self.interconnect is not None:
+            raise ConfigurationError(f"{self.name} is already connected")
+        self.interconnect = interconnect
+        interconnect.register(self.node_id, self)
+
+    # ----------------------------------------------------- UDMA device side
+    def check_transfer(self, as_source: bool, offset: int, nbytes: int) -> int:
+        errors = super().check_transfer(as_source, offset, nbytes)
+        if as_source:
+            # The SHRIMP NIC is a UDMA destination only.
+            errors |= ERR_NO_RECEIVE
+            return errors
+        if self.nipt.lookup(offset // self.page_size) is None:
+            errors |= ERR_NIPT_INVALID
+        return errors
+
+    def dma_read(self, offset: int, nbytes: int) -> bytes:
+        raise NetworkError(
+            f"{self.name}: device-to-memory UDMA is not supported by the "
+            "SHRIMP network interface"
+        )
+
+    def dma_write(self, offset: int, data: bytes) -> None:
+        """DMA fill landed in the outgoing FIFO: packetise and launch.
+
+        The engine raises this at fill *completion*; the real hardware
+        streamed cut-through, with packetizing chasing the fill through
+        the outgoing FIFO.  We reconstruct the fill start from the cost
+        model and schedule the wire as if transmission began one header
+        time after the fill began -- so only a short wire tail (the FIFO
+        flush) remains after the fill completes.
+        """
+        if self.clock is None or self.interconnect is None:
+            raise ConfigurationError(f"{self.name} is not attached/connected")
+        index = offset // self.page_size
+        entry = self.nipt.require(index)
+        dst_paddr = entry.dst_page * self.page_size + offset % self.page_size
+        packet = Packet(
+            src_node=self.node_id,
+            dst_node=entry.dst_node,
+            dst_paddr=dst_paddr,
+            payload=bytes(data),
+            seq=self._next_seq(),
+        )
+        self.outgoing.push(packet)
+        fill_duration = self.costs.dma_start_cycles + transfer_cycles(
+            len(data), self.costs.dma_bytes_per_cycle
+        )
+        self._launch(packet, fill_start=self.clock.now - fill_duration)
+
+    # ------------------------------------------------------------ send path
+    def _launch(self, packet: Packet, fill_start: Optional[int] = None) -> None:
+        """Serialise the packet onto the wire (cut-through when filling).
+
+        ``fill_start`` is when the DMA fill of this packet began; the wire
+        starts one header time after that (or when it frees up), and in
+        any case finishes no earlier than ``wire_flush_cycles`` from now
+        (the fill has just completed "now").
+        """
+        assert self.clock is not None
+        if self.cut_through and fill_start is not None:
+            begin = fill_start
+        else:
+            begin = self.clock.now  # store-and-forward: wait for full fill
+        wire_start = max(begin + self.costs.packet_header_cycles, self._wire_free_at)
+        done = max(
+            wire_start + transfer_cycles(
+                packet.wire_bytes, self.costs.wire_bytes_per_cycle
+            ),
+            self.clock.now + self.costs.wire_flush_cycles,
+        )
+        self._wire_free_at = done
+        self.last_wire_done = done
+        self.clock.schedule_at(done, self._wire_complete)
+
+    def _wire_complete(self) -> None:
+        assert self.clock is not None and self.interconnect is not None
+        packet = self.outgoing.pop()
+        self.packets_sent += 1
+        self.bytes_sent += len(packet.payload)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now,
+                self.name,
+                "packet-tx",
+                dst=packet.dst_node,
+                paddr=f"{packet.dst_paddr:#x}",
+                bytes=len(packet.payload),
+                seq=packet.seq,
+            )
+        self.interconnect.route(self.node_id, packet.dst_node, packet.encode())
+
+    # --------------------------------------------------------- receive path
+    def deliver(self, wire: bytes) -> None:
+        """Backplane delivery into the incoming FIFO (unpack + check)."""
+        assert self.clock is not None
+        try:
+            packet = Packet.decode(wire)
+        except NetworkError:
+            self.rx_errors += 1
+            if self.tracer.enabled:
+                self.tracer.emit(self.clock.now, self.name, "rx-error", bytes=len(wire))
+            return
+        if packet.dst_paddr + len(packet.payload) > self.physmem.size:
+            # The EISA DMA logic refuses to scribble outside RAM.
+            self.rx_errors += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.clock.now,
+                    self.name,
+                    "rx-bad-paddr",
+                    paddr=f"{packet.dst_paddr:#x}",
+                )
+            return
+        self.incoming.push(packet)
+        if self.cut_through:
+            # The receive DMA streams cut-through behind the wire (it is
+            # faster than the wire, so it is never the bottleneck); a packet
+            # adds only the fixed unpack/check/flush tail after its last
+            # byte arrives.
+            done = max(self.clock.now, self._rx_free_at) + self.costs.rx_check_cycles
+        else:
+            # Store-and-forward: the whole payload is re-clocked through
+            # the receive DMA after arrival.
+            done = (
+                max(self.clock.now, self._rx_free_at)
+                + self.costs.rx_check_cycles
+                + transfer_cycles(
+                    len(packet.payload), self.costs.rx_dma_bytes_per_cycle
+                )
+            )
+        self._rx_free_at = done
+        self.clock.schedule_at(done, self._rx_dma_complete)
+
+    def _rx_dma_complete(self) -> None:
+        assert self.clock is not None
+        packet = self.incoming.pop()
+        self.physmem.write(packet.dst_paddr, packet.payload)
+        self.packets_received += 1
+        self.bytes_received += len(packet.payload)
+        self.last_delivery_done = self.clock.now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now,
+                self.name,
+                "packet-rx",
+                src=packet.src_node,
+                paddr=f"{packet.dst_paddr:#x}",
+                bytes=len(packet.payload),
+                seq=packet.seq,
+            )
+        for hook in self.on_receive:
+            hook(packet)
+
+    # ------------------------------------------------------ automatic update
+    def bind_automatic(self, local_page: int, nipt_index: int) -> None:
+        """Bind a local physical page for automatic update.
+
+        Subsequent snooped stores to the page are forwarded to the fixed
+        remote page named by ``nipt_index`` -- the "fixed mappings between
+        source and destination pages" of the automatic update strategy.
+        """
+        if self.nipt.lookup(nipt_index) is None:
+            raise ConfigurationError(
+                f"{self.name}: NIPT entry {nipt_index} must be valid before "
+                "binding automatic update"
+            )
+        self._automatic[local_page] = nipt_index
+
+    def unbind_automatic(self, local_page: int) -> None:
+        """Remove an automatic-update binding."""
+        self._automatic.pop(local_page, None)
+
+    def snoop_store(self, paddr: int, data: bytes) -> None:
+        """Bus snooper: forward a store to a bound page (word granularity)."""
+        index = self._automatic.get(paddr // self.page_size)
+        if index is None:
+            return
+        entry = self.nipt.require(index)
+        dst_paddr = entry.dst_page * self.page_size + paddr % self.page_size
+        packet = Packet(
+            src_node=self.node_id,
+            dst_node=entry.dst_node,
+            dst_paddr=dst_paddr,
+            payload=bytes(data),
+            seq=self._next_seq(),
+        )
+        self.outgoing.push(packet)
+        self._launch(packet)
+
+    # ------------------------------------------------------------ internal
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq

@@ -1,0 +1,82 @@
+"""The Network Interface Page Table (NIPT).
+
+"All potential message destinations are stored in the Network Interface
+Page Table, each entry of which specifies a remote node and a physical
+memory page on that node. ... The rightmost 15 bits of the page number are
+used to index directly into the Network Interface Page Table to obtain a
+destination node ID and a destination page number.  ... Since the NIPT is
+indexed with 15 bits, it can hold 32K different destination pages"
+(section 8).
+
+The NIPT is configured by the operating system (the receive side must
+export a page before a sender's OS will install an entry for it); the
+hardware only reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, NetworkError
+
+#: the paper's NIPT size: a 15-bit index
+DEFAULT_NIPT_ENTRIES = 1 << 15
+
+
+@dataclass(frozen=True)
+class NiptEntry:
+    """One destination: a remote node and a physical page on it."""
+
+    dst_node: int
+    dst_page: int
+
+
+class NetworkInterfacePageTable:
+    """A direct-indexed table of remote destinations."""
+
+    def __init__(self, num_entries: int = DEFAULT_NIPT_ENTRIES) -> None:
+        if num_entries <= 0:
+            raise ConfigurationError(
+                f"NIPT needs a positive entry count, got {num_entries}"
+            )
+        self.num_entries = num_entries
+        self._entries: Dict[int, NiptEntry] = {}
+
+    def set_entry(self, index: int, dst_node: int, dst_page: int) -> None:
+        """OS-side: install a destination mapping."""
+        self._check_index(index)
+        if dst_node < 0 or dst_page < 0:
+            raise ConfigurationError(
+                f"NIPT entry must name a real destination, got node {dst_node} "
+                f"page {dst_page}"
+            )
+        self._entries[index] = NiptEntry(dst_node, dst_page)
+
+    def clear_entry(self, index: int) -> None:
+        """OS-side: invalidate a destination mapping."""
+        self._check_index(index)
+        self._entries.pop(index, None)
+
+    def lookup(self, index: int) -> Optional[NiptEntry]:
+        """Hardware-side: fetch the destination, or None if invalid."""
+        self._check_index(index)
+        return self._entries.get(index)
+
+    def require(self, index: int) -> NiptEntry:
+        """Hardware-side lookup that treats an invalid entry as an error."""
+        entry = self.lookup(index)
+        if entry is None:
+            raise NetworkError(f"NIPT entry {index} is invalid")
+        return entry
+
+    @property
+    def valid_entries(self) -> int:
+        """Number of installed entries."""
+        return len(self._entries)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_entries:
+            raise ConfigurationError(
+                f"NIPT index {index} out of range [0, {self.num_entries})"
+            )

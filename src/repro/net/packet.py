@@ -1,0 +1,84 @@
+"""Packets on the SHRIMP interconnect.
+
+"Once the destination node ID and destination address are known, the
+hardware constructs a packet header.  ...  The SHRIMP hardware assembles
+the header and data into a packet, and launches the packet into the
+network" (section 8).
+
+The wire format is modelled explicitly (header + payload + checksum) so
+the receive side's "Unpacking/Checking" block of Figure 6 has real work to
+do and tests can corrupt packets in flight.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+#: magic, src node, dst node, dst paddr, length, seq
+_HEADER = struct.Struct("<IHHQII")
+_MAGIC = 0x53485250  # "SHRP"
+
+
+def _checksum(payload: bytes) -> int:
+    """A cheap 32-bit additive checksum (hardware-plausible)."""
+    total = 0
+    for i in range(0, len(payload), 4):
+        total = (total + int.from_bytes(payload[i : i + 4], "little")) & 0xFFFFFFFF
+    return total
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One deliberate-update packet."""
+
+    src_node: int
+    dst_node: int
+    dst_paddr: int
+    payload: bytes
+    seq: int = 0
+
+    HEADER_BYTES = _HEADER.size + 4  # header struct + checksum word
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes the packet occupies on the wire."""
+        return self.HEADER_BYTES + len(self.payload)
+
+    # ------------------------------------------------------------ encoding
+    def encode(self) -> bytes:
+        """Serialise to the wire format."""
+        header = _HEADER.pack(
+            _MAGIC,
+            self.src_node,
+            self.dst_node,
+            self.dst_paddr,
+            len(self.payload),
+            self.seq,
+        )
+        return header + self.payload + _checksum(self.payload).to_bytes(4, "little")
+
+    @classmethod
+    def decode(cls, wire: bytes) -> "Packet":
+        """Parse and verify a wire-format packet.
+
+        Raises :class:`NetworkError` on a bad magic, a truncated packet,
+        or a checksum mismatch -- the receive-side "Checking" block.
+        """
+        if len(wire) < _HEADER.size + 4:
+            raise NetworkError(f"runt packet of {len(wire)} bytes")
+        magic, src, dst, paddr, length, seq = _HEADER.unpack_from(wire)
+        if magic != _MAGIC:
+            raise NetworkError(f"bad packet magic {magic:#x}")
+        expected = _HEADER.size + length + 4
+        if len(wire) != expected:
+            raise NetworkError(
+                f"packet length mismatch: header says {expected}, got {len(wire)}"
+            )
+        payload = wire[_HEADER.size : _HEADER.size + length]
+        check = int.from_bytes(wire[-4:], "little")
+        if check != _checksum(payload):
+            raise NetworkError("packet checksum mismatch")
+        return cls(src, dst, paddr, bytes(payload), seq)

@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate: the cycle clock and event tracing."""
+
+from repro.sim.clock import Clock, Event
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = ["Clock", "Event", "TraceEvent", "Tracer"]

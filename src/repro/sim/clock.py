@@ -1,0 +1,168 @@
+"""The global cycle clock and discrete-event queue.
+
+Every component of a simulated machine shares one :class:`Clock`.  The CPU
+*charges* cycles for the instructions it executes (`advance`), while
+asynchronous hardware (DMA engines, NICs, disks, the interconnect) schedules
+completion callbacks at absolute cycle times (`schedule`).  Whenever the
+clock advances past an event's due time, the event fires.
+
+Time is kept in integer cycles.  Fractional byte/cycle rates are rounded up
+when converted to durations, which models the bus clocking the last partial
+burst.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, sequence number)."""
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the queue, inert)."""
+        self.cancelled = True
+
+
+class Clock:
+    """A shared cycle counter with an event queue.
+
+    The clock never runs backwards.  Events scheduled for a time that has
+    already passed fire on the next :meth:`advance` / :meth:`run` call.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._firing = False
+
+    # ------------------------------------------------------------- reading
+    @property
+    def now(self) -> int:
+        """The current time in cycles."""
+        return self._now
+
+    def pending(self) -> int:
+        """Number of live (uncancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def next_event_time(self) -> Optional[int]:
+        """Due time of the earliest live event, or None if the queue is idle."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # ---------------------------------------------------------- scheduling
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now.
+
+        A zero delay fires as soon as time next moves (or on :meth:`run`).
+        Negative delays are configuration errors.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event {delay} cycles in the past")
+        event = Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
+        return self.schedule(time - self._now, callback)
+
+    # ------------------------------------------------------------- running
+    def advance(self, cycles: int) -> None:
+        """Charge ``cycles`` of CPU work, firing any events that come due.
+
+        This is how the simulated CPU consumes time: events interleave with
+        instruction execution at cycle granularity.
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot advance time by {cycles} cycles")
+        target = self._now + cycles
+        self._fire_until(target)
+        self._now = target
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Fire queued events until the queue drains (or ``until`` is hit).
+
+        Used when the CPU is idle (e.g. a process blocked on I/O) and the
+        simulation should coast forward on device activity alone.
+        """
+        limit = math.inf if until is None else until
+        while True:
+            self._drop_cancelled_head()
+            if not self._queue:
+                break
+            head = self._queue[0]
+            if head.time > limit:
+                break
+            heapq.heappop(self._queue)
+            if head.time > self._now:
+                self._now = head.time
+            head.callback()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Drain every queued event (events may schedule further events).
+
+        ``max_events`` guards against a component that reschedules itself
+        forever.
+        """
+        fired = 0
+        while True:
+            self._drop_cancelled_head()
+            if not self._queue:
+                return
+            head = heapq.heappop(self._queue)
+            if head.time > self._now:
+                self._now = head.time
+            head.callback()
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(
+                    f"run_until_idle fired more than {max_events} events; "
+                    "a component appears to reschedule itself unboundedly"
+                )
+
+    # ------------------------------------------------------------ internal
+    def _fire_until(self, target: int) -> None:
+        while True:
+            self._drop_cancelled_head()
+            if not self._queue or self._queue[0].time > target:
+                return
+            head = heapq.heappop(self._queue)
+            if head.time > self._now:
+                self._now = head.time
+            head.callback()
+
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+
+def transfer_cycles(nbytes: int, bytes_per_cycle: float) -> int:
+    """Cycles to move ``nbytes`` at ``bytes_per_cycle``, rounded up.
+
+    The round-up models the bus clocking out the final partial burst.
+    Zero-byte transfers take zero cycles.
+    """
+    if nbytes < 0:
+        raise ValueError(f"cannot transfer {nbytes} bytes")
+    if nbytes == 0:
+        return 0
+    if bytes_per_cycle <= 0:
+        raise ValueError(f"bytes_per_cycle must be positive, got {bytes_per_cycle}")
+    return int(math.ceil(nbytes / bytes_per_cycle))

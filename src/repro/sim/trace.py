@@ -1,0 +1,92 @@
+"""Structured event tracing.
+
+Components emit :class:`TraceEvent` records through a shared
+:class:`Tracer`.  Tracing is off by default (the null tracer discards
+everything at near-zero cost); tests and the bench harness attach a
+recording tracer to observe hardware-level behaviour -- state-machine
+transitions, packets on the wire, page faults -- without poking at
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence.
+
+    Attributes:
+        time: cycle timestamp.
+        source: emitting component (e.g. ``"udma"``, ``"nic0"``, ``"kernel"``).
+        kind: event name (e.g. ``"state"``, ``"packet-tx"``, ``"page-fault"``).
+        detail: free-form payload fields.
+    """
+
+    time: int
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:>10}] {self.source}.{self.kind} {fields}".rstrip()
+
+
+class Tracer:
+    """Collects trace events and dispatches them to subscribers.
+
+    With ``record=False`` and no subscribers, :meth:`emit` is a cheap no-op
+    apart from building the call; the hot paths therefore guard emission
+    with :attr:`enabled`.
+    """
+
+    def __init__(self, record: bool = False) -> None:
+        self.record = record
+        self.events: List[TraceEvent] = []
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    @property
+    def enabled(self) -> bool:
+        """True when emitting would have any observable effect."""
+        return self.record or bool(self._subscribers)
+
+    def subscribe(self, handler: Callable[[TraceEvent], None]) -> None:
+        """Add a live handler invoked for every emitted event."""
+        self._subscribers.append(handler)
+
+    def emit(self, time: int, source: str, kind: str, **detail: Any) -> None:
+        """Record and dispatch one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(time, source, kind, detail)
+        if self.record:
+            self.events.append(event)
+        for handler in self._subscribers:
+            handler(event)
+
+    # ------------------------------------------------------------ querying
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events with the given kind."""
+        return [e for e in self.events if e.kind == kind]
+
+    def from_source(self, source: str) -> List[TraceEvent]:
+        """All recorded events emitted by the given source."""
+        return [e for e in self.events if e.source == source]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: A process-wide tracer that drops everything; components use it as the
+#: default so callers never need to pass a tracer explicitly.
+NULL_TRACER = Tracer(record=False)

@@ -1,0 +1,201 @@
+"""A message queue over a deliberate-update channel (ring-buffer protocol).
+
+Channels are raw remote-memory windows; real applications layered queues
+on top.  This module implements the classic SHRIMP-style receiver ring:
+
+* the channel carries a *data ring* plus one trailing control page;
+* the sender appends a record by UDMA-writing ``[length | payload]`` at
+  its write cursor and then UDMA-writing the new cursor into the control
+  page -- in-order packet delivery makes the cursor update the commit
+  point (the same flag-word idiom the collectives use);
+* the receiver polls the committed cursor in *local* memory (zero network
+  cost) and consumes records behind it;
+* flow control is sender-side: it tracks the receiver's consumption
+  cursor, which the receiver publishes back over a tiny reverse channel.
+
+Everything after setup is user-level: appends are two UDMA transfers,
+polls are local loads.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.cluster import ShrimpCluster
+from repro.errors import ConfigurationError, DmaError
+from repro.kernel.process import Process
+from repro.userlib.messaging import Receiver, Sender
+
+_CURSOR = struct.Struct("<I")
+_LENGTH = struct.Struct("<I")
+
+
+def _pad4(n: int) -> int:
+    return n + ((-n) % 4)
+
+
+class RingSender:
+    """The producing endpoint of a message ring."""
+
+    def __init__(self, ring: "MessageRing") -> None:
+        self._ring = ring
+        self._write_cursor = 0
+        self._consumed_seen = 0
+        self.records_sent = 0
+
+    def try_send(self, payload: bytes) -> bool:
+        """Append one record; False if the ring is currently full."""
+        ring = self._ring
+        need = _pad4(_LENGTH.size + len(payload))
+        if need > ring.data_bytes:
+            raise DmaError(
+                f"record of {len(payload)} bytes can never fit a "
+                f"{ring.data_bytes}-byte ring"
+            )
+        self._refresh_consumed()
+        used = self._write_cursor - self._consumed_seen
+        if used + need > ring.data_bytes:
+            return False
+        offset = self._write_cursor % ring.data_bytes
+        record = _LENGTH.pack(len(payload)) + payload + bytes(
+            _pad4(len(payload)) - len(payload)
+        )
+        if offset + need <= ring.data_bytes:
+            ring.data_sender.send_bytes(record, channel_offset=offset,
+                                        wait=True)
+        else:
+            split = ring.data_bytes - offset
+            ring.data_sender.send_bytes(record[:split], channel_offset=offset,
+                                        wait=True)
+            ring.data_sender.send_bytes(record[split:], channel_offset=0,
+                                        wait=True)
+        self._write_cursor += need
+        # Commit: publish the new cursor on the control page.
+        ring.data_sender.send_bytes(
+            _CURSOR.pack(self._write_cursor),
+            channel_offset=ring.data_bytes,  # first word of the control page
+            wait=True,
+        )
+        self.records_sent += 1
+        return True
+
+    def send(self, payload: bytes, spin_limit: int = 10_000) -> None:
+        """Append, letting the simulation make progress while full."""
+        for _ in range(spin_limit):
+            if self.try_send(payload):
+                return
+            clock = self._ring.cluster.clock
+            next_time = clock.next_event_time()
+            if next_time is not None:
+                clock.run(until=next_time)
+            else:
+                # Nothing in flight: the receiver must consume.
+                raise DmaError("ring full and no consumption in sight")
+        raise DmaError("ring stayed full past the spin limit")
+
+    def _refresh_consumed(self) -> None:
+        """Read the receiver's published consumption cursor (local load)."""
+        ring = self._ring
+        node = ring.cluster.node(ring.src_node)
+        if node.kernel.current is not ring.src_process:
+            node.kernel.scheduler.switch_to(ring.src_process)
+        raw = node.cpu.read_bytes(ring.feedback_vaddr, _CURSOR.size)
+        self._consumed_seen = _CURSOR.unpack(raw)[0]
+
+
+class RingReceiver:
+    """The consuming endpoint of a message ring."""
+
+    def __init__(self, ring: "MessageRing") -> None:
+        self._ring = ring
+        self._read_cursor = 0
+        self.records_received = 0
+
+    def poll(self) -> Optional[bytes]:
+        """Consume one record if available (local loads only), else None."""
+        ring = self._ring
+        node = ring.cluster.node(ring.dst_node)
+        if node.kernel.current is not ring.dst_process:
+            node.kernel.scheduler.switch_to(ring.dst_process)
+        committed = _CURSOR.unpack(
+            node.cpu.read_bytes(ring.dst_vaddr + ring.data_bytes, _CURSOR.size)
+        )[0]
+        if committed == self._read_cursor:
+            return None
+        offset = self._read_cursor % ring.data_bytes
+        header = self._read_wrapped(node, offset, _LENGTH.size)
+        length = _LENGTH.unpack(header)[0]
+        body = self._read_wrapped(
+            node, (offset + _LENGTH.size) % ring.data_bytes, length
+        )
+        self._read_cursor += _pad4(_LENGTH.size + length)
+        self.records_received += 1
+        self._publish_consumed()
+        return body
+
+    def drain_and_poll(self) -> Optional[bytes]:
+        """Let in-flight packets land, then poll."""
+        self._ring.cluster.run_until_idle()
+        return self.poll()
+
+    # ------------------------------------------------------------ internal
+    def _read_wrapped(self, node, offset: int, nbytes: int) -> bytes:
+        ring = self._ring
+        if offset + nbytes <= ring.data_bytes:
+            return node.cpu.read_bytes(ring.dst_vaddr + offset, nbytes)
+        first = ring.data_bytes - offset
+        return node.cpu.read_bytes(ring.dst_vaddr + offset, first) + \
+            node.cpu.read_bytes(ring.dst_vaddr, nbytes - first)
+
+    def _publish_consumed(self) -> None:
+        """Send the consumption cursor back over the feedback channel."""
+        self._ring.feedback_sender.send_bytes(
+            _CURSOR.pack(self._read_cursor), wait=True
+        )
+
+
+class MessageRing:
+    """Setup object owning both directions' channels."""
+
+    def __init__(
+        self,
+        cluster: ShrimpCluster,
+        src_node: int,
+        src_process: Process,
+        dst_node: int,
+        dst_process: Process,
+        data_bytes: int = 8192,
+    ) -> None:
+        page = cluster.costs.page_size
+        if data_bytes <= 0 or data_bytes % page:
+            raise ConfigurationError(
+                f"ring data size must be a positive page multiple, got {data_bytes}"
+            )
+        self.cluster = cluster
+        self.src_node = src_node
+        self.src_process = src_process
+        self.dst_node = dst_node
+        self.dst_process = dst_process
+        self.data_bytes = data_bytes
+
+        # Forward channel: data ring + one control page for the cursor.
+        self.dst_vaddr = cluster.node(dst_node).kernel.syscalls.alloc(
+            dst_process, data_bytes + page
+        )
+        forward = cluster.create_channel(
+            src_node, dst_node, dst_process, self.dst_vaddr, data_bytes + page
+        )
+        self.data_sender = Sender(cluster, src_process, forward)
+        # Feedback channel: one page carrying the consumption cursor.
+        self.feedback_vaddr = cluster.node(src_node).kernel.syscalls.alloc(
+            src_process, page
+        )
+        feedback = cluster.create_channel(
+            dst_node, src_node, src_process, self.feedback_vaddr, page
+        )
+        self.feedback_sender = Sender(cluster, dst_process, feedback)
+
+    def endpoints(self) -> "tuple[RingSender, RingReceiver]":
+        """Build the two protocol endpoints."""
+        return RingSender(self), RingReceiver(self)

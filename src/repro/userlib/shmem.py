@@ -1,0 +1,130 @@
+"""Write-through shared memory over automatic update.
+
+SHRIMP's signature programming model was *memory-mapped communication*:
+a process writes ordinary memory, and the write appears in another
+process's memory on another node.  The deliberate-update path (this
+paper's UDMA) covers explicit transfers; the retained automatic-update
+strategy covers the write-through style.  :class:`SharedRegion` packages
+the latter as a library object: one writer-side buffer whose stores are
+snooped off the memory bus and mirrored into a reader-side buffer.
+
+The mapping is fixed and one-directional ("the automatic update transfer
+strategy ... relies upon fixed mappings between source and destination
+pages", section 9); build two regions for a bidirectional channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import Channel, ShrimpCluster
+from repro.errors import ConfigurationError, DmaError
+from repro.kernel.process import Process
+
+
+class SharedRegion:
+    """A one-directional write-through shared buffer.
+
+    Args:
+        cluster: the multicomputer.
+        writer_node / writer: the owning side; its ordinary stores
+            propagate.
+        reader_node / reader: the mirrored side; it reads its local copy.
+        nbytes: region size (rounded up to pages).
+
+    Construction allocates both buffers, binds the automatic-update
+    mapping (pinning both sides -- the fixed-mapping cost the paper
+    notes), and returns a live region.
+    """
+
+    def __init__(
+        self,
+        cluster: ShrimpCluster,
+        writer_node: int,
+        writer: Process,
+        reader_node: int,
+        reader: Process,
+        nbytes: int,
+    ) -> None:
+        if nbytes <= 0:
+            raise ConfigurationError(f"region size must be positive, got {nbytes}")
+        page = cluster.costs.page_size
+        self.cluster = cluster
+        self.writer_node = writer_node
+        self.writer = writer
+        self.reader_node = reader_node
+        self.reader = reader
+        self.nbytes = -(-nbytes // page) * page
+        self.npages = self.nbytes // page
+
+        w_kernel = cluster.node(writer_node).kernel
+        r_kernel = cluster.node(reader_node).kernel
+        self.writer_vaddr = w_kernel.syscalls.alloc(writer, self.nbytes)
+        self.reader_vaddr = r_kernel.syscalls.alloc(reader, self.nbytes)
+        self.channel: Channel = cluster.bind_automatic_update(
+            writer_node, writer, self.writer_vaddr,
+            reader_node, reader, self.reader_vaddr,
+            self.nbytes,
+        )
+        self._open = True
+
+    # -------------------------------------------------------------- writer
+    def write(self, offset: int, data: bytes) -> None:
+        """Writer-side store; propagates through the snooper."""
+        self._check_open()
+        self._check_range(offset, len(data))
+        node = self.cluster.node(self.writer_node)
+        if node.kernel.current is not self.writer:
+            node.kernel.scheduler.switch_to(self.writer)
+        node.cpu.write_bytes(self.writer_vaddr + offset, data)
+
+    def write_word(self, offset: int, value: int) -> None:
+        """Writer-side single-word store (the fine-grain update case)."""
+        self._check_open()
+        self._check_range(offset, self.cluster.costs.word_size)
+        node = self.cluster.node(self.writer_node)
+        if node.kernel.current is not self.writer:
+            node.kernel.scheduler.switch_to(self.writer)
+        node.cpu.store(self.writer_vaddr + offset, value)
+
+    # -------------------------------------------------------------- reader
+    def read(self, offset: int, nbytes: int, settle: bool = True) -> bytes:
+        """Reader-side load of the mirrored copy.
+
+        ``settle=True`` first drains in-flight packets (a real reader
+        would use a flag-word protocol; the simulation offers quiescence).
+        """
+        self._check_open()
+        self._check_range(offset, nbytes)
+        if settle:
+            self.cluster.run_until_idle()
+        node = self.cluster.node(self.reader_node)
+        if node.kernel.current is not self.reader:
+            node.kernel.scheduler.switch_to(self.reader)
+        return node.cpu.read_bytes(self.reader_vaddr + offset, nbytes)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Unbind the mapping and unpin the writer-side pages."""
+        if not self._open:
+            return
+        self.cluster.unbind_automatic_update(
+            self.writer_node, self.writer, self.writer_vaddr, self.npages
+        )
+        self._open = False
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    # ------------------------------------------------------------ internal
+    def _check_open(self) -> None:
+        if not self._open:
+            raise DmaError("shared region is closed")
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.nbytes:
+            raise DmaError(
+                f"access [{offset}, {offset + nbytes}) outside the "
+                f"{self.nbytes}-byte region"
+            )

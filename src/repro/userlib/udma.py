@@ -1,0 +1,227 @@
+"""The user-level UDMA runtime.
+
+This is the code that runs *in the application* -- it owns the critical
+path the paper optimises:
+
+    STORE nbytes TO destProxyAddr
+    (fence)
+    LOAD  status FROM srcProxyAddr
+
+plus the pieces the paper says user code is responsible for: checking
+data alignment against page boundaries (section 8's 2.8 us includes that
+check), splitting large transfers into per-page pieces ("larger transfers
+must be expressed as a sequence of small transfers"), retrying after a
+context-switch Inval or a busy device, and polling for completion by
+repeating the initiating LOAD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.status import UdmaStatus
+from repro.errors import DmaError
+from repro.kernel.process import Process
+from repro.machine import Machine
+
+
+@dataclass(frozen=True)
+class MemoryRef:
+    """A transfer endpoint in the process's ordinary memory.
+
+    ``vaddr`` is a normal virtual address; the runtime references
+    ``PROXY(vaddr)`` on the application's behalf.
+    """
+
+    vaddr: int
+
+
+@dataclass(frozen=True)
+class DeviceRef:
+    """A transfer endpoint inside a granted device-proxy window.
+
+    ``vaddr`` is a virtual address *within the grant* returned by the
+    device-proxy grant syscall (it already lies in proxy space).
+    """
+
+    vaddr: int
+
+
+Ref = Union[MemoryRef, DeviceRef]
+
+
+@dataclass
+class TransferStats:
+    """What a high-level transfer cost."""
+
+    pieces: int = 0
+    retries: int = 0
+    initiations: int = 0
+    poll_loads: int = 0
+    bytes_moved: int = 0
+
+
+class UdmaUser:
+    """Per-process user-level UDMA runtime.
+
+    Args:
+        machine: the node the process runs on.
+        process: the owning process (used only for sanity checks; the
+            hardware never learns which process is issuing references).
+        retry_limit: initiation attempts per piece before giving up.
+        poll_limit: completion polls per piece before giving up.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        process: Process,
+        retry_limit: int = 64,
+        poll_limit: int = 1_000_000,
+    ) -> None:
+        self.machine = machine
+        self.process = process
+        self.cpu = machine.cpu
+        self.layout = machine.layout
+        self.page_size = machine.layout.page_size
+        self.retry_limit = retry_limit
+        self.poll_limit = poll_limit
+
+    # ----------------------------------------------------------- low level
+    def proxy_of(self, ref: Ref, offset: int = 0) -> int:
+        """The virtual proxy address the runtime will reference."""
+        if isinstance(ref, MemoryRef):
+            return self.layout.proxy(ref.vaddr + offset)
+        return ref.vaddr + offset
+
+    def initiate(self, dest_proxy: int, src_proxy: int, nbytes: int) -> UdmaStatus:
+        """One raw two-instruction initiation attempt.
+
+        Exactly the paper's sequence: STORE the byte count to the
+        destination proxy, fence, LOAD status from the source proxy.
+        """
+        self.cpu.store(dest_proxy, nbytes)
+        self.cpu.fence()
+        word = self.cpu.load(src_proxy)
+        return UdmaStatus.decode(word, self.page_size)
+
+    def poll(self, src_proxy: int) -> UdmaStatus:
+        """Re-issue the initiating LOAD to check progress (section 5)."""
+        return UdmaStatus.decode(self.cpu.load(src_proxy), self.page_size)
+
+    def cancel(self, any_proxy: int) -> None:
+        """Explicitly abandon a half-done initiation (store of -1)."""
+        self.cpu.store(any_proxy, -1)
+
+    # ---------------------------------------------------------- high level
+    def transfer(
+        self,
+        source: Ref,
+        destination: Ref,
+        nbytes: int,
+        wait: bool = True,
+        stats: "TransferStats | None" = None,
+    ) -> TransferStats:
+        """Move ``nbytes`` from ``source`` to ``destination`` via UDMA.
+
+        Splits at page boundaries in both spaces, retries transient
+        failures (context-switch Inval, busy device, full queue), and --
+        when ``wait`` is true -- polls each piece to completion before the
+        next on the basic device.  With ``wait=False`` the final piece may
+        still be in flight on return; use :meth:`poll` on the last source
+        proxy address, or let the caller drain the clock.
+        """
+        if nbytes <= 0:
+            raise DmaError(f"transfer length must be positive, got {nbytes}")
+        stats = stats if stats is not None else TransferStats()
+        offset = 0
+        last_src_proxy = 0
+        while offset < nbytes:
+            src_proxy = self.proxy_of(source, offset)
+            dst_proxy = self.proxy_of(destination, offset)
+            # The user-level alignment / page-boundary check of section 8.
+            self.cpu.execute(self.machine.costs.udma_align_check_cycles)
+            chunk = min(
+                nbytes - offset,
+                self._span(src_proxy),
+                self._span(dst_proxy),
+            )
+            self._initiate_piece(dst_proxy, src_proxy, chunk, stats)
+            stats.pieces += 1
+            stats.bytes_moved += chunk
+            offset += chunk
+            last_src_proxy = src_proxy
+            queued = self._device_is_queued()
+            if wait and not queued:
+                # The basic device accepts one transfer at a time.
+                self._wait_piece(src_proxy, stats)
+            elif offset < nbytes and not queued:
+                self._wait_piece(src_proxy, stats)
+        if wait and self._device_is_queued():
+            self._wait_piece(last_src_proxy, stats)
+        return stats
+
+    def wait_all(self, source: Ref, offset: int = 0) -> None:
+        """Poll until the device reports nothing pending for this source."""
+        stats = TransferStats()
+        self._wait_piece(self.proxy_of(source, offset), stats)
+
+    # ------------------------------------------------------------ internal
+    def _initiate_piece(
+        self, dst_proxy: int, src_proxy: int, chunk: int, stats: TransferStats
+    ) -> None:
+        for attempt in range(self.retry_limit):
+            status = self.initiate(dst_proxy, src_proxy, chunk)
+            stats.initiations += 1
+            if status.started:
+                return
+            if status.hard_error:
+                raise DmaError(
+                    f"UDMA initiation failed permanently: {status.describe()}"
+                )
+            # Transient: the device is Transferring for someone else, our
+            # sequence was Inval'd by a context switch, or the queue is
+            # full.  "The user process can deduce what happened and re-try
+            # its operation."
+            stats.retries += 1
+            self._back_off()
+        raise DmaError(
+            f"UDMA initiation still failing after {self.retry_limit} attempts"
+        )
+
+    def _wait_piece(self, src_proxy: int, stats: TransferStats) -> None:
+        """Repeat the initiating LOAD until the transfer has completed.
+
+        "If this LOAD instruction returns with the match flag set, then
+        the transfer has not completed; otherwise it has."
+        """
+        for _ in range(self.poll_limit):
+            status = self.poll(src_proxy)
+            stats.poll_loads += 1
+            if not status.match:
+                return
+            self._back_off()
+        raise DmaError("UDMA transfer never completed")
+
+    def _back_off(self) -> None:
+        """Let hardware make progress while the user process spins.
+
+        If device events are pending, coast the clock to the next one
+        (the simulation analogue of the device finishing its burst while
+        the CPU spins); otherwise just burn a few cycles.
+        """
+        clock = self.machine.clock
+        next_time = clock.next_event_time()
+        if next_time is not None and next_time > clock.now:
+            clock.run(until=next_time)
+        else:
+            self.cpu.execute(8)
+
+    def _span(self, proxy_addr: int) -> int:
+        return self.page_size - (proxy_addr % self.page_size)
+
+    def _device_is_queued(self) -> bool:
+        from repro.core.queueing import QueuedUdmaController
+
+        return isinstance(self.machine.udma, QueuedUdmaController)

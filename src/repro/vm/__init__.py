@@ -1,0 +1,26 @@
+"""Virtual-memory substrate: page tables, TLB, MMU, backing store, paging."""
+
+from repro.vm.backing_store import BackingStore
+from repro.vm.mmu import MMU, Access
+from repro.vm.page_table import PageTable
+from repro.vm.pte import PTE
+from repro.vm.replacement import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+)
+from repro.vm.tlb import TLB
+
+__all__ = [
+    "Access",
+    "BackingStore",
+    "ClockPolicy",
+    "FifoPolicy",
+    "LruPolicy",
+    "MMU",
+    "PTE",
+    "PageTable",
+    "ReplacementPolicy",
+    "TLB",
+]

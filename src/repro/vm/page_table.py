@@ -1,0 +1,111 @@
+"""Per-process page tables.
+
+A sparse map from virtual page number to :class:`PTE`.  The kernel is the
+only writer; the MMU is the main reader.  Reverse lookups (which virtual
+pages map a given physical page?) support the I2/I4 maintenance paths,
+where remapping a physical page must find and invalidate every mapping of
+it and of its proxy alias.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.vm.pte import PTE
+
+
+class PageTable:
+    """One address space's translations.
+
+    Args:
+        page_size: page size in bytes (must match the node's layout).
+        name: owner label used in traces ("pid 3", "kernel", ...).
+    """
+
+    def __init__(self, page_size: int, name: str = "?") -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ConfigurationError(f"page_size must be a power of two, got {page_size}")
+        self.page_size = page_size
+        self.name = name
+        self._entries: Dict[int, PTE] = {}
+        #: bumped on every structural change; the TLB uses it to detect
+        #: stale cached entries in assertions
+        self.generation = 0
+
+    # -------------------------------------------------------------- lookup
+    def get(self, vpage: int) -> Optional[PTE]:
+        """The PTE for a virtual page, or None if no entry exists at all."""
+        return self._entries.get(vpage)
+
+    def __contains__(self, vpage: int) -> bool:
+        return vpage in self._entries
+
+    def entries(self) -> Iterator[Tuple[int, PTE]]:
+        """Iterate ``(vpage, pte)`` pairs (unspecified order)."""
+        return iter(list(self._entries.items()))
+
+    def vpages_mapping_pfn(self, pfn: int, present_only: bool = True) -> List[int]:
+        """Every virtual page whose PTE points at ``pfn``.
+
+        Used by the kernel when a physical page is remapped or cleaned and
+        all its aliases (including proxy aliases) must be found.
+        """
+        return [
+            vpage
+            for vpage, pte in self._entries.items()
+            if pte.pfn == pfn and (pte.present or not present_only)
+        ]
+
+    # ------------------------------------------------------------ mutation
+    def map(
+        self,
+        vpage: int,
+        pfn: int,
+        writable: bool = True,
+        user: bool = True,
+        present: bool = True,
+    ) -> PTE:
+        """Install (or replace) the translation for ``vpage``."""
+        pte = PTE(pfn=pfn, present=present, writable=writable, user=user)
+        self._entries[vpage] = pte
+        self.generation += 1
+        return pte
+
+    def unmap(self, vpage: int) -> Optional[PTE]:
+        """Remove the translation entirely; returns the old PTE if any."""
+        pte = self._entries.pop(vpage, None)
+        if pte is not None:
+            self.generation += 1
+        return pte
+
+    def set_present(self, vpage: int, present: bool) -> None:
+        """Flip the present bit (page-out / page-in)."""
+        self._require(vpage).present = present
+        self.generation += 1
+
+    def set_writable(self, vpage: int, writable: bool) -> None:
+        """Flip write permission (used heavily by the I3 machinery)."""
+        self._require(vpage).writable = writable
+        self.generation += 1
+
+    def clear_dirty(self, vpage: int) -> None:
+        """Clear the dirty bit (page cleaning)."""
+        self._require(vpage).dirty = False
+        self.generation += 1
+
+    def clear_referenced(self, vpage: int) -> None:
+        """Clear the referenced bit (clock-hand sweep)."""
+        self._require(vpage).referenced = False
+
+    # ------------------------------------------------------------ internal
+    def _require(self, vpage: int) -> PTE:
+        pte = self._entries.get(vpage)
+        if pte is None:
+            raise ConfigurationError(
+                f"page table {self.name!r} has no entry for vpage {vpage:#x}"
+            )
+        return pte
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,127 @@
+"""Page-replacement policies.
+
+The VM manager asks a policy to pick a victim among *eligible* frames; the
+eligibility filter is where the paper's I4 shows up (frames named by the
+UDMA SOURCE/DESTINATION registers or its request queue are excluded before
+the policy ever sees them -- see :mod:`repro.kernel.remap_guard`).
+
+Policies see frames through a tiny read-only view so they cannot mutate VM
+state, except that the clock algorithm is explicitly allowed to clear
+referenced bits through the provided callback, as the real algorithm does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+
+@dataclass(frozen=True)
+class FrameView:
+    """What a policy may know about a candidate frame."""
+
+    frame: int
+    referenced: bool
+    dirty: bool
+    #: cycle time of the frame's last page-in (for FIFO)
+    loaded_at: int
+    #: cycle time of the last observed reference (for LRU approximation)
+    last_used_at: int
+
+
+class ReplacementPolicy(Protocol):
+    """Chooses a victim frame from a non-empty candidate list."""
+
+    def choose(
+        self,
+        candidates: Sequence[FrameView],
+        clear_referenced: Callable[[int], None],
+    ) -> int:
+        """Return the frame number of the victim.
+
+        ``clear_referenced(frame)`` clears the referenced bit of a frame's
+        mappings; only the clock algorithm uses it.
+        """
+        ...
+
+
+class FifoPolicy:
+    """Evict the frame that has been resident the longest."""
+
+    def choose(
+        self,
+        candidates: Sequence[FrameView],
+        clear_referenced: Callable[[int], None],
+    ) -> int:
+        return min(candidates, key=lambda v: (v.loaded_at, v.frame)).frame
+
+
+class LruPolicy:
+    """Evict the least recently used frame (exact, via use timestamps)."""
+
+    def choose(
+        self,
+        candidates: Sequence[FrameView],
+        clear_referenced: Callable[[int], None],
+    ) -> int:
+        return min(candidates, key=lambda v: (v.last_used_at, v.frame)).frame
+
+
+class ClockPolicy:
+    """The classic second-chance clock algorithm.
+
+    Maintains a hand position across calls; sweeps candidates in frame
+    order, skipping (and clearing) referenced frames until an unreferenced
+    one is found.
+    """
+
+    def __init__(self) -> None:
+        self._hand = 0
+
+    def choose(
+        self,
+        candidates: Sequence[FrameView],
+        clear_referenced: Callable[[int], None],
+    ) -> int:
+        ordered = sorted(candidates, key=lambda v: v.frame)
+        # Rotate so the sweep starts at the hand.
+        start = next(
+            (i for i, v in enumerate(ordered) if v.frame >= self._hand),
+            0,
+        )
+        sweep = ordered[start:] + ordered[:start]
+        # Two full sweeps guarantee termination: the first may clear every
+        # referenced bit, the second must then find a victim.  ``cleared``
+        # tracks bits we cleared ourselves, since the snapshots are frozen.
+        cleared = set()
+        for view in sweep + sweep:
+            if view.referenced and view.frame not in cleared:
+                clear_referenced(view.frame)
+                cleared.add(view.frame)
+                continue
+            self._hand = view.frame + 1
+            return view.frame
+        # Unreachable with a non-empty candidate list, but keep a sane
+        # fallback rather than an opaque crash.
+        victim = sweep[0].frame
+        self._hand = victim + 1
+        return victim
+
+
+#: Registry used by configuration code ("fifo", "lru", "clock").
+POLICIES: Dict[str, Callable[[], ReplacementPolicy]] = {
+    "fifo": FifoPolicy,
+    "lru": LruPolicy,
+    "clock": ClockPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return factory()

@@ -1,0 +1,87 @@
+"""A software model of a translation lookaside buffer.
+
+The TLB caches *snapshots* of page-table entries, tagged by address-space
+id.  Like real hardware, it does not observe later changes to the page
+table: the kernel must explicitly invalidate (shoot down) affected entries
+when it edits a mapping.  The VM-manager code in :mod:`repro.kernel` does
+so; a fidelity test demonstrates what goes wrong when it doesn't.
+
+Dirty and referenced bits are *not* cached -- the MMU always sets them in
+the authoritative page table, modelling a hardware-walked dirty-bit update.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TlbEntry:
+    """Cached translation snapshot."""
+
+    pfn: int
+    writable: bool
+    user: bool
+
+
+class TLB:
+    """Fully associative, FIFO-replacement TLB keyed by ``(asid, vpage)``."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"TLB capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    # -------------------------------------------------------------- lookup
+    def lookup(self, asid: int, vpage: int) -> Optional[TlbEntry]:
+        """Return the cached entry, counting a hit or miss."""
+        entry = self._entries.get((asid, vpage))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def insert(self, asid: int, vpage: int, entry: TlbEntry) -> None:
+        """Cache a translation, evicting the oldest entry when full."""
+        key = (asid, vpage)
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = entry
+
+    # -------------------------------------------------------- invalidation
+    def invalidate(self, asid: int, vpage: int) -> None:
+        """Shoot down one cached translation, if present."""
+        self._entries.pop((asid, vpage), None)
+
+    def flush_asid(self, asid: int) -> None:
+        """Drop every entry belonging to one address space."""
+        stale = [key for key in self._entries if key[0] == asid]
+        for key in stale:
+            del self._entries[key]
+        self.flushes += 1
+
+    def flush_all(self) -> None:
+        """Drop everything (un-tagged-TLB context switch)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)

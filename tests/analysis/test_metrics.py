@@ -1,0 +1,57 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro.analysis.metrics import cluster_metrics, machine_metrics, render
+
+
+class TestMachineMetrics:
+    def test_groups_present(self, sink_machine):
+        metrics = machine_metrics(sink_machine.machine)
+        for group in ("cpu", "tlb", "vm", "scheduler", "syscalls", "udma"):
+            assert group in metrics
+
+    def test_counters_reflect_activity(self, sink_machine):
+        rig = sink_machine
+        rig.fill_buffer(b"x" * 256)
+        rig.udma.transfer(rig.mem(0), rig.dev(0), 256)
+        rig.machine.run_until_idle()
+        metrics = machine_metrics(rig.machine)
+        assert metrics["udma"]["initiations"] >= 1
+        assert metrics["udma"]["engine_bytes"] >= 256
+        assert metrics["cpu"]["instructions"] > 0
+        assert metrics["vm"]["faults"] >= 1
+
+    def test_queued_machine_reports_queue_counters(self, queued_sink_machine):
+        rig = queued_sink_machine
+        rig.fill_buffer(b"y" * 64)
+        rig.udma.transfer(rig.mem(0), rig.dev(0), 64)
+        rig.machine.run_until_idle()
+        metrics = machine_metrics(rig.machine)
+        assert metrics["udma"]["accepted"] >= 1
+        assert "refused" in metrics["udma"]
+
+
+class TestClusterMetrics:
+    def test_per_node_and_backplane(self, channel_rig):
+        rig = channel_rig
+        rig.sender.send_bytes(b"abcd" * 64)
+        rig.cluster.run_until_idle()
+        metrics = cluster_metrics(rig.cluster)
+        assert metrics["backplane"]["packets_routed"] == 1
+        assert metrics["node0"]["nic"]["packets_sent"] == 1
+        assert metrics["node1"]["nic"]["packets_received"] == 1
+        assert metrics["node1"]["nic"]["bytes_received"] == 256
+
+
+class TestRender:
+    def test_renders_nested_tree(self):
+        text = render({"a": {"b": 1, "cc": 2}, "d": 3})
+        assert "a:" in text
+        assert "b" in text and "cc" in text
+        assert text.count("\n") >= 3
+
+    def test_real_metrics_render(self, sink_machine):
+        text = render(machine_metrics(sink_machine.machine))
+        assert "hit_rate" in text
+        assert "invals_fired" in text

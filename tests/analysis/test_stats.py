@@ -1,0 +1,58 @@
+"""Tests for the descriptive-statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_median_interpolates_even_sample(self):
+        assert percentile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        values = [5, 10, 20]
+        assert percentile(values, 0.0) == 5
+        assert percentile(values, 1.0) == 20
+
+    def test_single_value(self):
+        assert percentile([42], 0.9) == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        summary = summarize([2, 4, 4, 4, 5, 5, 7, 9])
+        assert summary.count == 8
+        assert summary.mean == 5.0
+        assert summary.stdev == 2.0
+        assert summary.minimum == 2 and summary.maximum == 9
+
+    def test_describe_is_one_line(self):
+        text = summarize([1, 2, 3]).describe()
+        assert "\n" not in text
+        assert "p95" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+@given(st.lists(st.integers(min_value=-10_000, max_value=10_000), min_size=1,
+                max_size=200))
+def test_property_summary_invariants(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.p50 <= summary.p95 <= summary.maximum
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.stdev >= 0
+    assert summary.count == len(values)

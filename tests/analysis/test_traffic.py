@@ -1,0 +1,87 @@
+"""Tests for the traffic analyser."""
+
+import pytest
+
+from repro.analysis.traffic import (
+    bandwidth_timeline,
+    packet_latencies,
+    traffic_report,
+)
+from repro.sim.trace import TraceEvent
+
+
+def tx(time, nic, seq, nbytes=100):
+    return TraceEvent(time, nic, "packet-tx", {"seq": seq, "bytes": nbytes, "dst": 1})
+
+
+def rx(time, nic, src, seq, nbytes=100):
+    return TraceEvent(time, nic, "packet-rx", {"seq": seq, "bytes": nbytes, "src": src})
+
+
+class TestLatencies:
+    def test_pairs_tx_and_rx_by_seq(self):
+        events = [tx(100, "nic0", 1), rx(350, "nic1", 0, 1)]
+        assert packet_latencies(events) == [250]
+
+    def test_unmatched_rx_skipped(self):
+        assert packet_latencies([rx(350, "nic1", 0, 9)]) == []
+
+    def test_in_flight_tx_skipped(self):
+        assert packet_latencies([tx(100, "nic0", 1)]) == []
+
+    def test_multiple_sources(self):
+        events = [
+            tx(0, "nic0", 1), tx(0, "nic2", 1),
+            rx(100, "nic1", 0, 1), rx(300, "nic1", 2, 1),
+        ]
+        assert sorted(packet_latencies(events)) == [100, 300]
+
+
+class TestBandwidthTimeline:
+    def test_buckets_by_time(self):
+        events = [rx(0, "nic1", 0, 1, 500), rx(150, "nic1", 0, 2, 300)]
+        timeline = bandwidth_timeline(events, bucket_cycles=100)
+        assert timeline[0] == (0, 5.0)
+        assert timeline[1] == (100, 3.0)
+
+    def test_gaps_are_zero(self):
+        events = [rx(0, "nic1", 0, 1, 100), rx(250, "nic1", 0, 2, 100)]
+        timeline = bandwidth_timeline(events, bucket_cycles=100)
+        assert timeline[1][1] == 0.0
+
+    def test_empty_trace(self):
+        assert bandwidth_timeline([], 100) == []
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_timeline([], 0)
+
+
+class TestTrafficReport:
+    def test_aggregates(self):
+        events = [
+            tx(0, "nic0", 1, 400), rx(200, "nic1", 0, 1, 400),
+            tx(100, "nic0", 2, 600), rx(400, "nic1", 0, 2, 600),
+        ]
+        report = traffic_report(events)
+        assert report.packets == 2
+        assert report.bytes == 1000
+        assert report.latency is not None
+        assert report.latency.count == 2
+        assert report.span_cycles == 400
+        assert report.bytes_per_cycle == 2.5
+
+    def test_empty_report(self):
+        report = traffic_report([])
+        assert report.packets == 0 and report.latency is None
+
+    def test_real_cluster_trace(self, channel_rig):
+        """The analyser digests a real recorded run."""
+        rig = channel_rig
+        rig.cluster.tracer.record = True
+        rig.sender.send_bytes(b"0123456789abcdef" * 64)  # 1 KB
+        rig.cluster.run_until_idle()
+        report = traffic_report(rig.cluster.tracer.events)
+        assert report.packets == 1
+        assert report.bytes == 1024
+        assert report.latency is not None and report.latency.mean > 0

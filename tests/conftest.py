@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, ShrimpCluster
+from repro.devices import SinkDevice
+from repro.userlib import DeviceRef, MemoryRef, Receiver, Sender, UdmaUser
+
+
+@pytest.fixture
+def machine():
+    """A small single node with default (basic, unqueued) UDMA."""
+    return Machine(mem_size=1 << 20)
+
+
+@pytest.fixture
+def queued_machine():
+    """A small single node with the section-7 queued UDMA device."""
+    return Machine(mem_size=1 << 20, queue_depth=8)
+
+
+@pytest.fixture
+def sink_machine():
+    """Machine + attached sink device + one process with buffer and grant.
+
+    Returns a simple namespace with everything a UDMA test needs.
+    """
+    return _build_sink_machine(Machine(mem_size=1 << 20))
+
+
+@pytest.fixture
+def queued_sink_machine():
+    """Queued-device variant of :func:`sink_machine`."""
+    return _build_sink_machine(Machine(mem_size=1 << 20, queue_depth=8))
+
+
+class SinkRig:
+    """Assembled single-node test rig around a sink device."""
+
+    def __init__(self, machine, sink, process, buffer_vaddr, grant_vaddr, udma):
+        self.machine = machine
+        self.sink = sink
+        self.process = process
+        self.buffer = buffer_vaddr
+        self.grant = grant_vaddr
+        self.udma = udma
+
+    def fill_buffer(self, data: bytes, offset: int = 0) -> None:
+        self.machine.cpu.write_bytes(self.buffer + offset, data)
+
+    def mem(self, offset: int = 0) -> MemoryRef:
+        return MemoryRef(self.buffer + offset)
+
+    def dev(self, offset: int = 0) -> DeviceRef:
+        return DeviceRef(self.grant + offset)
+
+
+def _build_sink_machine(machine) -> SinkRig:
+    sink = SinkDevice("sink", size=1 << 16, alignment=0)
+    machine.attach_device(sink)
+    process = machine.create_process("app")
+    buffer_vaddr = machine.kernel.syscalls.alloc(process, 1 << 15)
+    grant_vaddr = machine.kernel.syscalls.grant_device_proxy(process, "sink")
+    udma = UdmaUser(machine, process)
+    return SinkRig(machine, sink, process, buffer_vaddr, grant_vaddr, udma)
+
+
+@pytest.fixture
+def cluster2():
+    """Two SHRIMP nodes on one backplane."""
+    return ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+
+
+class ChannelRig:
+    """Assembled 2-node messaging rig."""
+
+    def __init__(self, cluster, channel, sender, receiver, tx, rx):
+        self.cluster = cluster
+        self.channel = channel
+        self.sender = sender
+        self.receiver = receiver
+        self.tx = tx
+        self.rx = rx
+
+
+@pytest.fixture
+def channel_rig(cluster2):
+    """A ready-to-send channel from node 0 to node 1 (64 KB)."""
+    rx = cluster2.node(1).create_process("rx")
+    buf = cluster2.node(1).kernel.syscalls.alloc(rx, 1 << 16)
+    channel = cluster2.create_channel(0, 1, rx, buf, 1 << 16)
+    tx = cluster2.node(0).create_process("tx")
+    sender = Sender(cluster2, tx, channel)
+    receiver = Receiver(cluster2, rx, channel)
+    return ChannelRig(cluster2, channel, sender, receiver, tx, rx)

@@ -1,0 +1,176 @@
+"""Tests for the UDMA controller: decode, translation, launch, I4 surface."""
+
+import pytest
+
+from repro.core.controller import UdmaController
+from repro.core.state_machine import UdmaState
+from repro.core.status import UdmaStatus
+from repro.devices.sink import SinkDevice
+from repro.dma.engine import DmaEngine
+from repro.errors import AddressError, ConfigurationError
+from repro.mem.layout import Layout
+from repro.mem.physmem import PhysicalMemory
+from repro.params import shrimp
+from repro.sim.clock import Clock
+
+PAGE = 4096
+MEM = 1 << 20
+
+
+class Rig:
+    def __init__(self, alignment=0):
+        self.clock = Clock()
+        self.costs = shrimp()
+        self.layout = Layout(mem_size=MEM)
+        self.ram = PhysicalMemory(MEM)
+        self.engine = DmaEngine(self.clock, self.costs)
+        self.udma = UdmaController(
+            self.layout, self.ram, self.engine, self.clock
+        )
+        self.sink = SinkDevice("sink", size=1 << 14, alignment=alignment)
+        self.window = self.udma.attach_device(self.sink)
+
+    def status_of(self, word):
+        return UdmaStatus.decode(word, PAGE)
+
+    def initiate(self, dest_paddr, src_paddr, nbytes):
+        self.udma.io_store(dest_paddr, nbytes)
+        return self.status_of(self.udma.io_load(src_paddr))
+
+
+@pytest.fixture
+def rig():
+    return Rig()
+
+
+class TestMemoryToDevice:
+    def test_full_path_moves_data(self, rig):
+        rig.ram.write(0x2000, b"shrimp!!")
+        status = rig.initiate(rig.window.base, rig.layout.proxy(0x2000), 8)
+        assert status.started
+        rig.clock.run_until_idle()
+        assert rig.sink.peek(0, 8) == b"shrimp!!"
+
+    def test_device_offset_respected(self, rig):
+        rig.ram.write(0, b"abcd")
+        rig.initiate(rig.window.base + 0x123 * 4, rig.layout.proxy(0), 4)
+        rig.clock.run_until_idle()
+        assert rig.sink.peek(0x123 * 4, 4) == b"abcd"
+
+    def test_memory_offset_respected(self, rig):
+        rig.ram.write(0x2004, b"xyzw")
+        rig.initiate(rig.window.base, rig.layout.proxy(0x2004), 4)
+        rig.clock.run_until_idle()
+        assert rig.sink.peek(0, 4) == b"xyzw"
+
+
+class TestDeviceToMemory:
+    def test_full_path_moves_data(self, rig):
+        rig.sink.poke(0x40, b"from-dev")
+        status = rig.initiate(rig.layout.proxy(0x3000), rig.window.base + 0x40, 8)
+        assert status.started
+        rig.clock.run_until_idle()
+        assert rig.ram.read(0x3000, 8) == b"from-dev"
+
+
+class TestStatusBehaviour:
+    def test_idle_load_reports_invalid(self, rig):
+        status = rig.status_of(rig.udma.io_load(rig.layout.proxy(0)))
+        assert status.invalid and not status.started
+
+    def test_match_while_transferring(self, rig):
+        src = rig.layout.proxy(0x1000)
+        rig.initiate(rig.window.base, src, 2048)
+        status = rig.status_of(rig.udma.io_load(src))
+        assert status.match and status.transferring
+        rig.clock.run_until_idle()
+        status = rig.status_of(rig.udma.io_load(src))
+        assert not status.match and status.invalid
+
+    def test_remaining_bytes_decreases_over_time(self, rig):
+        src = rig.layout.proxy(0x1000)
+        rig.initiate(rig.window.base, src, 4096)
+        first = rig.status_of(rig.udma.io_load(src)).remaining_bytes
+        rig.clock.advance(3000)
+        later = rig.status_of(rig.udma.io_load(src)).remaining_bytes
+        assert later < first
+
+    def test_wrong_space_on_mem_to_mem(self, rig):
+        rig.udma.io_store(rig.layout.proxy(0x1000), 64)
+        status = rig.status_of(rig.udma.io_load(rig.layout.proxy(0x2000)))
+        assert status.wrong_space
+
+    def test_busy_property(self, rig):
+        assert not rig.udma.busy
+        rig.initiate(rig.window.base, rig.layout.proxy(0), 64)
+        assert rig.udma.busy
+        rig.clock.run_until_idle()
+        assert not rig.udma.busy
+
+
+class TestDeviceErrors:
+    def test_alignment_veto(self):
+        rig = Rig(alignment=4)
+        status = rig.initiate(rig.window.base + 2, rig.layout.proxy(0), 8)
+        assert not status.started
+        assert status.device_errors != 0
+        assert rig.udma.sm.state is UdmaState.IDLE
+
+    def test_aligned_transfer_accepted(self):
+        rig = Rig(alignment=4)
+        status = rig.initiate(rig.window.base, rig.layout.proxy(0), 8)
+        assert status.started
+
+
+class TestInvalAndTerminate:
+    def test_inval_clears_partial_initiation(self, rig):
+        rig.udma.io_store(rig.window.base, 64)
+        rig.udma.inval()
+        assert rig.udma.sm.state is UdmaState.IDLE
+
+    def test_inval_leaves_inflight_transfer(self, rig):
+        rig.ram.write(0, b"datadata")
+        rig.initiate(rig.window.base, rig.layout.proxy(0), 8)
+        rig.udma.inval()
+        rig.clock.run_until_idle()
+        assert rig.sink.peek(0, 8) == b"datadata"
+
+    def test_terminate_aborts_engine(self, rig):
+        rig.ram.write(0, b"secret!!")
+        rig.initiate(rig.window.base, rig.layout.proxy(0), 8)
+        assert rig.udma.terminate_transfer()
+        rig.clock.run_until_idle()
+        assert rig.sink.peek(0, 8) == bytes(8)
+        assert not rig.udma.busy
+
+    def test_terminate_when_idle(self, rig):
+        assert not rig.udma.terminate_transfer()
+
+
+class TestI4Surface:
+    def test_registers_expose_memory_pages_while_transferring(self, rig):
+        rig.initiate(rig.window.base, rig.layout.proxy(5 * PAGE), 128)
+        assert 5 in rig.udma.memory_pages_in_registers()
+        rig.clock.run_until_idle()
+        assert rig.udma.memory_pages_in_registers() == set()
+
+    def test_destloaded_latch_exposed(self, rig):
+        rig.udma.io_store(rig.layout.proxy(7 * PAGE), 64)  # mem as DEST
+        assert 7 in rig.udma.memory_pages_in_registers()
+
+    def test_device_destination_not_reported_as_memory(self, rig):
+        rig.udma.io_store(rig.window.base, 64)
+        assert rig.udma.memory_pages_in_registers() == set()
+
+
+class TestDecode:
+    def test_non_proxy_address_rejected(self, rig):
+        with pytest.raises(AddressError):
+            rig.udma.io_store(0x1000, 64)  # plain memory address
+
+    def test_unknown_device_lookup_rejected(self, rig):
+        with pytest.raises(ConfigurationError):
+            rig.udma.device("nope")
+
+    def test_device_lookup(self, rig):
+        assert rig.udma.device("sink") is rig.sink

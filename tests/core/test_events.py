@@ -1,0 +1,25 @@
+"""Tests for Store/Inval classification."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.events import UdmaEvent, classify_store
+
+
+class TestClassification:
+    def test_positive_value_is_store(self):
+        assert classify_store(1) is UdmaEvent.STORE
+        assert classify_store(4096) is UdmaEvent.STORE
+
+    def test_negative_value_is_inval(self):
+        # "Inval events represent STOREs of negative values"
+        assert classify_store(-1) is UdmaEvent.INVAL
+
+    def test_zero_is_inval(self):
+        # documented deviation: zero is not a positive byte count
+        assert classify_store(0) is UdmaEvent.INVAL
+
+
+@given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+def test_property_classification_is_total(value):
+    assert classify_store(value) in (UdmaEvent.STORE, UdmaEvent.INVAL)
+    assert (classify_store(value) is UdmaEvent.STORE) == (value > 0)

@@ -1,0 +1,255 @@
+"""Tests for the Figure 5 state machine -- transition by transition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import UdmaEvent
+from repro.core.state_machine import (
+    ProxyOperand,
+    SpaceKind,
+    UdmaState,
+    UdmaStateMachine,
+)
+
+PAGE = 4096
+
+
+def mem(addr=0x1000):
+    return ProxyOperand(addr, SpaceKind.MEMORY)
+
+
+def dev(addr=0x10_0000):
+    return ProxyOperand(addr, SpaceKind.DEVICE)
+
+
+@pytest.fixture
+def sm():
+    return UdmaStateMachine(page_size=PAGE)
+
+
+class TestIdleState:
+    def test_starts_idle(self, sm):
+        assert sm.state is UdmaState.IDLE
+
+    def test_store_latches_destination(self, sm):
+        sm.store(dev(), 256)
+        assert sm.state is UdmaState.DEST_LOADED
+        assert sm.destination == dev()
+        assert sm.count == 256
+
+    def test_load_in_idle_reports_invalid_and_stays(self, sm):
+        result = sm.load(mem())
+        assert sm.state is UdmaState.IDLE
+        assert result.start is None
+        assert result.status.invalid
+        assert not result.status.started
+
+    def test_inval_in_idle_stays_idle(self, sm):
+        sm.store(mem(), -1)
+        assert sm.state is UdmaState.IDLE
+
+
+class TestDestLoadedState:
+    def test_good_load_starts_transfer(self, sm):
+        sm.store(dev(), 128)
+        result = sm.load(mem())
+        assert sm.state is UdmaState.TRANSFERRING
+        assert result.start is not None
+        assert result.start.source == mem()
+        assert result.start.destination == dev()
+        assert result.start.count == 128
+        assert result.status.started
+        assert result.status.transferring
+
+    def test_store_overwrites_latch(self, sm):
+        # "In the DestLoaded state, a Store event does not change the
+        # state, but overwrites the DESTINATION and COUNT registers."
+        sm.store(dev(0x10_0000), 100)
+        sm.store(dev(0x10_1000), 200)
+        assert sm.state is UdmaState.DEST_LOADED
+        assert sm.destination.proxy_addr == 0x10_1000
+        assert sm.count == 200
+
+    def test_inval_clears_latch(self, sm):
+        # "An Inval event moves the machine into the Idle state"
+        sm.store(dev(), 100)
+        sm.store(mem(), -5)
+        assert sm.state is UdmaState.IDLE
+        assert sm.destination is None
+
+    def test_bad_load_same_region_memory(self, sm):
+        # memory-to-memory request
+        sm.store(mem(0x1000), 64)
+        result = sm.load(mem(0x2000))
+        assert sm.state is UdmaState.IDLE
+        assert result.event is UdmaEvent.BAD_LOAD
+        assert result.status.wrong_space
+        assert result.start is None
+
+    def test_bad_load_same_region_device(self, sm):
+        # device-to-device request
+        sm.store(dev(0x10_0000), 64)
+        result = sm.load(dev(0x10_2000))
+        assert sm.state is UdmaState.IDLE
+        assert result.status.wrong_space
+
+    def test_device_error_veto(self, sm):
+        sm.store(dev(), 64)
+        result = sm.load(mem(), device_errors=0b10)
+        assert sm.state is UdmaState.IDLE
+        assert result.start is None
+        assert result.status.device_errors == 0b10
+        assert not result.status.started
+        assert result.status.hard_error
+
+    def test_remaining_bytes_shows_latched_count(self, sm):
+        sm.store(dev(), 300)
+        assert sm.status().remaining_bytes == 300
+
+
+class TestTransferringState:
+    def make_transferring(self, sm, count=128):
+        sm.store(dev(), count)
+        return sm.load(mem())
+
+    def test_store_ignored_while_transferring(self, sm):
+        self.make_transferring(sm)
+        sm.store(dev(0x10_1000), 512)
+        assert sm.state is UdmaState.TRANSFERRING
+        assert sm.destination is None or sm.destination.space is SpaceKind.DEVICE
+
+    def test_load_is_status_only(self, sm):
+        self.make_transferring(sm)
+        result = sm.load(mem(0x3000))
+        assert result.start is None
+        assert result.status.transferring
+        assert not result.status.started
+
+    def test_inval_does_not_kill_inflight_transfer(self, sm):
+        # "Once started, a UDMA transfer continues regardless of whether
+        # the process that started it is de-scheduled."
+        self.make_transferring(sm)
+        sm.store(mem(), -1)
+        assert sm.state is UdmaState.TRANSFERRING
+
+    def test_match_flag_on_source_base(self, sm):
+        self.make_transferring(sm)
+        assert sm.load(mem()).status.match          # same address as initiator
+        assert not sm.load(mem(0x9000)).status.match  # different address
+
+    def test_transfer_done_returns_to_idle(self, sm):
+        self.make_transferring(sm)
+        sm.transfer_done()
+        assert sm.state is UdmaState.IDLE
+        assert sm.source is None
+        assert sm.load(mem()).status.invalid
+
+    def test_transfer_done_in_idle_is_noop(self, sm):
+        sm.transfer_done()
+        assert sm.state is UdmaState.IDLE
+        assert sm.completions == 0
+
+    def test_terminate_aborts(self, sm):
+        self.make_transferring(sm)
+        assert sm.terminate()
+        assert sm.state is UdmaState.IDLE
+
+    def test_terminate_when_not_transferring(self, sm):
+        assert not sm.terminate()
+
+
+class TestPageClamping:
+    def test_count_clamped_to_destination_page_span(self, sm):
+        # store near end of a proxy page: span is 16 bytes
+        sm.store(dev(0x10_0000 + PAGE - 16), 4096)
+        assert sm.count == 16
+
+    def test_count_clamped_to_source_page_span_at_load(self, sm):
+        sm.store(dev(0x10_0000), 4096)
+        result = sm.load(mem(0x1000 + PAGE - 8))
+        assert result.start.count == 8
+
+    def test_full_page_transfer_allowed(self, sm):
+        sm.store(dev(0x10_0000), PAGE)
+        result = sm.load(mem(0x2000))
+        assert result.start.count == PAGE
+
+
+class TestCounters:
+    def test_counters_track_events(self, sm):
+        sm.store(dev(), 10)     # store
+        sm.load(mem())          # initiation
+        sm.transfer_done()      # completion
+        sm.store(mem(), -1)     # inval
+        sm.store(mem(0x1000), 8)
+        sm.load(mem(0x2000))    # bad load
+        assert sm.stores == 2
+        assert sm.loads == 2
+        assert sm.invals == 1
+        assert sm.initiations == 1
+        assert sm.completions == 1
+        assert sm.bad_loads == 1
+
+
+class TestRemainingCallback:
+    def test_remaining_in_flight_is_consulted(self):
+        remaining = {"value": 77}
+        sm = UdmaStateMachine(PAGE, remaining_in_flight=lambda: remaining["value"])
+        sm.store(dev(), 128)
+        sm.load(mem())
+        assert sm.status().remaining_bytes == 77
+
+    def test_remaining_clamped_to_transfer_size(self):
+        sm = UdmaStateMachine(PAGE, remaining_in_flight=lambda: 10_000)
+        sm.store(dev(), 128)
+        sm.load(mem())
+        assert sm.status().remaining_bytes == 128
+
+    def test_remaining_zero_when_idle(self, ):
+        sm = UdmaStateMachine(PAGE, remaining_in_flight=lambda: 55)
+        assert sm.status().remaining_bytes == 0
+
+
+# ---------------------------------------------------------------- property
+_operands = st.one_of(
+    st.integers(min_value=0, max_value=0xF000).map(mem),
+    st.integers(min_value=0x10_0000, max_value=0x10_F000).map(dev),
+)
+
+_events = st.one_of(
+    st.tuples(st.just("store"), _operands,
+              st.integers(min_value=-10, max_value=8192)),
+    st.tuples(st.just("load"), _operands, st.just(0)),
+    st.tuples(st.just("done"), _operands, st.just(0)),
+)
+
+
+@given(st.lists(_events, max_size=60))
+def test_property_machine_never_wedges_or_lies(sequence):
+    """Under arbitrary event sequences the machine keeps its invariants:
+
+    * state is always one of the three Figure 5 states;
+    * DestLoaded always has a latched destination, other states' exposure
+      is consistent;
+    * a start directive is produced only on a DestLoaded cross-space Load;
+    * remaining-bytes always fits the status-word field.
+    """
+    sm = UdmaStateMachine(page_size=PAGE)
+    for kind, operand, value in sequence:
+        before = sm.state
+        if kind == "store":
+            sm.store(operand, value)
+        elif kind == "load":
+            result = sm.load(operand)
+            if result.start is not None:
+                assert before is UdmaState.DEST_LOADED
+                assert result.start.source.space is not result.start.destination.space
+                assert 0 < result.start.count <= PAGE
+            result.status.encode(PAGE)  # must always be encodable
+        else:
+            sm.transfer_done()
+        assert sm.state in UdmaState
+        if sm.state is UdmaState.DEST_LOADED:
+            assert sm.destination is not None
+            assert 0 <= sm.count <= PAGE
+        assert 0 <= sm.status().remaining_bytes <= PAGE

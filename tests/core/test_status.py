@@ -1,0 +1,104 @@
+"""Tests for the UDMA status word."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.status import UdmaStatus, remaining_field_bits
+
+
+class TestFlags:
+    def test_default_is_not_started(self):
+        status = UdmaStatus()
+        assert not status.started
+        assert status.initiation  # raw flag is one
+
+    def test_started_inverts_initiation(self):
+        assert UdmaStatus(initiation=False).started
+
+    def test_hard_error_on_wrong_space(self):
+        assert UdmaStatus(wrong_space=True).hard_error
+
+    def test_hard_error_on_device_errors(self):
+        assert UdmaStatus(device_errors=0x4).hard_error
+
+    def test_transient_failure_is_retryable(self):
+        status = UdmaStatus(initiation=True, transferring=True)
+        assert status.should_retry
+
+    def test_success_is_not_retryable(self):
+        assert not UdmaStatus(initiation=False).should_retry
+
+    def test_hard_error_is_not_retryable(self):
+        assert not UdmaStatus(wrong_space=True).should_retry
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self):
+        status = UdmaStatus(
+            initiation=False, transferring=True, remaining_bytes=1234
+        )
+        assert UdmaStatus.decode(status.encode(4096), 4096) == status
+
+    def test_initiation_flag_is_bit_zero(self):
+        # "zero if the access ... started a DMA transfer; one otherwise"
+        assert UdmaStatus(initiation=False).encode() & 1 == 0
+        assert UdmaStatus(initiation=True).encode() & 1 == 1
+
+    def test_remaining_field_width(self):
+        assert remaining_field_bits(4096) == 13  # expresses 0..4096
+
+    def test_remaining_can_hold_full_page(self):
+        status = UdmaStatus(remaining_bytes=4096)
+        assert UdmaStatus.decode(status.encode(4096), 4096).remaining_bytes == 4096
+
+    def test_remaining_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            UdmaStatus(remaining_bytes=4097).encode(4096)
+
+    def test_device_errors_sit_above_remaining(self):
+        status = UdmaStatus(device_errors=0b101)
+        word = status.encode(4096)
+        assert word >> (5 + 13) == 0b101
+
+    def test_negative_word_rejected(self):
+        with pytest.raises(ValueError):
+            UdmaStatus.decode(-1)
+
+    def test_page_size_dependent_layout(self):
+        status = UdmaStatus(remaining_bytes=100, device_errors=1)
+        small = UdmaStatus.decode(status.encode(1024), 1024)
+        assert small.remaining_bytes == 100 and small.device_errors == 1
+
+
+class TestDescribe:
+    def test_describe_mentions_set_flags(self):
+        text = UdmaStatus(initiation=False, transferring=True).describe()
+        assert "STARTED" in text and "TRANSFERRING" in text
+
+    def test_describe_empty(self):
+        assert UdmaStatus(initiation=True).describe() == "(none)"
+
+
+@given(
+    initiation=st.booleans(),
+    transferring=st.booleans(),
+    invalid=st.booleans(),
+    match=st.booleans(),
+    wrong_space=st.booleans(),
+    remaining=st.integers(min_value=0, max_value=4096),
+    errors=st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_property_encode_decode_roundtrip(
+    initiation, transferring, invalid, match, wrong_space, remaining, errors
+):
+    """Every representable status word survives the wire roundtrip."""
+    status = UdmaStatus(
+        initiation=initiation,
+        transferring=transferring,
+        invalid=invalid,
+        match=match,
+        wrong_space=wrong_space,
+        remaining_bytes=remaining,
+        device_errors=errors,
+    )
+    assert UdmaStatus.decode(status.encode(4096), 4096) == status

@@ -1,0 +1,77 @@
+"""Semantic consistency of status words produced by live hardware."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.status import UdmaStatus
+from repro.core.state_machine import (
+    ProxyOperand,
+    SpaceKind,
+    UdmaStateMachine,
+)
+
+PAGE = 4096
+
+
+def mem(addr=0x1000):
+    return ProxyOperand(addr, SpaceKind.MEMORY)
+
+
+def dev(addr=0x10_0000):
+    return ProxyOperand(addr, SpaceKind.DEVICE)
+
+
+_events = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"),
+                  st.sampled_from(["mem", "dev"]),
+                  st.integers(0, 7),
+                  st.integers(-4, PAGE)),
+        st.tuples(st.just("load"),
+                  st.sampled_from(["mem", "dev"]),
+                  st.integers(0, 7),
+                  st.just(0)),
+        st.tuples(st.just("done"), st.just("mem"), st.just(0), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def _operand(space, page):
+    base = 0x1000 if space == "mem" else 0x10_0000
+    return ProxyOperand(base + page * PAGE, SpaceKind.MEMORY if space == "mem"
+                        else SpaceKind.DEVICE)
+
+
+@given(events=_events)
+@settings(max_examples=100, deadline=None)
+def test_status_flags_are_mutually_consistent(events):
+    """Machine-produced status words obey the paper's flag semantics:
+
+    * INVALID means Idle, TRANSFERRING means Transferring -- never both;
+    * MATCH implies TRANSFERRING;
+    * a started access (initiation flag zero) implies TRANSFERRING and
+      never carries INVALID, WRONG-SPACE or device errors;
+    * WRONG-SPACE accesses never start transfers.
+    """
+    sm = UdmaStateMachine(page_size=PAGE)
+    for kind, space, page, value in events:
+        if kind == "store":
+            sm.store(_operand(space, page), value)
+        elif kind == "load":
+            result = sm.load(_operand(space, page))
+            status = result.status
+            assert not (status.invalid and status.transferring)
+            if status.match:
+                assert status.transferring
+            if status.started:
+                assert status.transferring
+                assert not status.invalid
+                assert not status.wrong_space
+                assert status.device_errors == 0
+                assert result.start is not None
+            if status.wrong_space:
+                assert result.start is None
+            # Encodable and decodable losslessly, always.
+            assert UdmaStatus.decode(status.encode(PAGE), PAGE) == status
+        else:
+            sm.transfer_done()

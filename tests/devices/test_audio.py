@@ -1,0 +1,124 @@
+"""Tests for the streaming audio device."""
+
+import pytest
+
+from repro.devices.audio import ERR_NOT_SEQUENTIAL, AudioDevice
+from repro.errors import DeviceError
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def audio():
+    device = AudioDevice(ring_bytes=1024, bytes_per_cycle=1.0)
+    device.attach(Clock())
+    return device
+
+
+class TestBuffering:
+    def test_writes_buffer_while_paused(self, audio):
+        audio.dma_write(0, b"\x01" * 100)
+        assert audio.buffered_bytes == 100
+        assert audio.bytes_played == 0
+
+    def test_playback_drains_at_rate(self, audio):
+        audio.dma_write(0, b"\x02" * 100)
+        audio.play()
+        audio.clock.advance(40)
+        assert audio.buffered_bytes == 60
+        assert audio.bytes_played == 40
+
+    def test_played_data_in_order(self, audio):
+        audio.dma_write(0, b"abcd")
+        audio.dma_write(4, b"efgh")
+        audio.play()
+        audio.clock.advance(6)
+        assert audio.played_data() == b"abcdef"
+
+    def test_pause_holds_buffer(self, audio):
+        audio.dma_write(0, b"\x03" * 50)
+        audio.play()
+        audio.clock.advance(10)
+        audio.pause()
+        audio.clock.advance(100)
+        assert audio.buffered_bytes == 40
+
+    def test_underrun_counted(self, audio):
+        audio.dma_write(0, b"\x04" * 10)
+        audio.play()
+        audio.clock.advance(50)  # wants 50, has 10
+        assert audio.bytes_played == 10
+        assert audio.underruns == 1
+
+    def test_no_underrun_when_fed_in_time(self, audio):
+        audio.play()
+        position = 0
+        for _ in range(5):
+            audio.dma_write(position, b"\x05" * 100)
+            position += 100
+            audio.clock.advance(90)  # consumes 90 < 100 buffered
+        assert audio.underruns == 0
+
+    def test_ring_overflow_rejected(self, audio):
+        audio.dma_write(0, b"\x06" * 1024)
+        with pytest.raises(DeviceError):
+            audio.dma_write(1024, b"\x07")
+
+
+class TestSequencing:
+    def test_non_sequential_write_rejected(self, audio):
+        audio.dma_write(0, b"\x08" * 8)
+        with pytest.raises(DeviceError):
+            audio.dma_write(100, b"\x09" * 8)
+
+    def test_check_transfer_flags_wrong_position(self, audio):
+        audio.dma_write(0, b"\x0a" * 8)
+        assert audio.check_transfer(False, 0, 8) & ERR_NOT_SEQUENTIAL
+        assert audio.check_transfer(False, 8, 8) == 0
+
+    def test_device_is_write_only(self, audio):
+        assert audio.check_transfer(True, 0, 8) & ERR_NOT_SEQUENTIAL
+        with pytest.raises(DeviceError):
+            audio.dma_read(0, 4)
+
+    def test_stream_position_advances_with_playback(self, audio):
+        """The sequential position is stream position, not ring position."""
+        audio.dma_write(0, b"\x0b" * 100)
+        audio.play()
+        audio.clock.advance(100)  # fully drained
+        audio.dma_write(100, b"\x0c" * 50)  # next stream position
+        assert audio.buffered_bytes == 50
+
+
+class TestEndToEndUdma:
+    def test_udma_refills_during_playback(self):
+        """A process streams audio with UDMA while the device plays."""
+        from repro import Machine
+        from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+
+        machine = Machine(mem_size=1 << 20)
+        audio = AudioDevice(ring_bytes=8192, bytes_per_cycle=0.01)
+        machine.attach_device(audio)
+        p = machine.create_process("player")
+        buf = machine.kernel.syscalls.alloc(p, 8192)
+        grant = machine.kernel.syscalls.grant_device_proxy(p, "audio")
+        udma = UdmaUser(machine, p)
+
+        song = bytes(range(256)) * 16  # 4 KB
+        machine.cpu.write_bytes(buf, song)
+        position = 0
+        for chunk in range(4):
+            udma.transfer(
+                MemoryRef(buf + chunk * 1024),
+                DeviceRef(grant + position),
+                1024,
+            )
+            position += 1024
+            if chunk == 0:
+                audio.play()  # start once the first chunk is buffered
+        machine.run_until_idle()
+        under_mid_stream = audio.underruns  # starvation *during* the song?
+        machine.clock.advance(int(4096 / 0.01) + 10)
+        assert audio.played_data() == song
+        assert under_mid_stream == 0  # refills always arrived in time
+        # (running the clock past the end of the song legitimately
+        # starves the device once -- end of stream, not a refill miss)

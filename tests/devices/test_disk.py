@@ -1,0 +1,58 @@
+"""Tests for the block disk device."""
+
+import pytest
+
+from repro.devices.disk import Disk
+from repro.errors import DeviceError
+
+
+@pytest.fixture
+def disk():
+    return Disk(num_blocks=64, block_size=512, seek_cycles=1000,
+                bytes_per_cycle=1.0)
+
+
+class TestAddressing:
+    def test_proxy_offset_names_block_and_offset(self, disk):
+        disk.write_block(3, b"\x07" * 512)
+        assert disk.dma_read(3 * 512 + 10, 4) == b"\x07" * 4
+
+    def test_dma_write_lands_in_block(self, disk):
+        disk.dma_write(5 * 512, b"block5!!")
+        assert disk.read_block(5)[:8] == b"block5!!"
+
+    def test_out_of_range_rejected(self, disk):
+        with pytest.raises(DeviceError):
+            disk.dma_read(64 * 512, 1)
+
+    def test_bad_block_rejected(self, disk):
+        with pytest.raises(DeviceError):
+            disk.read_block(64)
+
+    def test_oversize_block_write_rejected(self, disk):
+        with pytest.raises(DeviceError):
+            disk.write_block(0, b"x" * 513)
+
+
+class TestSeekModel:
+    def test_seek_cost_on_head_move(self, disk):
+        extra = disk.dma_extra_cycles(10 * 512, 100)
+        assert extra >= disk.seek_cycles
+
+    def test_no_seek_cost_at_head(self, disk):
+        disk.dma_read(0, 1)  # head now at block 0
+        assert disk.dma_extra_cycles(0, 100) < disk.seek_cycles
+
+    def test_seek_counter(self, disk):
+        disk.dma_read(0, 1)
+        disk.dma_read(10 * 512, 1)
+        disk.dma_read(10 * 512 + 8, 1)  # same block: no seek
+        assert disk.seeks == 1  # block 0 was the initial head position
+
+    def test_alignment_default(self, disk):
+        assert disk.check_transfer(False, 2, 8) != 0
+        assert disk.check_transfer(False, 4, 8) == 0
+
+    def test_power_of_two_block_size_required(self):
+        with pytest.raises(DeviceError):
+            Disk(block_size=500)

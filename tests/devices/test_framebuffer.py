@@ -1,0 +1,53 @@
+"""Tests for the frame-buffer device."""
+
+import pytest
+
+from repro.devices.framebuffer import FrameBuffer
+from repro.errors import DeviceError
+
+
+@pytest.fixture
+def fb():
+    return FrameBuffer(width=16, height=8, bytes_per_pixel=4)
+
+
+class TestPixelAddressing:
+    def test_pixel_offset_row_major(self, fb):
+        assert fb.pixel_offset(0, 0) == 0
+        assert fb.pixel_offset(1, 0) == 4
+        assert fb.pixel_offset(0, 1) == 16 * 4
+
+    def test_out_of_bounds_pixel(self, fb):
+        with pytest.raises(DeviceError):
+            fb.pixel_offset(16, 0)
+        with pytest.raises(DeviceError):
+            fb.pixel_offset(0, 8)
+
+    def test_blit_sets_pixels(self, fb):
+        fb.dma_write(fb.pixel_offset(2, 3), b"\xff\x00\x00\xff")
+        assert fb.get_pixel(2, 3) == b"\xff\x00\x00\xff"
+
+    def test_row_readback(self, fb):
+        fb.dma_write(fb.pixel_offset(0, 1), b"\x11" * 64)
+        assert fb.row(1) == b"\x11" * 64
+
+    def test_dma_read(self, fb):
+        fb.dma_write(0, b"\x42" * 8)
+        assert fb.dma_read(0, 8) == b"\x42" * 8
+
+    def test_blit_counter(self, fb):
+        fb.dma_write(0, b"\x00" * 4)
+        fb.dma_write(4, b"\x00" * 4)
+        assert fb.blits == 2
+
+    def test_blit_outside_rejected(self, fb):
+        with pytest.raises(DeviceError):
+            fb.dma_write(fb.proxy_size - 2, b"\x00" * 4)
+
+    def test_pixel_alignment_enforced(self, fb):
+        assert fb.check_transfer(False, 2, 4) != 0  # not pixel aligned
+        assert fb.check_transfer(False, 4, 4) == 0
+
+    def test_bad_dimensions(self):
+        with pytest.raises(DeviceError):
+            FrameBuffer(width=0, height=8)

@@ -1,0 +1,42 @@
+"""Tests for the sink device."""
+
+import pytest
+
+from repro.devices.base import ERR_ALIGNMENT, ERR_RANGE
+from repro.devices.sink import SinkDevice
+from repro.errors import DeviceError
+
+
+class TestSink:
+    def test_write_read_roundtrip(self):
+        sink = SinkDevice(size=1024)
+        sink.dma_write(10, b"abc")
+        assert sink.dma_read(10, 3) == b"abc"
+
+    def test_out_of_range_rejected(self):
+        sink = SinkDevice(size=16)
+        with pytest.raises(DeviceError):
+            sink.dma_write(10, b"too long for device")
+
+    def test_counters(self):
+        sink = SinkDevice(size=64)
+        sink.dma_write(0, b"x")
+        sink.dma_read(0, 1)
+        assert sink.writes == 1 and sink.reads == 1
+
+    def test_peek_poke_do_not_count(self):
+        sink = SinkDevice(size=64)
+        sink.poke(0, b"y")
+        assert sink.peek(0, 1) == b"y"
+        assert sink.writes == 0 and sink.reads == 0
+
+    def test_check_transfer_alignment(self):
+        sink = SinkDevice(size=64, alignment=4)
+        assert sink.check_transfer(False, 2, 8) & ERR_ALIGNMENT
+        assert sink.check_transfer(False, 4, 6) & ERR_ALIGNMENT
+        assert sink.check_transfer(False, 4, 8) == 0
+
+    def test_check_transfer_range(self):
+        sink = SinkDevice(size=64)
+        assert sink.check_transfer(False, 60, 8) & ERR_RANGE
+        assert sink.check_transfer(False, 0, 64) == 0

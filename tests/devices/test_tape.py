@@ -1,0 +1,43 @@
+"""Tests for the tape drive."""
+
+import pytest
+
+from repro.devices.tape import TapeDrive
+from repro.errors import DeviceError
+
+
+@pytest.fixture
+def tape():
+    return TapeDrive(length=1 << 16, wind_cycles_per_kb=100, bytes_per_cycle=1.0)
+
+
+class TestTape:
+    def test_sequential_write_read(self, tape):
+        tape.dma_write(0, b"record-1")
+        tape.dma_write(8, b"record-2")
+        assert tape.dma_read(0, 16) == b"record-1record-2"
+
+    def test_position_tracks_head(self, tape):
+        tape.dma_write(0, b"12345678")
+        assert tape.position == 8
+
+    def test_sequential_access_has_no_wind_cost(self, tape):
+        tape.dma_write(0, b"x" * 1024)
+        extra = tape.dma_extra_cycles(1024, 1024)
+        assert extra == 1024  # pure transfer, no wind
+
+    def test_random_access_pays_distance(self, tape):
+        tape.dma_write(0, b"x")
+        far = 32 * 1024
+        extra = tape.dma_extra_cycles(far, 1)
+        assert extra >= (far - 1) // 1024 * 100
+
+    def test_wind_counter(self, tape):
+        tape.dma_write(0, b"abc")
+        tape.dma_read(3, 1)      # sequential: no wind
+        tape.dma_read(1000, 1)   # wind
+        assert tape.winds == 1
+
+    def test_off_tape_rejected(self, tape):
+        with pytest.raises(DeviceError):
+            tape.dma_read(1 << 16, 1)

@@ -1,0 +1,112 @@
+"""Tests for the traditional (descriptor-chain) DMA controller."""
+
+import pytest
+
+from repro.devices.sink import SinkDevice
+from repro.dma.engine import DeviceEndpoint, DmaEngine, MemoryEndpoint
+from repro.dma.traditional import DmaDescriptor, TraditionalDmaController
+from repro.errors import DmaError
+from repro.mem.physmem import PhysicalMemory
+from repro.params import shrimp
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def rig():
+    clock = Clock()
+    ram = PhysicalMemory(1 << 16)
+    engine = DmaEngine(clock, shrimp())
+    controller = TraditionalDmaController(engine)
+    sink = SinkDevice(size=1 << 13)
+    return clock, ram, engine, controller, sink
+
+
+class TestDescriptor:
+    def test_add_and_total(self, rig):
+        _, ram, _, _, sink = rig
+        desc = DmaDescriptor()
+        desc.add(MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 100)
+        desc.add(MemoryEndpoint(ram, 4096), DeviceEndpoint(sink, 100), 50)
+        assert len(desc) == 2
+        assert desc.total_bytes == 150
+
+    def test_nonpositive_entry_rejected(self, rig):
+        _, ram, _, _, sink = rig
+        with pytest.raises(DmaError):
+            DmaDescriptor().add(MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 0)
+
+
+class TestChainProcessing:
+    def test_chain_moves_all_pieces(self, rig):
+        clock, ram, _, controller, sink = rig
+        ram.write(0, b"AAAA")
+        ram.write(4096, b"BBBB")
+        desc = DmaDescriptor()
+        desc.add(MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 4)
+        desc.add(MemoryEndpoint(ram, 4096), DeviceEndpoint(sink, 4), 4)
+        controller.start(desc)
+        clock.run_until_idle()
+        assert sink.peek(0, 8) == b"AAAABBBB"
+
+    def test_interrupt_fires_once_per_chain(self, rig):
+        clock, ram, _, controller, sink = rig
+        interrupts = []
+        controller.on_interrupt(lambda: interrupts.append(clock.now))
+        desc = DmaDescriptor()
+        desc.add(MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 4)
+        desc.add(MemoryEndpoint(ram, 8), DeviceEndpoint(sink, 4), 4)
+        controller.start(desc)
+        clock.run_until_idle()
+        assert len(interrupts) == 1
+        assert controller.chains_completed == 1
+
+    def test_busy_during_chain(self, rig):
+        clock, ram, _, controller, sink = rig
+        desc = DmaDescriptor()
+        desc.add(MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 4)
+        controller.start(desc)
+        assert controller.busy
+        clock.run_until_idle()
+        assert not controller.busy
+
+    def test_start_while_busy_rejected(self, rig):
+        _, ram, _, controller, sink = rig
+        desc = DmaDescriptor()
+        desc.add(MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 4)
+        controller.start(desc)
+        with pytest.raises(DmaError):
+            controller.start(desc)
+
+    def test_empty_chain_rejected(self, rig):
+        _, _, _, controller, _ = rig
+        with pytest.raises(DmaError):
+            controller.start(DmaDescriptor())
+
+    def test_remove_interrupt_handler(self, rig):
+        clock, ram, _, controller, sink = rig
+        fired = []
+        handler = lambda: fired.append(1)
+        controller.on_interrupt(handler)
+        controller.remove_interrupt_handler(handler)
+        desc = DmaDescriptor()
+        desc.add(MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 4)
+        controller.start(desc)
+        clock.run_until_idle()
+        assert fired == []
+
+    def test_remove_absent_handler_is_noop(self, rig):
+        _, _, _, controller, _ = rig
+        controller.remove_interrupt_handler(lambda: None)
+
+    def test_pieces_run_sequentially(self, rig):
+        """Total time is the sum of per-piece engine durations."""
+        clock, ram, engine, controller, sink = rig
+        desc = DmaDescriptor()
+        desc.add(MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 1000)
+        desc.add(MemoryEndpoint(ram, 4096), DeviceEndpoint(sink, 1000), 1000)
+        one = engine.transfer_duration(
+            MemoryEndpoint(ram, 0), DeviceEndpoint(sink, 0), 1000
+        )
+        controller.start(desc)
+        clock.run_until_idle()
+        assert clock.now == 2 * one

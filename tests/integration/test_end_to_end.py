@@ -1,0 +1,205 @@
+"""End-to-end scenarios crossing every subsystem."""
+
+import pytest
+
+from repro import Machine, ShrimpCluster
+from repro.bench.workloads import make_payload
+from repro.devices import Disk, FrameBuffer, SinkDevice
+from repro.errors import ProtectionFault
+from repro.kernel.invariants import InvariantChecker
+from repro.userlib import DeviceRef, MemoryRef, Receiver, Sender, UdmaUser
+
+PAGE = 4096
+
+
+class TestFourNodePrototype:
+    """The paper's four-processor prototype shape."""
+
+    def test_all_pairs_can_communicate(self):
+        cluster = ShrimpCluster(num_nodes=4, mem_size=1 << 21)
+        procs = [cluster.node(i).create_process(f"p{i}") for i in range(4)]
+        for src in range(4):
+            for dst in range(4):
+                if src == dst:
+                    continue
+                buf = cluster.node(dst).kernel.syscalls.alloc(procs[dst], PAGE)
+                channel = cluster.create_channel(src, dst, procs[dst], buf, PAGE)
+                sender = Sender(cluster, procs[src], channel)
+                message = f"{src}->{dst}".encode()
+                sender.send_bytes(message)
+                cluster.run_until_idle()
+                receiver = Receiver(cluster, procs[dst], channel)
+                assert receiver.recv_bytes(len(message)) == message
+
+    def test_concurrent_senders_to_one_receiver(self):
+        cluster = ShrimpCluster(num_nodes=3, mem_size=1 << 21)
+        rx = cluster.node(2).create_process("rx")
+        buf = cluster.node(2).kernel.syscalls.alloc(rx, 2 * PAGE)
+        ch0 = cluster.create_channel(0, 2, rx, buf, PAGE)
+        ch1 = cluster.create_channel(1, 2, rx, buf + PAGE, PAGE)
+        tx0 = cluster.node(0).create_process("tx0")
+        tx1 = cluster.node(1).create_process("tx1")
+        s0 = Sender(cluster, tx0, ch0)
+        s1 = Sender(cluster, tx1, ch1)
+        s0.send_bytes(b"from-node-0", wait=False)
+        s1.send_bytes(b"from-node-1", wait=False)
+        cluster.run_until_idle()
+        r0 = Receiver(cluster, rx, ch0)
+        assert r0.recv_bytes(11) == b"from-node-0"
+        assert Receiver(cluster, rx, ch1).recv_bytes(11) == b"from-node-1"
+
+
+class TestMultiDeviceNode:
+    def test_three_device_families_coexist(self):
+        """Disk, frame-buffer and sink share one UDMA controller."""
+        machine = Machine(mem_size=1 << 20)
+        disk = Disk("disk", num_blocks=128, block_size=512,
+                    seek_cycles=100, bytes_per_cycle=1.0)
+        fb = FrameBuffer("fb", width=64, height=32)
+        sink = SinkDevice("sink", size=1 << 14)
+        for dev in (disk, fb, sink):
+            machine.attach_device(dev)
+        p = machine.create_process("app")
+        udma = UdmaUser(machine, p)
+        buf = machine.kernel.syscalls.alloc(p, 4 * PAGE)
+
+        disk_grant = machine.kernel.syscalls.grant_device_proxy(p, "disk")
+        fb_grant = machine.kernel.syscalls.grant_device_proxy(p, "fb")
+        sink_grant = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+
+        # memory -> disk
+        machine.cpu.write_bytes(buf, b"D" * 512)
+        udma.transfer(MemoryRef(buf), DeviceRef(disk_grant), 512)
+        machine.run_until_idle()
+        assert disk.read_block(0) == b"D" * 512
+
+        # disk -> memory (read it back into a different page)
+        machine.cpu.store(buf + PAGE, 0)
+        udma.transfer(DeviceRef(disk_grant), MemoryRef(buf + PAGE), 512)
+        machine.run_until_idle()
+        assert machine.cpu.read_bytes(buf + PAGE, 512) == b"D" * 512
+
+        # memory -> frame buffer scanline
+        machine.cpu.write_bytes(buf + 2 * PAGE, b"\x42" * 256)
+        udma.transfer(
+            MemoryRef(buf + 2 * PAGE),
+            DeviceRef(fb_grant + fb.pixel_offset(0, 1)),
+            256,
+        )
+        machine.run_until_idle()
+        assert fb.row(1)[:256] == b"\x42" * 256
+
+        # memory -> sink
+        machine.cpu.write_bytes(buf + 3 * PAGE, b"S" * 64)
+        udma.transfer(MemoryRef(buf + 3 * PAGE), DeviceRef(sink_grant), 64)
+        machine.run_until_idle()
+        assert sink.peek(0, 64) == b"S" * 64
+
+
+class TestProtectionBetweenProcesses:
+    """'A UDMA device can be used concurrently by an arbitrary number of
+    untrusting processes without compromising protection.'"""
+
+    def test_process_cannot_dma_anothers_memory(self, sink_machine):
+        rig = sink_machine
+        machine = rig.machine
+        victim_buffer = rig.buffer
+        attacker = machine.create_process("attacker")
+        machine.kernel.syscalls.grant_device_proxy(attacker, "sink")
+        machine.kernel.scheduler.switch_to(attacker)
+        # The attacker names the victim's buffer via its memory proxy
+        # address; the MMU has no mapping for it in the attacker's space.
+        with pytest.raises(ProtectionFault):
+            machine.cpu.load(machine.proxy(victim_buffer))
+
+    def test_process_without_grant_cannot_touch_device(self, sink_machine):
+        rig = sink_machine
+        machine = rig.machine
+        outsider = machine.create_process("outsider")
+        machine.kernel.scheduler.switch_to(outsider)
+        with pytest.raises(ProtectionFault):
+            machine.cpu.store(rig.grant, 64)
+
+    def test_interleaved_use_by_two_processes(self, sink_machine):
+        """Two untrusting processes alternate transfers; data never mixes."""
+        rig = sink_machine
+        machine = rig.machine
+        p2 = machine.create_process("p2")
+        buf2 = machine.kernel.syscalls.alloc(p2, PAGE)
+        grant2 = machine.kernel.syscalls.grant_device_proxy(p2, "sink")
+        udma2 = UdmaUser(machine, p2)
+
+        machine.kernel.scheduler.switch_to(rig.process)
+        rig.fill_buffer(b"P1" * 32)
+        rig.udma.transfer(rig.mem(0), rig.dev(0), 64)
+
+        machine.kernel.scheduler.switch_to(p2)
+        machine.cpu.write_bytes(buf2, b"P2" * 32)
+        udma2.transfer(MemoryRef(buf2), DeviceRef(grant2 + 64), 64)
+
+        machine.run_until_idle()
+        assert rig.sink.peek(0, 64) == b"P1" * 32
+        assert rig.sink.peek(64, 64) == b"P2" * 32
+        InvariantChecker(machine.kernel).check_all()
+
+
+class TestPagingDuringCommunication:
+    def test_invariants_hold_under_memory_pressure_with_traffic(self):
+        """Paging pressure while a channel is streaming: I1-I4 all hold."""
+        cluster = ShrimpCluster(num_nodes=2, mem_size=24 * PAGE)
+        rx = cluster.node(1).create_process("rx")
+        buf = cluster.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
+        channel = cluster.create_channel(0, 1, rx, buf, 2 * PAGE)
+        tx = cluster.node(0).create_process("tx")
+        sender = Sender(cluster, tx, channel)
+        hog = cluster.node(0).create_process("hog")
+        hog_buf = cluster.node(0).kernel.syscalls.alloc(hog, 12 * PAGE)
+
+        checker = InvariantChecker(cluster.node(0).kernel)
+        data = make_payload(2 * PAGE)
+        for round_no in range(4):
+            sender.send_bytes(data, wait=False)
+            cluster.node(0).kernel.scheduler.switch_to(hog)
+            for i in range(12):
+                cluster.node(0).cpu.store(hog_buf + i * PAGE, round_no)
+            checker.check_all()
+            cluster.run_until_idle()
+            checker.check_all()
+        assert Receiver(cluster, rx, channel).recv_bytes(2 * PAGE) == data
+
+    def test_send_buffer_survives_eviction_between_messages(self):
+        cluster = ShrimpCluster(num_nodes=2, mem_size=20 * PAGE)
+        rx = cluster.node(1).create_process("rx")
+        buf = cluster.node(1).kernel.syscalls.alloc(rx, PAGE)
+        channel = cluster.create_channel(0, 1, rx, buf, PAGE)
+        tx = cluster.node(0).create_process("tx")
+        sender = Sender(cluster, tx, channel)
+        data = make_payload(PAGE)
+        sender.send_bytes(data)
+        cluster.run_until_idle()
+        # Evict everything the sender owns by running a memory hog.
+        hog = cluster.node(0).create_process("hog")
+        hog_buf = cluster.node(0).kernel.syscalls.alloc(hog, 14 * PAGE)
+        cluster.node(0).kernel.scheduler.switch_to(hog)
+        for i in range(14):
+            cluster.node(0).cpu.store(hog_buf + i * PAGE, 1)
+        # Second send must page the buffer back in (proxy fault case 2).
+        sender.send_bytes(data)
+        cluster.run_until_idle()
+        assert Receiver(cluster, rx, channel).recv_bytes(PAGE) == data
+
+
+class TestSchedulingFreedom:
+    def test_transfer_survives_descheduling_of_initiator(self, channel_rig):
+        """'Once started, a UDMA transfer continues regardless of whether
+        the process that started it is de-scheduled.'"""
+        rig = channel_rig
+        node0 = rig.cluster.node(0)
+        data = make_payload(PAGE)
+        node0.cpu.write_bytes(rig.sender.buffer, data)
+        rig.sender.send_buffer(PAGE, wait=False)
+        # Deschedule the sender immediately.
+        other = node0.create_process("other")
+        node0.kernel.scheduler.switch_to(other)
+        rig.cluster.run_until_idle()
+        assert Receiver(rig.cluster, rig.rx, rig.channel).recv_bytes(PAGE) == data

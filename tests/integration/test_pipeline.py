@@ -1,0 +1,110 @@
+"""A three-stage processing pipeline across nodes (chained channels).
+
+node0 produces records, node1 transforms them, node2 archives them -- the
+kind of fine-grained, communication-heavy structure the paper's low
+initiation cost is meant to enable.  All inter-node movement is
+user-level deliberate update; the only kernel work is channel setup.
+"""
+
+import pytest
+
+from repro import Receiver, Sender, ShrimpCluster
+from repro.bench.workloads import make_payload
+from repro.kernel.invariants import InvariantChecker
+
+PAGE = 4096
+RECORD = 512
+RECORDS = 6
+
+
+@pytest.fixture
+def pipeline():
+    cluster = ShrimpCluster(num_nodes=3, mem_size=1 << 21)
+    producer = cluster.node(0).create_process("producer")
+    transformer = cluster.node(1).create_process("transformer")
+    archiver = cluster.node(2).create_process("archiver")
+
+    stage1_buf = cluster.node(1).kernel.syscalls.alloc(
+        transformer, RECORDS * RECORD
+    )
+    stage1 = cluster.create_channel(0, 1, transformer, stage1_buf,
+                                    RECORDS * RECORD)
+    stage2_buf = cluster.node(2).kernel.syscalls.alloc(
+        archiver, RECORDS * RECORD
+    )
+    stage2 = cluster.create_channel(1, 2, archiver, stage2_buf,
+                                    RECORDS * RECORD)
+
+    return {
+        "cluster": cluster,
+        "producer": producer,
+        "transformer": transformer,
+        "archiver": archiver,
+        "send_01": Sender(cluster, producer, stage1),
+        "recv_01": Receiver(cluster, transformer, stage1),
+        "send_12": Sender(cluster, transformer, stage2),
+        "recv_12": Receiver(cluster, archiver, stage2),
+    }
+
+
+def transform(record: bytes) -> bytes:
+    """The stage-1 computation: byte-wise complement."""
+    return bytes(b ^ 0xFF for b in record)
+
+
+class TestPipeline:
+    def test_records_flow_through_all_stages(self, pipeline):
+        cluster = pipeline["cluster"]
+        records = [make_payload(RECORD, seed=i + 1) for i in range(RECORDS)]
+
+        # Stage 0 -> 1: produce.
+        for i, record in enumerate(records):
+            pipeline["send_01"].send_bytes(record, channel_offset=i * RECORD)
+        cluster.run_until_idle()
+
+        # Stage 1: transform in place, forward to stage 2.
+        for i in range(RECORDS):
+            raw = pipeline["recv_01"].recv_bytes(RECORD, offset=i * RECORD)
+            assert raw == records[i]
+            pipeline["send_12"].send_bytes(
+                transform(raw), channel_offset=i * RECORD
+            )
+        cluster.run_until_idle()
+
+        # Stage 2: archive and verify.
+        for i in range(RECORDS):
+            final = pipeline["recv_12"].recv_bytes(RECORD, offset=i * RECORD)
+            assert final == transform(records[i])
+
+    def test_no_kernel_dma_calls_after_setup(self, pipeline):
+        cluster = pipeline["cluster"]
+        pipeline["send_01"].send_bytes(make_payload(RECORD))
+        cluster.run_until_idle()
+        raw = pipeline["recv_01"].recv_bytes(RECORD)
+        pipeline["send_12"].send_bytes(transform(raw))
+        cluster.run_until_idle()
+        for i in range(3):
+            assert cluster.node(i).kernel.syscalls.dma_calls == 0
+
+    def test_middle_node_sends_and_receives_concurrently(self, pipeline):
+        """Node 1's NIC receives stage-1 packets while its UDMA engine is
+        sending stage-2 packets -- receive is pure hardware."""
+        cluster = pipeline["cluster"]
+        record = make_payload(RECORD, seed=9)
+        pipeline["send_12"].send_bytes(transform(record), wait=False)
+        pipeline["send_01"].send_bytes(record, wait=False)
+        cluster.run_until_idle()
+        assert pipeline["recv_01"].recv_bytes(RECORD) == record
+        assert pipeline["recv_12"].recv_bytes(RECORD) == transform(record)
+
+    def test_invariants_on_every_node(self, pipeline):
+        cluster = pipeline["cluster"]
+        pipeline["send_01"].send_bytes(make_payload(RECORD))
+        cluster.run_until_idle()
+        for i in range(3):
+            InvariantChecker(cluster.node(i).kernel).check_all()
+
+    def test_hop_counts_follow_topology(self, pipeline):
+        cluster = pipeline["cluster"]
+        assert cluster.interconnect.hops(0, 1) == 1
+        assert cluster.interconnect.hops(0, 2) == 2

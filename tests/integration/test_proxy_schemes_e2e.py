@@ -1,0 +1,56 @@
+"""End-to-end parity of the two PROXY schemes across the whole stack.
+
+The PROXY bench checks single-node parity; these tests push the claim
+through the multicomputer: a cluster built on the fixed-offset scheme
+must behave cycle-for-cycle like the high-bit-flip one.
+"""
+
+import pytest
+
+from repro import Receiver, Sender, ShrimpCluster
+from repro.bench import make_payload
+from repro.kernel.invariants import InvariantChecker
+from repro.mem.layout import ProxyScheme
+
+PAGE = 4096
+
+
+def run_cluster(scheme):
+    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, scheme=scheme)
+    rx = cluster.node(1).create_process("rx")
+    buf = cluster.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
+    channel = cluster.create_channel(0, 1, rx, buf, 2 * PAGE)
+    tx = cluster.node(0).create_process("tx")
+    sender = Sender(cluster, tx, channel)
+    data = make_payload(2 * PAGE)
+    sender.send_bytes(data)
+    cluster.run_until_idle()
+    received = Receiver(cluster, rx, channel).recv_bytes(len(data))
+    InvariantChecker(cluster.node(0).kernel).check_all()
+    InvariantChecker(cluster.node(1).kernel).check_all()
+    return cluster.now, received
+
+
+class TestSchemeParity:
+    def test_offset_scheme_cluster_works(self):
+        cycles, received = run_cluster(ProxyScheme.OFFSET)
+        assert received == make_payload(2 * PAGE)
+
+    def test_schemes_agree_cycle_for_cycle(self):
+        hb_cycles, hb_data = run_cluster(ProxyScheme.HIGH_BIT)
+        off_cycles, off_data = run_cluster(ProxyScheme.OFFSET)
+        assert hb_cycles == off_cycles
+        assert hb_data == off_data
+
+    @pytest.mark.parametrize("scheme", [ProxyScheme.HIGH_BIT, ProxyScheme.OFFSET])
+    def test_protection_holds_under_both(self, scheme):
+        from repro.errors import ProtectionFault
+
+        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20, scheme=scheme)
+        victim = cluster.node(0).create_process("victim")
+        buf = cluster.node(0).kernel.syscalls.alloc(victim, PAGE)
+        cluster.node(0).cpu.store(buf, 1)
+        intruder = cluster.node(0).create_process("intruder")
+        cluster.node(0).kernel.scheduler.switch_to(intruder)
+        with pytest.raises(ProtectionFault):
+            cluster.node(0).cpu.load(cluster.node(0).proxy(buf))

@@ -1,0 +1,144 @@
+"""Tests for the I1-I4 runtime checkers.
+
+Each invariant is tested twice: the checker passes on a correctly
+maintained kernel, and *catches* a kernel that has been sabotaged in the
+specific way the invariant forbids.
+"""
+
+import pytest
+
+from repro import Machine
+from repro.devices import SinkDevice
+from repro.errors import InvariantViolation
+from repro.kernel.invariants import InvariantChecker
+
+PAGE = 4096
+
+
+@pytest.fixture
+def rig():
+    machine = Machine(mem_size=32 * PAGE, bounce_frames=2)
+    machine.attach_device(SinkDevice("sink", size=1 << 16))
+    p = machine.create_process("a")
+    vaddr = machine.kernel.syscalls.alloc(p, 4 * PAGE)
+    grant = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+    checker = InvariantChecker(machine.kernel)
+    return machine, p, vaddr, grant, checker
+
+
+def map_proxy(machine, vaddr):
+    machine.cpu.store(vaddr, 1)                 # resident + dirty
+    machine.cpu.store(machine.proxy(vaddr), -1)  # proxy mapped (Inval value)
+
+
+class TestCleanSystemPasses:
+    def test_fresh_machine(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        checker.check_all()
+
+    def test_after_transfers_and_switches(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        other = machine.create_process("b")
+        map_proxy(machine, vaddr)
+        machine.cpu.store(grant, 128)
+        machine.cpu.fence()
+        machine.cpu.load(machine.proxy(vaddr))
+        machine.kernel.scheduler.switch_to(other)
+        machine.run_until_idle()
+        checker.check_all()
+
+    def test_mid_transfer(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        map_proxy(machine, vaddr)
+        machine.cpu.store(grant, 128)
+        machine.cpu.fence()
+        machine.cpu.load(machine.proxy(vaddr))
+        checker.check_all()  # while the DMA is in flight
+        machine.run_until_idle()
+
+
+class TestI1Checker:
+    def test_catches_missing_inval(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        other = machine.create_process("b")
+        machine.kernel.scheduler.switch_to(other)
+        # Sabotage: pretend one inval never happened.
+        machine.kernel.scheduler.invals_fired -= 1
+        with pytest.raises(InvariantViolation, match="I1"):
+            checker.check_i1()
+
+
+class TestI2Checker:
+    def test_catches_dangling_proxy_mapping(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        map_proxy(machine, vaddr)
+        # Sabotage: unmap the real page but leave the proxy mapping.
+        p.page_table.set_present(vaddr // PAGE, False)
+        with pytest.raises(InvariantViolation, match="I2"):
+            checker.check_i2()
+
+    def test_catches_mismatched_proxy_frame(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        map_proxy(machine, vaddr)
+        vproxy_page = machine.proxy(vaddr) // PAGE
+        wrong_pfn = machine.layout.proxy(31 * PAGE) // PAGE
+        p.page_table.map(vproxy_page, wrong_pfn)
+        with pytest.raises(InvariantViolation, match="I2"):
+            checker.check_i2()
+
+
+class TestI3Checker:
+    def test_catches_writable_proxy_of_clean_page(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        map_proxy(machine, vaddr)
+        # Sabotage: clean the real page without write-protecting the proxy.
+        p.page_table.get(vaddr // PAGE).dirty = False
+        with pytest.raises(InvariantViolation, match="I3"):
+            checker.check_i3()
+
+    def test_passes_after_proper_clean(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        map_proxy(machine, vaddr)
+        machine.kernel.vm.clean_page(p, vaddr // PAGE)
+        checker.check_i3()
+
+
+class TestI4Checker:
+    def _start_transfer(self, machine, vaddr, grant):
+        map_proxy(machine, vaddr)
+        machine.cpu.store(grant, 128)
+        machine.cpu.fence()
+        machine.cpu.load(machine.proxy(vaddr))
+
+    def test_catches_remap_of_active_page(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        self._start_transfer(machine, vaddr, grant)
+        # Sabotage: remap the source page mid-transfer.
+        p.page_table.map(vaddr // PAGE, 31)
+        with pytest.raises(InvariantViolation, match="I4"):
+            checker.check_i4()
+        machine.run_until_idle()
+
+    def test_catches_freed_active_frame(self, rig):
+        machine, p, vaddr, grant, checker = rig
+        self._start_transfer(machine, vaddr, grant)
+        frame = next(iter(machine.udma.memory_pages_in_registers()))
+        machine.kernel.vm._frame_meta.pop(frame, None)
+        machine.kernel.frames.free(frame)
+        with pytest.raises(InvariantViolation, match="I4"):
+            checker.check_i4()
+        machine.run_until_idle()
+
+    def test_eviction_never_takes_an_active_page(self, rig):
+        """The real point: paging pressure during a transfer must redirect
+        eviction away from the page in the registers."""
+        machine, p, vaddr, grant, checker = rig
+        self._start_transfer(machine, vaddr, grant)
+        b = machine.create_process("b")
+        vb = machine.kernel.syscalls.alloc(b, 20 * PAGE)
+        machine.kernel.scheduler.switch_to(b)
+        for i in range(20):
+            machine.cpu.store(vb + i * PAGE, 7)
+            checker.check_i4()
+        machine.run_until_idle()
+        checker.check_all()

@@ -1,0 +1,80 @@
+"""Tests for the kernel facade: lifecycle and fault dispatch."""
+
+import pytest
+
+from repro import Machine
+from repro.devices import SinkDevice
+from repro.errors import ProtectionFault
+from repro.kernel.process import ProcessState
+
+PAGE = 4096
+
+
+class TestProcessLifecycle:
+    def test_pids_are_unique_and_increasing(self, machine):
+        a = machine.create_process("a")
+        b = machine.create_process("b")
+        assert b.pid > a.pid
+
+    def test_first_process_becomes_current(self, machine):
+        a = machine.create_process("a")
+        assert machine.kernel.current is a
+
+    def test_exit_releases_everything(self, machine):
+        a = machine.create_process("a")
+        b = machine.create_process("b")
+        vaddr = machine.kernel.syscalls.alloc(a, 4 * PAGE)
+        machine.kernel.scheduler.switch_to(a)
+        for i in range(4):
+            machine.cpu.store(vaddr + i * PAGE, 1)
+        free = machine.kernel.frames.available
+        machine.kernel.exit_process(a)
+        assert machine.kernel.frames.available == free + 4
+        assert a.state is ProcessState.DEAD
+        assert a.pid not in machine.kernel.processes
+
+    def test_exit_of_current_clears_cpu_context(self, machine):
+        a = machine.create_process("a")
+        machine.kernel.exit_process(a)
+        assert machine.kernel.current is None
+
+    def test_dead_process_asid_flushed_from_tlb(self, machine):
+        a = machine.create_process("a")
+        vaddr = machine.kernel.syscalls.alloc(a, PAGE)
+        machine.cpu.store(vaddr, 1)  # fills the TLB
+        machine.kernel.exit_process(a)
+        assert machine.mmu.tlb.lookup(a.asid, vaddr // PAGE) is None
+
+
+class TestFaultDispatch:
+    def test_fault_with_no_current_process_is_fatal(self, machine):
+        # Install a page table directly without going through the scheduler.
+        from repro.vm.page_table import PageTable
+        machine.cpu.set_context(PageTable(PAGE), asid=99)
+        with pytest.raises(ProtectionFault):
+            machine.cpu.load(0)
+
+    def test_faults_route_to_current_process(self, machine):
+        a = machine.create_process("a")
+        b = machine.create_process("b")
+        va = machine.kernel.syscalls.alloc(a, PAGE)
+        machine.kernel.scheduler.switch_to(a)
+        machine.cpu.store(va, 1)
+        assert a.faults_served >= 1
+        assert b.faults_served == 0
+
+
+class TestLateControllerAttach:
+    def test_attach_controller_registers_everywhere(self, machine):
+        from repro.core.controller import UdmaController
+        from repro.dma.engine import DmaEngine
+
+        engine = DmaEngine(machine.clock, machine.costs, name="extra-engine")
+        extra = UdmaController(
+            machine.layout, machine.physmem, engine, machine.clock, name="extra"
+        )
+        before_sched = len(machine.kernel.scheduler.udma_controllers)
+        before_guard = len(machine.kernel.remap_guard.controllers)
+        machine.kernel.attach_controller(extra)
+        assert len(machine.kernel.scheduler.udma_controllers) == before_sched + 1
+        assert len(machine.kernel.remap_guard.controllers) == before_guard + 1

@@ -1,0 +1,61 @@
+"""Tests for the process abstraction."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.process import Process, ProcessState
+from repro.mem.layout import Layout
+
+PAGE = 4096
+
+
+@pytest.fixture
+def process():
+    return Process(1, "test", Layout(mem_size=1 << 20))
+
+
+class TestVirtualAllocation:
+    def test_alloc_returns_page_aligned_vaddr(self, process):
+        vaddr = process.alloc_virtual(2)
+        assert vaddr % PAGE == 0
+        assert vaddr >= PAGE  # page zero is reserved
+
+    def test_allocations_do_not_overlap(self, process):
+        a = process.alloc_virtual(2)
+        b = process.alloc_virtual(3)
+        assert b >= a + 2 * PAGE
+
+    def test_alloc_marks_pages_valid(self, process):
+        vaddr = process.alloc_virtual(2)
+        vpage = vaddr // PAGE
+        assert process.owns_vpage(vpage)
+        assert process.owns_vpage(vpage + 1)
+        assert not process.owns_vpage(vpage + 2)
+
+    def test_readonly_allocation(self, process):
+        vaddr = process.alloc_virtual(1, writable=False)
+        assert not process.vpage_is_writable(vaddr // PAGE)
+
+    def test_writable_allocation(self, process):
+        vaddr = process.alloc_virtual(1)
+        assert process.vpage_is_writable(vaddr // PAGE)
+
+    def test_exhaustion(self, process):
+        limit = (1 << 20) // PAGE
+        with pytest.raises(SyscallError):
+            process.alloc_virtual(limit)
+
+    def test_nonpositive_rejected(self, process):
+        with pytest.raises(SyscallError):
+            process.alloc_virtual(0)
+
+
+class TestIdentity:
+    def test_asid_is_pid(self, process):
+        assert process.asid == process.pid == 1
+
+    def test_initial_state(self, process):
+        assert process.state is ProcessState.READY
+
+    def test_unowned_page_not_writable(self, process):
+        assert not process.vpage_is_writable(999)

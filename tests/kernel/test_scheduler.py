@@ -1,0 +1,81 @@
+"""Tests for the scheduler and the I1 context-switch hook."""
+
+import pytest
+
+from repro.core.state_machine import UdmaState
+from repro.errors import ConfigurationError
+
+
+class TestSwitching:
+    def test_first_process_auto_runs(self, machine):
+        p = machine.create_process("a")
+        assert machine.kernel.current is p
+        assert machine.cpu.page_table is p.page_table
+
+    def test_switch_installs_address_space(self, machine):
+        a = machine.create_process("a")
+        b = machine.create_process("b")
+        machine.kernel.scheduler.switch_to(b)
+        assert machine.kernel.current is b
+        assert machine.cpu.asid == b.asid
+
+    def test_switch_to_current_is_noop(self, machine):
+        a = machine.create_process("a")
+        switches = machine.kernel.scheduler.switches
+        machine.kernel.scheduler.switch_to(a)
+        assert machine.kernel.scheduler.switches == switches
+
+    def test_previous_process_returns_to_ready_queue(self, machine):
+        a = machine.create_process("a")
+        b = machine.create_process("b")
+        machine.kernel.scheduler.switch_to(b)
+        assert a in machine.kernel.scheduler.ready
+
+    def test_round_robin(self, machine):
+        a = machine.create_process("a")
+        b = machine.create_process("b")
+        c = machine.create_process("c")
+        seen = [machine.kernel.current]
+        for _ in range(3):
+            seen.append(machine.kernel.scheduler.yield_next())
+        assert seen == [a, b, c, a]
+
+    def test_switch_to_unknown_rejected(self, machine):
+        from repro.kernel.process import Process
+        foreign = Process(99, "x", machine.layout)
+        with pytest.raises(ConfigurationError):
+            machine.kernel.scheduler.switch_to(foreign)
+
+    def test_double_admission_rejected(self, machine):
+        a = machine.create_process("a")
+        with pytest.raises(ConfigurationError):
+            machine.kernel.scheduler.add(a)
+
+
+class TestI1Hook:
+    def test_every_switch_fires_an_inval(self, machine):
+        machine.create_process("a")
+        b = machine.create_process("b")
+        before = machine.kernel.scheduler.invals_fired
+        machine.kernel.scheduler.switch_to(b)
+        assert machine.kernel.scheduler.invals_fired == before + 1
+
+    def test_switch_clears_partial_initiation(self, sink_machine):
+        """The Inval kills a STORE-without-LOAD across a context switch."""
+        rig = sink_machine
+        machine = rig.machine
+        other = machine.create_process("other")
+        # First instruction of the pair...
+        machine.cpu.store(rig.dev(0).vaddr, 64)
+        assert machine.udma.sm.state is UdmaState.DEST_LOADED
+        # ...preempted before the LOAD.
+        machine.kernel.scheduler.switch_to(other)
+        assert machine.udma.sm.state is UdmaState.IDLE
+
+    def test_switch_charges_inval_store_cost(self, machine):
+        machine.create_process("a")
+        b = machine.create_process("b")
+        before = machine.clock.now
+        machine.kernel.scheduler.switch_to(b)
+        elapsed = machine.clock.now - before
+        assert elapsed >= machine.costs.io_ref_cycles  # the single STORE

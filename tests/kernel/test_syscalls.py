@@ -1,0 +1,167 @@
+"""Tests for the syscall surface, especially the traditional-DMA baseline."""
+
+import pytest
+
+from repro import Machine
+from repro.devices import SinkDevice
+from repro.errors import SyscallError
+
+PAGE = 4096
+
+
+@pytest.fixture
+def rig():
+    machine = Machine(mem_size=64 * PAGE)
+    sink = SinkDevice("sink", size=1 << 16)
+    machine.attach_device(sink)
+    p = machine.create_process("a")
+    return machine, sink, p
+
+
+class TestAlloc:
+    def test_alloc_rounds_to_pages(self, rig):
+        machine, _, p = rig
+        vaddr = machine.kernel.syscalls.alloc(p, 100)
+        assert p.owns_vpage(vaddr // PAGE)
+        assert not p.owns_vpage(vaddr // PAGE + 1)
+
+    def test_alloc_charges_syscall_costs(self, rig):
+        machine, _, p = rig
+        before = machine.clock.now
+        machine.kernel.syscalls.alloc(p, PAGE)
+        elapsed = machine.clock.now - before
+        assert elapsed >= (
+            machine.costs.syscall_entry_cycles + machine.costs.syscall_exit_cycles
+        )
+
+
+class TestGrants:
+    def test_grant_maps_window(self, rig):
+        machine, _, p = rig
+        base = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+        assert p.page_table.get(base // PAGE) is not None
+
+    def test_partial_grant(self, rig):
+        machine, _, p = rig
+        base = machine.kernel.syscalls.grant_device_proxy(p, "sink", pages=(2, 2))
+        window = machine.layout.window_by_name("sink")
+        assert base == window.base + 2 * PAGE
+        assert p.page_table.get(base // PAGE) is not None
+        assert p.page_table.get(window.base // PAGE) is None
+
+    def test_readonly_grant(self, rig):
+        machine, _, p = rig
+        base = machine.kernel.syscalls.grant_device_proxy(p, "sink", writable=False)
+        assert not p.page_table.get(base // PAGE).writable
+
+    def test_grant_policy_can_deny(self, rig):
+        machine, _, p = rig
+        machine.kernel.syscalls.grant_policy = lambda proc, dev, w: False
+        with pytest.raises(SyscallError):
+            machine.kernel.syscalls.grant_device_proxy(p, "sink")
+
+    def test_revoke_unmaps(self, rig):
+        machine, _, p = rig
+        base = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+        machine.kernel.syscalls.revoke_device_proxy(p, "sink")
+        assert p.page_table.get(base // PAGE) is None
+
+    def test_bad_grant_range(self, rig):
+        machine, _, p = rig
+        with pytest.raises(SyscallError):
+            machine.kernel.syscalls.grant_device_proxy(p, "sink", pages=(0, 999))
+
+    def test_unknown_device(self, rig):
+        machine, _, p = rig
+        from repro.errors import ConfigurationError
+        with pytest.raises((SyscallError, ConfigurationError)):
+            machine.kernel.syscalls.grant_device_proxy(p, "nodev")
+
+
+class TestTraditionalDma:
+    def test_to_device_moves_data(self, rig):
+        machine, sink, p = rig
+        vaddr = machine.kernel.syscalls.alloc(p, 2 * PAGE)
+        machine.cpu.write_bytes(vaddr, b"Z" * 6000)
+        machine.kernel.syscalls.dma(
+            p, "sink", 0, vaddr, 6000, to_device=True
+        )
+        assert sink.peek(0, 6000) == b"Z" * 6000
+
+    def test_from_device_moves_data(self, rig):
+        machine, sink, p = rig
+        sink.poke(100, b"incoming")
+        vaddr = machine.kernel.syscalls.alloc(p, PAGE)
+        machine.kernel.syscalls.dma(
+            p, "sink", 100, vaddr, 8, to_device=False
+        )
+        assert machine.cpu.read_bytes(vaddr, 8) == b"incoming"
+
+    def test_pins_and_unpins_every_page(self, rig):
+        machine, _, p = rig
+        vaddr = machine.kernel.syscalls.alloc(p, 3 * PAGE)
+        machine.kernel.syscalls.dma(
+            p, "sink", 0, vaddr, 3 * PAGE, to_device=True
+        )
+        assert machine.kernel.syscalls.pages_pinned == 3
+        assert machine.kernel.frames.pinned_count == 0  # all unpinned after
+
+    def test_bad_user_address_rejected(self, rig):
+        machine, _, p = rig
+        with pytest.raises(SyscallError):
+            machine.kernel.syscalls.dma(p, "sink", 0, 50 * PAGE, 64, to_device=True)
+
+    def test_readonly_destination_rejected(self, rig):
+        machine, _, p = rig
+        vaddr = machine.kernel.syscalls.alloc(p, PAGE, writable=False)
+        with pytest.raises(SyscallError):
+            machine.kernel.syscalls.dma(p, "sink", 0, vaddr, 64, to_device=False)
+
+    def test_overhead_is_hundreds_to_thousands_of_cycles(self, rig):
+        """Section 1/2's headline claim about the traditional path."""
+        machine, _, p = rig
+        vaddr = machine.kernel.syscalls.alloc(p, PAGE)
+        machine.cpu.store(vaddr, 1)
+        import math
+        before = machine.clock.now
+        machine.kernel.syscalls.dma(p, "sink", 0, vaddr, PAGE, to_device=True)
+        total = machine.clock.now - before
+        pure = machine.costs.dma_start_cycles + math.ceil(
+            PAGE / machine.costs.dma_bytes_per_cycle
+        )
+        overhead = total - pure
+        assert 500 <= overhead <= 10_000  # hundreds..thousands of instructions
+
+    def test_bounce_path_copies(self, rig):
+        machine, sink, p = rig
+        vaddr = machine.kernel.syscalls.alloc(p, PAGE)
+        machine.cpu.write_bytes(vaddr, b"bounce!!")
+        machine.kernel.syscalls.dma(
+            p, "sink", 0, vaddr, 8, to_device=True, bounce=True
+        )
+        assert sink.peek(0, 8) == b"bounce!!"
+        assert machine.kernel.syscalls.bytes_copied == 8
+
+    def test_bounce_from_device(self, rig):
+        machine, sink, p = rig
+        sink.poke(0, b"devdata!")
+        vaddr = machine.kernel.syscalls.alloc(p, PAGE)
+        machine.kernel.syscalls.dma(
+            p, "sink", 0, vaddr, 8, to_device=False, bounce=True
+        )
+        assert machine.cpu.read_bytes(vaddr, 8) == b"devdata!"
+
+    def test_bounce_larger_than_buffer_rejected(self, rig):
+        machine, _, p = rig
+        vaddr = machine.kernel.syscalls.alloc(p, 16 * PAGE)
+        too_big = (machine.kernel.syscalls.bounce_frames + 1) * PAGE
+        with pytest.raises(SyscallError):
+            machine.kernel.syscalls.dma(
+                p, "sink", 0, vaddr, too_big, to_device=True, bounce=True
+            )
+
+    def test_nonpositive_length_rejected(self, rig):
+        machine, _, p = rig
+        vaddr = machine.kernel.syscalls.alloc(p, PAGE)
+        with pytest.raises(SyscallError):
+            machine.kernel.syscalls.dma(p, "sink", 0, vaddr, 0, to_device=True)

@@ -1,0 +1,167 @@
+"""Tests for the address map and the PROXY()/PROXY^-1 functions."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigurationError
+from repro.mem.layout import Layout, ProxyScheme, Region
+
+MEM = 1 << 20  # 1 MB of "RAM"
+
+
+@pytest.fixture(params=[ProxyScheme.HIGH_BIT, ProxyScheme.OFFSET])
+def layout(request):
+    """Both PROXY schemes; the paper says they are equivalent."""
+    return Layout(mem_size=MEM, scheme=request.param)
+
+
+class TestProxyFunction:
+    def test_roundtrip(self, layout):
+        for addr in (0, 1, 4096, MEM - 1):
+            assert layout.unproxy(layout.proxy(addr)) == addr
+
+    def test_proxy_lands_in_proxy_region(self, layout):
+        assert layout.region_of(layout.proxy(0)) is Region.MEMORY_PROXY
+        assert layout.region_of(layout.proxy(MEM - 1)) is Region.MEMORY_PROXY
+
+    def test_proxy_preserves_page_offset(self, layout):
+        addr = 3 * 4096 + 123
+        assert layout.proxy(addr) % 4096 == 123
+
+    def test_proxy_is_one_to_one(self, layout):
+        seen = {layout.proxy(a) for a in range(0, MEM, 4096)}
+        assert len(seen) == MEM // 4096
+
+    def test_proxy_of_non_memory_rejected(self, layout):
+        with pytest.raises(AddressError):
+            layout.proxy(MEM)
+        with pytest.raises(AddressError):
+            layout.proxy(-1)
+
+    def test_unproxy_of_non_proxy_rejected(self, layout):
+        with pytest.raises(AddressError):
+            layout.unproxy(0)
+
+    def test_high_bit_scheme_flips_the_bit(self):
+        layout = Layout(mem_size=MEM, scheme=ProxyScheme.HIGH_BIT)
+        assert layout.proxy(0x1234) == 0x1234 ^ (1 << 31)
+
+    def test_offset_scheme_adds_the_offset(self):
+        layout = Layout(
+            mem_size=MEM, scheme=ProxyScheme.OFFSET, proxy_offset=0x4000_0000
+        )
+        assert layout.proxy(0x1234) == 0x1234 + 0x4000_0000
+
+
+class TestRegions:
+    def test_memory_region(self, layout):
+        assert layout.region_of(0) is Region.MEMORY
+        assert layout.region_of(MEM - 1) is Region.MEMORY
+
+    def test_gap_is_unmapped(self, layout):
+        assert layout.region_of(MEM) is Region.UNMAPPED
+
+    def test_device_proxy_region(self, layout):
+        assert layout.region_of(layout.dev_proxy_base) is Region.DEVICE_PROXY
+
+    def test_beyond_device_proxy_is_unmapped(self, layout):
+        end = layout.dev_proxy_base + layout.dev_proxy_size
+        assert layout.region_of(end) is Region.UNMAPPED
+
+    def test_is_proxy(self, layout):
+        assert layout.is_proxy(layout.proxy(0))
+        assert layout.is_proxy(layout.dev_proxy_base)
+        assert not layout.is_proxy(0)
+
+    def test_region_is_proxy_property(self):
+        assert Region.MEMORY_PROXY.is_proxy
+        assert Region.DEVICE_PROXY.is_proxy
+        assert not Region.MEMORY.is_proxy
+        assert not Region.UNMAPPED.is_proxy
+
+
+class TestDeviceWindows:
+    def test_register_returns_window(self, layout):
+        window = layout.register_device("nic", 8192)
+        assert window.base == layout.dev_proxy_base
+        assert window.size == 8192
+
+    def test_windows_are_packed_in_order(self, layout):
+        w1 = layout.register_device("a", 4096)
+        w2 = layout.register_device("b", 4096)
+        assert w2.base == w1.base + w1.size
+
+    def test_size_rounded_to_pages(self, layout):
+        window = layout.register_device("odd", 100)
+        assert window.size == 4096
+
+    def test_duplicate_name_rejected(self, layout):
+        layout.register_device("dup", 4096)
+        with pytest.raises(ConfigurationError):
+            layout.register_device("dup", 4096)
+
+    def test_window_of_finds_owner(self, layout):
+        w = layout.register_device("nic", 8192)
+        assert layout.window_of(w.base + 5000).name == "nic"
+
+    def test_window_of_rejects_unowned(self, layout):
+        with pytest.raises(AddressError):
+            layout.window_of(layout.dev_proxy_base)
+
+    def test_window_by_name(self, layout):
+        layout.register_device("disk", 4096)
+        assert layout.window_by_name("disk").name == "disk"
+
+    def test_window_by_name_missing(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.window_by_name("nope")
+
+    def test_exhaustion_rejected(self):
+        layout = Layout(mem_size=MEM, dev_proxy_size=8192)
+        layout.register_device("a", 8192)
+        with pytest.raises(ConfigurationError):
+            layout.register_device("b", 4096)
+
+    def test_nonpositive_size_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.register_device("zero", 0)
+
+
+class TestPageHelpers:
+    def test_page_of(self, layout):
+        assert layout.page_of(4096 * 3 + 5) == 3
+
+    def test_page_base(self, layout):
+        assert layout.page_base(4096 * 3 + 5) == 4096 * 3
+
+    def test_page_offset(self, layout):
+        assert layout.page_offset(4096 * 3 + 5) == 5
+
+    def test_bytes_to_page_end(self, layout):
+        assert layout.bytes_to_page_end(4096 * 3) == 4096
+        assert layout.bytes_to_page_end(4096 * 3 + 4000) == 96
+
+
+class TestGeometryValidation:
+    def test_mem_size_must_be_page_multiple(self):
+        with pytest.raises(ConfigurationError):
+            Layout(mem_size=5000)
+
+    def test_memory_cannot_overlap_its_alias(self):
+        with pytest.raises(ConfigurationError):
+            Layout(mem_size=1 << 20, proxy_bit=1 << 16)
+
+    def test_offset_must_clear_memory(self):
+        with pytest.raises(ConfigurationError):
+            Layout(mem_size=1 << 20, scheme=ProxyScheme.OFFSET, proxy_offset=1 << 16)
+
+    def test_proxy_bit_must_be_single_bit(self):
+        with pytest.raises(ConfigurationError):
+            Layout(mem_size=1 << 20, proxy_bit=0x3000)
+
+    def test_device_region_cannot_overlap_memory_proxy(self):
+        with pytest.raises(ConfigurationError):
+            Layout(
+                mem_size=1 << 20,
+                scheme=ProxyScheme.OFFSET,
+                proxy_offset=0xC000_0000,
+            )

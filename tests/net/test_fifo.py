@@ -1,0 +1,70 @@
+"""Tests for the bounded FIFOs."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.fifo import BoundedFifo
+from repro.net.packet import Packet
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        fifo = BoundedFifo(1024)
+        fifo.push(b"one")
+        fifo.push(b"two")
+        assert fifo.pop() == b"one"
+        assert fifo.pop() == b"two"
+
+    def test_byte_accounting_with_bytes(self):
+        fifo = BoundedFifo(10)
+        fifo.push(b"12345")
+        assert fifo.used_bytes == 5
+        fifo.pop()
+        assert fifo.used_bytes == 0
+
+    def test_byte_accounting_with_packets(self):
+        fifo = BoundedFifo(4096)
+        packet = Packet(0, 1, 0, b"abcd")
+        fifo.push(packet)
+        assert fifo.used_bytes == packet.wire_bytes
+
+    def test_overflow_rejected(self):
+        fifo = BoundedFifo(4)
+        fifo.push(b"1234")
+        with pytest.raises(NetworkError):
+            fifo.push(b"5")
+        assert fifo.overruns == 1
+
+    def test_can_accept(self):
+        fifo = BoundedFifo(4)
+        assert fifo.can_accept(b"1234")
+        fifo.push(b"123")
+        assert not fifo.can_accept(b"12")
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(NetworkError):
+            BoundedFifo(4).pop()
+
+    def test_peek(self):
+        fifo = BoundedFifo(16)
+        assert fifo.peek() is None
+        fifo.push(b"head")
+        assert fifo.peek() == b"head"
+        assert len(fifo) == 1  # peek does not pop
+
+    def test_high_water_mark(self):
+        fifo = BoundedFifo(16)
+        fifo.push(b"12345678")
+        fifo.pop()
+        fifo.push(b"12")
+        assert fifo.high_water == 8
+
+    def test_empty_property(self):
+        fifo = BoundedFifo(4)
+        assert fifo.empty
+        fifo.push(b"x")
+        assert not fifo.empty
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BoundedFifo(0)

@@ -1,0 +1,125 @@
+"""Tests for the routing backplane."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.interconnect import Interconnect, ReceiverPort
+from repro.net.packet import Packet
+from repro.params import shrimp
+from repro.sim.clock import Clock
+
+
+class RecordingPort(ReceiverPort):
+    def __init__(self):
+        self.delivered = []
+
+    def deliver(self, wire):
+        self.delivered.append(wire)
+
+
+@pytest.fixture
+def net():
+    clock = Clock()
+    interconnect = Interconnect(clock, shrimp())
+    ports = [RecordingPort() for _ in range(4)]
+    for i, port in enumerate(ports):
+        interconnect.register(i, port)
+    return clock, interconnect, ports
+
+
+class TestRouting:
+    def test_delivery_to_right_node(self, net):
+        clock, interconnect, ports = net
+        wire = Packet(0, 2, 0, b"hi").encode()
+        interconnect.route(0, 2, wire)
+        clock.run_until_idle()
+        assert ports[2].delivered == [wire]
+        assert ports[1].delivered == []
+
+    def test_hop_latency_scales_with_distance(self, net):
+        clock, interconnect, ports = net
+        wire = Packet(0, 3, 0, b"x").encode()
+        interconnect.route(0, 3, wire)
+        clock.run_until_idle()
+        assert clock.now == 3 * interconnect.costs.hop_cycles
+
+    def test_minimum_one_hop(self, net):
+        _, interconnect, _ = net
+        assert interconnect.hops(2, 2) == 1
+
+    def test_unknown_destination_rejected(self, net):
+        _, interconnect, _ = net
+        with pytest.raises(NetworkError):
+            interconnect.route(0, 9, b"x")
+
+    def test_duplicate_registration_rejected(self, net):
+        _, interconnect, _ = net
+        with pytest.raises(ConfigurationError):
+            interconnect.register(0, RecordingPort())
+
+    def test_counters(self, net):
+        clock, interconnect, _ = net
+        wire = Packet(0, 1, 0, b"abc").encode()
+        interconnect.route(0, 1, wire)
+        clock.run_until_idle()
+        assert interconnect.packets_routed == 1
+        assert interconnect.bytes_routed == len(wire)
+
+    def test_fault_injector_sees_wire_bytes(self, net):
+        clock, interconnect, ports = net
+        interconnect.fault_injector = lambda wire: wire[:-1] + b"\x00"
+        original = Packet(0, 1, 0, b"payload").encode()
+        interconnect.route(0, 1, original)
+        clock.run_until_idle()
+        assert ports[1].delivered[0] != original
+
+    def test_node_ids(self, net):
+        _, interconnect, _ = net
+        assert interconnect.node_ids == [0, 1, 2, 3]
+
+
+class TestMesh2dTopology:
+    def make(self, width, nodes):
+        clock = Clock()
+        interconnect = Interconnect(
+            clock, shrimp(), topology="mesh2d", mesh_width=width
+        )
+        for i in range(nodes):
+            interconnect.register(i, RecordingPort())
+        return interconnect
+
+    def test_same_row_distance(self):
+        mesh = self.make(width=4, nodes=16)
+        assert mesh.hops(0, 3) == 3
+
+    def test_same_column_distance(self):
+        mesh = self.make(width=4, nodes=16)
+        assert mesh.hops(1, 13) == 3  # (1,0) -> (1,3)
+
+    def test_diagonal_is_manhattan(self):
+        mesh = self.make(width=4, nodes=16)
+        assert mesh.hops(0, 5) == 2  # (0,0) -> (1,1)
+
+    def test_minimum_one_hop(self):
+        mesh = self.make(width=4, nodes=16)
+        assert mesh.hops(7, 7) == 1
+
+    def test_auto_width_from_node_count(self):
+        mesh = self.make(width=0, nodes=16)  # derives width 4
+        assert mesh.hops(0, 15) == 6  # (0,0) -> (3,3)
+
+    def test_mesh_shorter_than_linear_for_far_nodes(self):
+        linear = Interconnect(Clock(), shrimp(), topology="linear")
+        mesh = self.make(width=4, nodes=16)
+        assert mesh.hops(0, 15) < linear.hops(0, 15)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Interconnect(Clock(), shrimp(), topology="torus")
+
+    def test_cluster_builds_on_mesh(self):
+        from repro import ShrimpCluster
+        cluster = ShrimpCluster(
+            num_nodes=4, mem_size=1 << 20, topology="mesh2d", mesh_width=2
+        )
+        assert cluster.interconnect.hops(0, 3) == 2

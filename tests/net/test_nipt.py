@@ -1,0 +1,59 @@
+"""Tests for the Network Interface Page Table."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.nipt import DEFAULT_NIPT_ENTRIES, NetworkInterfacePageTable
+
+
+class TestNipt:
+    def test_paper_size_is_32k(self):
+        # "Since the NIPT is indexed with 15 bits, it can hold 32K
+        # different destination pages."
+        assert DEFAULT_NIPT_ENTRIES == 32768
+        nipt = NetworkInterfacePageTable()
+        nipt.set_entry(32767, 1, 5)
+        with pytest.raises(ConfigurationError):
+            nipt.set_entry(32768, 1, 5)
+
+    def test_set_and_lookup(self):
+        nipt = NetworkInterfacePageTable(16)
+        nipt.set_entry(3, dst_node=2, dst_page=0x44)
+        entry = nipt.lookup(3)
+        assert entry.dst_node == 2 and entry.dst_page == 0x44
+
+    def test_lookup_invalid_returns_none(self):
+        assert NetworkInterfacePageTable(16).lookup(0) is None
+
+    def test_require_raises_on_invalid(self):
+        with pytest.raises(NetworkError):
+            NetworkInterfacePageTable(16).require(0)
+
+    def test_clear_entry(self):
+        nipt = NetworkInterfacePageTable(16)
+        nipt.set_entry(1, 0, 0)
+        nipt.clear_entry(1)
+        assert nipt.lookup(1) is None
+
+    def test_clear_absent_is_noop(self):
+        NetworkInterfacePageTable(16).clear_entry(5)
+
+    def test_valid_entries_count(self):
+        nipt = NetworkInterfacePageTable(16)
+        nipt.set_entry(1, 0, 0)
+        nipt.set_entry(2, 0, 1)
+        assert nipt.valid_entries == 2
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkInterfacePageTable(16).set_entry(-1, 0, 0)
+
+    def test_negative_destination_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkInterfacePageTable(16).set_entry(0, -1, 0)
+
+    def test_overwrite_entry(self):
+        nipt = NetworkInterfacePageTable(16)
+        nipt.set_entry(0, 1, 10)
+        nipt.set_entry(0, 2, 20)
+        assert nipt.lookup(0).dst_node == 2

@@ -1,0 +1,62 @@
+"""Tests for packet encode/decode and integrity checking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self):
+        packet = Packet(0, 1, 0x8000, b"hello", seq=7)
+        assert Packet.decode(packet.encode()) == packet
+
+    def test_empty_payload(self):
+        packet = Packet(2, 3, 0, b"")
+        assert Packet.decode(packet.encode()) == packet
+
+    def test_wire_bytes_accounts_header(self):
+        packet = Packet(0, 1, 0, b"abcd")
+        assert packet.wire_bytes == Packet.HEADER_BYTES + 4
+        assert len(packet.encode()) == packet.wire_bytes
+
+
+class TestChecking:
+    def test_corrupted_payload_detected(self):
+        wire = bytearray(Packet(0, 1, 0x100, b"hello!!!").encode())
+        wire[Packet.HEADER_BYTES - 4] ^= 0xFF  # flip a payload byte
+        with pytest.raises(NetworkError):
+            Packet.decode(bytes(wire))
+
+    def test_bad_magic_detected(self):
+        wire = bytearray(Packet(0, 1, 0x100, b"data").encode())
+        wire[0] ^= 0xFF
+        with pytest.raises(NetworkError):
+            Packet.decode(bytes(wire))
+
+    def test_truncated_packet_detected(self):
+        wire = Packet(0, 1, 0x100, b"data").encode()
+        with pytest.raises(NetworkError):
+            Packet.decode(wire[:-1])
+
+    def test_runt_packet_detected(self):
+        with pytest.raises(NetworkError):
+            Packet.decode(b"tiny")
+
+    def test_length_field_mismatch_detected(self):
+        wire = Packet(0, 1, 0x100, b"data").encode()
+        with pytest.raises(NetworkError):
+            Packet.decode(wire + b"extra")
+
+
+@given(
+    src=st.integers(min_value=0, max_value=0xFFFF),
+    dst=st.integers(min_value=0, max_value=0xFFFF),
+    paddr=st.integers(min_value=0, max_value=(1 << 48)),
+    payload=st.binary(max_size=512),
+    seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+def test_property_roundtrip(src, dst, paddr, payload, seq):
+    packet = Packet(src, dst, paddr, payload, seq)
+    assert Packet.decode(packet.encode()) == packet

@@ -1,0 +1,134 @@
+"""Property-based tests over the core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mem.layout import Layout, ProxyScheme, Region
+from repro.net.packet import Packet
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import TLB, TlbEntry
+
+PAGE = 4096
+MEM = 1 << 20
+
+
+# ------------------------------------------------------------------- PROXY
+@given(
+    addr=st.integers(min_value=0, max_value=MEM - 1),
+    scheme=st.sampled_from([ProxyScheme.HIGH_BIT, ProxyScheme.OFFSET]),
+)
+def test_proxy_is_a_bijection_between_regions(addr, scheme):
+    layout = Layout(mem_size=MEM, scheme=scheme)
+    proxy = layout.proxy(addr)
+    assert layout.region_of(addr) is Region.MEMORY
+    assert layout.region_of(proxy) is Region.MEMORY_PROXY
+    assert layout.unproxy(proxy) == addr
+    assert proxy % PAGE == addr % PAGE  # page offsets preserved
+
+
+@given(addr=st.integers(min_value=0, max_value=MEM - 1))
+def test_proxy_schemes_agree_on_structure(addr):
+    """Both schemes produce isomorphic maps (the paper's equivalence)."""
+    hb = Layout(mem_size=MEM, scheme=ProxyScheme.HIGH_BIT)
+    off = Layout(mem_size=MEM, scheme=ProxyScheme.OFFSET)
+    assert hb.unproxy(hb.proxy(addr)) == off.unproxy(off.proxy(addr)) == addr
+    assert hb.page_offset(hb.proxy(addr)) == off.page_offset(off.proxy(addr))
+
+
+@given(addr=st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_region_classification_is_total_and_unique(addr):
+    layout = Layout(mem_size=MEM)
+    region = layout.region_of(addr)
+    assert region in Region
+    # unproxy succeeds exactly on memory-proxy addresses
+    if region is Region.MEMORY_PROXY:
+        assert 0 <= layout.unproxy(addr) < MEM
+
+
+# -------------------------------------------------------------- page table
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("map"), st.integers(0, 31), st.integers(0, 63)),
+        st.tuples(st.just("unmap"), st.integers(0, 31), st.just(0)),
+        st.tuples(st.just("present"), st.integers(0, 31), st.booleans()),
+    ),
+    max_size=50,
+)
+
+
+@given(ops=_ops)
+def test_page_table_matches_reference_model(ops):
+    """The page table behaves like a plain dict reference model."""
+    table = PageTable(PAGE)
+    model = {}
+    for op, vpage, arg in ops:
+        if op == "map":
+            table.map(vpage, arg)
+            model[vpage] = {"pfn": arg, "present": True}
+        elif op == "unmap":
+            table.unmap(vpage)
+            model.pop(vpage, None)
+        elif op == "present" and vpage in model:
+            table.set_present(vpage, arg)
+            model[vpage]["present"] = arg
+    assert len(table) == len(model)
+    for vpage, expect in model.items():
+        pte = table.get(vpage)
+        assert pte is not None
+        assert pte.pfn == expect["pfn"]
+        assert pte.present == expect["present"]
+
+
+# --------------------------------------------------------------------- TLB
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "lookup", "invalidate", "flush"]),
+            st.integers(1, 3),    # asid
+            st.integers(0, 15),   # vpage
+        ),
+        max_size=60,
+    ),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_tlb_never_exceeds_capacity_and_never_fabricates(ops, capacity):
+    tlb = TLB(capacity)
+    inserted = {}
+    for op, asid, vpage in ops:
+        if op == "insert":
+            tlb.insert(asid, vpage, TlbEntry(pfn=vpage + 100, writable=True, user=True))
+            inserted[(asid, vpage)] = vpage + 100
+        elif op == "lookup":
+            hit = tlb.lookup(asid, vpage)
+            if hit is not None:
+                # Never fabricates: any hit matches what was inserted.
+                assert inserted.get((asid, vpage)) == hit.pfn
+        elif op == "invalidate":
+            tlb.invalidate(asid, vpage)
+            inserted.pop((asid, vpage), None)
+        else:
+            tlb.flush_asid(asid)
+            inserted = {k: v for k, v in inserted.items() if k[0] != asid}
+        assert len(tlb) <= capacity
+
+
+# ------------------------------------------------------------------ packet
+@given(payload=st.binary(min_size=0, max_size=256),
+       flip=st.integers(min_value=0, max_value=10_000))
+@settings(suppress_health_check=[HealthCheck.filter_too_much])
+def test_packet_corruption_is_always_detected_or_benign(payload, flip):
+    """Flipping any single byte either keeps the packet identical (it
+    cannot) or makes decode fail -- corrupted data never silently lands."""
+    import pytest
+    from repro.errors import NetworkError
+
+    packet = Packet(1, 2, 0x4000, payload, seq=9)
+    wire = bytearray(packet.encode())
+    position = flip % len(wire)
+    wire[position] ^= 0x5A
+    try:
+        decoded = Packet.decode(bytes(wire))
+    except NetworkError:
+        return  # detected: good
+    # Only header fields not covered by the checksum may differ; payload
+    # integrity is the guarantee that matters for memory writes.
+    assert decoded.payload == packet.payload

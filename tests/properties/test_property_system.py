@@ -1,0 +1,98 @@
+"""Property-based stress: random workloads must preserve I1-I4 and data."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Machine
+from repro.devices import SinkDevice
+from repro.errors import ProtectionFault
+from repro.kernel.invariants import InvariantChecker
+from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+
+PAGE = 4096
+
+_actions = st.lists(
+    st.one_of(
+        # (action, process index, page index, size)
+        st.tuples(st.just("write"), st.integers(0, 1), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("transfer"), st.integers(0, 1), st.integers(0, 5),
+                  st.integers(1, PAGE)),
+        st.tuples(st.just("switch"), st.integers(0, 1), st.just(0), st.just(0)),
+        st.tuples(st.just("clean"), st.integers(0, 1), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("drain"), st.just(0), st.just(0), st.just(0)),
+    ),
+    max_size=30,
+)
+
+
+@given(actions=_actions)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_workloads_preserve_invariants(actions):
+    """Two processes randomly write, transfer, clean and context-switch
+    under a small memory; I1-I4 must hold at every step."""
+    machine = Machine(mem_size=24 * PAGE, bounce_frames=2)
+    sink = SinkDevice("sink", size=1 << 16)
+    machine.attach_device(sink)
+    procs = []
+    users = []
+    buffers = []
+    grants = []
+    for i in range(2):
+        p = machine.create_process(f"p{i}")
+        procs.append(p)
+        buffers.append(machine.kernel.syscalls.alloc(p, 6 * PAGE))
+        grants.append(machine.kernel.syscalls.grant_device_proxy(p, "sink"))
+        users.append(UdmaUser(machine, p))
+    checker = InvariantChecker(machine.kernel)
+
+    for action, who, page, size in actions:
+        process = procs[who]
+        if machine.kernel.current is not process and action != "drain":
+            machine.kernel.scheduler.switch_to(process)
+        if action == "write":
+            machine.cpu.store(buffers[who] + page * PAGE, 0xAB)
+        elif action == "transfer":
+            users[who].transfer(
+                MemoryRef(buffers[who] + page * PAGE),
+                DeviceRef(grants[who] + (who * 8 + page % 8) * PAGE),
+                size,
+                wait=False,
+            )
+        elif action == "switch":
+            machine.kernel.scheduler.yield_next()
+        elif action == "clean":
+            machine.kernel.vm.clean_page(process, (buffers[who] + page * PAGE) // PAGE)
+        else:
+            machine.run_until_idle()
+        checker.check_all()
+    machine.run_until_idle()
+    checker.check_all()
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=3 * PAGE), min_size=1,
+                   max_size=5),
+    offset=st.integers(min_value=0, max_value=PAGE - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_transfers_always_deliver_exact_bytes(sizes, offset):
+    """Arbitrary sizes and offsets: the sink always receives exactly the
+    bytes named, regardless of page splitting."""
+    from repro.bench.workloads import make_payload
+
+    machine = Machine(mem_size=1 << 20)
+    sink = SinkDevice("sink", size=1 << 16)
+    machine.attach_device(sink)
+    p = machine.create_process("app")
+    buf = machine.kernel.syscalls.alloc(p, 8 * PAGE)
+    grant = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+    udma = UdmaUser(machine, p)
+
+    dev_off = 0
+    for i, size in enumerate(sizes):
+        data = make_payload(size, seed=i + 1)
+        machine.cpu.write_bytes(buf + offset, data)
+        udma.transfer(MemoryRef(buf + offset), DeviceRef(grant + dev_off), size)
+        machine.run_until_idle()
+        assert sink.peek(dev_off, size) == data
+        dev_off += size

@@ -1,0 +1,97 @@
+"""Property-based tests of the VM substrate's protection model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PageFault
+from repro.mem.layout import Layout
+from repro.params import shrimp
+from repro.vm.mmu import MMU, Access
+from repro.vm.page_table import PageTable
+
+PAGE = 4096
+MEM = 1 << 20
+
+
+# -------------------------------------------------------- permission model
+_setups = st.lists(
+    st.tuples(
+        st.integers(0, 15),      # vpage
+        st.integers(0, 31),      # pfn
+        st.booleans(),           # writable
+        st.booleans(),           # user
+        st.booleans(),           # present
+    ),
+    max_size=20,
+)
+
+_accesses = st.lists(
+    st.tuples(
+        st.integers(0, 15),                       # vpage
+        st.sampled_from([Access.READ, Access.WRITE]),
+        st.booleans(),                            # user mode
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(setups=_setups, accesses=_accesses)
+@settings(max_examples=80, deadline=None)
+def test_mmu_enforces_exactly_the_page_table(setups, accesses):
+    """Every access outcome is exactly what the PTE permits.
+
+    The MMU (with its TLB in the loop) must allow an access iff the
+    authoritative PTE allows it -- given that the kernel performs its
+    shootdowns, which this test simulates by invalidating on every map.
+    """
+    costs = shrimp()
+    mmu = MMU(costs)
+    table = PageTable(PAGE)
+    state = {}
+    for vpage, pfn, writable, user, present in setups:
+        table.map(vpage, pfn, writable=writable, user=user, present=present)
+        mmu.tlb.invalidate(1, vpage)  # the kernel's shootdown discipline
+        state[vpage] = (pfn, writable, user, present)
+
+    for vpage, access, user_mode in accesses:
+        entry = state.get(vpage)
+        should_succeed = (
+            entry is not None
+            and entry[3]                      # present
+            and (entry[2] or not user_mode)   # user bit
+            and (entry[1] or access is Access.READ)
+        )
+        try:
+            paddr = mmu.translate(table, 1, vpage * PAGE + 4, access,
+                                  user_mode=user_mode)
+        except PageFault:
+            assert not should_succeed
+        else:
+            assert should_succeed
+            assert paddr == state[vpage][0] * PAGE + 4
+
+
+# ----------------------------------------------------- device window packing
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=5 * PAGE), min_size=1,
+                   max_size=12),
+)
+def test_device_windows_never_overlap_and_stay_in_region(sizes):
+    layout = Layout(mem_size=MEM)
+    windows = []
+    for i, size in enumerate(sizes):
+        try:
+            windows.append(layout.register_device(f"dev{i}", size))
+        except Exception:
+            break  # region exhausted: acceptable, stop registering
+    spans = sorted((w.base, w.base + w.size) for w in windows)
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+        assert a_hi <= b_lo  # disjoint
+    for lo, hi in spans:
+        assert lo >= layout.dev_proxy_base
+        assert hi <= layout.dev_proxy_base + layout.dev_proxy_size
+        assert lo % PAGE == 0 and hi % PAGE == 0
+    # Every interior address resolves to exactly its window.
+    for w in windows:
+        assert layout.window_of(w.base).name == w.name
+        assert layout.window_of(w.base + w.size - 1).name == w.name

@@ -1,0 +1,177 @@
+"""Tests for the cycle clock and event queue."""
+
+import pytest
+
+from repro.sim.clock import Clock, transfer_cycles
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advance_moves_time(self):
+        clock = Clock()
+        clock.advance(100)
+        assert clock.now == 100
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(3)
+        clock.advance(4)
+        assert clock.now == 7
+
+    def test_advance_zero_is_noop(self):
+        clock = Clock()
+        clock.advance(0)
+        assert clock.now == 0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+
+class TestScheduling:
+    def test_event_fires_when_time_passes(self):
+        clock = Clock()
+        fired = []
+        clock.schedule(10, lambda: fired.append(clock.now))
+        clock.advance(9)
+        assert fired == []
+        clock.advance(1)
+        assert fired == [10]
+
+    def test_event_fires_at_exact_time(self):
+        clock = Clock()
+        fired = []
+        clock.schedule(5, lambda: fired.append(clock.now))
+        clock.advance(5)
+        assert fired == [5]
+
+    def test_events_fire_in_time_order(self):
+        clock = Clock()
+        order = []
+        clock.schedule(20, lambda: order.append("b"))
+        clock.schedule(10, lambda: order.append("a"))
+        clock.schedule(30, lambda: order.append("c"))
+        clock.advance(40)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        clock = Clock()
+        order = []
+        clock.schedule(10, lambda: order.append(1))
+        clock.schedule(10, lambda: order.append(2))
+        clock.schedule(10, lambda: order.append(3))
+        clock.advance(10)
+        assert order == [1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().schedule(-5, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        clock = Clock()
+        clock.advance(50)
+        fired = []
+        clock.schedule_at(80, lambda: fired.append(clock.now))
+        clock.advance(30)
+        assert fired == [80]
+
+    def test_cancelled_event_does_not_fire(self):
+        clock = Clock()
+        fired = []
+        event = clock.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        clock.advance(20)
+        assert fired == []
+
+    def test_pending_counts_live_events(self):
+        clock = Clock()
+        e1 = clock.schedule(10, lambda: None)
+        clock.schedule(20, lambda: None)
+        assert clock.pending() == 2
+        e1.cancel()
+        assert clock.pending() == 1
+
+    def test_next_event_time(self):
+        clock = Clock()
+        assert clock.next_event_time() is None
+        clock.schedule(30, lambda: None)
+        clock.schedule(10, lambda: None)
+        assert clock.next_event_time() == 10
+
+    def test_next_event_time_skips_cancelled(self):
+        clock = Clock()
+        early = clock.schedule(10, lambda: None)
+        clock.schedule(20, lambda: None)
+        early.cancel()
+        assert clock.next_event_time() == 20
+
+    def test_event_sees_its_own_timestamp(self):
+        clock = Clock()
+        seen = []
+        clock.schedule(7, lambda: seen.append(clock.now))
+        clock.advance(100)
+        assert seen == [7]
+
+
+class TestRun:
+    def test_run_drains_up_to_limit(self):
+        clock = Clock()
+        fired = []
+        clock.schedule(10, lambda: fired.append("a"))
+        clock.schedule(50, lambda: fired.append("b"))
+        clock.run(until=30)
+        assert fired == ["a"]
+        assert clock.now == 30
+
+    def test_run_without_limit_drains_everything(self):
+        clock = Clock()
+        fired = []
+        clock.schedule(10, lambda: fired.append(1))
+        clock.schedule(20, lambda: fired.append(2))
+        clock.run()
+        assert fired == [1, 2]
+        assert clock.now == 20
+
+    def test_events_may_schedule_events(self):
+        clock = Clock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(5, lambda: fired.append("second"))
+
+        clock.schedule(10, first)
+        clock.run_until_idle()
+        assert fired == ["first", "second"]
+        assert clock.now == 15
+
+    def test_run_until_idle_guards_against_livelock(self):
+        clock = Clock()
+
+        def reschedule():
+            clock.schedule(1, reschedule)
+
+        clock.schedule(1, reschedule)
+        with pytest.raises(RuntimeError):
+            clock.run_until_idle(max_events=100)
+
+
+class TestTransferCycles:
+    def test_exact_division(self):
+        assert transfer_cycles(100, 0.5) == 200
+
+    def test_rounds_up(self):
+        assert transfer_cycles(3, 2.0) == 2
+
+    def test_zero_bytes_is_free(self):
+        assert transfer_cycles(0, 1.0) == 0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_cycles(-1, 1.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_cycles(10, 0.0)

@@ -1,0 +1,92 @@
+"""Tests for multi-node cluster assembly and channel setup."""
+
+import pytest
+
+from repro import ShrimpCluster
+from repro.errors import ConfigurationError, SyscallError
+
+PAGE = 4096
+
+
+class TestConstruction:
+    def test_nodes_share_one_clock(self, cluster2):
+        assert cluster2.node(0).clock is cluster2.node(1).clock
+
+    def test_each_node_has_a_connected_nic(self, cluster2):
+        for i in range(2):
+            assert cluster2.nic(i).node_id == i
+            assert cluster2.nic(i).interconnect is cluster2.interconnect
+
+    def test_num_nodes(self):
+        assert ShrimpCluster(num_nodes=4, mem_size=1 << 20).num_nodes == 4
+
+    def test_bad_node_count(self):
+        with pytest.raises(ConfigurationError):
+            ShrimpCluster(num_nodes=0)
+
+
+class TestChannelSetup:
+    def test_channel_installs_nipt_entries(self, cluster2):
+        rx = cluster2.node(1).create_process("rx")
+        buf = cluster2.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
+        channel = cluster2.create_channel(0, 1, rx, buf, 2 * PAGE)
+        nipt = cluster2.nic(0).nipt
+        for i in range(2):
+            entry = nipt.lookup(channel.nipt_base + i)
+            assert entry is not None
+            assert entry.dst_node == 1
+            assert entry.dst_page == channel.dst_frames[i]
+
+    def test_exported_frames_are_pinned_and_dirty(self, cluster2):
+        rx = cluster2.node(1).create_process("rx")
+        buf = cluster2.node(1).kernel.syscalls.alloc(rx, PAGE)
+        channel = cluster2.create_channel(0, 1, rx, buf, PAGE)
+        frame = channel.dst_frames[0]
+        assert cluster2.node(1).kernel.frames.is_pinned(frame)
+        assert rx.page_table.get(buf // PAGE).dirty
+
+    def test_channels_get_disjoint_nipt_ranges(self, cluster2):
+        rx = cluster2.node(1).create_process("rx")
+        buf1 = cluster2.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
+        buf2 = cluster2.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
+        ch1 = cluster2.create_channel(0, 1, rx, buf1, 2 * PAGE)
+        ch2 = cluster2.create_channel(0, 1, rx, buf2, 2 * PAGE)
+        assert ch2.nipt_base >= ch1.nipt_base + ch1.npages
+
+    def test_unaligned_buffer_rejected(self, cluster2):
+        rx = cluster2.node(1).create_process("rx")
+        buf = cluster2.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
+        with pytest.raises(SyscallError):
+            cluster2.create_channel(0, 1, rx, buf + 100, PAGE)
+
+    def test_unowned_buffer_rejected(self, cluster2):
+        rx = cluster2.node(1).create_process("rx")
+        with pytest.raises(SyscallError):
+            cluster2.create_channel(0, 1, rx, 100 * PAGE, PAGE)
+
+    def test_loopback_rejected(self, cluster2):
+        rx = cluster2.node(0).create_process("rx")
+        buf = cluster2.node(0).kernel.syscalls.alloc(rx, PAGE)
+        with pytest.raises(ConfigurationError):
+            cluster2.create_channel(0, 0, rx, buf, PAGE)
+
+    def test_readonly_buffer_rejected(self, cluster2):
+        rx = cluster2.node(1).create_process("rx")
+        buf = cluster2.node(1).kernel.syscalls.alloc(rx, PAGE, writable=False)
+        with pytest.raises(SyscallError):
+            cluster2.create_channel(0, 1, rx, buf, PAGE)
+
+    def test_channel_device_offset_arithmetic(self, cluster2):
+        rx = cluster2.node(1).create_process("rx")
+        buf = cluster2.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
+        channel = cluster2.create_channel(0, 1, rx, buf, 2 * PAGE)
+        assert channel.device_offset(0) == channel.nipt_base * PAGE
+        assert channel.device_offset(PAGE + 4) == (channel.nipt_base + 1) * PAGE + 4
+        assert channel.nbytes == 2 * PAGE
+
+    def test_nipt_exhaustion(self):
+        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20, nipt_entries=2)
+        rx = cluster.node(1).create_process("rx")
+        buf = cluster.node(1).kernel.syscalls.alloc(rx, 3 * PAGE)
+        with pytest.raises(SyscallError):
+            cluster.create_channel(0, 1, rx, buf, 3 * PAGE)

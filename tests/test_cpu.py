@@ -1,0 +1,125 @@
+"""Tests for the CPU model itself (issue path, charging, routing)."""
+
+import pytest
+
+from repro import Machine
+from repro.devices import SinkDevice
+from repro.errors import AddressError, ProtectionFault
+
+PAGE = 4096
+
+
+@pytest.fixture
+def rig():
+    machine = Machine(mem_size=1 << 20)
+    machine.attach_device(SinkDevice("sink", size=1 << 14))
+    p = machine.create_process("app")
+    vaddr = machine.kernel.syscalls.alloc(p, 4 * PAGE)
+    grant = machine.kernel.syscalls.grant_device_proxy(p, "sink")
+    return machine, p, vaddr, grant
+
+
+class TestWordAccess:
+    def test_store_load_roundtrip(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.store(vaddr, 0xDEADBEEF)
+        assert machine.cpu.load(vaddr) == 0xDEADBEEF
+
+    def test_memory_access_charges_cached_cost(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.store(vaddr, 1)  # warm (fault + TLB fill)
+        before = machine.cpu.charged_cycles
+        machine.cpu.load(vaddr)
+        assert machine.cpu.charged_cycles - before == machine.costs.mem_ref_cycles
+
+    def test_proxy_access_charges_io_cost(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.store(grant, -1)  # warm grant mapping via an Inval store
+        before = machine.cpu.charged_cycles
+        machine.cpu.store(grant, -1)
+        assert machine.cpu.charged_cycles - before == machine.costs.io_ref_cycles
+
+    def test_instruction_counters(self, rig):
+        machine, p, vaddr, grant = rig
+        loads, stores = machine.cpu.loads, machine.cpu.stores
+        machine.cpu.store(vaddr, 1)
+        machine.cpu.load(vaddr)
+        machine.cpu.fence()
+        machine.cpu.execute(10)
+        assert machine.cpu.stores == stores + 1
+        assert machine.cpu.loads == loads + 1
+
+    def test_no_address_space_is_fatal(self):
+        machine = Machine(mem_size=1 << 20)
+        with pytest.raises(ProtectionFault):
+            machine.cpu.load(0)
+
+
+class TestBufferAccess:
+    def test_roundtrip_across_pages(self, rig):
+        machine, p, vaddr, grant = rig
+        data = bytes(range(256)) * 48  # 12 KB: three pages
+        machine.cpu.write_bytes(vaddr, data)
+        assert machine.cpu.read_bytes(vaddr, len(data)) == data
+
+    def test_unaligned_start(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.write_bytes(vaddr + 3, b"unaligned")
+        assert machine.cpu.read_bytes(vaddr + 3, 9) == b"unaligned"
+
+    def test_buffer_io_rejects_proxy_targets(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.store(grant, -1)  # ensure mapping exists
+        with pytest.raises(AddressError):
+            machine.cpu.write_bytes(grant, b"not data")
+
+    def test_buffer_write_sets_dirty(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.write_bytes(vaddr, b"dirtying")
+        assert p.page_table.get(vaddr // PAGE).dirty
+
+
+class TestFaultRetry:
+    def test_demand_fault_is_transparent(self, rig):
+        machine, p, vaddr, grant = rig
+        faults = machine.kernel.vm.faults_handled
+        machine.cpu.load(vaddr + 2 * PAGE)  # never touched
+        assert machine.kernel.vm.faults_handled == faults + 1
+
+    def test_unrepairable_fault_surfaces(self, rig):
+        machine, p, vaddr, grant = rig
+        with pytest.raises(ProtectionFault):
+            machine.cpu.load(0x80000)  # unowned
+
+    def test_runaway_fault_loop_detected(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.fault_handler = lambda va, access, reason: True  # lies
+        with pytest.raises(ProtectionFault, match="kernel repairs"):
+            machine.cpu.load(0x80000)
+
+
+class TestSnoop:
+    def test_snoop_sees_word_stores(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.store(vaddr, 0)  # map the page first
+        seen = []
+        machine.cpu.store_snoop = lambda paddr, data: seen.append((paddr, data))
+        machine.cpu.store(vaddr, 0x01020304)
+        assert len(seen) == 1
+        assert seen[0][1] == bytes([4, 3, 2, 1])
+
+    def test_snoop_sees_buffer_stores(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.store(vaddr, 0)
+        seen = []
+        machine.cpu.store_snoop = lambda paddr, data: seen.append(data)
+        machine.cpu.write_bytes(vaddr, b"snooped")
+        assert b"".join(seen) == b"snooped"
+
+    def test_snoop_not_called_for_proxy_stores(self, rig):
+        machine, p, vaddr, grant = rig
+        machine.cpu.store(grant, -1)
+        seen = []
+        machine.cpu.store_snoop = lambda paddr, data: seen.append(data)
+        machine.cpu.store(grant, -1)
+        assert seen == []

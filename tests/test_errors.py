@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ConfigurationError,
+        errors.AddressError,
+        errors.AlignmentError,
+        errors.PageFault,
+        errors.ProtectionFault,
+        errors.DeviceError,
+        errors.DmaError,
+        errors.QueueFull,
+        errors.NetworkError,
+        errors.SyscallError,
+        errors.InvariantViolation,
+    ])
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_catch_all_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.QueueFull("full")
+
+
+class TestMessages:
+    def test_address_error_formats_hex(self):
+        err = errors.AddressError(0xDEAD, "outside RAM")
+        assert "0xdead" in str(err)
+        assert "outside RAM" in str(err)
+        assert err.address == 0xDEAD
+
+    def test_alignment_error_fields(self):
+        err = errors.AlignmentError(0x1003, 4)
+        assert err.address == 0x1003 and err.alignment == 4
+        assert "4 bytes" in str(err)
+
+    def test_page_fault_carries_details(self):
+        err = errors.PageFault(0x2000, "write", "not-present")
+        assert err.vaddr == 0x2000
+        assert err.access == "write"
+        assert err.reason == "not-present"
+        assert "0x2000" in str(err)
+
+    def test_protection_fault_detail_optional(self):
+        assert "illegal read" in str(errors.ProtectionFault(0x10, "read"))
+        assert "why" in str(errors.ProtectionFault(0x10, "read", "why"))
+
+    def test_syscall_error_errno(self):
+        err = errors.SyscallError("ENOMEM", "out of frames")
+        assert err.errno == "ENOMEM"
+        assert "out of frames" in str(err)
+
+    def test_invariant_violation_names_invariant(self):
+        err = errors.InvariantViolation("I3", "writable proxy of clean page")
+        assert err.invariant == "I3"
+        assert "I3" in str(err)

@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example must run clean.
+
+Each example is imported and its ``main()`` executed in-process (they are
+pure simulations, so this is fast and deterministic).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(path, capsys):
+    module = _load(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert "OK" in out  # every example prints a final "... OK"
+
+
+def test_all_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "shrimp_message_passing",
+        "disk_fine_grained_io",
+        "framebuffer_blit",
+        "protection_demo",
+        "audio_streaming",
+    } <= names
+    assert len(EXAMPLES) >= 3  # the deliverable's minimum, with headroom

@@ -1,0 +1,86 @@
+"""Tests for the RPC layer."""
+
+import pytest
+
+from repro import ShrimpCluster
+from repro.errors import ConfigurationError, DmaError
+from repro.userlib.rpc import _frame, _parse, connect
+
+
+@pytest.fixture(scope="module")
+def rpc_pair():
+    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    client_proc = cluster.node(0).create_process("client")
+    server_proc = cluster.node(1).create_process("server")
+    client, server = connect(cluster, 0, client_proc, 1, server_proc)
+    server.register(1, lambda body: body[::-1])          # reverse
+    server.register(2, lambda body: body.upper())         # upper-case
+    server.register(3, lambda body: len(body).to_bytes(4, "little"))
+    return client, server
+
+
+class TestFraming:
+    def test_frame_parse_roundtrip(self):
+        frame = _frame(7, 3, b"hello")
+        method, body = _parse(frame, expected_seq=7)
+        assert method == 3 and body == b"hello"
+
+    def test_frame_is_word_aligned(self):
+        assert len(_frame(1, 1, b"abc")) % 4 == 0
+
+    def test_wrong_seq_detected(self):
+        frame = _frame(7, 3, b"hello")
+        with pytest.raises(DmaError):
+            _parse(frame, expected_seq=8)
+
+    def test_incomplete_frame_detected(self):
+        frame = bytearray(_frame(7, 3, b"hello"))
+        frame[-1] ^= 0xFF  # corrupt the trailer
+        with pytest.raises(DmaError):
+            _parse(bytes(frame), expected_seq=7)
+
+    def test_empty_body(self):
+        method, body = _parse(_frame(1, 9, b""), 1)
+        assert method == 9 and body == b""
+
+
+class TestCalls:
+    def test_call_returns_handler_result(self, rpc_pair):
+        client, _ = rpc_pair
+        assert client.call(1, b"abcdef") == b"fedcba"
+
+    def test_multiple_methods(self, rpc_pair):
+        client, _ = rpc_pair
+        assert client.call(2, b"shout") == b"SHOUT"
+        assert client.call(3, b"12345") == (5).to_bytes(4, "little")
+
+    def test_sequenced_calls_do_not_mix(self, rpc_pair):
+        client, _ = rpc_pair
+        for i in range(5):
+            body = f"payload-{i}".encode()
+            assert client.call(1, body) == body[::-1]
+
+    def test_unknown_method_is_remote_error(self, rpc_pair):
+        client, _ = rpc_pair
+        with pytest.raises(DmaError, match="remote error"):
+            client.call(99, b"x")
+
+    def test_server_counts_requests(self, rpc_pair):
+        client, server = rpc_pair
+        served = server.served
+        client.call(1, b"one more")
+        assert server.served == served + 1
+
+    def test_duplicate_registration_rejected(self, rpc_pair):
+        _, server = rpc_pair
+        with pytest.raises(ConfigurationError):
+            server.register(1, lambda b: b)
+
+    def test_calls_are_kernel_free(self, rpc_pair):
+        """After setup, a call performs no syscalls on either node."""
+        client, server = rpc_pair
+        c_sys = client.cluster.node(0).kernel.syscalls
+        s_sys = client.cluster.node(1).kernel.syscalls
+        before = (c_sys.dma_calls, s_sys.dma_calls)
+        client.call(1, b"kernel-free?")
+        assert (c_sys.dma_calls, s_sys.dma_calls) == before

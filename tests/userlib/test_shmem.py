@@ -1,0 +1,96 @@
+"""Tests for write-through shared memory (automatic-update regions)."""
+
+import pytest
+
+from repro import ShrimpCluster
+from repro.errors import ConfigurationError, DmaError
+from repro.userlib.shmem import SharedRegion
+
+PAGE = 4096
+
+
+@pytest.fixture
+def region():
+    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+    writer = cluster.node(0).create_process("writer")
+    reader = cluster.node(1).create_process("reader")
+    return SharedRegion(cluster, 0, writer, 1, reader, 2 * PAGE)
+
+
+class TestWriteThrough:
+    def test_buffer_write_appears_remotely(self, region):
+        region.write(0, b"shared state v1")
+        assert region.read(0, 15) == b"shared state v1"
+
+    def test_word_write_appears_remotely(self, region):
+        region.write_word(128, 0xFEEDF00D)
+        data = region.read(128, 4)
+        assert int.from_bytes(data, "little") == 0xFEEDF00D
+
+    def test_second_page_mirrors(self, region):
+        region.write(PAGE + 8, b"page two")
+        assert region.read(PAGE + 8, 8) == b"page two"
+
+    def test_overwrites_propagate_in_order(self, region):
+        region.write(0, b"AAAA")
+        region.write(0, b"BBBB")
+        assert region.read(0, 4) == b"BBBB"
+
+    def test_reader_copy_is_local_memory(self, region):
+        """Reads cost ordinary loads; no network involvement."""
+        region.write(0, b"warm")
+        region.read(0, 4)
+        sent_before = region.cluster.nic(0).packets_sent
+        region.read(0, 4)
+        assert region.cluster.nic(0).packets_sent == sent_before
+
+
+class TestBounds:
+    def test_region_rounded_to_pages(self, region):
+        assert region.nbytes % PAGE == 0
+
+    def test_out_of_range_write_rejected(self, region):
+        with pytest.raises(DmaError):
+            region.write(region.nbytes - 2, b"long")
+
+    def test_out_of_range_read_rejected(self, region):
+        with pytest.raises(DmaError):
+            region.read(region.nbytes, 1)
+
+    def test_bad_size_rejected(self):
+        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+        w = cluster.node(0).create_process("w")
+        r = cluster.node(1).create_process("r")
+        with pytest.raises(ConfigurationError):
+            SharedRegion(cluster, 0, w, 1, r, 0)
+
+
+class TestLifecycle:
+    def test_close_stops_propagation(self, region):
+        region.write(0, b"before")
+        region.close()
+        assert not region.is_open
+        with pytest.raises(DmaError):
+            region.write(0, b"after")
+
+    def test_close_is_idempotent(self, region):
+        region.close()
+        region.close()
+
+    def test_closed_region_frames_unpinned(self, region):
+        node = region.cluster.node(0)
+        frame = region.writer.page_table.get(region.writer_vaddr // PAGE).pfn
+        assert node.kernel.frames.is_pinned(frame)
+        region.close()
+        assert not node.kernel.frames.is_pinned(frame)
+
+    def test_bidirectional_via_two_regions(self):
+        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+        a = cluster.node(0).create_process("a")
+        b = cluster.node(1).create_process("b")
+        a_to_b = SharedRegion(cluster, 0, a, 1, b, PAGE)
+        b_to_a = SharedRegion(cluster, 1, b, 0, a, PAGE)
+        a_to_b.write(0, b"ping")
+        assert a_to_b.read(0, 4) == b"ping"
+        b_to_a.write(0, b"pong")
+        assert b_to_a.read(0, 4) == b"pong"

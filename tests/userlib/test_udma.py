@@ -1,0 +1,148 @@
+"""Tests for the user-level UDMA runtime."""
+
+import pytest
+
+from repro.bench.workloads import make_payload
+from repro.errors import DmaError
+from repro.userlib.udma import DeviceRef, MemoryRef
+
+PAGE = 4096
+
+
+class TestRawInitiation:
+    def test_initiate_returns_decoded_status(self, sink_machine):
+        rig = sink_machine
+        rig.fill_buffer(b"x" * 64)
+        status = rig.udma.initiate(
+            rig.dev(0).vaddr, rig.machine.proxy(rig.buffer), 64
+        )
+        assert status.started
+        rig.machine.run_until_idle()
+
+    def test_poll_reports_match_until_done(self, sink_machine):
+        rig = sink_machine
+        rig.fill_buffer(b"x" * 2048)
+        src_proxy = rig.machine.proxy(rig.buffer)
+        rig.udma.initiate(rig.dev(0).vaddr, src_proxy, 2048)
+        assert rig.udma.poll(src_proxy).match
+        rig.machine.run_until_idle()
+        assert not rig.udma.poll(src_proxy).match
+
+    def test_cancel_clears_latch(self, sink_machine):
+        rig = sink_machine
+        rig.machine.cpu.store(rig.dev(0).vaddr, 64)
+        rig.udma.cancel(rig.dev(0).vaddr)
+        from repro.core.state_machine import UdmaState
+        assert rig.machine.udma.sm.state is UdmaState.IDLE
+
+
+class TestTransfer:
+    def test_small_transfer(self, sink_machine):
+        rig = sink_machine
+        rig.fill_buffer(b"small payload")
+        stats = rig.udma.transfer(rig.mem(0), rig.dev(0), 13)
+        rig.machine.run_until_idle()
+        assert rig.sink.peek(0, 13) == b"small payload"
+        assert stats.pieces == 1
+
+    def test_multi_page_transfer_splits(self, sink_machine):
+        rig = sink_machine
+        data = make_payload(3 * PAGE)
+        rig.fill_buffer(data)
+        stats = rig.udma.transfer(rig.mem(0), rig.dev(0), 3 * PAGE)
+        rig.machine.run_until_idle()
+        assert rig.sink.peek(0, 3 * PAGE) == data
+        assert stats.pieces == 3
+
+    def test_misaligned_endpoints_double_pieces(self, sink_machine):
+        """Different page offsets on src/dst: two transfers per page."""
+        rig = sink_machine
+        data = make_payload(PAGE)
+        rig.fill_buffer(data, offset=0)
+        stats = rig.udma.transfer(rig.mem(0), rig.dev(100), PAGE)
+        rig.machine.run_until_idle()
+        assert rig.sink.peek(100, PAGE) == data
+        assert stats.pieces == 2  # split at the device-side page boundary
+
+    def test_device_to_memory(self, sink_machine):
+        rig = sink_machine
+        rig.sink.poke(0x80, b"device-origin")
+        rig.machine.cpu.store(rig.buffer, 0)  # make page resident+dirty
+        rig.udma.transfer(rig.dev(0x80), rig.mem(0), 13)
+        rig.machine.run_until_idle()
+        assert rig.machine.cpu.read_bytes(rig.buffer, 13) == b"device-origin"
+
+    def test_wait_true_blocks_until_complete(self, sink_machine):
+        rig = sink_machine
+        rig.fill_buffer(make_payload(2 * PAGE))
+        rig.udma.transfer(rig.mem(0), rig.dev(0), 2 * PAGE, wait=True)
+        # No run_until_idle needed: data already landed.
+        assert rig.sink.peek(0, 2 * PAGE) == make_payload(2 * PAGE)
+
+    def test_stats_accumulate_across_calls(self, sink_machine):
+        rig = sink_machine
+        from repro.userlib.udma import TransferStats
+        rig.fill_buffer(make_payload(PAGE))
+        stats = TransferStats()
+        rig.udma.transfer(rig.mem(0), rig.dev(0), 100, stats=stats)
+        rig.udma.transfer(rig.mem(0), rig.dev(0), 100, stats=stats)
+        assert stats.pieces == 2
+        assert stats.bytes_moved == 200
+
+    def test_nonpositive_length_rejected(self, sink_machine):
+        rig = sink_machine
+        with pytest.raises(DmaError):
+            rig.udma.transfer(rig.mem(0), rig.dev(0), 0)
+
+    def test_mem_to_mem_is_hard_error(self, sink_machine):
+        """BadLoad surfaces as a permanent failure to the runtime."""
+        rig = sink_machine
+        rig.fill_buffer(b"x" * 128)
+        with pytest.raises(DmaError):
+            rig.udma.transfer(rig.mem(0), rig.mem(PAGE), 64)
+
+
+class TestQueuedDevice:
+    def test_multi_page_streams_without_waiting(self, queued_sink_machine):
+        rig = queued_sink_machine
+        data = make_payload(4 * PAGE)
+        rig.fill_buffer(data)
+        stats = rig.udma.transfer(rig.mem(0), rig.dev(0), 4 * PAGE)
+        assert rig.sink.peek(0, 4 * PAGE) == data
+        assert stats.pieces == 4
+        # On the queued device, pieces 2..4 need no completion polls
+        # between initiations (two instructions per page best case).
+        assert stats.retries <= 1
+
+    def test_queue_full_retries_transparently(self, queued_sink_machine):
+        rig = queued_sink_machine
+        data = make_payload(16 * PAGE)
+        rig.fill_buffer(data[: 8 * PAGE])
+        rig.fill_buffer(data[8 * PAGE :], offset=0)  # reuse buffer region
+        # 16 pieces through a depth-8 queue: refusals must be retried.
+        stats = rig.udma.transfer(rig.mem(0), rig.dev(0), 8 * PAGE)
+        stats2 = rig.udma.transfer(rig.mem(0), rig.dev(0x8000), 8 * PAGE)
+        rig.machine.run_until_idle()
+        assert stats.pieces + stats2.pieces == 16
+
+
+class TestRetryAfterContextSwitch:
+    def test_interrupted_initiation_retries_and_succeeds(self, sink_machine):
+        """The I1 scenario end to end: STORE, context switch (Inval),
+        LOAD fails, user retries, transfer completes."""
+        rig = sink_machine
+        machine = rig.machine
+        other = machine.create_process("other")
+        rig.fill_buffer(b"atomic!!")
+
+        src_proxy = machine.proxy(rig.buffer)
+        machine.cpu.store(rig.dev(0).vaddr, 8)       # first half of the pair
+        machine.kernel.scheduler.switch_to(other)     # preempt: Inval fires
+        machine.kernel.scheduler.switch_to(rig.process)
+        status = rig.udma.poll(src_proxy)             # the LOAD of the pair
+        assert not status.started                     # initiation was lost
+        assert status.should_retry
+        # The runtime's transfer() does this retry loop automatically:
+        stats = rig.udma.transfer(rig.mem(0), rig.dev(0), 8)
+        machine.run_until_idle()
+        assert rig.sink.peek(0, 8) == b"atomic!!"

@@ -1,0 +1,97 @@
+"""Edge-case tests for the user-level UDMA runtime."""
+
+import pytest
+
+from repro.bench.workloads import make_payload
+from repro.errors import DmaError, ProtectionFault
+from repro.userlib.udma import DeviceRef, MemoryRef, UdmaUser
+
+PAGE = 4096
+
+
+class TestProxyOf:
+    def test_memory_ref_maps_through_proxy(self, sink_machine):
+        rig = sink_machine
+        assert rig.udma.proxy_of(rig.mem(0)) == rig.machine.proxy(rig.buffer)
+        assert (
+            rig.udma.proxy_of(rig.mem(0), offset=100)
+            == rig.machine.proxy(rig.buffer + 100)
+        )
+
+    def test_device_ref_is_already_proxy(self, sink_machine):
+        rig = sink_machine
+        assert rig.udma.proxy_of(rig.dev(0)) == rig.grant
+        assert rig.udma.proxy_of(rig.dev(8), offset=8) == rig.grant + 16
+
+
+class TestHardErrors:
+    def test_device_to_device_is_hard_error(self, sink_machine):
+        rig = sink_machine
+        with pytest.raises(DmaError):
+            rig.udma.transfer(rig.dev(0), rig.dev(PAGE), 64)
+
+    def test_transfer_into_readonly_page_is_protection_fault(self, sink_machine):
+        rig = sink_machine
+        machine = rig.machine
+        ro = machine.kernel.syscalls.alloc(rig.process, PAGE, writable=False)
+        machine.cpu.load(ro)  # resident
+        rig.sink.poke(0, b"x" * 32)
+        with pytest.raises(ProtectionFault):
+            rig.udma.transfer(rig.dev(0), MemoryRef(ro), 32)
+
+    def test_retry_limit_exhaustion(self, sink_machine):
+        """A device that stays busy forever exhausts the retry budget."""
+        rig = sink_machine
+        machine = rig.machine
+        rig.fill_buffer(b"x" * PAGE)
+        # Occupy the device with a long transfer...
+        machine.cpu.store(rig.dev(0).vaddr, PAGE)
+        machine.cpu.fence()
+        machine.cpu.load(machine.proxy(rig.buffer))
+        assert machine.udma.busy
+        # ...and forbid the runtime from coasting the clock by using a
+        # runtime with a tiny retry budget and no pending-event headroom.
+        impatient = UdmaUser(machine, rig.process, retry_limit=2)
+        original_backoff = impatient._back_off
+        impatient._back_off = lambda: machine.cpu.execute(1)  # never waits
+        with pytest.raises(DmaError, match="still failing"):
+            impatient.transfer(rig.mem(PAGE), rig.dev(PAGE), 64)
+        machine.run_until_idle()
+
+    def test_poll_limit_exhaustion(self, sink_machine):
+        rig = sink_machine
+        machine = rig.machine
+        rig.fill_buffer(b"x" * PAGE)
+        impatient = UdmaUser(machine, rig.process, poll_limit=1)
+        impatient._back_off = lambda: machine.cpu.execute(1)
+        with pytest.raises(DmaError, match="never completed"):
+            impatient.transfer(rig.mem(0), rig.dev(0), PAGE)
+        machine.run_until_idle()
+
+
+class TestWaitAll:
+    def test_wait_all_blocks_until_done(self, sink_machine):
+        rig = sink_machine
+        rig.fill_buffer(make_payload(PAGE))
+        rig.udma.transfer(rig.mem(0), rig.dev(0), PAGE, wait=False)
+        rig.udma.wait_all(rig.mem(0))
+        assert rig.sink.peek(0, PAGE) == make_payload(PAGE)
+
+    def test_wait_all_on_idle_device_returns_immediately(self, sink_machine):
+        rig = sink_machine
+        before = rig.machine.cpu.loads
+        rig.udma.wait_all(rig.mem(0))
+        assert rig.machine.cpu.loads == before + 1  # a single status load
+
+
+class TestCancel:
+    def test_cancel_then_fresh_transfer_succeeds(self, sink_machine):
+        rig = sink_machine
+        machine = rig.machine
+        rig.fill_buffer(b"fresh start")
+        machine.cpu.store(rig.dev(0).vaddr, 64)   # half a pair
+        rig.udma.cancel(rig.dev(0).vaddr)          # explicit abandon
+        stats = rig.udma.transfer(rig.mem(0), rig.dev(0), 11)
+        machine.run_until_idle()
+        assert rig.sink.peek(0, 11) == b"fresh start"
+        assert stats.retries == 0  # the cancel left a clean device

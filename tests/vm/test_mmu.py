@@ -1,0 +1,125 @@
+"""Tests for MMU translation and protection semantics."""
+
+import pytest
+
+from repro.errors import PageFault
+from repro.params import shrimp
+from repro.sim.clock import Clock
+from repro.vm.mmu import MMU, Access
+from repro.vm.page_table import PageTable
+
+PAGE = 4096
+
+
+@pytest.fixture
+def mmu():
+    return MMU(shrimp())
+
+
+@pytest.fixture
+def table():
+    return PageTable(PAGE)
+
+
+class TestTranslation:
+    def test_translates_page_and_offset(self, mmu, table):
+        table.map(3, 7)
+        paddr = mmu.translate(table, 1, 3 * PAGE + 17, Access.READ)
+        assert paddr == 7 * PAGE + 17
+
+    def test_not_mapped_faults(self, mmu, table):
+        with pytest.raises(PageFault) as info:
+            mmu.translate(table, 1, 0, Access.READ)
+        assert info.value.reason == "not-mapped"
+
+    def test_not_present_faults(self, mmu, table):
+        table.map(0, 1, present=False)
+        with pytest.raises(PageFault) as info:
+            mmu.translate(table, 1, 0, Access.READ)
+        assert info.value.reason == "not-present"
+
+    def test_write_to_readonly_faults(self, mmu, table):
+        table.map(0, 1, writable=False)
+        mmu.translate(table, 1, 0, Access.READ)  # read is fine
+        with pytest.raises(PageFault) as info:
+            mmu.translate(table, 1, 0, Access.WRITE)
+        assert info.value.reason == "protection"
+
+    def test_user_access_to_kernel_page_faults(self, mmu, table):
+        table.map(0, 1, user=False)
+        with pytest.raises(PageFault) as info:
+            mmu.translate(table, 1, 0, Access.READ, user_mode=True)
+        assert info.value.reason == "protection"
+
+    def test_kernel_mode_may_access_kernel_page(self, mmu, table):
+        table.map(0, 1, user=False)
+        assert mmu.translate(table, 1, 0, Access.READ, user_mode=False) == PAGE
+
+    def test_fault_counter(self, mmu, table):
+        with pytest.raises(PageFault):
+            mmu.translate(table, 1, 0, Access.READ)
+        assert mmu.faults == 1
+
+
+class TestUseBits:
+    def test_read_sets_referenced_only(self, mmu, table):
+        table.map(0, 1)
+        mmu.translate(table, 1, 0, Access.READ)
+        pte = table.get(0)
+        assert pte.referenced and not pte.dirty
+
+    def test_write_sets_dirty(self, mmu, table):
+        table.map(0, 1)
+        mmu.translate(table, 1, 0, Access.WRITE)
+        assert table.get(0).dirty
+
+    def test_dirty_set_in_authoritative_table_despite_tlb_hit(self, mmu, table):
+        table.map(0, 1)
+        mmu.translate(table, 1, 0, Access.READ)  # fills TLB
+        mmu.translate(table, 1, 0, Access.WRITE)  # hits TLB
+        assert table.get(0).dirty
+
+
+class TestTlbInteraction:
+    def test_stale_tlb_returns_old_frame_without_shootdown(self, mmu, table):
+        """Real-hardware fidelity: an unshot-down TLB serves stale pfn."""
+        table.map(0, 1)
+        mmu.translate(table, 1, 0, Access.READ)
+        table.map(0, 2)  # kernel forgot the shootdown
+        assert mmu.translate(table, 1, 0, Access.READ) == 1 * PAGE
+
+    def test_shootdown_picks_up_new_mapping(self, mmu, table):
+        table.map(0, 1)
+        mmu.translate(table, 1, 0, Access.READ)
+        table.map(0, 2)
+        mmu.tlb.invalidate(1, 0)
+        assert mmu.translate(table, 1, 0, Access.READ) == 2 * PAGE
+
+    def test_permission_upgrade_needs_no_shootdown(self, mmu, table):
+        """The MMU re-walks on a write to a cached read-only entry."""
+        table.map(0, 1, writable=False)
+        mmu.translate(table, 1, 0, Access.READ)
+        table.set_writable(0, True)  # upgrade without shootdown
+        paddr = mmu.translate(table, 1, 0, Access.WRITE)
+        assert paddr == PAGE
+        assert table.get(0).dirty
+
+    def test_permission_downgrade_without_shootdown_is_unsafe(self, mmu, table):
+        """Fidelity: downgrades NOT shot down still allow writes (as on
+        real hardware) -- which is why the kernel always invalidates."""
+        table.map(0, 1, writable=True)
+        mmu.translate(table, 1, 0, Access.WRITE)
+        table.set_writable(0, False)
+        # No shootdown: the stale TLB entry still says writable.
+        paddr = mmu.translate(table, 1, 0, Access.WRITE)
+        assert paddr == PAGE
+
+    def test_walk_charges_clock(self, table):
+        clock = Clock()
+        mmu = MMU(shrimp(), clock=clock)
+        table.map(0, 1)
+        mmu.translate(table, 1, 0, Access.READ)
+        assert clock.now == mmu.costs.tlb_miss_cycles
+        before = clock.now
+        mmu.translate(table, 1, 0, Access.READ)  # TLB hit: no walk
+        assert clock.now == before

@@ -1,0 +1,86 @@
+"""Tests for page-replacement policies."""
+
+import pytest
+
+from repro.vm.replacement import (
+    ClockPolicy,
+    FifoPolicy,
+    FrameView,
+    LruPolicy,
+    make_policy,
+)
+
+
+def view(frame, referenced=False, dirty=False, loaded_at=0, last_used_at=0):
+    return FrameView(frame, referenced, dirty, loaded_at, last_used_at)
+
+
+class TestFifo:
+    def test_picks_oldest_load(self):
+        policy = FifoPolicy()
+        victim = policy.choose(
+            [view(1, loaded_at=30), view(2, loaded_at=10), view(3, loaded_at=20)],
+            lambda f: None,
+        )
+        assert victim == 2
+
+    def test_tie_broken_by_frame_number(self):
+        policy = FifoPolicy()
+        assert policy.choose([view(9), view(3)], lambda f: None) == 3
+
+
+class TestLru:
+    def test_picks_least_recently_used(self):
+        policy = LruPolicy()
+        victim = policy.choose(
+            [view(1, last_used_at=5), view(2, last_used_at=1), view(3, last_used_at=9)],
+            lambda f: None,
+        )
+        assert victim == 2
+
+
+class TestClock:
+    def test_picks_unreferenced(self):
+        policy = ClockPolicy()
+        victim = policy.choose(
+            [view(1, referenced=True), view(2, referenced=False)],
+            lambda f: None,
+        )
+        assert victim == 2
+
+    def test_clears_referenced_on_the_way(self):
+        policy = ClockPolicy()
+        cleared = []
+        policy.choose(
+            [view(1, referenced=True), view(2, referenced=False)],
+            cleared.append,
+        )
+        assert cleared == [1]
+
+    def test_all_referenced_second_chance(self):
+        policy = ClockPolicy()
+        cleared = []
+        victim = policy.choose(
+            [view(1, referenced=True), view(2, referenced=True)],
+            cleared.append,
+        )
+        assert victim in (1, 2)
+        assert cleared  # at least one bit was cleared first
+
+    def test_hand_advances_between_calls(self):
+        policy = ClockPolicy()
+        first = policy.choose([view(1), view(2), view(3)], lambda f: None)
+        second = policy.choose([view(1), view(2), view(3)], lambda f: None)
+        assert first != second  # the hand moved past the first victim
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("fifo", FifoPolicy), ("lru", LruPolicy), ("clock", ClockPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("random")

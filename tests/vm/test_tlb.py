@@ -1,0 +1,85 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vm.tlb import TLB, TlbEntry
+
+
+def entry(pfn=1, writable=True, user=True):
+    return TlbEntry(pfn=pfn, writable=writable, user=user)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        tlb = TLB(4)
+        assert tlb.lookup(1, 5) is None
+        tlb.insert(1, 5, entry(pfn=9))
+        hit = tlb.lookup(1, 5)
+        assert hit is not None and hit.pfn == 9
+        assert tlb.misses == 1 and tlb.hits == 1
+
+    def test_asid_isolation(self):
+        tlb = TLB(4)
+        tlb.insert(1, 5, entry(pfn=9))
+        assert tlb.lookup(2, 5) is None
+
+    def test_fifo_eviction(self):
+        tlb = TLB(2)
+        tlb.insert(1, 1, entry())
+        tlb.insert(1, 2, entry())
+        tlb.insert(1, 3, entry())  # evicts (1, 1)
+        assert tlb.lookup(1, 1) is None
+        assert tlb.lookup(1, 2) is not None
+        assert tlb.lookup(1, 3) is not None
+
+    def test_reinsert_refreshes_entry(self):
+        tlb = TLB(2)
+        tlb.insert(1, 1, entry(pfn=1))
+        tlb.insert(1, 1, entry(pfn=2))
+        assert tlb.lookup(1, 1).pfn == 2
+        assert len(tlb) == 1
+
+
+class TestInvalidation:
+    def test_invalidate_single(self):
+        tlb = TLB(4)
+        tlb.insert(1, 5, entry())
+        tlb.invalidate(1, 5)
+        assert tlb.lookup(1, 5) is None
+
+    def test_invalidate_absent_is_noop(self):
+        TLB(4).invalidate(1, 5)  # must not raise
+
+    def test_flush_asid(self):
+        tlb = TLB(8)
+        tlb.insert(1, 1, entry())
+        tlb.insert(1, 2, entry())
+        tlb.insert(2, 1, entry())
+        tlb.flush_asid(1)
+        assert tlb.lookup(1, 1) is None
+        assert tlb.lookup(2, 1) is not None
+
+    def test_flush_all(self):
+        tlb = TLB(8)
+        tlb.insert(1, 1, entry())
+        tlb.insert(2, 2, entry())
+        tlb.flush_all()
+        assert len(tlb) == 0
+        assert tlb.flushes == 1
+
+
+class TestMetrics:
+    def test_hit_rate(self):
+        tlb = TLB(4)
+        tlb.insert(1, 1, entry())
+        tlb.lookup(1, 1)
+        tlb.lookup(1, 2)
+        assert tlb.hit_rate == 0.5
+
+    def test_hit_rate_unused(self):
+        assert TLB(4).hit_rate == 0.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            TLB(0)
