@@ -1,0 +1,271 @@
+"""Host-throughput benchmarks: how fast the *simulator itself* runs.
+
+Every other bench in this directory measures **simulated** time (cycles on
+the modelled 60 MHz node).  This module measures **host** time: simulated
+bytes moved per wall-clock second of the Python process, and clock events
+fired per second.  It is the instrument behind ``run_bench.py`` and the
+committed ``BENCH_core.json`` trajectory file that future PRs regress
+against (see ``docs/PERFORMANCE.md``).
+
+Three scenarios cover the hot paths the zero-copy data plane optimises:
+
+* ``udma_send`` -- the single-node UDMA send path (initiate, DMA fill,
+  completion polling) into a sink device;
+* ``cluster_pingpong`` -- the 2-node deliberate-update round trip: UDMA
+  fill, packetise, wire, route, receive-DMA into remote physical memory;
+* ``stepping_dma`` -- the word-stepping engine, where per-burst events
+  dominate and event-queue overhead is the bottleneck.
+
+The scenarios hold *simulated* behaviour fixed (same cycle counts before
+and after any host-side optimisation) so MB/s numbers are comparable
+across commits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro import Machine, ShrimpCluster
+from repro.bench.workloads import make_payload
+from repro.devices import SinkDevice
+from repro.dma.engine import DmaEngine, MemoryEndpoint
+from repro.userlib import DeviceRef, MemoryRef, Sender, UdmaUser
+
+
+@dataclass
+class HostResult:
+    """One scenario's host-side throughput measurement."""
+
+    scenario: str
+    sim_bytes: int
+    sim_cycles: int
+    messages: int
+    host_seconds: float
+    events_fired: int
+
+    @property
+    def mb_per_s(self) -> float:
+        """Simulated payload bytes moved per host second, in MB/s."""
+        return self.sim_bytes / self.host_seconds / 1e6 if self.host_seconds else 0.0
+
+    @property
+    def events_per_s(self) -> float:
+        """Clock events fired per host second."""
+        return self.events_fired / self.host_seconds if self.host_seconds else 0.0
+
+    @property
+    def messages_per_s(self) -> float:
+        return self.messages / self.host_seconds if self.host_seconds else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sim_bytes": self.sim_bytes,
+            "sim_cycles": self.sim_cycles,
+            "messages": self.messages,
+            "host_seconds": round(self.host_seconds, 6),
+            "events_fired": self.events_fired,
+            "mb_per_s": round(self.mb_per_s, 3),
+            "events_per_s": round(self.events_per_s, 1),
+            "messages_per_s": round(self.messages_per_s, 1),
+        }
+
+
+def _events_fired(clock) -> int:
+    """Events fired so far (0 on clocks without the counter)."""
+    return getattr(clock, "events_fired", 0)
+
+
+# ------------------------------------------------------------- scenarios
+def bench_udma_send(messages: int = 400, msg_bytes: int = 4096) -> HostResult:
+    """Single-node UDMA sends of ``msg_bytes`` into a sink device.
+
+    The send buffer is filled once outside the timed window; the loop is
+    pure UDMA initiation + DMA + completion polling -- the critical path
+    of the paper's section 8.
+    """
+    machine = Machine(mem_size=1 << 21)
+    sink = SinkDevice("sink", size=1 << 16)
+    machine.attach_device(sink)
+    process = machine.create_process("bench")
+    buf = machine.kernel.syscalls.alloc(process, msg_bytes)
+    grant = machine.kernel.syscalls.grant_device_proxy(process, "sink")
+    udma = UdmaUser(machine, process)
+    machine.cpu.write_bytes(buf, make_payload(msg_bytes))
+    machine.run_until_idle()
+
+    start_cycles = machine.now
+    start_events = _events_fired(machine.clock)
+    t0 = time.perf_counter()
+    for _ in range(messages):
+        udma.transfer(MemoryRef(buf), DeviceRef(grant), msg_bytes)
+        machine.run_until_idle()
+    elapsed = time.perf_counter() - t0
+    return HostResult(
+        scenario="udma_send",
+        sim_bytes=messages * msg_bytes,
+        sim_cycles=machine.now - start_cycles,
+        messages=messages,
+        host_seconds=elapsed,
+        events_fired=_events_fired(machine.clock) - start_events,
+    )
+
+
+def bench_cluster_pingpong(rounds: int = 200, msg_bytes: int = 4096) -> HostResult:
+    """2-node deliberate-update ping-pong over the routing backplane.
+
+    Each round is one message node0 -> node1 and one message back, each
+    drained to remote-memory delivery (the full Figure 6 pipeline).  The
+    payload buffers are filled once outside the timed window.
+    """
+    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    procs = [cluster.node(i).create_process(f"p{i}") for i in range(2)]
+    bufs = [
+        cluster.node(i).kernel.syscalls.alloc(procs[i], msg_bytes)
+        for i in range(2)
+    ]
+    ch01 = cluster.create_channel(0, 1, procs[1], bufs[1], msg_bytes)
+    ch10 = cluster.create_channel(1, 0, procs[0], bufs[0], msg_bytes)
+    senders = [
+        Sender(cluster, procs[0], ch01),
+        Sender(cluster, procs[1], ch10),
+    ]
+    for sender in senders:
+        sender._ensure_current()
+        sender.machine.cpu.write_bytes(sender.buffer, make_payload(msg_bytes))
+    cluster.run_until_idle()
+
+    start_cycles = cluster.now
+    start_events = _events_fired(cluster.clock)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        senders[0].send_buffer(msg_bytes)
+        cluster.run_until_idle()
+        senders[1].send_buffer(msg_bytes)
+        cluster.run_until_idle()
+    elapsed = time.perf_counter() - t0
+    return HostResult(
+        scenario="cluster_pingpong",
+        sim_bytes=2 * rounds * msg_bytes,
+        sim_cycles=cluster.now - start_cycles,
+        messages=2 * rounds,
+        host_seconds=elapsed,
+        events_fired=_events_fired(cluster.clock) - start_events,
+    )
+
+
+def bench_stepping_dma(
+    transfers: int = 40,
+    nbytes: int = 1 << 16,
+    burst_bytes: int = 64,
+    bursts_per_event: int = 8,
+) -> HostResult:
+    """Word-stepping memory-to-memory DMA, where events are the cost.
+
+    ``bursts_per_event`` batches burst events on engines that support
+    chunked stepping; older engines fall back to one event per burst, so
+    the scenario stays runnable for before/after comparison.
+    """
+    machine = Machine(mem_size=1 << 21)
+    clock = machine.clock
+    try:
+        engine = DmaEngine(
+            clock,
+            machine.costs,
+            name="bench-step",
+            burst_bytes=burst_bytes,
+            bursts_per_event=bursts_per_event,
+        )
+    except TypeError:  # pre-chunking engine: one event per burst
+        engine = DmaEngine(
+            clock, machine.costs, name="bench-step", burst_bytes=burst_bytes
+        )
+    physmem = machine.physmem
+    src_paddr, dst_paddr = 0, nbytes
+    physmem.write(src_paddr, make_payload(nbytes))
+
+    start_cycles = clock.now
+    start_events = _events_fired(clock)
+    t0 = time.perf_counter()
+    for _ in range(transfers):
+        engine.start(
+            MemoryEndpoint(physmem, src_paddr),
+            MemoryEndpoint(physmem, dst_paddr),
+            nbytes,
+        )
+        clock.run_until_idle()
+    elapsed = time.perf_counter() - t0
+    assert physmem.read(dst_paddr, nbytes) == physmem.read(src_paddr, nbytes)
+    return HostResult(
+        scenario="stepping_dma",
+        sim_bytes=transfers * nbytes,
+        sim_cycles=clock.now - start_cycles,
+        messages=transfers,
+        host_seconds=elapsed,
+        events_fired=_events_fired(clock) - start_events,
+    )
+
+
+# --------------------------------------------------------------- running
+#: scenario name -> (full kwargs, quick kwargs)
+SCENARIOS: Dict[str, "ScenarioSpec"] = {}
+
+
+@dataclass
+class ScenarioSpec:
+    name: str
+    fn: Callable[..., HostResult]
+    full: Dict[str, int] = field(default_factory=dict)
+    quick: Dict[str, int] = field(default_factory=dict)
+
+
+def _register(name, fn, full, quick):
+    SCENARIOS[name] = ScenarioSpec(name, fn, full, quick)
+
+
+# Quick workloads stay CI-cheap (< ~100 ms total) but are sized so each
+# timed region is ~10 ms+ -- shorter regions make MB/s too noisy for the
+# --check regression gate.
+_register("udma_send", bench_udma_send,
+          {"messages": 400}, {"messages": 200})
+_register("cluster_pingpong", bench_cluster_pingpong,
+          {"rounds": 200}, {"rounds": 100})
+_register("stepping_dma", bench_stepping_dma,
+          {"transfers": 40}, {"transfers": 15})
+
+
+def run_all(quick: bool = False, repeats: int = 3) -> Dict[str, HostResult]:
+    """Run every scenario ``repeats`` times; keep the fastest host time.
+
+    Best-of-N damps scheduler noise; simulated results are identical
+    across repeats (the simulator is deterministic).
+    """
+    results: Dict[str, HostResult] = {}
+    for spec in SCENARIOS.values():
+        kwargs = spec.quick if quick else spec.full
+        best: Optional[HostResult] = None
+        for _ in range(max(1, repeats)):
+            result = spec.fn(**kwargs)
+            if best is None or result.host_seconds < best.host_seconds:
+                best = result
+        assert best is not None
+        results[spec.name] = best
+    return results
+
+
+def format_results(results: Dict[str, HostResult]) -> str:
+    lines = [
+        f"{'scenario':<18} {'MB/s (host)':>12} {'events/s':>12} "
+        f"{'msgs/s':>10} {'host s':>8}"
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"{name:<18} {r.mb_per_s:>12.2f} {r.events_per_s:>12.0f} "
+            f"{r.messages_per_s:>10.1f} {r.host_seconds:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual use; run_bench.py is the CLI
+    print(format_results(run_all(quick=True, repeats=1)))

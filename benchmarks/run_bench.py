@@ -1,0 +1,118 @@
+"""Host-throughput bench runner and regression gate.
+
+Record a trajectory point::
+
+    python benchmarks/run_bench.py --json BENCH_core.json
+
+CI regression gate (tier-2)::
+
+    python benchmarks/run_bench.py --quick --check BENCH_core.json
+
+``--check`` exits non-zero if any scenario's host MB/s falls more than
+``--tolerance`` (default 30%) below the committed baseline.  The wide
+tolerance absorbs CI machine noise; a real regression (a copy added back
+to the data plane, an O(n) scan in the event queue) is far larger.  See
+``docs/PERFORMANCE.md`` for the JSON schema and how to refresh baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for path in (os.path.join(_ROOT, "src"), _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from bench_host_throughput import HostResult, format_results, run_all  # noqa: E402
+
+SCHEMA = "shrimp-bench-host-throughput/1"
+
+
+def results_to_json(results, quick: bool) -> dict:
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": {name: r.as_dict() for name, r in results.items()},
+    }
+
+
+def check_against(results, baseline: dict, tolerance: float) -> list:
+    """Return a list of failure strings (empty = pass)."""
+    failures = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name, result in results.items():
+        base = base_scenarios.get(name)
+        if base is None:
+            continue  # new scenario; nothing to regress against
+        floor = base["mb_per_s"] * (1.0 - tolerance)
+        if result.mb_per_s < floor:
+            failures.append(
+                f"{name}: {result.mb_per_s:.2f} MB/s < floor {floor:.2f} "
+                f"(baseline {base['mb_per_s']:.2f} MB/s, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write results to PATH as JSON")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a baseline JSON; exit 1 on "
+                             "host-throughput regression")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI-friendly)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N host timing (default 3)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional MB/s drop for --check "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick, repeats=args.repeats)
+    print(format_results(results))
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results_to_json(results, args.quick), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        try:
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if baseline.get("schema") != SCHEMA:
+            print(f"error: {args.check} has schema "
+                  f"{baseline.get('schema')!r}, expected {SCHEMA!r}",
+                  file=sys.stderr)
+            return 2
+        failures = check_against(results, baseline, args.tolerance)
+        if failures:
+            print("HOST-THROUGHPUT REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"check ok: no scenario regressed more than "
+              f"{args.tolerance:.0%} vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,6 +85,8 @@ class ShrimpCluster:
         cut_through: bool = True,
         topology: str = "linear",
         mesh_width: int = 0,
+        dma_burst_bytes: int = 0,
+        dma_bursts_per_event: int = 1,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
@@ -107,6 +109,8 @@ class ShrimpCluster:
                 clock=self.clock,
                 tracer=self.tracer,
                 name=f"node{i}",
+                dma_burst_bytes=dma_burst_bytes,
+                dma_bursts_per_event=dma_bursts_per_event,
             )
             nic = ShrimpNic(
                 node_id=i,

@@ -10,10 +10,19 @@ Endpoints hide whether a side is memory or a device port.  Unlike 1980s
 DMA, the engine increments the device offset along with the memory address
 ("the UDMA mechanism can increment the device address along with the
 memory address as the transfer progresses", section 4).
+
+Host-side data movement is zero-copy: memory endpoints hand out
+``memoryview`` windows onto physical RAM (:meth:`MemoryEndpoint.view`),
+and the engine passes them straight to the destination, so an analytic
+memory-to-memory transfer is a single ``memcpy``-equivalent slice
+assignment with no staging buffer.  Views are *loans*: a destination must
+consume (or copy) the data inside its ``write`` call and never retain the
+view -- see ``docs/PERFORMANCE.md`` for the ownership rules.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, List, Optional, Protocol, Union
 
 from repro.errors import DmaError
@@ -21,6 +30,9 @@ from repro.mem.physmem import PhysicalMemory
 from repro.params import CostModel
 from repro.sim.clock import Clock, Event, transfer_cycles
 from repro.sim.trace import NULL_TRACER, Tracer
+
+#: anything the buffer protocol accepts for a write
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 class Endpoint(Protocol):
@@ -30,8 +42,12 @@ class Endpoint(Protocol):
         """Produce ``nbytes`` from this endpoint (endpoint is the source)."""
         ...
 
-    def write(self, data: bytes) -> None:
-        """Consume ``data`` into this endpoint (endpoint is the destination)."""
+    def write(self, data: Buffer) -> None:
+        """Consume ``data`` into this endpoint (endpoint is the destination).
+
+        ``data`` may be a borrowed :class:`memoryview`; the endpoint must
+        not retain it past this call.
+        """
         ...
 
     def extra_cycles(self, nbytes: int) -> int:
@@ -57,14 +73,22 @@ class MemoryEndpoint:
     def read(self, nbytes: int) -> bytes:
         return self.physmem.read(self.paddr, nbytes)
 
-    def write(self, data: bytes) -> None:
+    def write(self, data: Buffer) -> None:
         self.physmem.write(self.paddr, data)
+
+    def view(self, nbytes: int) -> memoryview:
+        """Zero-copy window onto this endpoint's RAM (a loan)."""
+        return self.physmem.view(self.paddr, nbytes)
+
+    def view_slice(self, offset: int, nbytes: int) -> memoryview:
+        """Zero-copy burst-granular window (word-stepping mode)."""
+        return self.physmem.view(self.paddr + offset, nbytes)
 
     def read_slice(self, offset: int, nbytes: int) -> bytes:
         """Burst-granular read (word-stepping mode)."""
         return self.physmem.read(self.paddr + offset, nbytes)
 
-    def write_slice(self, offset: int, data: bytes) -> None:
+    def write_slice(self, offset: int, data: Buffer) -> None:
         """Burst-granular write (word-stepping mode)."""
         self.physmem.write(self.paddr + offset, data)
 
@@ -96,14 +120,14 @@ class DeviceEndpoint:
     def read(self, nbytes: int) -> bytes:
         return self.device.dma_read(self.offset, nbytes)  # type: ignore[attr-defined]
 
-    def write(self, data: bytes) -> None:
+    def write(self, data: Buffer) -> None:
         self.device.dma_write(self.offset, data)  # type: ignore[attr-defined]
 
     def read_slice(self, offset: int, nbytes: int) -> bytes:
         """Burst-granular device read (word-stepping mode)."""
         return self.device.dma_read(self.offset + offset, nbytes)  # type: ignore[attr-defined]
 
-    def write_slice(self, offset: int, data: bytes) -> None:  # pragma: no cover
+    def write_slice(self, offset: int, data: Buffer) -> None:  # pragma: no cover
         raise DmaError(
             "devices receive their payload in one delivery; incremental "
             "writes are staged by the engine"
@@ -141,6 +165,7 @@ class DmaEngine:
         name: str = "dma",
         tracer: Tracer = NULL_TRACER,
         burst_bytes: int = 0,
+        bursts_per_event: int = 1,
     ) -> None:
         """``burst_bytes > 0`` selects *word-stepping* mode: the transfer
         advances in bursts of that many bytes, each moving real data at
@@ -148,12 +173,25 @@ class DmaEngine:
         (:attr:`progress_bytes`) and an abort leaves partially written
         memory behind -- higher fidelity at higher event cost.  The
         default (0) is the analytic mode: one completion event, data
-        materialised at completion."""
+        materialised at completion.
+
+        ``bursts_per_event`` batches consecutive bursts into one clock
+        event (stepping mode only).  Data still lands at the simulated
+        time the *last* burst of each batch would complete, so final
+        memory contents and the completion cycle are identical to
+        ``bursts_per_event=1``; only the granularity at which progress is
+        *observable* coarsens.  Host event cost drops from O(count/burst)
+        to O(count/(burst*batch))."""
+        if bursts_per_event < 1:
+            raise DmaError(
+                f"{name}: bursts_per_event must be >= 1, got {bursts_per_event}"
+            )
         self.clock = clock
         self.costs = costs
         self.name = name
         self.tracer = tracer
         self.burst_bytes = burst_bytes
+        self.bursts_per_event = bursts_per_event
         self.busy = False
         self.source: Optional[Endpoint] = None
         self.destination: Optional[Endpoint] = None
@@ -165,8 +203,8 @@ class DmaEngine:
         self.progress_bytes: Optional[int] = None
         self._completion_event: Optional[Event] = None
         self._burst_events: List[Event] = []
-        self._staged: bytearray = bytearray()
-        self._source_snapshot: Optional[bytes] = None
+        self._staged: Optional[bytearray] = None
+        self._source_snapshot: Optional[memoryview] = None
         self._oneshot: List[Callable[[], None]] = []
         self._listeners: List[Callable[[], None]] = []
 
@@ -256,53 +294,56 @@ class DmaEngine:
 
     # --------------------------------------------------------- word stepping
     def _start_stepping(self, duration: int) -> None:
-        """Schedule one event per burst, spaced evenly over the data time."""
-        import math
+        """Schedule chunked burst events, spaced over the data time.
 
+        Each event covers ``bursts_per_event`` consecutive bursts and
+        fires when the *last* burst of its chunk completes, so the final
+        event -- and therefore the completion cycle -- lands exactly where
+        per-burst scheduling would put it.
+        """
         assert self.source is not None and self.destination is not None
         self.progress_bytes = 0
-        self._staged = bytearray()
+        # Staging buffer for destinations that take one delivery; filled
+        # in place, handed over as a view (the device copies what it keeps).
+        if not self.destination.supports_incremental_write():
+            self._staged = bytearray(self.count)
         # A device source streams into the engine FIFO as the transfer
         # starts (device reads can have side effects, so exactly once).
-        self._source_snapshot: Optional[bytes] = None
         if not isinstance(self.source, MemoryEndpoint):
-            self._source_snapshot = self.source.read(self.count)
+            self._source_snapshot = memoryview(self.source.read(self.count))
         bursts = max(1, math.ceil(self.count / self.burst_bytes))
         lead = duration - transfer_cycles(self.count, self.costs.dma_bytes_per_cycle)
         data_cycles = duration - lead
         self._burst_events = []
-        for i in range(1, bursts + 1):
+        step = self.bursts_per_event
+        for first in range(1, bursts + 1, step):
+            i = min(first + step - 1, bursts)  # last burst of this chunk
             at = lead + math.ceil(data_cycles * i / bursts)
-            last = i == bursts
-            size = (
-                self.count - (bursts - 1) * self.burst_bytes
-                if last
-                else self.burst_bytes
-            )
-            offset = (i - 1) * self.burst_bytes
+            offset = (first - 1) * self.burst_bytes
+            size = min(self.count, i * self.burst_bytes) - offset
             event = self.clock.schedule(
-                at, self._make_burst(offset, size, last)
+                at, self._make_chunk(offset, size, i == bursts)
             )
             self._burst_events.append(event)
 
-    def _make_burst(self, offset: int, size: int, last: bool) -> Callable[[], None]:
-        def burst() -> None:
+    def _make_chunk(self, offset: int, size: int, last: bool) -> Callable[[], None]:
+        def chunk_event() -> None:
             assert self.source is not None and self.destination is not None
             if self._source_snapshot is not None:
-                chunk = self._source_snapshot[offset : offset + size]
+                chunk: Buffer = self._source_snapshot[offset : offset + size]
             else:
-                chunk = self.source.read_slice(offset, size)  # type: ignore[attr-defined]
-            if self.destination.supports_incremental_write():
+                chunk = self.source.view_slice(offset, size)  # type: ignore[attr-defined]
+            if self._staged is not None:
+                self._staged[offset : offset + size] = chunk
+            else:
                 self.destination.write_slice(offset, chunk)  # type: ignore[attr-defined]
-            else:
-                self._staged += chunk
             self.progress_bytes = offset + size
             if last:
-                if not self.destination.supports_incremental_write():
-                    self.destination.write(bytes(self._staged))
+                if self._staged is not None:
+                    self.destination.write(memoryview(self._staged))
                 self._finish()
 
-        return burst
+        return chunk_event
 
     def _finish(self) -> None:
         self.transfers_completed += 1
@@ -319,7 +360,13 @@ class DmaEngine:
     # ------------------------------------------------------------ internal
     def _complete(self) -> None:
         assert self.source is not None and self.destination is not None
-        data = self.source.read(self.count)
+        # Analytic mode: one view-to-endpoint handoff, no staging buffer.
+        # A memory source lends a view of its RAM; a device source
+        # materialises bytes (device reads may have side effects).
+        viewer = getattr(self.source, "view", None)
+        data: Buffer = (
+            viewer(self.count) if viewer is not None else self.source.read(self.count)
+        )
         self.destination.write(data)
         self.transfers_completed += 1
         self.bytes_transferred += self.count
@@ -340,6 +387,6 @@ class DmaEngine:
         self.progress_bytes = None
         self._completion_event = None
         self._burst_events = []
-        self._staged = bytearray()
+        self._staged = None
         self._source_snapshot = None
         self._oneshot = []

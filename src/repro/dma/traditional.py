@@ -71,6 +71,7 @@ class TraditionalDmaController:
         self.tracer = tracer
         self._interrupt_handlers: List[Callable[[], None]] = []
         self._chain: List[DescriptorEntry] = []
+        self._chain_pos = 0  # cursor into _chain; avoids O(n) pop(0) per piece
         self._active = False
         self.chains_completed = 0
 
@@ -95,6 +96,7 @@ class TraditionalDmaController:
         if not descriptor.entries:
             raise DmaError(f"{self.name}: empty descriptor chain")
         self._chain = list(descriptor.entries)
+        self._chain_pos = 0
         self._active = True
         if self.tracer.enabled:
             self.tracer.emit(
@@ -108,16 +110,18 @@ class TraditionalDmaController:
 
     # ------------------------------------------------------------ internal
     def _start_next(self) -> None:
-        entry = self._chain.pop(0)
+        entry = self._chain[self._chain_pos]
+        self._chain_pos += 1
         self.engine.start(
             entry.source, entry.destination, entry.count, self._piece_done
         )
 
     def _piece_done(self) -> None:
-        if self._chain:
+        if self._chain_pos < len(self._chain):
             self._start_next()
             return
         self._active = False
+        self._chain = []
         self.chains_completed += 1
         if self.tracer.enabled:
             self.tracer.emit(self.engine.clock.now, self.name, "chain-complete")

@@ -60,6 +60,11 @@ class Machine:
             "proxy-dirty" (the alternative of section 6).
         guard_strategy: how the I4 remap guard queries the hardware.
         record_trace: keep a full event trace (tests/debugging).
+        dma_burst_bytes: > 0 runs the UDMA engine in word-stepping mode
+            with bursts of this many bytes (progress is observable).
+        dma_bursts_per_event: batch this many stepping bursts per clock
+            event -- same final memory and completion cycles, fewer host
+            events (see :class:`repro.dma.engine.DmaEngine`).
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class Machine:
         tracer: Optional[Tracer] = None,
         name: str = "node",
         dma_burst_bytes: int = 0,
+        dma_bursts_per_event: int = 1,
         swap: str = "dict",
     ) -> None:
         self.costs = costs if costs is not None else shrimp()
@@ -95,6 +101,7 @@ class Machine:
         self.udma_engine = DmaEngine(
             self.clock, self.costs, name=f"{name}.udma-engine",
             tracer=self.tracer, burst_bytes=dma_burst_bytes,
+            bursts_per_event=dma_bursts_per_event,
         )
         if depth > 0:
             self.udma: UdmaController = QueuedUdmaController(

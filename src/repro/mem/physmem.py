@@ -4,6 +4,13 @@ A :class:`PhysicalMemory` is a flat ``bytearray`` of frames.  All data that
 "really exists" in a simulated node lives here; DMA engines, the CPU (via
 the MMU) and the receive side of the NIC all read and write through this
 object, so tests can verify end-to-end data movement byte for byte.
+
+The zero-copy data plane hands out :class:`memoryview` windows via
+:meth:`PhysicalMemory.view`; all internal byte/word/frame I/O routes
+through one long-lived view of the backing buffer, so a ``read`` costs one
+copy and a ``write`` from any buffer-protocol object (bytes, bytearray,
+another node's view) costs exactly one copy into RAM.  See
+``docs/PERFORMANCE.md`` for the ownership rules a view borrower must obey.
 """
 
 from __future__ import annotations
@@ -31,27 +38,45 @@ class PhysicalMemory:
         self.size = size
         self.page_size = page_size
         self._data = bytearray(size)
+        # One long-lived writable view; slicing it is allocation-light and
+        # never copies the underlying RAM.
+        self._mv = memoryview(self._data)
 
     @property
     def num_frames(self) -> int:
         """Number of physical frames."""
         return self.size // self.page_size
 
+    # -------------------------------------------------------- zero-copy I/O
+    def view(self, paddr: int, nbytes: int) -> memoryview:
+        """A writable :class:`memoryview` window onto RAM.
+
+        The view *aliases* memory: writes through it are visible to every
+        later read, with no copy in either direction.  Borrowers must
+        treat it as a loan -- consume it inside the call that received it
+        (or copy), never retain it across simulated time (see
+        ``docs/PERFORMANCE.md``).
+        """
+        self._check_range(paddr, nbytes)
+        return self._mv[paddr : paddr + nbytes]
+
     # ------------------------------------------------------------ byte I/O
     def read(self, paddr: int, nbytes: int) -> bytes:
-        """Read ``nbytes`` starting at physical address ``paddr``."""
+        """Read ``nbytes`` starting at physical address ``paddr`` (one copy)."""
         self._check_range(paddr, nbytes)
-        return bytes(self._data[paddr : paddr + nbytes])
+        return bytes(self._mv[paddr : paddr + nbytes])
 
-    def write(self, paddr: int, data: bytes) -> None:
-        """Write ``data`` starting at physical address ``paddr``."""
-        self._check_range(paddr, len(data))
-        self._data[paddr : paddr + len(data)] = data
+    def write(self, paddr: int, data: "bytes | bytearray | memoryview") -> None:
+        """Write ``data`` (any buffer-protocol object) at ``paddr`` (one copy)."""
+        nbytes = len(data)
+        self._check_range(paddr, nbytes)
+        self._mv[paddr : paddr + nbytes] = data
 
     # ------------------------------------------------------------ word I/O
     def read_word(self, paddr: int) -> int:
         """Read one little-endian word as an unsigned integer."""
-        return int.from_bytes(self.read(paddr, WORD_SIZE), "little")
+        self._check_range(paddr, WORD_SIZE)
+        return int.from_bytes(self._mv[paddr : paddr + WORD_SIZE], "little")
 
     def write_word(self, paddr: int, value: int) -> None:
         """Write one little-endian word (value taken modulo 2**32)."""
@@ -64,11 +89,15 @@ class PhysicalMemory:
             raise AddressError(frame * self.page_size, "no such frame")
         return frame * self.page_size
 
+    def frame_view(self, frame: int) -> memoryview:
+        """A writable view of an entire frame (same loan rules as :meth:`view`)."""
+        return self.view(self.frame_base(frame), self.page_size)
+
     def read_frame(self, frame: int) -> bytes:
         """Read an entire frame."""
         return self.read(self.frame_base(frame), self.page_size)
 
-    def write_frame(self, frame: int, data: bytes) -> None:
+    def write_frame(self, frame: int, data: "bytes | bytearray | memoryview") -> None:
         """Overwrite an entire frame (data must be exactly one page)."""
         if len(data) != self.page_size:
             raise ValueError(
@@ -80,7 +109,7 @@ class PhysicalMemory:
     def zero_frame(self, frame: int) -> None:
         """Fill a frame with zero bytes (fresh-page semantics)."""
         base = self.frame_base(frame)
-        self._data[base : base + self.page_size] = bytes(self.page_size)
+        self._mv[base : base + self.page_size] = bytes(self.page_size)
 
     # ------------------------------------------------------------ internal
     def _check_range(self, paddr: int, nbytes: int) -> None:

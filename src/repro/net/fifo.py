@@ -25,6 +25,10 @@ class BoundedFifo(Generic[T]):
         self.capacity_bytes = capacity_bytes
         self.name = name
         self._items: Deque[T] = deque()
+        # Sizes are computed once at push and remembered (parallel deque),
+        # so pop never re-measures an item -- packets compute wire_bytes
+        # lazily and FIFO churn is on the per-packet hot path.
+        self._item_sizes: Deque[int] = deque()
         self.used_bytes = 0
         self.high_water = 0
         self.overruns = 0
@@ -50,15 +54,17 @@ class BoundedFifo(Generic[T]):
                 f"({self.used_bytes}/{self.capacity_bytes} used)"
             )
         self._items.append(item)
+        self._item_sizes.append(size)
         self.used_bytes += size
-        self.high_water = max(self.high_water, self.used_bytes)
+        if self.used_bytes > self.high_water:
+            self.high_water = self.used_bytes
 
     def pop(self) -> T:
         """Remove and return the head item."""
         if not self._items:
             raise NetworkError(f"{self.name}: pop from empty FIFO")
         item = self._items.popleft()
-        self.used_bytes -= self._size(item)
+        self.used_bytes -= self._item_sizes.popleft()
         return item
 
     def peek(self) -> Optional[T]:

@@ -7,19 +7,28 @@ delivery hands the encoded packet to the destination NIC's incoming FIFO.
 Link serialisation is the *sender's* job (the NIC owns its wire), so the
 backplane adds latency, not bandwidth limits.
 
-Packets are carried in encoded (wire) form and decoded -- checksum and
-all -- at the receiver, so corruption injected by tests is detected where
-real hardware would detect it.
+Packets are normally carried as :class:`~repro.net.packet.Packet` objects
+-- the zero-copy fast path, where the only per-byte work of a whole wire
+transit is the receive DMA's single copy into destination physical memory.
+When a fault injector is installed the packet is serialised to wire bytes
+first, corrupted, and decoded -- checksum and all -- at the receiver, so
+corruption injected by tests is detected where real hardware would detect
+it.  Raw wire bytes handed directly to :meth:`Interconnect.route` follow
+the same decode path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.errors import ConfigurationError, NetworkError
+from repro.net.packet import Packet
 from repro.params import CostModel
 from repro.sim.clock import Clock
 from repro.sim.trace import NULL_TRACER, Tracer
+
+#: what the backplane can carry: a packet object or encoded wire bytes
+Wire = Union[Packet, bytes]
 
 
 class Interconnect:
@@ -73,15 +82,23 @@ class Interconnect:
         dx, dy = dst_node % width, dst_node // width
         return max(1, abs(sx - dx) + abs(sy - dy))
 
-    def route(self, src_node: int, dst_node: int, wire: bytes) -> None:
-        """Inject an encoded packet; schedules delivery after routing delay."""
+    def route(self, src_node: int, dst_node: int, wire: Wire) -> None:
+        """Inject a packet (object or wire bytes); delivery after routing delay.
+
+        Packet objects ride the backplane as-is -- no serialisation, no
+        copy.  A configured fault injector forces the bytes path so it can
+        flip real wire bits.
+        """
         if dst_node not in self._nics:
             raise NetworkError(f"no node {dst_node} on the backplane")
         if self.fault_injector is not None:
+            if isinstance(wire, Packet):
+                wire = wire.encode()
             wire = self.fault_injector(wire)
+        nbytes = wire.wire_bytes if isinstance(wire, Packet) else len(wire)
         delay = self.hops(src_node, dst_node) * self.costs.hop_cycles
         self.packets_routed += 1
-        self.bytes_routed += len(wire)
+        self.bytes_routed += nbytes
         port = self._nics[dst_node]
         if self.tracer.enabled:
             self.tracer.emit(
@@ -90,7 +107,7 @@ class Interconnect:
                 "route",
                 src=src_node,
                 dst=dst_node,
-                bytes=len(wire),
+                bytes=nbytes,
                 delay=delay,
             )
         self.clock.schedule(delay, lambda: port.deliver(wire))
@@ -104,5 +121,5 @@ class Interconnect:
 class ReceiverPort:
     """Protocol-ish base for things the backplane can deliver to."""
 
-    def deliver(self, wire: bytes) -> None:  # pragma: no cover - interface
+    def deliver(self, wire: Wire) -> None:  # pragma: no cover - interface
         raise NotImplementedError

@@ -128,6 +128,11 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         model and schedule the wire as if transmission began one header
         time after the fill began -- so only a short wire tail (the FIFO
         flush) remains after the fill completes.
+
+        ``data`` is typically a borrowed :class:`memoryview` of the
+        sender's physical memory; ``bytes(data)`` below is the packetizer
+        snapshot -- the *one* send-side copy, after which the sender may
+        reuse its buffer while the packet is still in flight.
         """
         if self.clock is None or self.interconnect is None:
             raise ConfigurationError(f"{self.name} is not attached/connected")
@@ -187,19 +192,32 @@ class ShrimpNic(UDMADevice, ReceiverPort):
                 bytes=len(packet.payload),
                 seq=packet.seq,
             )
-        self.interconnect.route(self.node_id, packet.dst_node, packet.encode())
+        # Zero-copy transit: hand the packet object to the backplane; wire
+        # bytes are only materialised if a fault injector must see them.
+        self.interconnect.route(self.node_id, packet.dst_node, packet)
 
     # --------------------------------------------------------- receive path
-    def deliver(self, wire: bytes) -> None:
-        """Backplane delivery into the incoming FIFO (unpack + check)."""
+    def deliver(self, wire: "bytes | Packet") -> None:
+        """Backplane delivery into the incoming FIFO (unpack + check).
+
+        ``wire`` is either a :class:`Packet` object (the zero-copy fast
+        path -- structurally intact by construction, so the Checking block
+        has nothing to reject) or raw wire bytes (the fault-injection /
+        interop path, decoded and checksummed here).
+        """
         assert self.clock is not None
-        try:
-            packet = Packet.decode(wire)
-        except NetworkError:
-            self.rx_errors += 1
-            if self.tracer.enabled:
-                self.tracer.emit(self.clock.now, self.name, "rx-error", bytes=len(wire))
-            return
+        if isinstance(wire, Packet):
+            packet = wire
+        else:
+            try:
+                packet = Packet.decode(wire)
+            except NetworkError:
+                self.rx_errors += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.clock.now, self.name, "rx-error", bytes=len(wire)
+                    )
+                return
         if packet.dst_paddr + len(packet.payload) > self.physmem.size:
             # The EISA DMA logic refuses to scribble outside RAM.
             self.rx_errors += 1

@@ -8,11 +8,20 @@ network" (section 8).
 The wire format is modelled explicitly (header + payload + checksum) so
 the receive side's "Unpacking/Checking" block of Figure 6 has real work to
 do and tests can corrupt packets in flight.
+
+Host-side, serialisation is off the hot path: the backplane carries
+:class:`Packet` objects end-to-end and only materialises wire bytes when a
+fault injector needs to corrupt them (see
+:meth:`repro.net.interconnect.Interconnect.route`).  When bytes *are*
+needed, :meth:`Packet.encode_into` serialises into a caller-provided
+buffer and the checksum runs over whole little-endian words via a
+``memoryview`` cast instead of a per-word Python loop.
 """
 
 from __future__ import annotations
 
 import struct
+import sys
 from dataclasses import dataclass
 
 from repro.errors import NetworkError
@@ -21,18 +30,38 @@ from repro.errors import NetworkError
 _HEADER = struct.Struct("<IHHQII")
 _MAGIC = 0x53485250  # "SHRP"
 
+_LITTLE_ENDIAN_HOST = sys.byteorder == "little"
 
-def _checksum(payload: bytes) -> int:
-    """A cheap 32-bit additive checksum (hardware-plausible)."""
-    total = 0
-    for i in range(0, len(payload), 4):
-        total = (total + int.from_bytes(payload[i : i + 4], "little")) & 0xFFFFFFFF
+
+def _checksum(payload: "bytes | bytearray | memoryview") -> int:
+    """A cheap 32-bit additive checksum over little-endian words.
+
+    The trailing partial word (if any) is zero-padded, matching hardware
+    that clocks the last burst with the lanes deasserted.
+    """
+    mv = memoryview(payload)
+    nbytes = len(mv)
+    full = nbytes & ~3
+    if full and _LITTLE_ENDIAN_HOST:
+        # One C-level pass over the word lanes.
+        total = sum(mv[:full].cast("I")) & 0xFFFFFFFF
+    else:
+        total = 0
+        for i in range(0, full, 4):
+            total = (total + int.from_bytes(mv[i : i + 4], "little")) & 0xFFFFFFFF
+    if nbytes > full:
+        total = (total + int.from_bytes(mv[full:], "little")) & 0xFFFFFFFF
     return total
 
 
 @dataclass(frozen=True)
 class Packet:
-    """One deliberate-update packet."""
+    """One deliberate-update packet.
+
+    The payload is a private snapshot taken when the packet is built (the
+    packetizer's copy out of the outgoing FIFO); a packet in flight is
+    therefore immune to the sender reusing its buffer.
+    """
 
     src_node: int
     dst_node: int
@@ -48,9 +77,15 @@ class Packet:
         return self.HEADER_BYTES + len(self.payload)
 
     # ------------------------------------------------------------ encoding
-    def encode(self) -> bytes:
-        """Serialise to the wire format."""
-        header = _HEADER.pack(
+    def encode_into(self, buf: "bytearray | memoryview", offset: int = 0) -> int:
+        """Serialise into ``buf`` at ``offset``; returns bytes written.
+
+        ``buf`` must have at least :attr:`wire_bytes` writable bytes at
+        ``offset``.  The payload is copied exactly once.
+        """
+        _HEADER.pack_into(
+            buf,
+            offset,
             _MAGIC,
             self.src_node,
             self.dst_node,
@@ -58,27 +93,40 @@ class Packet:
             len(self.payload),
             self.seq,
         )
-        return header + self.payload + _checksum(self.payload).to_bytes(4, "little")
+        start = offset + _HEADER.size
+        end = start + len(self.payload)
+        buf[start:end] = self.payload
+        buf[end : end + 4] = _checksum(self.payload).to_bytes(4, "little")
+        return end + 4 - offset
+
+    def encode(self) -> bytes:
+        """Serialise to the wire format."""
+        out = bytearray(self.wire_bytes)
+        self.encode_into(out)
+        return bytes(out)
 
     @classmethod
-    def decode(cls, wire: bytes) -> "Packet":
+    def decode(cls, wire: "bytes | bytearray | memoryview") -> "Packet":
         """Parse and verify a wire-format packet.
 
         Raises :class:`NetworkError` on a bad magic, a truncated packet,
         or a checksum mismatch -- the receive-side "Checking" block.
+        Accepts any buffer-protocol object; the payload is snapshotted
+        (one copy), so the caller's buffer is not retained.
         """
-        if len(wire) < _HEADER.size + 4:
-            raise NetworkError(f"runt packet of {len(wire)} bytes")
-        magic, src, dst, paddr, length, seq = _HEADER.unpack_from(wire)
+        mv = memoryview(wire)
+        if len(mv) < _HEADER.size + 4:
+            raise NetworkError(f"runt packet of {len(mv)} bytes")
+        magic, src, dst, paddr, length, seq = _HEADER.unpack_from(mv)
         if magic != _MAGIC:
             raise NetworkError(f"bad packet magic {magic:#x}")
         expected = _HEADER.size + length + 4
-        if len(wire) != expected:
+        if len(mv) != expected:
             raise NetworkError(
-                f"packet length mismatch: header says {expected}, got {len(wire)}"
+                f"packet length mismatch: header says {expected}, got {len(mv)}"
             )
-        payload = wire[_HEADER.size : _HEADER.size + length]
-        check = int.from_bytes(wire[-4:], "little")
+        payload = mv[_HEADER.size : _HEADER.size + length]
+        check = int.from_bytes(mv[-4:], "little")
         if check != _checksum(payload):
             raise NetworkError("packet checksum mismatch")
         return cls(src, dst, paddr, bytes(payload), seq)

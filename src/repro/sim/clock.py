@@ -9,6 +9,12 @@ clock advances past an event's due time, the event fires.
 Time is kept in integer cycles.  Fractional byte/cycle rates are rounded up
 when converted to durations, which models the bus clocking the last partial
 burst.
+
+The queue is allocation- and scan-free on the hot path: a live-event
+counter makes :meth:`Clock.pending` O(1), cancellation drops the callback
+reference immediately (so closed-over buffers are reclaimable before the
+tombstone is popped), and the heap compacts itself when tombstones
+outnumber live events.
 """
 
 from __future__ import annotations
@@ -17,7 +23,11 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
+
+#: Compaction fires when ``len(queue) > 2 * live + COMPACT_SLACK``: the
+#: slack keeps tiny queues from compacting on every cancel.
+COMPACT_SLACK = 64
 
 
 @dataclass(order=True)
@@ -26,12 +36,25 @@ class Event:
 
     time: int
     seq: int
-    callback: Callable[[], None] = field(compare=False)
+    callback: Optional[Callable[[], None]] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _clock: Optional["Clock"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays in the queue, inert)."""
+        """Prevent the event from firing.
+
+        The tombstone stays in the queue until popped or compacted, but
+        the callback reference (and anything it closes over -- staging
+        buffers, endpoints) is released *now*, so a cancelled transfer
+        does not pin its buffers until the due time passes.  Cancelling
+        an already-fired or already-cancelled event is a no-op.
+        """
+        if self.cancelled or self.callback is None:
+            return
         self.cancelled = True
+        self.callback = None
+        if self._clock is not None:
+            self._clock._on_cancel()
 
 
 class Clock:
@@ -45,7 +68,10 @@ class Clock:
         self._now = 0
         self._queue: List[Event] = []
         self._seq = itertools.count()
-        self._firing = False
+        self._live = 0  # exact count of scheduled-but-unfired, uncancelled
+        #: total events fired over the clock's lifetime (host-perf metric;
+        #: the bench harness reports events/second against it)
+        self.events_fired = 0
 
     # ------------------------------------------------------------- reading
     @property
@@ -54,15 +80,17 @@ class Clock:
         return self._now
 
     def pending(self) -> int:
-        """Number of live (uncancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (uncancelled) events still queued.  O(1)."""
+        return self._live
 
     def next_event_time(self) -> Optional[int]:
         """Due time of the earliest live event, or None if the queue is idle."""
-        self._drop_cancelled_head()
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        if not queue:
             return None
-        return self._queue[0].time
+        return queue[0].time
 
     # ---------------------------------------------------------- scheduling
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
@@ -73,8 +101,9 @@ class Clock:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule an event {delay} cycles in the past")
-        event = Event(self._now + delay, next(self._seq), callback)
+        event = Event(self._now + delay, next(self._seq), callback, False, self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
@@ -91,7 +120,8 @@ class Clock:
         if cycles < 0:
             raise ValueError(f"cannot advance time by {cycles} cycles")
         target = self._now + cycles
-        self._fire_until(target)
+        if self._live:
+            self._fire_until(target)
         self._now = target
 
     def run(self, until: Optional[int] = None) -> None:
@@ -101,17 +131,17 @@ class Clock:
         simulation should coast forward on device activity alone.
         """
         limit = math.inf if until is None else until
-        while True:
-            self._drop_cancelled_head()
-            if not self._queue:
-                break
-            head = self._queue[0]
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            head = queue[0]
+            if head.cancelled:
+                pop(queue)
+                continue
             if head.time > limit:
                 break
-            heapq.heappop(self._queue)
-            if head.time > self._now:
-                self._now = head.time
-            head.callback()
+            pop(queue)
+            self._fire(head)
         if until is not None and until > self._now:
             self._now = until
 
@@ -121,15 +151,14 @@ class Clock:
         ``max_events`` guards against a component that reschedules itself
         forever.
         """
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while True:
-            self._drop_cancelled_head()
-            if not self._queue:
-                return
-            head = heapq.heappop(self._queue)
-            if head.time > self._now:
-                self._now = head.time
-            head.callback()
+        while queue:
+            head = pop(queue)
+            if head.cancelled:
+                continue
+            self._fire(head)
             fired += 1
             if fired > max_events:
                 raise RuntimeError(
@@ -138,25 +167,50 @@ class Clock:
                 )
 
     # ------------------------------------------------------------ internal
-    def _fire_until(self, target: int) -> None:
-        while True:
-            self._drop_cancelled_head()
-            if not self._queue or self._queue[0].time > target:
-                return
-            head = heapq.heappop(self._queue)
-            if head.time > self._now:
-                self._now = head.time
-            head.callback()
+    def _fire(self, event: Event) -> None:
+        """Fire one popped, live event (advancing time to its due cycle)."""
+        callback = event.callback
+        event.callback = None  # mark fired; a later cancel() is a no-op
+        self._live -= 1
+        self.events_fired += 1
+        if event.time > self._now:
+            self._now = event.time
+        assert callback is not None
+        callback()
 
-    def _drop_cancelled_head(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+    def _fire_until(self, target: int) -> None:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            head = queue[0]
+            if head.cancelled:
+                pop(queue)
+                continue
+            if head.time > target:
+                return
+            pop(queue)
+            self._fire(head)
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
+        if len(self._queue) > 2 * self._live + COMPACT_SLACK:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones.
+
+        In place (``[:]``) so iterators holding the list object -- the
+        localised hot loops above -- stay valid if a callback's cancel
+        triggers compaction mid-drain.
+        """
+        self._queue[:] = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
 
 
 def transfer_cycles(nbytes: int, bytes_per_cycle: float) -> int:
     """Cycles to move ``nbytes`` at ``bytes_per_cycle``, rounded up.
 
-    The round-up models the bus clocking out the final partial burst.
+    The round-up models the bus clocking the last partial burst.
     Zero-byte transfers take zero cycles.
     """
     if nbytes < 0:

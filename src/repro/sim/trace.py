@@ -40,22 +40,37 @@ class Tracer:
 
     With ``record=False`` and no subscribers, :meth:`emit` is a cheap no-op
     apart from building the call; the hot paths therefore guard emission
-    with :attr:`enabled`.
+    with :attr:`enabled`.  ``enabled`` is a plain precomputed attribute
+    (not a property) so those guards cost one attribute load on the
+    simulator's hottest paths; it is kept in sync by the ``record`` setter
+    and :meth:`subscribe`.
     """
 
     def __init__(self, record: bool = False) -> None:
-        self.record = record
         self.events: List[TraceEvent] = []
         self._subscribers: List[Callable[[TraceEvent], None]] = []
+        self._record = record
+        #: True when emitting would have any observable effect (read-only;
+        #: derived from ``record`` and the subscriber list)
+        self.enabled = record
 
     @property
-    def enabled(self) -> bool:
-        """True when emitting would have any observable effect."""
-        return self.record or bool(self._subscribers)
+    def record(self) -> bool:
+        """Whether emitted events are kept in :attr:`events`."""
+        return self._record
+
+    @record.setter
+    def record(self, value: bool) -> None:
+        self._record = value
+        self._refresh_enabled()
 
     def subscribe(self, handler: Callable[[TraceEvent], None]) -> None:
         """Add a live handler invoked for every emitted event."""
         self._subscribers.append(handler)
+        self._refresh_enabled()
+
+    def _refresh_enabled(self) -> None:
+        self.enabled = self._record or bool(self._subscribers)
 
     def emit(self, time: int, source: str, kind: str, **detail: Any) -> None:
         """Record and dispatch one event (no-op when disabled)."""

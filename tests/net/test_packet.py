@@ -50,6 +50,43 @@ class TestChecking:
             Packet.decode(wire + b"extra")
 
 
+class TestEncodeInto:
+    def test_encode_into_matches_encode(self):
+        packet = Packet(0, 1, 0x8000, b"hello world", seq=9)
+        buf = bytearray(packet.wire_bytes)
+        written = packet.encode_into(buf)
+        assert written == packet.wire_bytes
+        assert bytes(buf) == packet.encode()
+
+    def test_encode_into_at_offset(self):
+        packet = Packet(1, 0, 0x40, b"payload")
+        buf = bytearray(b"\xaa" * 8 + b"\x00" * packet.wire_bytes + b"\xbb" * 4)
+        written = packet.encode_into(buf, offset=8)
+        assert written == packet.wire_bytes
+        assert buf[:8] == b"\xaa" * 8  # prefix untouched
+        assert buf[-4:] == b"\xbb" * 4  # suffix untouched
+        assert Packet.decode(bytes(buf[8:8 + written])) == packet
+
+    def test_encode_into_memoryview_target(self):
+        packet = Packet(0, 2, 0, b"via view")
+        buf = bytearray(packet.wire_bytes)
+        packet.encode_into(memoryview(buf))
+        assert Packet.decode(bytes(buf)) == packet
+
+    def test_decode_accepts_any_buffer(self):
+        packet = Packet(3, 4, 0x1000, b"buffer protocol")
+        wire = packet.encode()
+        assert Packet.decode(bytearray(wire)) == packet
+        assert Packet.decode(memoryview(bytearray(wire))) == packet
+
+    def test_decoded_payload_is_a_private_snapshot(self):
+        """Decoding from a mutable buffer must not alias it."""
+        wire = bytearray(Packet(0, 1, 0, b"immutable?").encode())
+        packet = Packet.decode(memoryview(wire))
+        wire[Packet.HEADER_BYTES] ^= 0xFF
+        assert packet.payload == b"immutable?"
+
+
 @given(
     src=st.integers(min_value=0, max_value=0xFFFF),
     dst=st.integers(min_value=0, max_value=0xFFFF),

@@ -158,6 +158,65 @@ class TestRun:
             clock.run_until_idle(max_events=100)
 
 
+class TestEventHousekeeping:
+    def test_cancel_releases_callback_reference(self):
+        """Cancel must null the callback so its closure can be collected."""
+        clock = Clock()
+        event = clock.schedule(10, lambda: None)
+        event.cancel()
+        assert event.callback is None
+
+    def test_double_cancel_is_idempotent(self):
+        clock = Clock()
+        e1 = clock.schedule(10, lambda: None)
+        clock.schedule(20, lambda: None)
+        e1.cancel()
+        e1.cancel()
+        assert clock.pending() == 1
+
+    def test_events_fired_counts_only_fired_events(self):
+        clock = Clock()
+        clock.schedule(10, lambda: None)
+        clock.schedule(20, lambda: None)
+        clock.schedule(30, lambda: None).cancel()
+        clock.run_until_idle()
+        assert clock.events_fired == 2
+
+    def test_heavy_cancellation_compacts_the_heap(self):
+        """Tombstones must not accumulate past ~2x the live population."""
+        clock = Clock()
+        keep = clock.schedule(1_000_000, lambda: None)
+        events = [clock.schedule(100 + i, lambda: None) for i in range(5000)]
+        for event in events:
+            event.cancel()
+        assert clock.pending() == 1
+        assert len(clock._queue) <= 2 * clock.pending() + 64 + 1
+        clock.run_until_idle()
+        assert clock.now == 1_000_000
+        assert keep.callback is None  # fired
+
+    def test_compaction_preserves_order_and_content(self):
+        clock = Clock()
+        fired = []
+        live = [clock.schedule(10 * (i + 1), lambda i=i: fired.append(i))
+                for i in range(10)]
+        doomed = [clock.schedule(5, lambda: fired.append("doomed"))
+                  for _ in range(2000)]
+        for event in doomed:
+            event.cancel()
+        live[3].cancel()
+        clock.run_until_idle()
+        assert fired == [i for i in range(10) if i != 3]
+
+    def test_pending_is_exact_through_fire_and_cancel(self):
+        clock = Clock()
+        events = [clock.schedule(10 + i, lambda: None) for i in range(6)]
+        events[0].cancel()
+        events[5].cancel()
+        clock.advance(12)  # fires events at 10(cancelled skip), 11, 12
+        assert clock.pending() == 2
+
+
 class TestTransferCycles:
     def test_exact_division(self):
         assert transfer_cycles(100, 0.5) == 200

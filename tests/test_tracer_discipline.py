@@ -1,0 +1,97 @@
+"""Tracer-discipline lint: every hot-path ``tracer.emit(...)`` is guarded.
+
+Tracing must be near-zero-cost when off.  ``Tracer.emit`` returns early
+when disabled, but *building the call* (formatting addresses, assembling
+keyword dicts) is not free, so the convention is that every call site in
+``src/repro/`` guards emission with ``if <tracer>.enabled:`` (or lives in
+an always-cheap context).  This test walks the AST of every source module
+and fails with the offending file:line if an unguarded emit sneaks in.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: modules allowed to call ``emit`` unguarded: the tracer itself (it *is*
+#: the guarded helper -- emit() checks ``enabled`` first thing)
+EXEMPT = {SRC_ROOT / "sim" / "trace.py"}
+
+
+def _expr_mentions_enabled(node: ast.AST) -> bool:
+    """True if the expression reads an ``.enabled`` attribute."""
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+        for sub in ast.walk(node)
+    )
+
+
+def _is_tracer_emit(call: ast.Call) -> bool:
+    """``<something>.emit(...)`` where <something> looks like a tracer."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+        return False
+    target = func.value
+    # tracer.emit(...), self.tracer.emit(...), self._tracer.emit(...)
+    if isinstance(target, ast.Name):
+        return "tracer" in target.id.lower()
+    if isinstance(target, ast.Attribute):
+        return "tracer" in target.attr.lower()
+    return False
+
+
+def _unguarded_emits(path: Path) -> list:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    # Attach parent links so each call can look up its enclosing guards.
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._parent = parent  # type: ignore[attr-defined]
+    offenders = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _is_tracer_emit(node)):
+            continue
+        guarded = False
+        cursor = node
+        while hasattr(cursor, "_parent"):
+            cursor = cursor._parent  # type: ignore[attr-defined]
+            if isinstance(cursor, ast.If) and _expr_mentions_enabled(cursor.test):
+                guarded = True
+                break
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break  # a guard outside the function doesn't cover the call
+        if not guarded:
+            try:
+                shown = path.relative_to(SRC_ROOT.parent)
+            except ValueError:
+                shown = path
+            offenders.append(f"{shown}:{node.lineno}")
+    return offenders
+
+
+def test_every_tracer_emit_is_guarded():
+    assert SRC_ROOT.is_dir(), SRC_ROOT
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path in EXEMPT:
+            continue
+        offenders.extend(_unguarded_emits(path))
+    assert not offenders, (
+        "tracer.emit() call sites missing an `if ....enabled:` guard "
+        "(tracing must stay near-zero-cost when off):\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_lint_actually_detects_unguarded_emits(tmp_path):
+    """The lint is live: an unguarded emit in a scratch module is caught."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(self):\n"
+        "    self.tracer.emit(0, 'x', 'y')\n"
+        "    if self.tracer.enabled:\n"
+        "        self.tracer.emit(1, 'x', 'z')\n"
+    )
+    offenders = _unguarded_emits(bad)
+    assert len(offenders) == 1 and offenders[0].endswith(":2")
