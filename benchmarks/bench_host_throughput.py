@@ -7,14 +7,22 @@ fired per second.  It is the instrument behind ``run_bench.py`` and the
 committed ``BENCH_core.json`` trajectory file that future PRs regress
 against (see ``docs/PERFORMANCE.md``).
 
-Three scenarios cover the hot paths the zero-copy data plane optimises:
+Four scenarios cover the hot paths the zero-copy data plane and the
+translation fast path optimise:
 
 * ``udma_send`` -- the single-node UDMA send path (initiate, DMA fill,
   completion polling) into a sink device;
 * ``cluster_pingpong`` -- the 2-node deliberate-update round trip: UDMA
   fill, packetise, wire, route, receive-DMA into remote physical memory;
 * ``stepping_dma`` -- the word-stepping engine, where per-burst events
-  dominate and event-queue overhead is the bottleneck.
+  dominate and event-queue overhead is the bottleneck;
+* ``translate_storm`` -- a multi-page working set hammered with word
+  loads and page-run buffer I/O, with periodic context switches to force
+  translation-cache refills (the CPU's software-TLB worst case).
+
+CPU-bound scenarios also report the translation fast path's hit rate
+(``xlat%``), so a change that silently degrades the cache shows up even
+when raw MB/s noise hides it.
 
 The scenarios hold *simulated* behaviour fixed (same cycle counts before
 and after any host-side optimisation) so MB/s numbers are comparable
@@ -44,6 +52,8 @@ class HostResult:
     messages: int
     host_seconds: float
     events_fired: int
+    xlat_hits: int = 0
+    xlat_misses: int = 0
 
     @property
     def mb_per_s(self) -> float:
@@ -59,6 +69,12 @@ class HostResult:
     def messages_per_s(self) -> float:
         return self.messages / self.host_seconds if self.host_seconds else 0.0
 
+    @property
+    def xlat_hit_rate(self) -> float:
+        """Translation fast-path hit rate over the timed window (0..1)."""
+        total = self.xlat_hits + self.xlat_misses
+        return self.xlat_hits / total if total else 0.0
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "sim_bytes": self.sim_bytes,
@@ -69,12 +85,26 @@ class HostResult:
             "mb_per_s": round(self.mb_per_s, 3),
             "events_per_s": round(self.events_per_s, 1),
             "messages_per_s": round(self.messages_per_s, 1),
+            "xlat_hits": self.xlat_hits,
+            "xlat_misses": self.xlat_misses,
+            "xlat_hit_rate": round(self.xlat_hit_rate, 4),
         }
 
 
 def _events_fired(clock) -> int:
     """Events fired so far (0 on clocks without the counter)."""
     return getattr(clock, "events_fired", 0)
+
+
+def _xlat_counters(*cpus) -> "tuple[int, int]":
+    """Summed (hits, misses) of the CPUs' translation fast path.
+
+    Zero on trees whose CPU predates the cache, so the harness stays
+    runnable for before/after comparison.
+    """
+    hits = sum(getattr(cpu, "xlat_hits", 0) for cpu in cpus)
+    misses = sum(getattr(cpu, "xlat_misses", 0) for cpu in cpus)
+    return hits, misses
 
 
 # ------------------------------------------------------------- scenarios
@@ -97,11 +127,13 @@ def bench_udma_send(messages: int = 400, msg_bytes: int = 4096) -> HostResult:
 
     start_cycles = machine.now
     start_events = _events_fired(machine.clock)
+    hits0, misses0 = _xlat_counters(machine.cpu)
     t0 = time.perf_counter()
     for _ in range(messages):
         udma.transfer(MemoryRef(buf), DeviceRef(grant), msg_bytes)
         machine.run_until_idle()
     elapsed = time.perf_counter() - t0
+    hits1, misses1 = _xlat_counters(machine.cpu)
     return HostResult(
         scenario="udma_send",
         sim_bytes=messages * msg_bytes,
@@ -109,6 +141,8 @@ def bench_udma_send(messages: int = 400, msg_bytes: int = 4096) -> HostResult:
         messages=messages,
         host_seconds=elapsed,
         events_fired=_events_fired(machine.clock) - start_events,
+        xlat_hits=hits1 - hits0,
+        xlat_misses=misses1 - misses0,
     )
 
 
@@ -136,8 +170,10 @@ def bench_cluster_pingpong(rounds: int = 200, msg_bytes: int = 4096) -> HostResu
         sender.machine.cpu.write_bytes(sender.buffer, make_payload(msg_bytes))
     cluster.run_until_idle()
 
+    cpus = [cluster.node(i).cpu for i in range(2)]
     start_cycles = cluster.now
     start_events = _events_fired(cluster.clock)
+    hits0, misses0 = _xlat_counters(*cpus)
     t0 = time.perf_counter()
     for _ in range(rounds):
         senders[0].send_buffer(msg_bytes)
@@ -145,6 +181,7 @@ def bench_cluster_pingpong(rounds: int = 200, msg_bytes: int = 4096) -> HostResu
         senders[1].send_buffer(msg_bytes)
         cluster.run_until_idle()
     elapsed = time.perf_counter() - t0
+    hits1, misses1 = _xlat_counters(*cpus)
     return HostResult(
         scenario="cluster_pingpong",
         sim_bytes=2 * rounds * msg_bytes,
@@ -152,6 +189,8 @@ def bench_cluster_pingpong(rounds: int = 200, msg_bytes: int = 4096) -> HostResu
         messages=2 * rounds,
         host_seconds=elapsed,
         events_fired=_events_fired(cluster.clock) - start_events,
+        xlat_hits=hits1 - hits0,
+        xlat_misses=misses1 - misses0,
     )
 
 
@@ -207,6 +246,56 @@ def bench_stepping_dma(
     )
 
 
+def bench_translate_storm(iterations: int = 120, pages: int = 64) -> HostResult:
+    """Translation-heavy CPU work: the software-TLB's stress case.
+
+    Each iteration walks a ``pages``-page working set with one word LOAD
+    per page (pure translation traffic), then streams the whole buffer
+    through ``read_into`` and ``write_bytes`` (one translation per page
+    run).  Every eighth iteration context-switches away and back, which
+    bumps the TLB generation and forces the CPU's translation cache to
+    re-validate via full MMU walks -- so the measured hit rate reflects
+    shootdown-correct caching, not an unrealistic 100%.
+    """
+    machine = Machine(mem_size=1 << 22)
+    page_size = machine.costs.page_size
+    nbytes = pages * page_size
+    storm = machine.create_process("storm")
+    other = machine.create_process("other")
+    scheduler = machine.kernel.scheduler
+    scheduler.switch_to(storm)
+    buf = machine.kernel.syscalls.alloc(storm, nbytes)
+    cpu = machine.cpu
+    cpu.write_bytes(buf, make_payload(nbytes))
+    machine.run_until_idle()
+
+    scratch = bytearray(nbytes)
+    start_cycles = machine.now
+    start_events = _events_fired(machine.clock)
+    hits0, misses0 = _xlat_counters(cpu)
+    t0 = time.perf_counter()
+    for i in range(iterations):
+        for offset in range(0, nbytes, page_size):
+            cpu.load(buf + offset)
+        cpu.read_into(buf, scratch)
+        cpu.write_bytes(buf, scratch)
+        if i % 8 == 7:
+            scheduler.switch_to(other)
+            scheduler.switch_to(storm)
+    elapsed = time.perf_counter() - t0
+    hits1, misses1 = _xlat_counters(cpu)
+    return HostResult(
+        scenario="translate_storm",
+        sim_bytes=iterations * 2 * nbytes,
+        sim_cycles=machine.now - start_cycles,
+        messages=iterations,
+        host_seconds=elapsed,
+        events_fired=_events_fired(machine.clock) - start_events,
+        xlat_hits=hits1 - hits0,
+        xlat_misses=misses1 - misses0,
+    )
+
+
 # --------------------------------------------------------------- running
 #: scenario name -> (full kwargs, quick kwargs)
 SCENARIOS: Dict[str, "ScenarioSpec"] = {}
@@ -233,6 +322,8 @@ _register("cluster_pingpong", bench_cluster_pingpong,
           {"rounds": 200}, {"rounds": 100})
 _register("stepping_dma", bench_stepping_dma,
           {"transfers": 40}, {"transfers": 15})
+_register("translate_storm", bench_translate_storm,
+          {"iterations": 120}, {"iterations": 40})
 
 
 def run_all(quick: bool = False, repeats: int = 3) -> Dict[str, HostResult]:
@@ -257,12 +348,16 @@ def run_all(quick: bool = False, repeats: int = 3) -> Dict[str, HostResult]:
 def format_results(results: Dict[str, HostResult]) -> str:
     lines = [
         f"{'scenario':<18} {'MB/s (host)':>12} {'events/s':>12} "
-        f"{'msgs/s':>10} {'host s':>8}"
+        f"{'msgs/s':>10} {'host s':>8} {'xlat%':>7}"
     ]
     for name, r in results.items():
+        if r.xlat_hits or r.xlat_misses:
+            xlat = f"{100.0 * r.xlat_hit_rate:>6.1f}%"
+        else:
+            xlat = f"{'-':>7}"  # scenario exercises no CPU translation
         lines.append(
             f"{name:<18} {r.mb_per_s:>12.2f} {r.events_per_s:>12.0f} "
-            f"{r.messages_per_s:>10.1f} {r.host_seconds:>8.3f}"
+            f"{r.messages_per_s:>10.1f} {r.host_seconds:>8.3f} {xlat}"
         )
     return "\n".join(lines)
 

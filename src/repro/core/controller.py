@@ -63,12 +63,22 @@ class UdmaController:
         self._transfer_start_time = 0
         self._transfer_duration = 0
         self._transfer_count = 0
+        # Proxy-address decode cache: region boundaries are fixed at
+        # construction (device windows are carved inside the device-proxy
+        # region), so paddr -> ProxyOperand is a pure function.  Polling
+        # reuses a handful of addresses thousands of times.
+        self._operand_cache: Dict[int, ProxyOperand] = {}
+        self._inval_operand: Optional[ProxyOperand] = None
+        # Device-window decode cache, invalidated when a device attaches
+        # (attach_device is the only way the window list grows).
+        self._window_cache: Dict[int, "tuple[UDMADevice, int]"] = {}
 
     # ------------------------------------------------------------- devices
     def attach_device(self, device: UDMADevice) -> DeviceWindow:
         """Register a device, reserving its device-proxy window."""
         window = self.layout.register_device(device.name, device.proxy_size)
         self._devices[device.name] = device
+        self._window_cache.clear()
         device.attach(self.clock, self.tracer)
         return window
 
@@ -121,7 +131,11 @@ class UdmaController:
         storing a negative nbytes value to any valid proxy address)"
         (section 6).  The kernel charges the store's cost itself.
         """
-        operand = ProxyOperand(self.layout.proxy(0), SpaceKind.MEMORY)
+        operand = self._inval_operand
+        if operand is None:
+            operand = self._inval_operand = ProxyOperand(
+                self.layout.proxy(0), SpaceKind.MEMORY
+            )
         self.sm.store(operand, -1)
         if self.tracer.enabled:
             self.tracer.emit(
@@ -167,13 +181,23 @@ class UdmaController:
         return self.sm.state is UdmaState.TRANSFERRING
 
     # ------------------------------------------------------------ internal
+    _OPERAND_CACHE_CAPACITY = 1 << 16
+
     def _decode(self, paddr: int) -> ProxyOperand:
+        operand = self._operand_cache.get(paddr)
+        if operand is not None:
+            return operand
         region = self.layout.region_of(paddr)
         if region is Region.MEMORY_PROXY:
-            return ProxyOperand(paddr, SpaceKind.MEMORY)
-        if region is Region.DEVICE_PROXY:
-            return ProxyOperand(paddr, SpaceKind.DEVICE)
-        raise AddressError(paddr, f"{self.name} was handed a non-proxy address")
+            operand = ProxyOperand(paddr, SpaceKind.MEMORY)
+        elif region is Region.DEVICE_PROXY:
+            operand = ProxyOperand(paddr, SpaceKind.DEVICE)
+        else:
+            raise AddressError(paddr, f"{self.name} was handed a non-proxy address")
+        if len(self._operand_cache) >= self._OPERAND_CACHE_CAPACITY:
+            self._operand_cache.clear()
+        self._operand_cache[paddr] = operand
+        return operand
 
     def _prospective_device_errors(self, source_operand: ProxyOperand) -> int:
         """Device error bits for the transfer a Load would start, if any."""
@@ -212,8 +236,14 @@ class UdmaController:
         return DeviceEndpoint(device, offset)
 
     def _device_at(self, proxy_addr: int) -> "tuple[UDMADevice, int]":
+        hit = self._window_cache.get(proxy_addr)
+        if hit is not None:
+            return hit
         window = self.layout.window_of(proxy_addr)
-        return self._devices[window.name], proxy_addr - window.base
+        result = (self._devices[window.name], proxy_addr - window.base)
+        if len(self._window_cache) < self._OPERAND_CACHE_CAPACITY:
+            self._window_cache[proxy_addr] = result
+        return result
 
     def _transfer_done(self) -> None:
         self.sm.transfer_done()

@@ -73,9 +73,13 @@ class StartDirective:
     count: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class LoadResult:
-    """Outcome of a Load event: a status word, maybe a transfer to start."""
+    """Outcome of a Load event: a status word, maybe a transfer to start.
+
+    A plain (slotted, non-frozen) dataclass: one is built per proxy LOAD,
+    so construction cost is on the polling hot path.
+    """
 
     status: UdmaStatus
     start: Optional[StartDirective]
@@ -120,6 +124,10 @@ class UdmaStateMachine:
         self.bad_loads = 0
         self.initiations = 0
         self.completions = 0
+        # Interned status words: UdmaStatus is frozen, so identical field
+        # combinations can share one instance (and its memoised encoding).
+        # A polling loop sees the same handful of combinations per page.
+        self._status_cache: "dict[tuple, UdmaStatus]" = {}
 
     # -------------------------------------------------------------- events
     def store(self, operand: ProxyOperand, value: int) -> UdmaEvent:
@@ -166,7 +174,7 @@ class UdmaStateMachine:
                 self._clear_latch()
                 self.state = UdmaState.IDLE
                 return LoadResult(
-                    status=UdmaStatus(
+                    status=self._intern_status(
                         initiation=True,
                         invalid=True,  # now in Idle
                         wrong_space=True,
@@ -179,7 +187,7 @@ class UdmaStateMachine:
                 self._clear_latch()
                 self.state = UdmaState.IDLE
                 return LoadResult(
-                    status=UdmaStatus(
+                    status=self._intern_status(
                         initiation=True,
                         invalid=True,
                         device_errors=device_errors,
@@ -200,7 +208,7 @@ class UdmaStateMachine:
             self.state = UdmaState.TRANSFERRING
             self.initiations += 1
             return LoadResult(
-                status=UdmaStatus(
+                status=self._intern_status(
                     initiation=False,  # zero flag == started
                     transferring=True,
                     remaining_bytes=self._remaining(),
@@ -259,13 +267,42 @@ class UdmaStateMachine:
             and self.source is not None
             and operand.proxy_addr == self.source.proxy_addr
         )
-        return UdmaStatus(
+        return self._intern_status(
             initiation=True,
             transferring=transferring,
             invalid=self.state is UdmaState.IDLE,
             match=match,
             remaining_bytes=self._remaining(),
         )
+
+    _STATUS_CACHE_CAPACITY = 1 << 13
+
+    def _intern_status(
+        self,
+        initiation: bool = True,
+        transferring: bool = False,
+        invalid: bool = False,
+        match: bool = False,
+        wrong_space: bool = False,
+        remaining_bytes: int = 0,
+        device_errors: int = 0,
+    ) -> UdmaStatus:
+        key = (
+            initiation,
+            transferring,
+            invalid,
+            match,
+            wrong_space,
+            remaining_bytes,
+            device_errors,
+        )
+        status = self._status_cache.get(key)
+        if status is None:
+            status = UdmaStatus(*key)
+            if len(self._status_cache) >= self._STATUS_CACHE_CAPACITY:
+                self._status_cache.clear()
+            self._status_cache[key] = status
+        return status
 
     def _remaining(self) -> int:
         if self.state is UdmaState.DEST_LOADED:

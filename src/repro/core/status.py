@@ -32,6 +32,11 @@ _MATCH_BIT = 1 << 3
 _WRONG_SPACE_BIT = 1 << 4
 _FLAG_BITS = 5
 
+#: memoised decode results; bounded so adversarial word streams (fuzz
+#: tests sweeping the whole 32-bit space) cannot grow it without limit
+_DECODE_CACHE: "dict[tuple[int, int], UdmaStatus]" = {}
+_DECODE_CACHE_CAPACITY = 1 << 14
+
 
 def remaining_field_bits(page_size: int) -> int:
     """Width of the REMAINING-BYTES field ("variable size, based on page size").
@@ -84,7 +89,15 @@ class UdmaStatus:
 
     # ------------------------------------------------------------ encoding
     def encode(self, page_size: int = DEFAULT_PAGE_SIZE) -> int:
-        """Pack into the integer the hardware actually returns."""
+        """Pack into the integer the hardware actually returns.
+
+        The word is memoised on the (frozen, hence immutable) instance:
+        the state machine interns its status snapshots, so a polling loop
+        re-encodes the same object every load.
+        """
+        memo = self.__dict__.get("_encoded")
+        if memo is not None and memo[0] == page_size:
+            return memo[1]
         rem_bits = remaining_field_bits(page_size)
         if not 0 <= self.remaining_bytes <= page_size:
             raise ValueError(
@@ -106,15 +119,25 @@ class UdmaStatus:
             word |= _WRONG_SPACE_BIT
         word |= self.remaining_bytes << _FLAG_BITS
         word |= self.device_errors << (_FLAG_BITS + rem_bits)
+        object.__setattr__(self, "_encoded", (page_size, word))
         return word
 
     @classmethod
     def decode(cls, word: int, page_size: int = DEFAULT_PAGE_SIZE) -> "UdmaStatus":
-        """Unpack a status integer (inverse of :meth:`encode`)."""
+        """Unpack a status integer (inverse of :meth:`encode`).
+
+        Decoded words are memoised: the instance is frozen, decoding is a
+        pure function of ``(word, page_size)``, and a polling loop sees
+        the same handful of words thousands of times.
+        """
+        key = (word, page_size)
+        cached = _DECODE_CACHE.get(key)
+        if cached is not None:
+            return cached
         if word < 0:
             raise ValueError(f"status word must be non-negative, got {word}")
         rem_bits = remaining_field_bits(page_size)
-        return cls(
+        status = cls(
             initiation=bool(word & _INITIATION_BIT),
             transferring=bool(word & _TRANSFERRING_BIT),
             invalid=bool(word & _INVALID_BIT),
@@ -123,6 +146,10 @@ class UdmaStatus:
             remaining_bytes=(word >> _FLAG_BITS) & ((1 << rem_bits) - 1),
             device_errors=word >> (_FLAG_BITS + rem_bits),
         )
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_CAPACITY:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[key] = status
+        return status
 
     def describe(self) -> str:
         """Compact human-readable form for traces and examples."""

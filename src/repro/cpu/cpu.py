@@ -17,6 +17,31 @@ After translation the access is routed by physical region:
 The CPU charges every instruction to the shared clock, so device activity
 (DMA bursts, packets in flight) interleaves with instruction execution at
 cycle granularity.
+
+Translation fast path
+---------------------
+Repeated accesses to the same page dominate every workload (polling a
+proxy status word, streaming a buffer), so the CPU keeps a small software
+translation cache in front of :meth:`repro.vm.mmu.MMU.translate`: one
+entry per ``(asid, vpage)`` holding the physical page base, the region
+routing, the write permission, and a reference to the authoritative PTE
+(so referenced/dirty bits keep being set exactly as the MMU would set
+them).  Each entry is stamped with two generation counters at fill time:
+
+* :attr:`repro.vm.tlb.TLB.generation` -- bumped by every kernel shootdown
+  (``invalidate`` / ``flush_asid`` / ``flush_all``) and by the
+  scheduler's context-switch hook; and
+* :attr:`repro.vm.page_table.PageTable.generation` -- bumped by every
+  structural page-table edit (map / unmap / present / writable flips).
+
+A stale stamp -- or a write through an entry cached non-writable, or any
+miss -- falls back to the full ``MMU.translate`` walk, which preserves
+every fault reason, the permission-upgrade re-walk, and the hardware
+TLB's snapshot semantics.  The cache therefore changes *host* cost only:
+simulated cycles, instruction/load/store counters and fault behaviour are
+bit-identical to the slow path (the ``Machine`` assembly charges walk
+penalties through the CPU cost model, not through the MMU clock).  See
+``docs/PERFORMANCE.md`` ("Translation fast path").
 """
 
 from __future__ import annotations
@@ -40,6 +65,26 @@ FaultHandler = Callable[[int, str, str], bool]
 #: the kernel's handler broken.  Two legitimate faults can stack (page-in,
 #: then a dirty upgrade), so the bound is generous.
 _MAX_FAULT_RETRIES = 8
+
+#: Per-address-space bound on cached translations.  Wholesale clearing on
+#: overflow keeps the structure a plain dict with no LRU bookkeeping on
+#: the hit path; refills cost one slow walk per page.
+_XLAT_CAPACITY = 4096
+
+
+class _Translation:
+    """One cached ``(asid, vpage)`` translation (internal to the CPU)."""
+
+    __slots__ = ("paddr_base", "region", "writable", "pte", "table", "tlb_gen", "pt_gen")
+
+    def __init__(self, paddr_base, region, writable, pte, table, tlb_gen, pt_gen):
+        self.paddr_base = paddr_base
+        self.region = region
+        self.writable = writable
+        self.pte = pte
+        self.table = table
+        self.tlb_gen = tlb_gen
+        self.pt_gen = pt_gen
 
 
 class CPU:
@@ -84,12 +129,29 @@ class CPU:
         self.stores = 0
         self.instructions = 0
         self.charged_cycles = 0
+        # Translation fast path (see module docstring): per-asid vpage ->
+        # _Translation dicts, swapped wholesale on set_context so the hit
+        # path never builds (asid, vpage) tuples.  The cost model is
+        # frozen and the MMU's TLB is fixed at construction, so both are
+        # bound once here to keep the per-access attribute chase short.
+        self._page_shift = costs.page_size.bit_length() - 1
+        self._page_mask = costs.page_size - 1
+        self._tlb = mmu.tlb
+        self._mem_ref_cycles = costs.mem_ref_cycles
+        self._io_ref_cycles = costs.io_ref_cycles
+        self._advance = clock.advance
+        self._xlat_by_asid: "dict[int, dict[int, _Translation]]" = {}
+        self._xlat: "dict[int, _Translation]" = self._xlat_by_asid.setdefault(0, {})
+        self.xlat_hits = 0
+        self.xlat_misses = 0
+        self.xlat_fills = 0
 
     # ------------------------------------------------------------- context
     def set_context(self, page_table: PageTable, asid: int) -> None:
         """Install an address space (the MMU part of a context switch)."""
         self.page_table = page_table
         self.asid = asid
+        self._xlat = self._xlat_by_asid.setdefault(asid, {})
 
     # --------------------------------------------------------- word access
     def load(self, vaddr: int) -> int:
@@ -97,6 +159,26 @@ class CPU:
 
         For proxy addresses the returned value is the UDMA status word.
         """
+        entry = self._xlat.get(vaddr >> self._page_shift)
+        if (
+            entry is not None
+            and entry.table is self.page_table
+            and entry.pt_gen == entry.table.generation
+            and entry.tlb_gen == self._tlb.generation
+        ):
+            self.xlat_hits += 1
+            entry.pte.referenced = True
+            self.loads += 1
+            self.instructions += 1
+            paddr = entry.paddr_base | (vaddr & self._page_mask)
+            if entry.region is Region.MEMORY:
+                self._charge(self._mem_ref_cycles)
+                return self.physmem.read_word(paddr)
+            self._charge(self._io_ref_cycles)
+            udma = self.udma
+            if udma is None:
+                return self._require_udma().io_load(paddr)
+            return udma.io_load(paddr)
         paddr, region = self._access(vaddr, Access.READ)
         self.loads += 1
         self.instructions += 1
@@ -112,6 +194,32 @@ class CPU:
         For proxy addresses ``value`` is the byte count (or a non-positive
         Inval); for memory it is stored as a little-endian word.
         """
+        entry = self._xlat.get(vaddr >> self._page_shift)
+        if (
+            entry is not None
+            and entry.writable
+            and entry.table is self.page_table
+            and entry.pt_gen == entry.table.generation
+            and entry.tlb_gen == self._tlb.generation
+        ):
+            self.xlat_hits += 1
+            pte = entry.pte
+            pte.referenced = True
+            pte.dirty = True
+            self.stores += 1
+            self.instructions += 1
+            paddr = entry.paddr_base | (vaddr & self._page_mask)
+            if entry.region is Region.MEMORY:
+                self._charge(self._mem_ref_cycles)
+                self.physmem.write_word(paddr, value)
+                if self.store_snoop is not None:
+                    self.store_snoop(
+                        paddr, self.physmem.read(paddr, self.costs.word_size)
+                    )
+                return
+            self._charge(self._io_ref_cycles)
+            self._require_udma().io_store(paddr, value)
+            return
         paddr, region = self._access(vaddr, Access.WRITE)
         self.stores += 1
         self.instructions += 1
@@ -141,48 +249,91 @@ class CPU:
         self._charge(instructions * self.costs.alu_cycles)
 
     # --------------------------------------------------------- buffer I/O
-    # Word-by-word through the MMU, so protection applies to every byte.
+    # Page-run loops: one translation, one cycle charge and one snoop per
+    # page run, with bytes moved through physmem memoryviews.  Protection
+    # still applies to every byte (each run is translated), and the
+    # counters come out identical to the historical word-stepped loop:
+    # the per-word charges within one page were always consecutive, so
+    # charging ``words * mem_ref_cycles`` in one call advances the clock
+    # through exactly the same event sequence.
     def read_bytes(self, vaddr: int, nbytes: int) -> bytes:
         """Read a user buffer (charging one cached reference per word)."""
-        out = bytearray()
+        out = bytearray(nbytes)
+        self.read_into(vaddr, out)
+        return bytes(out)
+
+    def read_into(self, vaddr: int, buf) -> int:
+        """Read ``len(buf)`` bytes at ``vaddr`` into a writable buffer.
+
+        The zero-copy variant of :meth:`read_bytes`: the caller's buffer
+        is filled in place (UDMA/packetiser snapshot capture uses this to
+        skip the trailing ``bytes()`` copy).  Returns the byte count.
+        """
+        mv = memoryview(buf)
+        nbytes = len(mv)
+        page_size = self.costs.page_size
+        word_size = self.costs.word_size
         offset = 0
         while offset < nbytes:
-            chunk = min(self.costs.page_size - ((vaddr + offset) % self.costs.page_size),
-                        nbytes - offset)
-            paddr, region = self._access(vaddr + offset, Access.READ)
+            addr = vaddr + offset
+            chunk = min(page_size - (addr & self._page_mask), nbytes - offset)
+            paddr, region = self._translate_run(addr, write=False)
             if region is not Region.MEMORY:
-                raise AddressError(vaddr + offset, "buffer reads must target memory")
-            words = -(-chunk // self.costs.word_size)
+                raise AddressError(addr, "buffer reads must target memory")
+            words = -(-chunk // word_size)
             self.loads += words
             self.instructions += words
             self._charge(words * self.costs.mem_ref_cycles)
-            out += self.physmem.read(paddr, chunk)
+            mv[offset : offset + chunk] = self.physmem.view(paddr, chunk)
             offset += chunk
-        return bytes(out)
+        return nbytes
 
-    def write_bytes(self, vaddr: int, data: bytes) -> None:
+    def write_bytes(self, vaddr: int, data: "bytes | bytearray | memoryview") -> None:
         """Write a user buffer (charging one cached reference per word)."""
+        mv = memoryview(data)
+        nbytes = len(mv)
+        page_size = self.costs.page_size
+        word_size = self.costs.word_size
         offset = 0
-        nbytes = len(data)
         while offset < nbytes:
-            chunk = min(self.costs.page_size - ((vaddr + offset) % self.costs.page_size),
-                        nbytes - offset)
-            paddr, region = self._access(vaddr + offset, Access.WRITE)
+            addr = vaddr + offset
+            chunk = min(page_size - (addr & self._page_mask), nbytes - offset)
+            paddr, region = self._translate_run(addr, write=True)
             if region is not Region.MEMORY:
-                raise AddressError(vaddr + offset, "buffer writes must target memory")
-            words = -(-chunk // self.costs.word_size)
+                raise AddressError(addr, "buffer writes must target memory")
+            words = -(-chunk // word_size)
             self.stores += words
             self.instructions += words
             self._charge(words * self.costs.mem_ref_cycles)
-            self.physmem.write(paddr, data[offset : offset + chunk])
+            segment = mv[offset : offset + chunk]
+            self.physmem.write(paddr, segment)
             if self.store_snoop is not None:
-                self.store_snoop(paddr, data[offset : offset + chunk])
+                self.store_snoop(paddr, bytes(segment))
             offset += chunk
 
     # ------------------------------------------------------------ internal
+    def _translate_run(self, vaddr: int, write: bool) -> "tuple[int, Region]":
+        """Fast-path translation for one page run of a buffer access."""
+        entry = self._xlat.get(vaddr >> self._page_shift)
+        if (
+            entry is not None
+            and (entry.writable or not write)
+            and entry.table is self.page_table
+            and entry.pt_gen == entry.table.generation
+            and entry.tlb_gen == self._tlb.generation
+        ):
+            self.xlat_hits += 1
+            pte = entry.pte
+            pte.referenced = True
+            if write:
+                pte.dirty = True
+            return entry.paddr_base | (vaddr & self._page_mask), entry.region
+        return self._access(vaddr, Access.WRITE if write else Access.READ)
+
     def _access(self, vaddr: int, access: Access) -> "tuple[int, Region]":
         if self.page_table is None:
             raise ProtectionFault(vaddr, access.value, "no address space installed")
+        self.xlat_misses += 1
         for _ in range(_MAX_FAULT_RETRIES):
             try:
                 paddr = self.mmu.translate(
@@ -206,12 +357,46 @@ class CPU:
             region = self.layout.region_of(paddr)
             if region is Region.UNMAPPED:
                 raise AddressError(paddr, "translation produced an unmapped physical address")
+            self._fill_xlat(vaddr, paddr, region)
             return paddr, region
         raise ProtectionFault(
             vaddr,
             access.value,
             f"access still faulting after {_MAX_FAULT_RETRIES} kernel repairs",
         )
+
+    def _fill_xlat(self, vaddr: int, paddr: int, region: Region) -> None:
+        """Cache a successful translation for the fast path.
+
+        Only entries whose authoritative PTE agrees with the translation
+        just served are cached: if the hardware TLB served a stale
+        snapshot (possible when the kernel skipped a shootdown), caching
+        it would extend the stale window beyond the TLB's own capacity,
+        so we let those keep going through ``MMU.translate``.
+        """
+        table = self.page_table
+        vpage = vaddr >> self._page_shift
+        pte = table.get(vpage)
+        if (
+            pte is None
+            or not pte.present
+            or not pte.user
+            or (pte.pfn << self._page_shift) != paddr & ~self._page_mask
+        ):
+            return
+        cache = self._xlat
+        if len(cache) >= _XLAT_CAPACITY and vpage not in cache:
+            cache.clear()
+        cache[vpage] = _Translation(
+            paddr & ~self._page_mask,
+            region,
+            pte.writable,
+            pte,
+            table,
+            self._tlb.generation,
+            table.generation,
+        )
+        self.xlat_fills += 1
 
     def _require_udma(self) -> UdmaController:
         if self.udma is None:
@@ -220,4 +405,11 @@ class CPU:
 
     def _charge(self, cycles: int) -> None:
         self.charged_cycles += cycles
-        self.clock.advance(cycles)
+        self._advance(cycles)
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def xlat_hit_rate(self) -> float:
+        """Fraction of translations served by the fast path."""
+        total = self.xlat_hits + self.xlat_misses
+        return self.xlat_hits / total if total else 0.0

@@ -66,6 +66,20 @@ class PhysicalMemory:
         self._check_range(paddr, nbytes)
         return bytes(self._mv[paddr : paddr + nbytes])
 
+    def readinto(self, paddr: int, buf: "bytearray | memoryview") -> int:
+        """Fill a caller-supplied writable buffer from RAM (one copy).
+
+        The receive-side twin of :meth:`write`: callers that own a
+        reusable buffer (``CPU.read_into``, snapshot capture) avoid the
+        intermediate ``bytes`` object :meth:`read` would allocate.
+        Returns the number of bytes copied (``len(buf)``).
+        """
+        mv = memoryview(buf)
+        nbytes = len(mv)
+        self._check_range(paddr, nbytes)
+        mv[:] = self._mv[paddr : paddr + nbytes]
+        return nbytes
+
     def write(self, paddr: int, data: "bytes | bytearray | memoryview") -> None:
         """Write ``data`` (any buffer-protocol object) at ``paddr`` (one copy)."""
         nbytes = len(data)

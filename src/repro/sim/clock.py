@@ -30,7 +30,7 @@ from typing import Callable, List, Optional
 COMPACT_SLACK = 64
 
 
-@dataclass(order=True)
+@dataclass(slots=True)
 class Event:
     """A scheduled callback.  Ordered by (time, sequence number)."""
 
@@ -39,6 +39,14 @@ class Event:
     callback: Optional[Callable[[], None]] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     _clock: Optional["Clock"] = field(default=None, compare=False, repr=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        # Hand-written instead of dataclass(order=True): the heap sift
+        # calls this on every push/pop, and the generated version builds
+        # two tuples per comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Prevent the event from firing.

@@ -144,9 +144,14 @@ class RingReceiver:
         ring = self._ring
         if offset + nbytes <= ring.data_bytes:
             return node.cpu.read_bytes(ring.dst_vaddr + offset, nbytes)
+        # Wrapped record: fill one buffer in place (read_into) instead of
+        # concatenating two read_bytes results -- one copy, not three.
+        out = bytearray(nbytes)
         first = ring.data_bytes - offset
-        return node.cpu.read_bytes(ring.dst_vaddr + offset, first) + \
-            node.cpu.read_bytes(ring.dst_vaddr, nbytes - first)
+        view = memoryview(out)
+        node.cpu.read_into(ring.dst_vaddr + offset, view[:first])
+        node.cpu.read_into(ring.dst_vaddr, view[first:])
+        return bytes(out)
 
     def _publish_consumed(self) -> None:
         """Send the consumption cursor back over the feedback channel."""

@@ -103,6 +103,17 @@ class SharedRegion:
             node.kernel.scheduler.switch_to(self.reader)
         return node.cpu.read_bytes(self.reader_vaddr + offset, nbytes)
 
+    def read_into(self, offset: int, buf, settle: bool = True) -> int:
+        """Zero-copy variant of :meth:`read`: fill ``buf`` in place."""
+        self._check_open()
+        self._check_range(offset, len(memoryview(buf)))
+        if settle:
+            self.cluster.run_until_idle()
+        node = self.cluster.node(self.reader_node)
+        if node.kernel.current is not self.reader:
+            node.kernel.scheduler.switch_to(self.reader)
+        return node.cpu.read_into(self.reader_vaddr + offset, buf)
+
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
         """Unbind the mapping and unpin the writer-side pages."""

@@ -87,6 +87,11 @@ class UdmaUser:
         self.page_size = machine.layout.page_size
         self.retry_limit = retry_limit
         self.poll_limit = poll_limit
+        # The controller flavour is fixed for the machine's lifetime;
+        # resolve it once instead of re-importing per transfer.
+        from repro.core.queueing import QueuedUdmaController
+
+        self._device_queued = isinstance(machine.udma, QueuedUdmaController)
 
     # ----------------------------------------------------------- low level
     def proxy_of(self, ref: Ref, offset: int = 0) -> int:
@@ -222,6 +227,4 @@ class UdmaUser:
         return self.page_size - (proxy_addr % self.page_size)
 
     def _device_is_queued(self) -> bool:
-        from repro.core.queueing import QueuedUdmaController
-
-        return isinstance(self.machine.udma, QueuedUdmaController)
+        return self._device_queued

@@ -7,6 +7,18 @@ translation and permission checking *are* the UDMA permission check
 hardware does -- TLB lookup, page-table walk on a miss, present/user/write
 permission checks, referenced and dirty bit maintenance -- and nothing
 UDMA-specific.
+
+:meth:`MMU.translate` is also the *authoritative slow path* behind the
+CPU's software translation cache (``repro/cpu/cpu.py``): the CPU may
+serve repeat accesses from its own cache only while both the TLB's and
+the page table's generation counters are unchanged, and every miss or
+staleness falls back to this method.  Anything that changes what an
+address translates to (pfn, present, writable, user) must therefore go
+through the page table's mutators (which bump ``PageTable.generation``)
+and/or the TLB's shootdown entry points (which bump ``TLB.generation``)
+-- never by assigning those PTE fields directly, or caches above this
+layer cannot see the change.  The referenced/dirty use bits are exempt:
+they never alter a translation.
 """
 
 from __future__ import annotations

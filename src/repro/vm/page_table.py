@@ -29,8 +29,15 @@ class PageTable:
         self.page_size = page_size
         self.name = name
         self._entries: Dict[int, PTE] = {}
-        #: bumped on every structural change; the TLB uses it to detect
-        #: stale cached entries in assertions
+        #: Bumped on every *translation-relevant* change: map / unmap /
+        #: present flips / writable flips / dirty clears.  Consumers that
+        #: cache derived translations (the CPU's software translation
+        #: cache, TLB staleness assertions) compare a stamp taken at fill
+        #: time against the current value and re-walk on mismatch.
+        #: ``clear_referenced`` deliberately does NOT bump it: the
+        #: referenced bit never affects what an address translates to, and
+        #: the clock-hand sweep would otherwise invalidate every cached
+        #: translation each pass.
         self.generation = 0
 
     # -------------------------------------------------------------- lookup

@@ -8,13 +8,25 @@ so; a fidelity test demonstrates what goes wrong when it doesn't.
 
 Dirty and referenced bits are *not* cached -- the MMU always sets them in
 the authoritative page table, modelling a hardware-walked dirty-bit update.
+
+Shootdown generation
+--------------------
+Every invalidation -- :meth:`TLB.invalidate`, :meth:`TLB.flush_asid`,
+:meth:`TLB.flush_all`, and the scheduler's context-switch hook
+:meth:`TLB.note_context_switch` -- bumps :attr:`TLB.generation`.  The
+CPU's software translation cache (``repro.cpu.cpu``) stamps each cached
+entry with the generation at fill time; a stale stamp forces the cached
+entry back through the full :meth:`repro.vm.mmu.MMU.translate` walk, so a
+kernel shootdown takes effect on the very next access even though the CPU
+never walks its cache.  See ``docs/PERFORMANCE.md`` ("Translation fast
+path").
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -36,9 +48,15 @@ class TLB:
             raise ConfigurationError(f"TLB capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple[int, int], TlbEntry]" = OrderedDict()
+        # Per-asid key index so flush_asid is O(entries in that asid),
+        # not O(capacity).  Kept exactly in sync with _entries.
+        self._asid_keys: Dict[int, Set[Tuple[int, int]]] = {}
         self.hits = 0
         self.misses = 0
         self.flushes = 0
+        #: bumped on every shootdown; consumers (the CPU's translation
+        #: cache) compare stamps against this to detect staleness in O(1)
+        self.generation = 0
 
     # -------------------------------------------------------------- lookup
     def lookup(self, asid: int, vpage: int) -> Optional[TlbEntry]:
@@ -56,25 +74,51 @@ class TLB:
         if key in self._entries:
             del self._entries[key]
         elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._drop_from_index(evicted)
         self._entries[key] = entry
+        self._asid_keys.setdefault(asid, set()).add(key)
 
     # -------------------------------------------------------- invalidation
     def invalidate(self, asid: int, vpage: int) -> None:
-        """Shoot down one cached translation, if present."""
-        self._entries.pop((asid, vpage), None)
+        """Shoot down one cached translation, if present.
+
+        Bumps the generation whether or not the entry was resident: the
+        CPU-side cache may hold a translation the TLB has already evicted,
+        and the shootdown must reach it too.
+        """
+        key = (asid, vpage)
+        if self._entries.pop(key, None) is not None:
+            self._drop_from_index(key)
+        self.generation += 1
 
     def flush_asid(self, asid: int) -> None:
         """Drop every entry belonging to one address space."""
-        stale = [key for key in self._entries if key[0] == asid]
-        for key in stale:
-            del self._entries[key]
+        keys = self._asid_keys.pop(asid, None)
+        if keys:
+            for key in keys:
+                del self._entries[key]
         self.flushes += 1
+        self.generation += 1
 
     def flush_all(self) -> None:
         """Drop everything (un-tagged-TLB context switch)."""
         self._entries.clear()
+        self._asid_keys.clear()
         self.flushes += 1
+        self.generation += 1
+
+    def note_context_switch(self) -> None:
+        """The scheduler's hook: invalidate *software* caches only.
+
+        The hardware TLB is asid-tagged, so its entries survive a context
+        switch (that is the whole point of the tags); but the generation
+        bump forces the CPU's translation cache back through
+        :meth:`repro.vm.mmu.MMU.translate` after every switch, mirroring
+        the I1 discipline that nothing user-visible survives a switch
+        unchecked.
+        """
+        self.generation += 1
 
     # ------------------------------------------------------------- metrics
     @property
@@ -85,3 +129,11 @@ class TLB:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # ------------------------------------------------------------ internal
+    def _drop_from_index(self, key: Tuple[int, int]) -> None:
+        keys = self._asid_keys.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._asid_keys[key[0]]
