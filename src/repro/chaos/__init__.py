@@ -1,0 +1,158 @@
+"""Chaos harness for the UDMA fast paths.
+
+Deterministic adversarial schedules (seeded RNG), always-on invariant
+auditing hooked into the event loop, a differential oracle replaying
+every schedule with the host fast paths disabled, and a ddmin shrinker
+that reduces any failure to a paste-ready minimal reproducer.
+
+Entry points::
+
+    from repro.chaos import run_chaos
+    report = run_chaos(seed=7, steps=200, nodes=2)
+    assert report.ok
+
+or, from a shell::
+
+    python -m repro chaos --seed 7 --steps 200 --nodes 2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.chaos.actions import (
+    Action,
+    actions_from_json,
+    actions_to_json,
+    generate_schedule,
+)
+from repro.chaos.auditor import InvariantAuditor
+from repro.chaos.explorer import Failure, RunResult, ScheduleExplorer
+from repro.chaos.oracle import DifferentialOracle, OracleReport
+from repro.chaos.shrinker import ShrinkResult, format_repro, shrink
+from repro.chaos.world import ChaosWorld
+
+__all__ = [
+    "Action",
+    "ChaosReport",
+    "ChaosWorld",
+    "DifferentialOracle",
+    "Failure",
+    "InvariantAuditor",
+    "OracleReport",
+    "RunResult",
+    "ScheduleExplorer",
+    "ShrinkResult",
+    "actions_from_json",
+    "actions_to_json",
+    "format_repro",
+    "generate_schedule",
+    "run_chaos",
+    "shrink",
+]
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos campaign produced."""
+
+    seed: int
+    nodes: int
+    actions: List[Action]
+    fast: RunResult
+    oracle: Optional[OracleReport] = None
+    shrunk: Optional[ShrinkResult] = None
+    repro: str = ""
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.fast.ok and not self.mismatches
+
+    @property
+    def failure_message(self) -> str:
+        if self.fast.failure is not None:
+            return self.fast.failure.identity()
+        if self.mismatches:
+            return self.mismatches[0]
+        return ""
+
+    def summary(self) -> str:
+        log = self.fast.audit_log
+        lines = [
+            f"chaos: seed={self.seed} nodes={self.nodes} "
+            f"actions={len(self.actions)} applied={len(log)}",
+            f"audits: {self.fast.event_audits} event-hook, "
+            f"{self.fast.boundary_audits} boundary",
+            f"final: t={self.fast.counters.get('now', 0)} "
+            f"mem={self.fast.mem_digest}",
+        ]
+        if self.oracle is not None:
+            lines.append(self.oracle.summary())
+        if self.ok:
+            lines.append("result: PASS")
+        else:
+            lines.append(f"result: FAIL -- {self.failure_message}")
+            if self.shrunk is not None:
+                lines.append(
+                    f"shrunk: {len(self.actions)} -> "
+                    f"{len(self.shrunk.actions)} actions "
+                    f"({self.shrunk.evaluations} replays)"
+                )
+        return "\n".join(lines)
+
+
+def run_chaos(
+    seed: int = 0,
+    steps: int = 100,
+    nodes: int = 1,
+    break_mode: Optional[str] = None,
+    diff: bool = True,
+    actions: Optional[Sequence[Action]] = None,
+    max_shrink_evals: int = 200,
+) -> ChaosReport:
+    """Run one chaos campaign: explore, audit, diff, and shrink failures.
+
+    Args:
+        seed: schedule RNG seed (ignored when ``actions`` is given).
+        steps: schedule length.
+        nodes: 1 builds a single node + sink device; >= 2 a cluster ring.
+        break_mode: plant a deliberate kernel bug (``"no-inval"`` or
+            ``"stale-xlat"``) -- the acceptance check that the harness
+            actually catches broken kernels.
+        diff: also replay with fast paths disabled and run the oracle.
+        actions: replay this explicit schedule instead of generating one.
+        max_shrink_evals: ddmin replay budget when a failure needs shrinking.
+    """
+    schedule = list(actions) if actions is not None else generate_schedule(seed, steps)
+    explorer = ScheduleExplorer(nodes=nodes, break_mode=break_mode)
+    fast = explorer.run(schedule, fast_paths=True)
+
+    report = ChaosReport(seed=seed, nodes=nodes, actions=schedule, fast=fast)
+    if diff:
+        report.oracle = DifferentialOracle(explorer).compare(schedule, fast=fast)
+        report.mismatches = report.oracle.mismatches
+
+    if report.ok:
+        return report
+
+    oracle = DifferentialOracle(explorer) if diff else None
+
+    def still_fails(candidate: List[Action]) -> bool:
+        probe = explorer.run(candidate, fast_paths=True)
+        if probe.failure is not None:
+            return True
+        if oracle is not None:
+            return not oracle.compare(candidate, fast=probe).ok
+        return False
+
+    report.shrunk = shrink(schedule, still_fails, max_evals=max_shrink_evals)
+    report.repro = format_repro(
+        report.shrunk.actions,
+        seed=seed,
+        nodes=nodes,
+        failure_message=report.failure_message,
+        break_mode=break_mode,
+    )
+    return report

@@ -1,0 +1,112 @@
+"""Always-on invariant auditing for chaos runs.
+
+:class:`InvariantAuditor` hooks the shared clock so the paper's
+invariants are re-checked *continuously* -- after every fired simulation
+event, in the middle of transfers, page-outs and context switches -- not
+just at the quiet points the ordinary test suite samples.
+
+Two subtleties make continuous auditing different from end-of-test
+checking:
+
+* **Mid-switch I1 accounting.**  Inside ``Scheduler.switch_to`` the
+  per-controller Invals fire (and are counted) *before* the switch
+  counter increments, and the clock advances in between -- so an event
+  fired mid-switch legitimately observes ``invals_fired`` up to one
+  Inval-per-controller ahead of ``switches * controllers``.  Event-hook
+  audits therefore check the window ``s*n <= invals <= s*n + n``; the
+  exact equality (the paper's bookkeeping) is enforced by
+  :meth:`check_boundary` between actions, where no switch is in flight.
+
+* **Temporal I1 ledger.**  Beyond the instantaneous counter equality, the
+  auditor keeps per-node deltas between boundaries: every context switch
+  observed since the last boundary must have fired exactly one Inval per
+  controller.  This catches a kernel that "fixes up" the counters later.
+
+The hook is a single attribute read on the clock's hot path when
+disabled, so production benchmarks pay nothing (the tier-2 gate depends
+on that).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import InvariantViolation
+from repro.kernel.invariants import InvariantChecker
+
+
+class InvariantAuditor:
+    """Continuous I1-I4 auditing over one :class:`~repro.chaos.world.ChaosWorld`."""
+
+    def __init__(self, world) -> None:
+        self.world = world
+        self.checkers: List[InvariantChecker] = [
+            InvariantChecker(machine.kernel) for machine in world.machines
+        ]
+        self.event_audits = 0
+        self.boundary_audits = 0
+        self._installed = False
+        # per-node (switches, invals) at the last boundary, for the ledger
+        self._ledger: List[Tuple[int, int]] = [
+            self._snapshot(i) for i in range(len(self.checkers))
+        ]
+
+    # ------------------------------------------------------------ lifecycle
+    def install(self) -> None:
+        """Start auditing: every fired clock event re-checks the system."""
+        self.world.clock.audit_hook = self._on_event
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.world.clock.audit_hook = None
+            self._installed = False
+
+    # ------------------------------------------------------------- checking
+    def _on_event(self) -> None:
+        """Audit fired after every simulation event (may run mid-switch)."""
+        self.event_audits += 1
+        for i, checker in enumerate(self.checkers):
+            checker.check_i2()
+            checker.check_i3()
+            checker.check_i4()
+            self._check_i1_window(i)
+
+    def _check_i1_window(self, i: int) -> None:
+        sched = self.checkers[i].kernel.scheduler
+        n = len(sched.udma_controllers)
+        low = sched.switches * n
+        if not (low <= sched.invals_fired <= low + n):
+            raise InvariantViolation(
+                "I1",
+                f"node {i}: mid-run Inval count {sched.invals_fired} outside "
+                f"[{low}, {low + n}] for {sched.switches} switches x "
+                f"{n} controllers",
+            )
+
+    def check_boundary(self) -> None:
+        """Strict audit at an action boundary (no kernel operation mid-flight)."""
+        self.boundary_audits += 1
+        for i, checker in enumerate(self.checkers):
+            checker.check_all()
+            self._check_i1_ledger(i)
+
+    def _check_i1_ledger(self, i: int) -> None:
+        """Temporal I1: switches since the last boundary each fired n Invals."""
+        sched = self.checkers[i].kernel.scheduler
+        n = len(sched.udma_controllers)
+        prev_switches, prev_invals = self._ledger[i]
+        d_switches = sched.switches - prev_switches
+        d_invals = sched.invals_fired - prev_invals
+        self._ledger[i] = (sched.switches, sched.invals_fired)
+        if d_switches < 0 or d_invals != d_switches * n:
+            raise InvariantViolation(
+                "I1",
+                f"node {i}: {d_switches} switches since the last audit "
+                f"boundary fired {d_invals} Invals, expected "
+                f"{d_switches * n} ({n} controllers)",
+            )
+
+    def _snapshot(self, i: int) -> Tuple[int, int]:
+        sched = self.checkers[i].kernel.scheduler
+        return (sched.switches, sched.invals_fired)

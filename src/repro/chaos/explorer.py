@@ -1,0 +1,126 @@
+"""Schedule execution: one deterministic run of an adversarial schedule.
+
+:class:`ScheduleExplorer` owns the replay loop: build a fresh
+:class:`~repro.chaos.world.ChaosWorld`, install the
+:class:`~repro.chaos.auditor.InvariantAuditor`, apply the actions one by
+one with a strict audit at every boundary, then settle all hardware and
+audit once more.  The product is a :class:`RunResult`: an audit log (one
+line per action, folding in outcome, cycle time and key counters), the
+final curated counters and memory digest, and -- if anything went wrong
+-- a :class:`Failure` pinpointing the action index.
+
+Audit logs double as the determinism witness (two runs of the same seed
+must produce byte-identical logs) and as the differential oracle's
+line-by-line comparison medium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.chaos.actions import Action
+from repro.chaos.auditor import InvariantAuditor
+from repro.chaos.world import ChaosWorld
+from repro.errors import InvariantViolation
+
+
+@dataclass
+class Failure:
+    """What stopped a run, and where."""
+
+    index: int          # schedule index of the offending action (-1: settle)
+    kind: str           # "invariant" | "crash"
+    message: str
+
+    def identity(self) -> str:
+        """Comparison key: same failure <=> same kind and message."""
+        return f"{self.kind}@{self.index}: {self.message}"
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one schedule run."""
+
+    fast_paths: bool
+    audit_log: List[str] = field(default_factory=list)
+    failure: Optional[Failure] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+    mem_digest: str = ""
+    event_audits: int = 0
+    boundary_audits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class ScheduleExplorer:
+    """Runs schedules against fresh worlds, with always-on auditing."""
+
+    def __init__(
+        self,
+        nodes: int = 1,
+        break_mode: Optional[str] = None,
+        audit: bool = True,
+    ) -> None:
+        self.nodes = nodes
+        self.break_mode = break_mode
+        self.audit = audit
+
+    def run(self, actions: Sequence[Action], fast_paths: bool = True) -> RunResult:
+        """Replay ``actions`` on a fresh world; never raises for findings."""
+        world = ChaosWorld(
+            nodes=self.nodes, fast_paths=fast_paths, break_mode=self.break_mode
+        )
+        auditor = InvariantAuditor(world)
+        if self.audit:
+            auditor.install()
+        result = RunResult(fast_paths=fast_paths)
+        try:
+            for i, action in enumerate(actions):
+                try:
+                    outcome = world.apply(action)
+                    if self.audit:
+                        auditor.check_boundary()
+                except InvariantViolation as exc:
+                    result.failure = Failure(i, "invariant", str(exc))
+                    break
+                except Exception as exc:  # unexpected: a harness/kernel crash
+                    result.failure = Failure(
+                        i, "crash", f"{type(exc).__name__}: {exc}"
+                    )
+                    break
+                result.audit_log.append(self._log_line(i, action, outcome, world))
+            if result.failure is None:
+                try:
+                    world.settle()
+                    if self.audit:
+                        auditor.check_boundary()
+                except InvariantViolation as exc:
+                    result.failure = Failure(-1, "invariant", str(exc))
+                except Exception as exc:
+                    result.failure = Failure(
+                        -1, "crash", f"{type(exc).__name__}: {exc}"
+                    )
+        finally:
+            auditor.uninstall()
+        result.counters = world.counters()
+        result.mem_digest = world.mem_digest()
+        result.event_audits = auditor.event_audits
+        result.boundary_audits = auditor.boundary_audits
+        return result
+
+    @staticmethod
+    def _log_line(i: int, action: Action, outcome: str, world: ChaosWorld) -> str:
+        faults = sum(m.kernel.vm.faults_handled for m in world.machines)
+        switches = sum(m.kernel.scheduler.switches for m in world.machines)
+        packets = (
+            world.interconnect.packets_routed
+            if world.interconnect is not None
+            else (world.sink.writes + world.sink.reads if world.sink else 0)
+        )
+        return (
+            f"{i:04d} {action.brief():<36} {outcome:<18} "
+            f"t={world.clock.now} f={faults} s={switches} p={packets}"
+        )

@@ -1,0 +1,109 @@
+"""Differential oracle: the fast paths must be unobservable.
+
+PR 2 introduced two host-side fast paths -- the CPU's generation-stamped
+software translation cache and page-run (bulk) buffer I/O.  Their
+correctness contract is strong: with fast paths disabled, every simulated
+outcome must be **bit-identical** -- same memory contents, same fault
+sequence, same cycle counts, same packets.  The oracle enforces that
+contract by replaying the exact same schedule against two fresh worlds,
+one per mode, and diffing everything observable:
+
+* failure identity (did both runs fail the same way at the same action?),
+* the audit log line by line (outcomes embed data checksums, cycle times
+  and fault/switch/packet counters, so any drift localises to an action),
+* the curated counter set (cycles, references, faults, scheduling,
+  packets -- excluding stats that legitimately differ, like TLB hit
+  rates),
+* a digest of all of physical memory (and the sink device's buffer).
+
+A kernel that breaks the generation discipline ("stale-xlat") passes
+every invariant check -- its page tables are internally consistent -- but
+cannot pass the oracle: the fast run serves stale translations the
+reference run never sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.chaos.actions import Action
+from repro.chaos.explorer import RunResult, ScheduleExplorer
+
+
+@dataclass
+class OracleReport:
+    """The verdict of one fast-vs-reference comparison."""
+
+    fast: RunResult
+    slow: RunResult
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        if self.ok:
+            return "oracle: fast and reference runs are bit-identical"
+        head = self.mismatches[0]
+        more = len(self.mismatches) - 1
+        return f"oracle: {head}" + (f" (+{more} more)" if more else "")
+
+
+class DifferentialOracle:
+    """Replays schedules with fast paths toggled and diffs the runs."""
+
+    def __init__(self, explorer: ScheduleExplorer) -> None:
+        self.explorer = explorer
+
+    def compare(
+        self,
+        actions: Sequence[Action],
+        fast: Optional[RunResult] = None,
+    ) -> OracleReport:
+        """Run both modes (reusing ``fast`` if given) and diff them."""
+        if fast is None:
+            fast = self.explorer.run(actions, fast_paths=True)
+        slow = self.explorer.run(actions, fast_paths=False)
+        report = OracleReport(fast=fast, slow=slow)
+        self._diff(report)
+        return report
+
+    # ------------------------------------------------------------- diffing
+    def _diff(self, report: OracleReport) -> None:
+        fast, slow = report.fast, report.slow
+        out = report.mismatches
+
+        fast_fail = fast.failure.identity() if fast.failure else "none"
+        slow_fail = slow.failure.identity() if slow.failure else "none"
+        if fast_fail != slow_fail:
+            out.append(
+                f"failure diverges: fast={fast_fail!r} vs reference={slow_fail!r}"
+            )
+
+        for i, (a, b) in enumerate(zip(fast.audit_log, slow.audit_log)):
+            if a != b:
+                out.append(
+                    f"audit log diverges at line {i}: "
+                    f"fast={a!r} vs reference={b!r}"
+                )
+                break
+        else:
+            if len(fast.audit_log) != len(slow.audit_log):
+                out.append(
+                    f"audit log length diverges: fast={len(fast.audit_log)} "
+                    f"vs reference={len(slow.audit_log)}"
+                )
+
+        keys = sorted(set(fast.counters) | set(slow.counters))
+        for key in keys:
+            a, b = fast.counters.get(key), slow.counters.get(key)
+            if a != b:
+                out.append(f"counter {key}: fast={a} vs reference={b}")
+
+        if fast.mem_digest != slow.mem_digest:
+            out.append(
+                f"memory digest diverges: fast={fast.mem_digest} "
+                f"vs reference={slow.mem_digest}"
+            )

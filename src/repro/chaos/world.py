@@ -1,0 +1,547 @@
+"""The chaos world: a node or cluster plus the action interpreter.
+
+:class:`ChaosWorld` assembles a workload-ready system (single node with a
+sink device, or a ShrimpCluster ring of deliberate-update channels) and
+knows how to apply one :class:`~repro.chaos.actions.Action` at a time.
+Everything it does is deterministic: outcomes of user-visible errors are
+folded into the returned outcome string (they are *expected* under
+adversarial schedules), read/recv actions fold a payload checksum into
+the outcome so the audit log witnesses data contents, and the same
+schedule applied to two fresh worlds -- fast paths on or off -- must
+produce identical logs, cycle counts, and memory images.
+
+The world also owns the two *deliberate kernel bugs* the acceptance tests
+plant (``break_mode``):
+
+* ``"no-inval"`` -- the scheduler forgets the I1 Inval on every context
+  switch (modelled by hiding the controller list for the duration of each
+  ``switch_to``, so the I1 ledger still knows how many Invals were owed).
+* ``"stale-xlat"`` -- the kernel edits page tables and shoots down TLBs
+  *without* bumping the generation counters the CPU's software
+  translation cache is stamped with, so the fast path keeps serving stale
+  translations.  The invariant checkers cannot see this (the page tables
+  themselves stay consistent); only the differential oracle catches it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.bench.workloads import make_payload
+from repro.chaos.actions import Action
+from repro.cluster import ShrimpCluster
+from repro.devices.sink import SinkDevice
+from repro.errors import ConfigurationError, InvariantViolation, ReproError
+from repro.kernel.process import Process
+from repro.machine import Machine
+from repro.params import shrimp
+from repro.userlib.messaging import Receiver, Sender
+from repro.userlib.udma import DeviceRef, MemoryRef, UdmaUser
+
+#: bounded spin limits so adversarial schedules fail fast (DmaError
+#: outcome) instead of polling for a million iterations
+_RETRY_LIMIT = 16
+_POLL_LIMIT = 50_000
+
+BREAK_MODES = (None, "no-inval", "stale-xlat")
+
+
+@dataclass
+class _ProcRig:
+    """One workload process and its buffer (plus UDMA runtime if any)."""
+
+    machine: Machine
+    process: Process
+    buffer: int
+    buf_bytes: int
+    buf_pages: int
+    udma: Optional[UdmaUser] = None
+    grant: Optional[int] = None
+
+
+class ChaosWorld:
+    """A fresh system under test plus the action interpreter."""
+
+    PROC_BUF_PAGES = 6    # single-node per-process buffer length
+    CHANNEL_PAGES = 4     # cluster channel / send-buffer length
+    SINK_PAGES = 16       # single-node sink device window
+
+    def __init__(
+        self,
+        nodes: int = 1,
+        fast_paths: bool = True,
+        break_mode: Optional[str] = None,
+    ) -> None:
+        if break_mode not in BREAK_MODES:
+            raise ConfigurationError(f"unknown break mode {break_mode!r}")
+        self.fast_paths = fast_paths
+        self.break_mode = break_mode
+        self.num_nodes = max(1, nodes)
+        self.costs = shrimp()
+        self.page_size = self.costs.page_size
+        self.word_size = self.costs.word_size
+
+        self.cluster: Optional[ShrimpCluster] = None
+        self.sink: Optional[SinkDevice] = None
+        self.senders: List[Sender] = []
+        self.receivers: List[Receiver] = []
+        self._rigs: List[List[_ProcRig]] = []  # [node][proc]
+
+        # fault-injection arming state (cluster only)
+        self._armed: Optional[list] = None  # [mode, remaining, salt]
+        self._held: List[Tuple[int, int, bytes]] = []
+        self._route_ctx: Tuple[int, int] = (0, 0)
+        self._orig_route: Optional[Callable] = None
+
+        if self.num_nodes == 1:
+            self._build_single()
+        else:
+            self._build_cluster()
+
+        if break_mode == "no-inval":
+            self._break_no_inval()
+        elif break_mode == "stale-xlat":
+            self._break_stale_xlat()
+
+    # ------------------------------------------------------------ assembly
+    def _build_single(self) -> None:
+        ps = self.page_size
+        machine = Machine(
+            costs=self.costs,
+            mem_size=96 * ps,
+            fast_paths=self.fast_paths,
+        )
+        self.machines = [machine]
+        self.clock = machine.clock
+        self.interconnect = None
+        self.sink = SinkDevice("sink", size=self.SINK_PAGES * ps, alignment=0)
+        machine.attach_device(self.sink)
+        rigs: List[_ProcRig] = []
+        for j in range(2):
+            process = machine.create_process(f"p{j}")
+            buffer = machine.kernel.syscalls.alloc(process, self.PROC_BUF_PAGES * ps)
+            grant = machine.kernel.syscalls.grant_device_proxy(process, "sink")
+            udma = UdmaUser(
+                machine, process,
+                retry_limit=_RETRY_LIMIT, poll_limit=_POLL_LIMIT,
+            )
+            rigs.append(
+                _ProcRig(
+                    machine=machine,
+                    process=process,
+                    buffer=buffer,
+                    buf_bytes=self.PROC_BUF_PAGES * ps,
+                    buf_pages=self.PROC_BUF_PAGES,
+                    udma=udma,
+                    grant=grant,
+                )
+            )
+        self._rigs = [rigs]
+
+    def _build_cluster(self) -> None:
+        ps = self.page_size
+        cluster = ShrimpCluster(
+            num_nodes=self.num_nodes,
+            costs=self.costs,
+            mem_size=96 * ps,
+            fast_paths=self.fast_paths,
+        )
+        self.cluster = cluster
+        self.machines = list(cluster.nodes)
+        self.clock = cluster.clock
+        self.interconnect = cluster.interconnect
+        nbytes = self.CHANNEL_PAGES * ps
+
+        rx_procs: List[Process] = []
+        rx_bufs: List[int] = []
+        for i in range(self.num_nodes):
+            proc = cluster.node(i).create_process(f"rx{i}")
+            rx_procs.append(proc)
+            rx_bufs.append(cluster.node(i).kernel.syscalls.alloc(proc, nbytes))
+
+        # A ring of channels: node i sends to node (i + 1) % N.
+        for i in range(self.num_nodes):
+            dst = (i + 1) % self.num_nodes
+            channel = cluster.create_channel(i, dst, rx_procs[dst], rx_bufs[dst], nbytes)
+            tx = cluster.node(i).create_process(f"tx{i}")
+            sender = Sender(cluster, tx, channel)
+            sender.udma.retry_limit = _RETRY_LIMIT
+            sender.udma.poll_limit = _POLL_LIMIT
+            self.senders.append(sender)
+            self.receivers.append(Receiver(cluster, rx_procs[dst], channel))
+
+        self._rigs = []
+        for i in range(self.num_nodes):
+            sender = self.senders[i]
+            self._rigs.append(
+                [
+                    _ProcRig(
+                        machine=cluster.node(i),
+                        process=sender.process,
+                        buffer=sender.buffer,
+                        buf_bytes=sender.buffer_bytes,
+                        buf_pages=sender.buffer_bytes // ps,
+                        udma=sender.udma,
+                    ),
+                    _ProcRig(
+                        machine=cluster.node(i),
+                        process=rx_procs[i],
+                        buffer=rx_bufs[i],
+                        buf_bytes=nbytes,
+                        buf_pages=self.CHANNEL_PAGES,
+                    ),
+                ]
+            )
+
+    # ------------------------------------------------------- deliberate bugs
+    def _break_no_inval(self) -> None:
+        """Plant the I1 bug: context switches stop firing device Invals."""
+        for machine in self.machines:
+            sched = machine.kernel.scheduler
+            orig = sched.switch_to
+
+            def broken(process, _sched=sched, _orig=orig):
+                saved = _sched.udma_controllers
+                _sched.udma_controllers = []
+                try:
+                    _orig(process)
+                finally:
+                    _sched.udma_controllers = saved
+
+            sched.switch_to = broken
+
+    def _break_stale_xlat(self) -> None:
+        """Plant the fast-path bug: mapping changes skip generation bumps.
+
+        Models a kernel that edits PTE fields and shoots down TLB entries
+        directly, without the generation discipline the CPU's software
+        translation cache relies on.  The page tables and TLB stay
+        *internally* consistent -- the invariant checkers see nothing --
+        but cached fast-path translations go stale, which only the
+        differential oracle (fast vs reference run) can expose.
+        """
+
+        def freeze(obj, names: "tuple[str, ...]") -> None:
+            for name in names:
+                orig = getattr(obj, name)
+
+                def wrapped(*a, _obj=obj, _orig=orig, **kw):
+                    before = _obj.generation
+                    try:
+                        return _orig(*a, **kw)
+                    finally:
+                        _obj.generation = before
+
+                setattr(obj, name, wrapped)
+
+        for machine in self.machines:
+            freeze(
+                machine.mmu.tlb,
+                ("invalidate", "flush_asid", "flush_all", "note_context_switch"),
+            )
+            for process in machine.kernel.processes.values():
+                freeze(
+                    process.page_table,
+                    ("map", "unmap", "set_present", "set_writable", "clear_dirty"),
+                )
+
+    # ------------------------------------------------------------- helpers
+    def _rig(self, action: Action) -> _ProcRig:
+        node = self._rigs[action.node % len(self._rigs)]
+        return node[action.proc % len(node)]
+
+    @staticmethod
+    def _run_as(rig: _ProcRig) -> None:
+        kernel = rig.machine.kernel
+        if kernel.current is not rig.process:
+            kernel.scheduler.switch_to(rig.process)
+
+    @staticmethod
+    def _span(action: Action, limit: int, cap: int) -> Tuple[int, int]:
+        """Deterministic (offset, size) window inside a ``limit``-byte buffer."""
+        size = 1 + action.size % min(cap, limit)
+        offset = (action.page * 89) % (limit - size + 1)
+        return offset, size
+
+    @staticmethod
+    def _checksum(data) -> str:
+        return f"{sum(data) & 0xFFFF:04x}"
+
+    # -------------------------------------------------------------- apply
+    def apply(self, action: Action) -> str:
+        """Apply one action; returns a deterministic outcome label.
+
+        Expected, user-visible errors (protection faults, DMA failures,
+        syscall refusals...) become part of the outcome -- adversarial
+        schedules provoke them on purpose, and the differential oracle
+        requires *identical* outcomes either way.  Invariant violations
+        always propagate: they are findings, not outcomes.
+        """
+        try:
+            return self._dispatch(action)
+        except InvariantViolation:
+            raise
+        except ReproError as exc:
+            return type(exc).__name__
+
+    def _dispatch(self, action: Action) -> str:
+        handler = getattr(self, f"_do_{action.kind}", None)
+        if handler is None:
+            raise ConfigurationError(f"unknown action kind {action.kind!r}")
+        return handler(action)
+
+    # -------------------------------------------------- workload actions
+    def _do_write(self, action: Action) -> str:
+        rig = self._rig(action)
+        self._run_as(rig)
+        offset, size = self._span(action, rig.buf_bytes, 2048)
+        data = make_payload(size, seed=1 + (action.page + action.size) % 251)
+        rig.machine.cpu.write_bytes(rig.buffer + offset, data)
+        return "ok"
+
+    def _do_read(self, action: Action) -> str:
+        rig = self._rig(action)
+        self._run_as(rig)
+        offset, size = self._span(action, rig.buf_bytes, 2048)
+        buf = bytearray(size)
+        rig.machine.cpu.read_into(rig.buffer + offset, buf)
+        return f"ok:{self._checksum(buf)}"
+
+    def _do_send(self, action: Action) -> str:
+        if self.cluster is None:
+            return self._single_udma(action, to_device=not (action.arg & 2))
+        sender = self.senders[action.node % len(self.senders)]
+        nbytes = sender.channel.nbytes
+        size = 1 + action.size % (nbytes // 2)
+        offset = ((action.page * 97) % (nbytes - size + 1)) & ~3
+        data = make_payload(size, seed=1 + (action.page + action.size) % 239)
+        wait = bool(action.arg & 1)
+        stats = sender.send_bytes(data, channel_offset=offset, wait=wait)
+        return f"ok:{stats.pieces}p{stats.retries}r"
+
+    def _do_recv(self, action: Action) -> str:
+        if self.cluster is None:
+            return self._single_udma(action, to_device=False, then_read=True)
+        receiver = self.receivers[action.node % len(self.receivers)]
+        nbytes = receiver.channel.nbytes
+        offset, size = self._span(action, nbytes, nbytes)
+        data = receiver.recv_bytes(size, offset)
+        return f"ok:{self._checksum(data)}"
+
+    def _single_udma(
+        self, action: Action, to_device: bool, then_read: bool = False
+    ) -> str:
+        rig = self._rig(action)
+        assert rig.udma is not None and rig.grant is not None
+        self._run_as(rig)
+        sink_bytes = self.SINK_PAGES * self.page_size
+        mem_off, size = self._span(action, rig.buf_bytes, 1024)
+        dev_off = (action.page * 131) % (sink_bytes - size + 1)
+        mem = MemoryRef(rig.buffer + mem_off)
+        dev = DeviceRef(rig.grant + dev_off)
+        wait = bool(action.arg & 1) or then_read
+        if to_device:
+            stats = rig.udma.transfer(mem, dev, size, wait=wait)
+        else:
+            stats = rig.udma.transfer(dev, mem, size, wait=wait)
+        if then_read:
+            buf = bytearray(size)
+            rig.machine.cpu.read_into(rig.buffer + mem_off, buf)
+            return f"ok:{self._checksum(buf)}"
+        return f"ok:{stats.pieces}p{stats.retries}r"
+
+    def _do_touch(self, action: Action) -> str:
+        rig = self._rig(action)
+        self._run_as(rig)
+        offset = (action.page % rig.buf_pages) * self.page_size
+        offset += (action.size % self.page_size) & ~(self.word_size - 1)
+        word = rig.machine.cpu.load(rig.buffer + offset)
+        return f"ok:{word & 0xFFFF:04x}"
+
+    # ------------------------------------------------- scheduling actions
+    def _do_switch(self, action: Action) -> str:
+        rig = self._rig(action)
+        rig.machine.kernel.scheduler.switch_to(rig.process)
+        return "ok"
+
+    def _do_stall(self, action: Action) -> str:
+        cycles = 1 + action.size % 4096
+        self.clock.run(until=self.clock.now + cycles)
+        return "ok"
+
+    def _do_drain(self, action: Action) -> str:
+        self.settle()
+        return "ok"
+
+    # ---------------------------------------------- memory-system actions
+    def _do_pageout(self, action: Action) -> str:
+        machine = self.machines[action.node % len(self.machines)]
+        return "ok" if machine.kernel.vm.evict_for_pressure() else "noop"
+
+    def _do_clean(self, action: Action) -> str:
+        rig = self._rig(action)
+        vpage = rig.buffer // self.page_size + action.page % rig.buf_pages
+        done = rig.machine.kernel.vm.clean_page(rig.process, vpage)
+        return "ok" if done else "deferred"
+
+    def _do_downgrade(self, action: Action) -> str:
+        return self._set_protection(action, writable=False)
+
+    def _do_upgrade(self, action: Action) -> str:
+        return self._set_protection(action, writable=True)
+
+    def _set_protection(self, action: Action, writable: bool) -> str:
+        rig = self._rig(action)
+        vpage = rig.buffer // self.page_size + action.page % rig.buf_pages
+        done = rig.machine.kernel.vm.set_page_protection(
+            rig.process, vpage, writable
+        )
+        return "ok" if done else "noop"
+
+    def _do_shootdown(self, action: Action) -> str:
+        rig = self._rig(action)
+        tlb = rig.machine.mmu.tlb
+        if action.arg & 1:
+            tlb.flush_asid(rig.process.asid)
+            return "ok:asid"
+        tlb.flush_all()
+        return "ok:all"
+
+    # -------------------------------------------------- wire-fault actions
+    def _do_corrupt(self, action: Action) -> str:
+        return self._arm("corrupt", action)
+
+    def _do_drop(self, action: Action) -> str:
+        return self._arm("drop", action)
+
+    def _do_dup(self, action: Action) -> str:
+        return self._arm("dup", action)
+
+    def _do_reorder(self, action: Action) -> str:
+        return self._arm("reorder", action)
+
+    def _arm(self, mode: str, action: Action) -> str:
+        """One-shot wire fault: affects the next packet(s), then disarms.
+
+        The injector is only installed while armed, so unfaulted traffic
+        keeps riding the zero-copy packet-object path (identical timing
+        with and without the chaos harness in the loop).
+        """
+        if self.interconnect is None:
+            return "skip"
+        self._flush_held()
+        self._disarm()
+        ic = self.interconnect
+        self._armed = [mode, 2 if mode == "reorder" else 1, action.size]
+        self._orig_route = ic.route
+
+        def recording_route(src, dst, wire, _orig=ic.route):
+            self._route_ctx = (src, dst)
+            _orig(src, dst, wire)
+
+        ic.route = recording_route
+        ic.fault_injector = self._inject
+        return "armed"
+
+    def _inject(self, wire: bytes):
+        assert self._armed is not None
+        mode, remaining, salt = self._armed
+        if mode == "drop":
+            self._disarm()
+            return None
+        if mode == "corrupt":
+            self._disarm()
+            data = bytearray(wire)
+            data[salt % len(data)] ^= 0xFF
+            return bytes(data)
+        if mode == "dup":
+            self._disarm()
+            return [wire, wire]
+        # reorder: hold the first packet, release it after the second.
+        if remaining == 2:
+            self._held.append((*self._route_ctx, wire))
+            self._armed[1] = 1
+            return []
+        src, dst = self._route_ctx
+        hsrc, hdst, hwire = self._held.pop()
+        self._disarm()
+        if (hsrc, hdst) == (src, dst):
+            return [wire, hwire]  # swapped arrival order on the same lane
+        # Different lane: release the held packet on its own lane; it is
+        # scheduled first, the current packet right after -- still a
+        # deterministic perturbation of arrival order.
+        self.interconnect._route_one(hsrc, hdst, hwire)
+        return wire
+
+    def _disarm(self) -> None:
+        if self.interconnect is None:
+            return
+        self.interconnect.fault_injector = None
+        if self._orig_route is not None:
+            self.interconnect.route = self._orig_route
+            self._orig_route = None
+        self._armed = None
+
+    def _flush_held(self) -> None:
+        """Deliver any packet a reorder arm is still holding back."""
+        if self.interconnect is None:
+            return
+        while self._held:
+            src, dst, wire = self._held.pop(0)
+            self.interconnect._route_one(src, dst, wire)
+
+    # ------------------------------------------------------------ settling
+    def settle(self) -> None:
+        """Release held packets, disarm faults, and drain all hardware."""
+        self._flush_held()
+        self._disarm()
+        self.clock.run_until_idle()
+
+    # ----------------------------------------------------------- observers
+    def counters(self) -> "dict[str, int]":
+        """Curated counters the differential oracle compares.
+
+        Deliberately excludes stats that *legitimately* differ between the
+        fast and reference paths: TLB hit/miss totals and the software
+        translation cache's own hit/miss/fill counts.  Everything here --
+        cycles, reference counts, faults, scheduling, packets -- must be
+        bit-identical across modes.
+        """
+        c: "dict[str, int]" = {"now": self.clock.now}
+        for i, machine in enumerate(self.machines):
+            cpu, vm = machine.cpu, machine.kernel.vm
+            sched = machine.kernel.scheduler
+            p = f"n{i}."
+            c[p + "loads"] = cpu.loads
+            c[p + "stores"] = cpu.stores
+            c[p + "instructions"] = cpu.instructions
+            c[p + "charged"] = cpu.charged_cycles
+            c[p + "faults"] = vm.faults_handled
+            c[p + "proxy_faults"] = vm.proxy_faults
+            c[p + "mmu_faults"] = machine.mmu.faults
+            c[p + "switches"] = sched.switches
+            c[p + "invals"] = sched.invals_fired
+        if self.cluster is not None:
+            for i, nic in enumerate(self.cluster.nics):
+                p = f"nic{i}."
+                c[p + "tx"] = nic.packets_sent
+                c[p + "rx"] = nic.packets_received
+                c[p + "rx_err"] = nic.rx_errors
+                c[p + "bytes_rx"] = nic.bytes_received
+            c["net.routed"] = self.interconnect.packets_routed
+            c["net.dropped"] = self.interconnect.packets_dropped
+        if self.sink is not None:
+            c["sink.reads"] = self.sink.reads
+            c["sink.writes"] = self.sink.writes
+        return c
+
+    def mem_digest(self) -> str:
+        """Digest of every byte of simulated memory (and the sink)."""
+        h = hashlib.blake2b(digest_size=16)
+        for machine in self.machines:
+            h.update(machine.physmem.view(0, machine.physmem.size))
+        if self.sink is not None:
+            h.update(self.sink.peek(0, self.SINK_PAGES * self.page_size))
+        return h.hexdigest()

@@ -6,6 +6,9 @@ Commands:
 * ``fig8``  -- run the Figure 8 bandwidth sweep and print the curve.
 * ``init``  -- compare UDMA vs traditional initiation cost.
 * ``demo``  -- run one traced transfer and render its pipeline timeline.
+* ``chaos`` -- deterministic adversarial schedule with always-on invariant
+  auditing and a fast-vs-reference differential oracle; failures are
+  shrunk to a paste-ready minimal reproducer.
 """
 
 from __future__ import annotations
@@ -127,6 +130,47 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import actions_from_json, run_chaos
+    from repro.chaos.world import BREAK_MODES
+
+    if args.break_mode is not None and args.break_mode not in BREAK_MODES:
+        print(f"unknown --break mode {args.break_mode!r}; "
+              f"choose from {[m for m in BREAK_MODES if m]}", file=sys.stderr)
+        return 2
+
+    actions = None
+    if args.replay is not None:
+        with open(args.replay, "r", encoding="utf-8") as fh:
+            actions = actions_from_json(json.load(fh))
+
+    report = run_chaos(
+        seed=args.seed,
+        steps=args.steps,
+        nodes=args.nodes,
+        break_mode=args.break_mode,
+        diff=not args.no_diff,
+        actions=actions,
+        max_shrink_evals=args.max_shrink_evals,
+    )
+    print(report.summary())
+    if args.dump_log:
+        for line in report.fast.audit_log:
+            print(line)
+    if not report.ok:
+        if report.repro:
+            print()
+            print(report.repro)
+            if args.repro_file:
+                with open(args.repro_file, "w", encoding="utf-8") as fh:
+                    fh.write(report.repro + "\n")
+                print(f"\n(reproducer written to {args.repro_file})")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -143,6 +187,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "metrics", help="run a small workload and dump every counter"
     ).set_defaults(func=_cmd_metrics)
+    chaos = sub.add_parser(
+        "chaos",
+        help="adversarial schedule + invariant auditing + differential oracle",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="schedule RNG seed (default 0)")
+    chaos.add_argument("--steps", type=int, default=100,
+                       help="schedule length (default 100)")
+    chaos.add_argument("--nodes", type=int, default=1,
+                       help="1 = single node + sink; >= 2 = cluster ring")
+    chaos.add_argument("--break", dest="break_mode", default=None,
+                       metavar="MODE",
+                       help="plant a kernel bug: no-inval | stale-xlat")
+    chaos.add_argument("--no-diff", action="store_true",
+                       help="skip the fast-vs-reference differential oracle")
+    chaos.add_argument("--replay", default=None, metavar="FILE",
+                       help="replay a JSON action list instead of generating")
+    chaos.add_argument("--repro-file", default=None, metavar="FILE",
+                       help="also write the minimal reproducer here on failure")
+    chaos.add_argument("--dump-log", action="store_true",
+                       help="print the full per-action audit log")
+    chaos.add_argument("--max-shrink-evals", type=int, default=200,
+                       help="ddmin replay budget (default 200)")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

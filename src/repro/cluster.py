@@ -87,6 +87,7 @@ class ShrimpCluster:
         mesh_width: int = 0,
         dma_burst_bytes: int = 0,
         dma_bursts_per_event: int = 1,
+        fast_paths: bool = True,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
@@ -111,6 +112,7 @@ class ShrimpCluster:
                 name=f"node{i}",
                 dma_burst_bytes=dma_burst_bytes,
                 dma_bursts_per_event=dma_bursts_per_event,
+                fast_paths=fast_paths,
             )
             nic = ShrimpNic(
                 node_id=i,

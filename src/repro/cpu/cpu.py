@@ -145,6 +145,14 @@ class CPU:
         self.xlat_hits = 0
         self.xlat_misses = 0
         self.xlat_fills = 0
+        #: fast-path toggles (the chaos differential oracle replays
+        #: workloads with these off and asserts bit-identical simulated
+        #: outcomes).  ``xlat_enabled=False`` stops the translation cache
+        #: from filling, so every access takes the full MMU walk;
+        #: ``bulk_io_enabled=False`` makes the buffer I/O paths charge and
+        #: move word-at-a-time instead of per page run.
+        self.xlat_enabled = True
+        self.bulk_io_enabled = True
 
     # ------------------------------------------------------------- context
     def set_context(self, page_table: PageTable, asid: int) -> None:
@@ -283,8 +291,19 @@ class CPU:
             words = -(-chunk // word_size)
             self.loads += words
             self.instructions += words
-            self._charge(words * self.costs.mem_ref_cycles)
-            mv[offset : offset + chunk] = self.physmem.view(paddr, chunk)
+            if self.bulk_io_enabled:
+                self._charge(words * self.costs.mem_ref_cycles)
+                mv[offset : offset + chunk] = self.physmem.view(paddr, chunk)
+            else:
+                # Word-stepped reference mode: same total charge, advanced
+                # in per-word increments (events still fire at identical
+                # cycle times), then the bytes move word-at-a-time.
+                for _ in range(words):
+                    self._charge(self.costs.mem_ref_cycles)
+                src = self.physmem.view(paddr, chunk)
+                for w in range(0, chunk, word_size):
+                    end = min(w + word_size, chunk)
+                    mv[offset + w : offset + end] = src[w:end]
             offset += chunk
         return nbytes
 
@@ -304,9 +323,19 @@ class CPU:
             words = -(-chunk // word_size)
             self.stores += words
             self.instructions += words
-            self._charge(words * self.costs.mem_ref_cycles)
             segment = mv[offset : offset + chunk]
-            self.physmem.write(paddr, segment)
+            if self.bulk_io_enabled:
+                self._charge(words * self.costs.mem_ref_cycles)
+                self.physmem.write(paddr, segment)
+            else:
+                # Word-stepped reference mode (see read_into); the snoop
+                # stays at run granularity in both modes so the
+                # automatic-update packet stream is identical.
+                for _ in range(words):
+                    self._charge(self.costs.mem_ref_cycles)
+                for w in range(0, chunk, word_size):
+                    end = min(w + word_size, chunk)
+                    self.physmem.write(paddr + w, segment[w:end])
             if self.store_snoop is not None:
                 self.store_snoop(paddr, bytes(segment))
             offset += chunk
@@ -374,6 +403,8 @@ class CPU:
         it would extend the stale window beyond the TLB's own capacity,
         so we let those keep going through ``MMU.translate``.
         """
+        if not self.xlat_enabled:
+            return
         table = self.page_table
         vpage = vaddr >> self._page_shift
         pte = table.get(vpage)

@@ -249,7 +249,43 @@ class VmManager:
         """Kernel-path residency guarantee (used by traditional DMA)."""
         return self._ensure_resident(process, vpage)
 
+    # ----------------------------------------------------------- protection
+    def set_page_protection(self, process: Process, vpage: int, writable: bool) -> bool:
+        """Change a page's grant-level write permission (mprotect-style).
+
+        Returns False when the page is not part of the process's valid
+        memory.  The PTE (if present) is updated with a shootdown, and the
+        proxy alias is invalidated outright -- the conservative I2/I3 move:
+        the next proxy fault re-materialises the mapping under the new
+        permission and the active I3 strategy.
+        """
+        if not process.owns_vpage(vpage):
+            return False
+        process.vpage_writable[vpage] = writable
+        pte = process.page_table.get(vpage)
+        if pte is not None and pte.present:
+            if pte.writable != writable:
+                process.page_table.set_writable(vpage, writable)
+                self.mmu.tlb.invalidate(process.asid, vpage)
+            self._invalidate_proxy(process, vpage)
+        return True
+
     # ------------------------------------------------------------ eviction
+    def evict_for_pressure(self) -> bool:
+        """Force one page-out (the chaos harness's paging-pressure lever).
+
+        Follows the ordinary eviction path -- policy choice, I4 redirect,
+        wait-for-hardware -- so it is exactly a kernel-legal page-out.
+        Returns False when there is nothing evictable at all.
+        """
+        if not self._frame_meta:
+            return False
+        try:
+            self._evict_one()
+        except SyscallError:
+            return False
+        return True
+
     def _alloc_frame(self) -> int:
         frame = self.frames.alloc()
         if frame is not None:

@@ -65,6 +65,12 @@ class Machine:
         dma_bursts_per_event: batch this many stepping bursts per clock
             event -- same final memory and completion cycles, fewer host
             events (see :class:`repro.dma.engine.DmaEngine`).
+        fast_paths: False disables the host-side fast paths (the CPU's
+            software translation cache and page-run buffer I/O), forcing
+            the reference word-stepped / full-walk paths.  Simulated
+            outcomes must be bit-identical either way -- the chaos
+            differential oracle replays workloads with this off to prove
+            it.
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class Machine:
         dma_burst_bytes: int = 0,
         dma_bursts_per_event: int = 1,
         swap: str = "dict",
+        fast_paths: bool = True,
     ) -> None:
         self.costs = costs if costs is not None else shrimp()
         self.name = name
@@ -139,6 +146,9 @@ class Machine:
             udma=self.udma,
             tracer=self.tracer,
         )
+        if not fast_paths:
+            self.cpu.xlat_enabled = False
+            self.cpu.bulk_io_enabled = False
         self.kernel = Kernel(
             clock=self.clock,
             costs=self.costs,

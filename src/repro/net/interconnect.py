@@ -56,8 +56,14 @@ class Interconnect:
         self._nics: Dict[int, "ReceiverPort"] = {}
         self.packets_routed = 0
         self.bytes_routed = 0
-        #: optional fault injector: wire bytes -> (possibly corrupted) bytes
-        self.fault_injector: Optional[Callable[[bytes], bytes]] = None
+        self.packets_dropped = 0
+        #: optional fault injector: wire bytes -> corrupted bytes, ``None``
+        #: (the packet is dropped by the backplane), or a list of wire
+        #: byte strings (each delivered in order -- duplication, and, with
+        #: a stateful injector that holds packets back, reordering)
+        self.fault_injector: Optional[
+            Callable[[bytes], "bytes | None | list[bytes]"]
+        ] = None
 
     def register(self, node_id: int, port: "ReceiverPort") -> None:
         """Attach a node's NIC receive port."""
@@ -95,6 +101,21 @@ class Interconnect:
             if isinstance(wire, Packet):
                 wire = wire.encode()
             wire = self.fault_injector(wire)
+            if wire is None:
+                self.packets_dropped += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.clock.now, "net", "drop", src=src_node, dst=dst_node
+                    )
+                return
+            if isinstance(wire, (list, tuple)):
+                for piece in wire:
+                    self._route_one(src_node, dst_node, piece)
+                return
+        self._route_one(src_node, dst_node, wire)
+
+    def _route_one(self, src_node: int, dst_node: int, wire: Wire) -> None:
+        """Deliver one (possibly injector-produced) packet after routing delay."""
         nbytes = wire.wire_bytes if isinstance(wire, Packet) else len(wire)
         delay = self.hops(src_node, dst_node) * self.costs.hop_cycles
         self.packets_routed += 1

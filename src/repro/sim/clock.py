@@ -80,6 +80,10 @@ class Clock:
         #: total events fired over the clock's lifetime (host-perf metric;
         #: the bench harness reports events/second against it)
         self.events_fired = 0
+        #: optional auditing hook invoked after every fired event (the
+        #: chaos harness's continuous invariant auditor); None keeps the
+        #: hot path a single attribute check
+        self.audit_hook: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------- reading
     @property
@@ -185,6 +189,9 @@ class Clock:
             self._now = event.time
         assert callback is not None
         callback()
+        hook = self.audit_hook
+        if hook is not None:
+            hook()
 
     def _fire_until(self, target: int) -> None:
         queue = self._queue

@@ -1,12 +1,42 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite.
+
+Hypothesis runs under two registered profiles:
+
+* ``ci`` -- loaded when the ``CI`` environment variable is set.
+  ``derandomize=True`` pins every property suite to a deterministic
+  example sequence, so CI failures always reproduce and reruns never
+  flake on a fresh random seed.
+* ``dev`` -- the local default: randomized exploration (new examples
+  every run), with ``print_blob=True`` so a failure prints the
+  ``@reproduce_failure`` blob.  Pass ``--hypothesis-seed=<n>`` to pytest
+  to pin a specific seed locally.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import Machine, ShrimpCluster
 from repro.devices import SinkDevice
 from repro.userlib import DeviceRef, MemoryRef, Receiver, Sender, UdmaUser
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    print_blob=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    print_blob=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture

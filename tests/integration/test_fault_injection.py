@@ -84,3 +84,79 @@ class TestCorruption:
         stats = sender.send_bytes(make_payload(128))  # wait=True still returns
         assert stats.pieces == 1
         assert cluster.nic(0).packets_sent == 1
+
+
+class TestDrop:
+    def test_dropped_packet_never_reaches_the_nic(self, lossy_rig):
+        cluster, sender, receiver, buf = lossy_rig
+        frame = sender.channel.dst_frames[0]
+        cluster.node(1).physmem.write(frame * PAGE, b"\xee" * 64)
+        cluster.interconnect.fault_injector = lambda wire: None  # backplane eats it
+        sender.send_bytes(make_payload(64), wait=False)
+        cluster.run_until_idle()
+        assert cluster.interconnect.packets_dropped == 1
+        assert cluster.nic(1).packets_received == 0
+        assert cluster.nic(1).rx_errors == 0  # never even arrived
+        assert cluster.node(1).physmem.read(frame * PAGE, 64) == b"\xee" * 64
+
+    def test_drop_then_retransmit_delivers(self, lossy_rig):
+        cluster, sender, receiver, buf = lossy_rig
+        cluster.interconnect.fault_injector = lambda wire: None
+        sender.send_bytes(b"LOST", wait=False)
+        cluster.run_until_idle()
+        cluster.interconnect.fault_injector = None
+        sender.send_bytes(b"GOOD", wait=False)
+        cluster.run_until_idle()
+        assert receiver.recv_bytes(4) == b"GOOD"
+        assert cluster.interconnect.packets_dropped == 1
+
+
+class TestDuplicate:
+    def test_duplicate_delivery_is_idempotent(self, lossy_rig):
+        """A duplicated deliberate-update packet rewrites the same
+        destination frames with the same bytes: visible in the packet
+        counters, invisible in memory."""
+        cluster, sender, receiver, buf = lossy_rig
+        cluster.interconnect.fault_injector = lambda wire: [wire, wire]
+        payload = make_payload(128)
+        sender.send_bytes(payload, wait=False)
+        cluster.run_until_idle()
+        assert cluster.nic(1).packets_received == 2
+        assert cluster.nic(1).rx_errors == 0
+        assert receiver.recv_bytes(128) == payload
+
+
+class TestReorder:
+    def test_reordered_packets_land_last_writer_wins(self, lossy_rig):
+        """A stateful injector holds the first packet and releases it
+        after the second: both arrive intact, but the *first* payload is
+        the one left in the (shared) destination -- proof the arrival
+        order really was swapped."""
+        cluster, sender, receiver, buf = lossy_rig
+        held = []
+
+        def reorder(wire):
+            if not held:
+                held.append(wire)
+                return []           # hold the first packet back
+            first, held[:] = held[0], []
+            return [wire, first]    # second out first, held one after
+
+        cluster.interconnect.fault_injector = reorder
+        first = b"A" * 64
+        second = b"B" * 64
+        sender.send_bytes(first)   # wait=True: TX side completes regardless
+        sender.send_bytes(second)
+        cluster.run_until_idle()
+        assert cluster.nic(1).packets_received == 2
+        assert cluster.nic(1).rx_errors == 0
+        assert receiver.recv_bytes(64) == first  # last writer was the held one
+
+    def test_in_order_baseline_last_writer_wins(self, lossy_rig):
+        """Control for the reorder test: without the injector the second
+        payload is the survivor."""
+        cluster, sender, receiver, buf = lossy_rig
+        sender.send_bytes(b"A" * 64)
+        sender.send_bytes(b"B" * 64)
+        cluster.run_until_idle()
+        assert receiver.recv_bytes(64) == b"B" * 64

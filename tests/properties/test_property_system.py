@@ -2,11 +2,11 @@
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import Machine
+from repro import Machine, ShrimpCluster
 from repro.devices import SinkDevice
 from repro.errors import ProtectionFault
 from repro.kernel.invariants import InvariantChecker
-from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+from repro.userlib import DeviceRef, MemoryRef, Receiver, Sender, UdmaUser
 
 PAGE = 4096
 
@@ -67,6 +67,66 @@ def test_random_workloads_preserve_invariants(actions):
         checker.check_all()
     machine.run_until_idle()
     checker.check_all()
+
+
+_cluster_actions = st.lists(
+    st.tuples(
+        st.sampled_from(["send", "recv", "switch", "pageout", "clean", "drain"]),
+        st.integers(0, 1),          # node index
+        st.integers(0, 3),          # page selector
+        st.integers(1, 2 * PAGE),   # size
+    ),
+    max_size=25,
+)
+
+
+@given(actions=_cluster_actions)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_cluster_random_workloads_preserve_invariants(actions):
+    """Multi-node extension of the single-machine property: a 2-node ring
+    of deliberate-update channels under random sends, receives, context
+    switches, eviction pressure and page cleaning must keep I1-I4 true on
+    *every* node after *every* action."""
+    from repro.bench.workloads import make_payload
+
+    cluster = ShrimpCluster(num_nodes=2, mem_size=64 * PAGE)
+    nbytes = 4 * PAGE
+    rx_procs, rx_bufs = [], []
+    for i in range(2):
+        p = cluster.node(i).create_process(f"rx{i}")
+        rx_procs.append(p)
+        rx_bufs.append(cluster.node(i).kernel.syscalls.alloc(p, nbytes))
+    senders, receivers = [], []
+    for i in range(2):
+        dst = 1 - i
+        channel = cluster.create_channel(i, dst, rx_procs[dst], rx_bufs[dst], nbytes)
+        tx = cluster.node(i).create_process(f"tx{i}")
+        senders.append(Sender(cluster, tx, channel))
+        receivers.append(Receiver(cluster, rx_procs[dst], channel))
+    checkers = [InvariantChecker(node.kernel) for node in cluster.nodes]
+
+    for step, (action, node, page, size) in enumerate(actions):
+        if action == "send":
+            data = make_payload(min(size, 2 * PAGE), seed=step + 1)
+            senders[node].send_bytes(data, channel_offset=(page % 2) * PAGE)
+        elif action == "recv":
+            receivers[node].recv_bytes(min(size, PAGE), offset=(page % 2) * PAGE)
+        elif action == "switch":
+            cluster.node(node).kernel.scheduler.yield_next()
+        elif action == "pageout":
+            cluster.node(node).kernel.vm.evict_for_pressure()
+        elif action == "clean":
+            sender = senders[node]
+            vpage = sender.buffer // PAGE + page % (sender.buffer_bytes // PAGE)
+            cluster.node(node).kernel.vm.clean_page(sender.process, vpage)
+        else:
+            cluster.run_until_idle()
+        for checker in checkers:
+            checker.check_all()
+    cluster.run_until_idle()
+    for checker in checkers:
+        checker.check_all()
 
 
 @given(
