@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro import Machine, ShrimpCluster
+from repro import Machine, ObsConfig, ShrimpCluster
 from repro.bench.workloads import make_payload
 from repro.devices import SinkDevice
 from repro.dma.engine import DmaEngine, MemoryEndpoint
@@ -108,14 +108,18 @@ def _xlat_counters(*cpus) -> "tuple[int, int]":
 
 
 # ------------------------------------------------------------- scenarios
-def bench_udma_send(messages: int = 400, msg_bytes: int = 4096) -> HostResult:
+def bench_udma_send(
+    messages: int = 400, msg_bytes: int = 4096, obs: Optional[ObsConfig] = None
+) -> HostResult:
     """Single-node UDMA sends of ``msg_bytes`` into a sink device.
 
     The send buffer is filled once outside the timed window; the loop is
     pure UDMA initiation + DMA + completion polling -- the critical path
-    of the paper's section 8.
+    of the paper's section 8.  ``obs`` selects the observability plane
+    configuration, so the same scenario doubles as the obs-overhead A/B
+    instrument (see :func:`run_obs_overhead`).
     """
-    machine = Machine(mem_size=1 << 21)
+    machine = Machine(mem_size=1 << 21, obs=obs)
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     process = machine.create_process("bench")
@@ -146,14 +150,16 @@ def bench_udma_send(messages: int = 400, msg_bytes: int = 4096) -> HostResult:
     )
 
 
-def bench_cluster_pingpong(rounds: int = 200, msg_bytes: int = 4096) -> HostResult:
+def bench_cluster_pingpong(
+    rounds: int = 200, msg_bytes: int = 4096, obs: Optional[ObsConfig] = None
+) -> HostResult:
     """2-node deliberate-update ping-pong over the routing backplane.
 
     Each round is one message node0 -> node1 and one message back, each
     drained to remote-memory delivery (the full Figure 6 pipeline).  The
     payload buffers are filled once outside the timed window.
     """
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, obs=obs)
     procs = [cluster.node(i).create_process(f"p{i}") for i in range(2)]
     bufs = [
         cluster.node(i).kernel.syscalls.alloc(procs[i], msg_bytes)
@@ -343,6 +349,77 @@ def run_all(quick: bool = False, repeats: int = 3) -> Dict[str, HostResult]:
         assert best is not None
         results[spec.name] = best
     return results
+
+
+# ------------------------------------------------- observability overhead
+#: obs-overhead A/B modes: label -> ObsConfig handed to the scenario.
+#: ``baseline`` disables the whole plane, ``metrics`` is the library
+#: default (registry bound, spans off), ``spans`` turns everything on.
+OBS_MODES: Dict[str, Optional[ObsConfig]] = {
+    "baseline": ObsConfig(metrics=False, spans=False),
+    "metrics": None,
+    "spans": ObsConfig(metrics=True, spans=True),
+}
+
+
+def run_obs_overhead(
+    quick: bool = False, repeats: int = 5
+) -> Dict[str, HostResult]:
+    """A/B the observability plane's host cost on the ``udma_send`` path.
+
+    Runs the same workload under every :data:`OBS_MODES` configuration,
+    interleaving the modes within each repeat so host-scheduler drift
+    hits all modes equally, and keeps the fastest run per mode.  The
+    metrics registry samples live counters only at snapshot time and the
+    span tracker is never constructed when disabled, so ``metrics`` is
+    expected to land within noise of ``baseline`` (CI gates it at 2%).
+    """
+    kwargs = dict(SCENARIOS["udma_send"].quick if quick else SCENARIOS["udma_send"].full)
+    best: Dict[str, HostResult] = {}
+    for _ in range(max(1, repeats)):
+        for mode, config in OBS_MODES.items():
+            result = bench_udma_send(obs=config, **kwargs)
+            if mode not in best or result.host_seconds < best[mode].host_seconds:
+                best[mode] = result
+    return best
+
+
+def transfer_latency_profile(
+    messages: int = 50, msg_bytes: int = 4096
+) -> Dict[str, float]:
+    """Per-transfer latency histogram from a small metered workload.
+
+    Returns the ``udma.transfer_cycles`` histogram value dict
+    (count/sum/min/max/p50/p99, in simulated cycles) after ``messages``
+    sends -- the number ``docs/PERFORMANCE.md`` quotes.
+    """
+    machine = Machine(mem_size=1 << 21)
+    sink = SinkDevice("sink", size=1 << 16)
+    machine.attach_device(sink)
+    process = machine.create_process("latency")
+    buf = machine.kernel.syscalls.alloc(process, msg_bytes)
+    grant = machine.kernel.syscalls.grant_device_proxy(process, "sink")
+    udma = UdmaUser(machine, process)
+    machine.cpu.write_bytes(buf, make_payload(msg_bytes))
+    machine.run_until_idle()
+    for _ in range(messages):
+        udma.transfer(MemoryRef(buf), DeviceRef(grant), msg_bytes)
+        machine.run_until_idle()
+    return machine.metrics()["udma"]["transfer_cycles"]
+
+
+def format_obs_overhead(results: Dict[str, HostResult]) -> str:
+    base = results.get("baseline")
+    lines = [f"{'obs mode':<10} {'MB/s (host)':>12} {'host s':>8} {'vs baseline':>12}"]
+    for mode, r in results.items():
+        if base is not None and base.mb_per_s and mode != "baseline":
+            delta = f"{100.0 * (r.mb_per_s / base.mb_per_s - 1.0):>+11.1f}%"
+        else:
+            delta = f"{'-':>12}"
+        lines.append(
+            f"{mode:<10} {r.mb_per_s:>12.2f} {r.host_seconds:>8.3f} {delta}"
+        )
+    return "\n".join(lines)
 
 
 def format_results(results: Dict[str, HostResult]) -> str:

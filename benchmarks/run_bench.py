@@ -30,7 +30,14 @@ for path in (os.path.join(_ROOT, "src"), _HERE):
     if path not in sys.path:
         sys.path.insert(0, path)
 
-from bench_host_throughput import HostResult, format_results, run_all  # noqa: E402
+from bench_host_throughput import (  # noqa: E402
+    HostResult,
+    format_obs_overhead,
+    format_results,
+    run_all,
+    run_obs_overhead,
+    transfer_latency_profile,
+)
 
 SCHEMA = "shrimp-bench-host-throughput/1"
 
@@ -44,6 +51,29 @@ def results_to_json(results, quick: bool) -> dict:
         "platform": platform.platform(),
         "scenarios": {name: r.as_dict() for name, r in results.items()},
     }
+
+
+def check_obs_overhead(obs_results, tolerance: float) -> list:
+    """Gate: default observability must cost <= ``tolerance`` vs baseline.
+
+    Compares the ``metrics`` mode (the library default every user gets)
+    against ``baseline`` (plane fully disabled).  ``spans`` mode is
+    reported but not gated -- recording spans is an opt-in debugging
+    feature and is allowed to cost more.
+    """
+    failures = []
+    base = obs_results.get("baseline")
+    metrics = obs_results.get("metrics")
+    if base is None or metrics is None or not base.mb_per_s:
+        return ["obs-overhead: missing baseline or metrics measurement"]
+    floor = base.mb_per_s * (1.0 - tolerance)
+    if metrics.mb_per_s < floor:
+        failures.append(
+            f"obs-overhead: metrics mode {metrics.mb_per_s:.2f} MB/s < "
+            f"floor {floor:.2f} (baseline {base.mb_per_s:.2f} MB/s, "
+            f"tolerance {tolerance:.0%})"
+        )
+    return failures
 
 
 def check_against(results, baseline: dict, tolerance: float) -> list:
@@ -78,15 +108,49 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional MB/s drop for --check "
                              "(default 0.30)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="A/B the observability plane on the udma_send "
+                             "path and gate the default (metrics) mode "
+                             "against the disabled baseline")
+    parser.add_argument("--obs-tolerance", type=float, default=0.02,
+                        help="allowed fractional MB/s cost of default "
+                             "observability for --obs-overhead "
+                             "(default 0.02)")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the scenario sweep (useful with "
+                             "--obs-overhead to run only the A/B)")
     args = parser.parse_args(argv)
 
-    results = run_all(quick=args.quick, repeats=args.repeats)
-    print(format_results(results))
+    if args.no_sweep and not args.obs_overhead:
+        parser.error("--no-sweep without --obs-overhead leaves nothing to run")
+    if args.no_sweep and (args.check or args.json):
+        parser.error("--no-sweep cannot be combined with --check/--json "
+                     "(both need the scenario sweep)")
+
+    results = {}
+    if not args.no_sweep:
+        results = run_all(quick=args.quick, repeats=args.repeats)
+        print(format_results(results))
+
+    obs_failures = []
+    obs_results = None
+    if args.obs_overhead:
+        obs_results = run_obs_overhead(quick=args.quick, repeats=args.repeats)
+        print()
+        print(format_obs_overhead(obs_results))
+        latency = transfer_latency_profile()
+        print(f"udma transfer latency: p50={latency['p50']} "
+              f"p99={latency['p99']} cycles over {latency['count']} transfers")
+        obs_failures = check_obs_overhead(obs_results, args.obs_tolerance)
 
     if args.json:
+        payload = results_to_json(results, args.quick)
+        if obs_results is not None:
+            payload["obs_overhead"] = {
+                mode: r.as_dict() for mode, r in obs_results.items()
+            }
         with open(args.json, "w") as fh:
-            json.dump(results_to_json(results, args.quick), fh, indent=2,
-                      sort_keys=True)
+            json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
 
@@ -111,6 +175,15 @@ def main(argv=None) -> int:
             return 1
         print(f"check ok: no scenario regressed more than "
               f"{args.tolerance:.0%} vs {args.check}")
+
+    if obs_failures:
+        print("OBSERVABILITY OVERHEAD REGRESSION:", file=sys.stderr)
+        for failure in obs_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    if args.obs_overhead:
+        print(f"obs-overhead ok: default observability costs <= "
+              f"{args.obs_tolerance:.0%} host MB/s")
     return 0
 
 

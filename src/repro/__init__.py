@@ -41,7 +41,18 @@ from repro.core import (
     UdmaStatus,
 )
 from repro.machine import Machine
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    ObsConfig,
+    Span,
+    SpanTracker,
+)
 from repro.params import CostModel, hippi_paragon, shrimp, shrimp_queued
+from repro.sim.trace import TraceEvent, Tracer
 from repro.userlib import DeviceRef, MemoryRef, Receiver, Sender, UdmaUser
 
 __version__ = "1.0.0"
@@ -49,13 +60,23 @@ __version__ = "1.0.0"
 __all__ = [
     "Channel",
     "CostModel",
+    "Counter",
     "DeviceRef",
+    "Gauge",
+    "Histogram",
     "Machine",
     "MemoryRef",
+    "MetricsRegistry",
+    "ObsConfig",
+    "Observability",
     "QueuedUdmaController",
     "Receiver",
     "Sender",
     "ShrimpCluster",
+    "Span",
+    "SpanTracker",
+    "TraceEvent",
+    "Tracer",
     "UdmaController",
     "UdmaState",
     "UdmaStatus",

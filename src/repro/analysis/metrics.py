@@ -1,82 +1,43 @@
 """Uniform metrics collection across a machine or cluster.
 
 Every component keeps its own counters (CPU instructions, TLB hits, VM
-faults, UDMA initiations, NIC packets...).  :func:`machine_metrics` and
-:func:`cluster_metrics` gather them into one nested dict -- the system
-report a long-running deployment would export -- and :func:`render`
-pretty-prints it.
+faults, UDMA initiations, NIC packets...).  The stable API for reading
+them is :meth:`repro.machine.Machine.metrics` /
+:meth:`repro.cluster.ShrimpCluster.metrics`, backed by the typed registry
+in :mod:`repro.obs`.  The free functions here (:func:`machine_metrics`,
+:func:`cluster_metrics`) are the *deprecated* pre-registry spellings,
+kept as thin wrappers; :func:`render` pretty-prints either shape.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict
 
 from repro.cluster import ShrimpCluster
-from repro.core.queueing import QueuedUdmaController
 from repro.machine import Machine
 from repro.net.nic import ShrimpNic
 
 
 def machine_metrics(machine: Machine) -> Dict[str, Any]:
-    """Counters of one node, grouped by subsystem."""
-    cpu = machine.cpu
-    tlb = machine.mmu.tlb
-    vm = machine.kernel.vm
-    sched = machine.kernel.scheduler
-    sys = machine.kernel.syscalls
-    udma = machine.udma
-    sm = getattr(udma, "sm", None)
+    """Deprecated: use :meth:`repro.machine.Machine.metrics`."""
+    warnings.warn(
+        "machine_metrics(m) is deprecated; use m.metrics() "
+        "(backed by the repro.obs metrics registry)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return machine.metrics()
 
-    metrics: Dict[str, Any] = {
-        "cpu": {
-            "instructions": cpu.instructions,
-            "loads": cpu.loads,
-            "stores": cpu.stores,
-            "charged_cycles": cpu.charged_cycles,
-        },
-        "tlb": {
-            "hits": tlb.hits,
-            "misses": tlb.misses,
-            "hit_rate": round(tlb.hit_rate, 4),
-            "flushes": tlb.flushes,
-        },
-        "vm": {
-            "faults": vm.faults_handled,
-            "proxy_faults": vm.proxy_faults,
-            "pages_in": vm.pages_in,
-            "pages_out": vm.pages_out,
-            "cleans": vm.cleans,
-            "cleans_deferred": vm.cleans_deferred,
-            "evictions_redirected": vm.evictions_redirected,
-        },
-        "scheduler": {
-            "switches": sched.switches,
-            "invals_fired": sched.invals_fired,
-        },
-        "syscalls": {
-            "dma_calls": sys.dma_calls,
-            "pages_pinned": sys.pages_pinned,
-            "bytes_copied": sys.bytes_copied,
-        },
-        "udma": {
-            "engine_transfers": machine.udma_engine.transfers_completed,
-            "engine_bytes": machine.udma_engine.bytes_transferred,
-        },
-    }
-    if isinstance(udma, QueuedUdmaController):
-        metrics["udma"].update(
-            accepted=udma.accepted,
-            refused=udma.refused,
-            backlog=udma.backlog_requests,
-        )
-    elif sm is not None:
-        metrics["udma"].update(
-            initiations=sm.initiations,
-            completions=sm.completions,
-            bad_loads=sm.bad_loads,
-            invals=sm.invals,
-        )
-    return metrics
+
+def transfer_latency(machine: Machine) -> Dict[str, Any]:
+    """Per-transfer latency summary (cycles) from the registry histogram.
+
+    Keys: ``count``, ``sum``, ``min``, ``max``, ``p50``, ``p99``.  For the
+    basic device latency runs initiation to completion; for the queued
+    device, queue-accept to completion (so backlog wait is included).
+    """
+    return machine.metrics()["udma"]["transfer_cycles"]
 
 
 def nic_metrics(nic: ShrimpNic) -> Dict[str, Any]:
@@ -93,20 +54,14 @@ def nic_metrics(nic: ShrimpNic) -> Dict[str, Any]:
 
 
 def cluster_metrics(cluster: ShrimpCluster) -> Dict[str, Any]:
-    """Counters of a whole multicomputer, per node plus the backplane."""
-    report: Dict[str, Any] = {
-        "backplane": {
-            "packets_routed": cluster.interconnect.packets_routed,
-            "bytes_routed": cluster.interconnect.bytes_routed,
-            "topology": cluster.interconnect.topology,
-        },
-        "now_cycles": cluster.now,
-    }
-    for i, node in enumerate(cluster.nodes):
-        node_report = machine_metrics(node)
-        node_report["nic"] = nic_metrics(cluster.nic(i))
-        report[f"node{i}"] = node_report
-    return report
+    """Deprecated: use :meth:`repro.cluster.ShrimpCluster.metrics`."""
+    warnings.warn(
+        "cluster_metrics(c) is deprecated; use c.metrics() "
+        "(backed by the repro.obs metrics registry)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return cluster.metrics()
 
 
 def render(metrics: Dict[str, Any], indent: int = 0) -> str:

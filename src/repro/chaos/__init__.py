@@ -94,6 +94,8 @@ class ChaosReport:
             lines.append("result: PASS")
         else:
             lines.append(f"result: FAIL -- {self.failure_message}")
+            if self.fast.failure is not None and self.fast.failure.span_context:
+                lines.append(f"spans : {self.fast.failure.span_context}")
             if self.shrunk is not None:
                 lines.append(
                     f"shrunk: {len(self.actions)} -> "
@@ -154,5 +156,8 @@ def run_chaos(
         nodes=nodes,
         failure_message=report.failure_message,
         break_mode=break_mode,
+        span_context=(
+            fast.failure.span_context if fast.failure is not None else ""
+        ),
     )
     return report

@@ -32,6 +32,10 @@ class Failure:
     index: int          # schedule index of the offending action (-1: settle)
     kind: str           # "invariant" | "crash"
     message: str
+    #: causal transfer spans in flight when the run stopped (repro.obs);
+    #: diagnostic context only -- NOT part of the failure identity, so
+    #: shrinking and the differential oracle stay stable
+    span_context: str = ""
 
     def identity(self) -> str:
         """Comparison key: same failure <=> same kind and message."""
@@ -105,6 +109,8 @@ class ScheduleExplorer:
                     )
         finally:
             auditor.uninstall()
+        if result.failure is not None:
+            result.failure.span_context = world.span_context()
         result.counters = world.counters()
         result.mem_digest = world.mem_digest()
         result.event_audits = auditor.event_audits

@@ -87,12 +87,22 @@ def format_repro(
     nodes: int,
     failure_message: str,
     break_mode: Optional[str] = None,
+    span_context: str = "",
 ) -> str:
-    """Paste-ready minimal reproducer: CLI command + JSON schedule."""
+    """Paste-ready minimal reproducer: CLI command + JSON schedule.
+
+    ``span_context`` is the causal-transfer context from the failing run
+    (``ChaosWorld.span_context()``); it rides along as a diagnostic line
+    but is not part of the failure identity.
+    """
     brk = f" --break {break_mode}" if break_mode else ""
     lines = [
         "=== chaos minimal reproducer ===",
         f"failure : {failure_message}",
+    ]
+    if span_context:
+        lines.append(f"spans   : {span_context}")
+    lines += [
         f"actions : {len(actions)} (from seed {seed})",
         "replay  : save the JSON below to repro.json, then run",
         f"          python -m repro chaos --nodes {nodes}{brk} --replay repro.json",

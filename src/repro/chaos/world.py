@@ -36,6 +36,7 @@ from repro.devices.sink import SinkDevice
 from repro.errors import ConfigurationError, InvariantViolation, ReproError
 from repro.kernel.process import Process
 from repro.machine import Machine
+from repro.obs import ObsConfig
 from repro.params import shrimp
 from repro.userlib.messaging import Receiver, Sender
 from repro.userlib.udma import DeviceRef, MemoryRef, UdmaUser
@@ -112,7 +113,11 @@ class ChaosWorld:
             costs=self.costs,
             mem_size=96 * ps,
             fast_paths=self.fast_paths,
+            # Spans are host-side and deterministic, so they are safe
+            # under the differential oracle; failures get causal context.
+            obs=ObsConfig(spans=True),
         )
+        self.spans = machine.obs.spans
         self.machines = [machine]
         self.clock = machine.clock
         self.interconnect = None
@@ -147,7 +152,9 @@ class ChaosWorld:
             costs=self.costs,
             mem_size=96 * ps,
             fast_paths=self.fast_paths,
+            obs=ObsConfig(spans=True),
         )
+        self.spans = cluster.obs.spans
         self.cluster = cluster
         self.machines = list(cluster.nodes)
         self.clock = cluster.clock
@@ -536,6 +543,26 @@ class ChaosWorld:
             c["sink.reads"] = self.sink.reads
             c["sink.writes"] = self.sink.writes
         return c
+
+    def span_context(self, limit: int = 4) -> str:
+        """Causal transfer context for a failure report.
+
+        Open spans are the transfers in flight when the run stopped --
+        usually exactly the ones implicated.  If nothing is open, the most
+        recently minted spans stand in (the failure happened just after
+        they settled).  One ``Span.brief()`` line each, newest first.
+        """
+        if self.spans is None:
+            return ""
+        spans = self.spans.open_spans()
+        label = "open"
+        if not spans:
+            spans = list(self.spans)
+            label = "recent"
+        picked = sorted(spans, key=lambda s: s.id, reverse=True)[:limit]
+        if not picked:
+            return ""
+        return f"{label}: " + "; ".join(s.brief() for s in picked)
 
     def mem_digest(self) -> str:
         """Digest of every byte of simulated memory (and the sink)."""

@@ -6,6 +6,9 @@ Commands:
 * ``fig8``  -- run the Figure 8 bandwidth sweep and print the curve.
 * ``init``  -- compare UDMA vs traditional initiation cost.
 * ``demo``  -- run one traced transfer and render its pipeline timeline.
+* ``metrics`` -- run a small workload and dump the metrics registry.
+* ``trace`` -- run one cluster transfer and print its causal span tree
+  (optionally exporting a Perfetto-loadable Chrome trace).
 * ``chaos`` -- deterministic adversarial schedule with always-on invariant
   auditing and a fast-vs-reference differential oracle; failures are
   shrunk to a paste-ready minimal reproducer.
@@ -112,7 +115,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    from repro.analysis import machine_metrics, render
+    from repro.analysis import render
     from repro.userlib import DeviceRef, MemoryRef
 
     machine = Machine(mem_size=1 << 20)
@@ -126,7 +129,35 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         udma.transfer(MemoryRef(buf), DeviceRef(grant), size)
         machine.run_until_idle()
     print("system counters after a small workload:")
-    print(render(machine_metrics(machine)))
+    print(render(machine.metrics()))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import ObsConfig
+
+    cluster = ShrimpCluster(
+        num_nodes=2, mem_size=1 << 21, obs=ObsConfig(spans=True)
+    )
+    rx = cluster.node(1).create_process("rx")
+    buf = cluster.node(1).kernel.syscalls.alloc(rx, 1 << 16)
+    channel = cluster.create_channel(0, 1, rx, buf, 1 << 16)
+    tx = cluster.node(0).create_process("tx")
+    sender = Sender(cluster, tx, channel)
+    sender.send_bytes(make_payload(args.nbytes))
+    cluster.run_until_idle()
+
+    tracker = cluster.obs.spans
+    assert tracker is not None
+    print(f"one {args.nbytes}-byte transfer, as a causal span tree:")
+    for root in tracker.roots():
+        print(tracker.render_tree(root.id))
+    if args.json:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracker, args.json, costs=cluster.costs)
+        print(f"\n(Chrome trace written to {args.json}; "
+              "open it at https://ui.perfetto.dev)")
     return 0
 
 
@@ -187,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "metrics", help="run a small workload and dump every counter"
     ).set_defaults(func=_cmd_metrics)
+    trace = sub.add_parser(
+        "trace",
+        help="run one cluster transfer and print its causal span tree",
+    )
+    trace.add_argument("--nbytes", type=int, default=8192,
+                       help="transfer size in bytes (default 8192)")
+    trace.add_argument("--json", default=None, metavar="FILE",
+                       help="also write a Perfetto-loadable Chrome trace")
+    trace.set_defaults(func=_cmd_trace)
     chaos = sub.add_parser(
         "chaos",
         help="adversarial schedule + invariant auditing + differential oracle",

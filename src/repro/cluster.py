@@ -31,6 +31,7 @@ from repro.machine import Machine
 from repro.mem.layout import ProxyScheme
 from repro.net.interconnect import Interconnect
 from repro.net.nic import ShrimpNic
+from repro.obs import Observability, ObsConfig, unflatten
 from repro.params import CostModel, shrimp
 from repro.sim.clock import Clock
 from repro.sim.trace import Tracer
@@ -88,16 +89,34 @@ class ShrimpCluster:
         dma_burst_bytes: int = 0,
         dma_bursts_per_event: int = 1,
         fast_paths: bool = True,
+        obs: "Optional[ObsConfig | Observability]" = None,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
         self.costs = costs if costs is not None else shrimp()
         self.clock = Clock()
-        self.tracer = Tracer(record=record_trace)
+        # One shared observability plane: every node registers its metrics
+        # under a node{i}. namespace and all spans land on one tracker, so
+        # a transfer's causality survives crossing the backplane.
+        if isinstance(obs, Observability):
+            self.obs = obs
+        else:
+            self.obs = Observability(obs, clock=self.clock)
+        self.obs.adopt_clock(self.clock)
+        if self.obs.tracer is not None:
+            self.tracer = self.obs.tracer
+        else:
+            self.tracer = Tracer(
+                record=record_trace or self.obs.config.record_trace
+            )
+            self.obs.tracer = self.tracer
+        self._metrics_bound = False
         self.interconnect = Interconnect(
             self.clock, self.costs, self.tracer,
             topology=topology, mesh_width=mesh_width,
         )
+        if self.obs.spans is not None:
+            self.interconnect._spans = self.obs.spans
         self.nodes: List[Machine] = []
         self.nics: List[ShrimpNic] = []
         self._next_nipt: List[int] = []
@@ -113,6 +132,7 @@ class ShrimpCluster:
                 dma_burst_bytes=dma_burst_bytes,
                 dma_bursts_per_event=dma_bursts_per_event,
                 fast_paths=fast_paths,
+                obs=self.obs,
             )
             nic = ShrimpNic(
                 node_id=i,
@@ -128,6 +148,58 @@ class ShrimpCluster:
             self.nodes.append(node)
             self.nics.append(nic)
             self._next_nipt.append(0)
+        if self.obs.config.metrics:
+            self._bind_metrics()
+
+    # ------------------------------------------------------- observability
+    def _bind_metrics(self) -> None:
+        """Register backplane and NIC metrics on the shared registry.
+
+        Node-level metrics are bound by each :class:`Machine` under its
+        ``node{i}.`` namespace; the cluster adds the backplane counters
+        and each NIC's (NICs are cluster-assembled, so their names live
+        beside the owning node's).
+        """
+        if self._metrics_bound:
+            return
+        self._metrics_bound = True
+        reg = self.obs.registry
+        ic = self.interconnect
+        reg.counter("backplane.packets_routed", lambda: ic.packets_routed)
+        reg.counter("backplane.bytes_routed", lambda: ic.bytes_routed)
+        reg.gauge("backplane.topology", lambda: ic.topology)
+        reg.gauge("now_cycles", lambda: self.clock.now)
+        for i, nic in enumerate(self.nics):
+            p = f"node{i}.nic."
+            reg.counter(p + "packets_sent", (lambda n: lambda: n.packets_sent)(nic))
+            reg.counter(
+                p + "packets_received", (lambda n: lambda: n.packets_received)(nic)
+            )
+            reg.counter(p + "bytes_sent", (lambda n: lambda: n.bytes_sent)(nic))
+            reg.counter(
+                p + "bytes_received", (lambda n: lambda: n.bytes_received)(nic)
+            )
+            reg.counter(p + "rx_errors", (lambda n: lambda: n.rx_errors)(nic))
+            reg.gauge(
+                p + "out_fifo_high_water",
+                (lambda n: lambda: n.outgoing.high_water)(nic),
+            )
+            reg.gauge(
+                p + "in_fifo_high_water",
+                (lambda n: lambda: n.incoming.high_water)(nic),
+            )
+
+    def metrics(self) -> dict:
+        """Whole-multicomputer counters: per node plus the backplane.
+
+        The stable replacement for the deprecated
+        :func:`repro.analysis.metrics.cluster_metrics` free function; a
+        nested view over the shared registry, sampled at call time.
+        """
+        self._bind_metrics()
+        for node in self.nodes:
+            node._bind_metrics()
+        return unflatten(self.obs.registry.snapshot())
 
     # ------------------------------------------------------------- access
     def node(self, index: int) -> Machine:

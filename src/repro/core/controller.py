@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Set
 
+from repro.core.events import UdmaEvent
 from repro.core.state_machine import (
     ProxyOperand,
     SpaceKind,
@@ -72,6 +73,20 @@ class UdmaController:
         # Device-window decode cache, invalidated when a device attaches
         # (attach_device is the only way the window list grows).
         self._window_cache: Dict[int, "tuple[UDMADevice, int]"] = {}
+        # Observability plane hookups (see repro.obs).  Both stay None
+        # unless a Machine wires them, so the unobserved cost is one
+        # attribute load per call site.
+        self._spans = None
+        self._latency_hist = None
+        # The transfer currently owning the root "transfer" span, and
+        # which phase it is in ("init": latched, "xfer": engine running).
+        self._span: Optional[int] = None
+        self._span_phase = ""
+        self._span_dest = 0
+        # (dest proxy addr, finished span id) of the last failed
+        # initiation; a new initiation to the same destination is linked
+        # to it with a retry_of attribute.
+        self._retry_hint: "Optional[tuple[int, int]]" = None
 
     # ------------------------------------------------------------- devices
     def attach_device(self, device: UDMADevice) -> DeviceWindow:
@@ -94,6 +109,8 @@ class UdmaController:
         """A CPU STORE reached proxy space (value = nbytes, or <=0 = Inval)."""
         operand = self._decode(paddr)
         event = self.sm.store(operand, value)
+        if self._spans is not None:
+            self._span_store(operand, value, event)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now,
@@ -110,6 +127,8 @@ class UdmaController:
         operand = self._decode(paddr)
         device_errors = self._prospective_device_errors(operand)
         result = self.sm.load(operand, device_errors=device_errors)
+        if self._spans is not None:
+            self._span_load(operand, result)
         if result.start is not None:
             self._launch(result.start)
         if self.tracer.enabled:
@@ -137,6 +156,8 @@ class UdmaController:
                 self.layout.proxy(0), SpaceKind.MEMORY
             )
         self.sm.store(operand, -1)
+        if self._spans is not None:
+            self._span_inval()
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now, self.name, "inval", state=self.sm.state.value
@@ -147,6 +168,10 @@ class UdmaController:
         if not self.sm.terminate():
             return False
         self.engine.abort()
+        if self._spans is not None and self._span is not None:
+            self._spans.finish(self._span, status="terminated")
+            self._span = None
+            self._span_phase = ""
         return True
 
     # --------------------------------------------------------- I4 support
@@ -220,6 +245,76 @@ class UdmaController:
             errors |= device.check_transfer(False, offset, count)
         return errors
 
+    # ----------------------------------------------------------- span hooks
+    # All host-side: span calls never touch the simulated clock, so cycles
+    # and counters are bit-identical with tracing on or off.
+
+    def _span_store(self, operand: ProxyOperand, value: int, event) -> None:
+        if event is UdmaEvent.INVAL:
+            self._span_inval()
+            return
+        if self.sm.state is not UdmaState.DEST_LOADED:
+            return  # store ignored while Transferring; no span state change
+        if self._span is not None and self._span_phase == "init":
+            # Second STORE before the LOAD: the latch was overwritten.
+            self._spans.event(
+                self._span,
+                "re-latch",
+                dest=f"{operand.proxy_addr:#x}",
+                nbytes=value,
+            )
+            self._span_dest = operand.proxy_addr
+            return
+        attrs = {
+            "node": self.name,
+            "dest": f"{operand.proxy_addr:#x}",
+            "space": operand.space.value,
+            "nbytes": value,
+        }
+        hint = self._retry_hint
+        if hint is not None and hint[0] == operand.proxy_addr:
+            attrs["retry_of"] = hint[1]
+            self._retry_hint = None
+        self._span = self._spans.begin("transfer", **attrs)
+        self._span_phase = "init"
+        self._span_dest = operand.proxy_addr
+
+    def _span_load(self, operand: ProxyOperand, result) -> None:
+        if self._span is None or self._span_phase != "init":
+            return  # status poll; nothing to annotate
+        if result.event is UdmaEvent.BAD_LOAD:
+            self._spans.finish(self._span, status="bad-load")
+            self._retry_hint = (self._span_dest, self._span)
+            self._span = None
+            self._span_phase = ""
+        elif result.start is not None:
+            self._span_phase = "xfer"
+            self._spans.event(
+                self._span,
+                "initiated",
+                source=f"{operand.proxy_addr:#x}",
+                count=result.start.count,
+            )
+        elif self.sm.state is UdmaState.IDLE:
+            # A device vetoed the transfer (check_transfer error bits).
+            self._spans.finish(self._span, status="device-error")
+            self._retry_hint = (self._span_dest, self._span)
+            self._span = None
+            self._span_phase = ""
+
+    def _span_inval(self) -> None:
+        if self._span is None:
+            return
+        if self._span_phase == "xfer":
+            # Transfers are atomic once started; the Inval only cleared
+            # the (empty) latch.  Record it as causal context.
+            self._spans.event(self._span, "inval")
+        else:
+            self._spans.finish(self._span, status="inval")
+            self._retry_hint = (self._span_dest, self._span)
+            self._span = None
+            self._span_phase = ""
+
     def _launch(self, directive: StartDirective) -> None:
         source = self._endpoint(directive.source)
         destination = self._endpoint(directive.destination)
@@ -227,7 +322,13 @@ class UdmaController:
         self._transfer_start_time = self.clock.now
         self._transfer_duration = duration
         self._transfer_count = directive.count
-        self.engine.start(source, destination, directive.count, self._transfer_done)
+        self.engine.start(
+            source,
+            destination,
+            directive.count,
+            self._transfer_done,
+            span_id=self._span,
+        )
 
     def _endpoint(self, operand: ProxyOperand) -> Endpoint:
         if operand.space is SpaceKind.MEMORY:
@@ -247,6 +348,12 @@ class UdmaController:
 
     def _transfer_done(self) -> None:
         self.sm.transfer_done()
+        if self._latency_hist is not None:
+            self._latency_hist.observe(self.clock.now - self._transfer_start_time)
+        if self._spans is not None and self._span is not None:
+            self._spans.finish(self._span, status="complete")
+            self._span = None
+            self._span_phase = ""
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now, self.name, "transfer-done", state=self.sm.state.value

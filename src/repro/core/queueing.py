@@ -57,6 +57,11 @@ class QueuedRequest:
     destination: ProxyOperand
     count: int
     system: bool = False
+    #: observability sidecar: root span id riding with the request (None
+    #: when tracing is off or the request is kernel-originated)
+    span: Optional[int] = None
+    #: cycle the request was accepted (per-transfer latency histogram)
+    accepted_at: int = 0
 
 
 class QueuedUdmaController(UdmaController):
@@ -105,11 +110,15 @@ class QueuedUdmaController(UdmaController):
             # hardware property and keep flowing (section 6 statelessness).
             self._dest = None
             self._count = 0
+            if self._spans is not None:
+                self._span_drop_latch("inval")
         else:
             self._dest = operand
             self._count = min(
                 value, self.page_size - (operand.proxy_addr % self.page_size)
             )
+            if self._spans is not None:
+                self._span_store_queued(operand, value)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now,
@@ -139,8 +148,45 @@ class QueuedUdmaController(UdmaController):
         """Context-switch Inval: clears the latch, never queued requests."""
         self._dest = None
         self._count = 0
+        if self._spans is not None:
+            self._span_drop_latch("inval")
         if self.tracer.enabled:
             self.tracer.emit(self.clock.now, self.name, "inval")
+
+    # ----------------------------------------------------------- span hooks
+    # Host-side only, like the base class's: the queued device's root span
+    # lives on the latch until the request is accepted, then rides the
+    # QueuedRequest to completion.
+
+    def _span_store_queued(self, operand: ProxyOperand, value: int) -> None:
+        if self._span is not None:
+            self._spans.event(
+                self._span,
+                "re-latch",
+                dest=f"{operand.proxy_addr:#x}",
+                nbytes=value,
+            )
+            self._span_dest = operand.proxy_addr
+            return
+        attrs = {
+            "node": self.name,
+            "dest": f"{operand.proxy_addr:#x}",
+            "space": operand.space.value,
+            "nbytes": value,
+        }
+        hint = self._retry_hint
+        if hint is not None and hint[0] == operand.proxy_addr:
+            attrs["retry_of"] = hint[1]
+            self._retry_hint = None
+        self._span = self._spans.begin("transfer", **attrs)
+        self._span_dest = operand.proxy_addr
+
+    def _span_drop_latch(self, status: str) -> None:
+        if self._span is None:
+            return
+        self._spans.finish(self._span, status=status)
+        self._retry_hint = (self._span_dest, self._span)
+        self._span = None
 
     # ----------------------------------------------------------- privileged
     def enqueue_system(
@@ -160,7 +206,9 @@ class QueuedUdmaController(UdmaController):
             self.page_size - (source.proxy_addr % self.page_size),
             self.page_size - (dest.proxy_addr % self.page_size),
         )
-        request = QueuedRequest(source, dest, count, system=True)
+        request = QueuedRequest(
+            source, dest, count, system=True, accepted_at=self.clock.now
+        )
         self._system_queue.append(request)
         self._note_pages(request, +1)
         self.accepted += 1
@@ -220,6 +268,8 @@ class QueuedUdmaController(UdmaController):
             # BadLoad, as in the basic device: drop the latch.
             self._dest = None
             self._count = 0
+            if self._spans is not None:
+                self._span_drop_latch("bad-load")
             snapshot = self._status_snapshot(operand)
             return UdmaStatus(
                 initiation=True,
@@ -237,6 +287,8 @@ class QueuedUdmaController(UdmaController):
         if errors:
             self._dest = None
             self._count = 0
+            if self._spans is not None:
+                self._span_drop_latch("device-error")
             snapshot = self._status_snapshot(operand)
             return UdmaStatus(
                 initiation=True,
@@ -249,6 +301,12 @@ class QueuedUdmaController(UdmaController):
         if len(queue) >= self.queue_depth:
             # Refused; keep the latch so the user can retry the LOAD alone.
             self.refused += 1
+            if self._spans is not None and self._span is not None:
+                # The span stays open with the latch; the retry is part of
+                # the same transfer's life.
+                self._spans.event(
+                    self._span, "queue-refused", backlog=self.backlog_requests
+                )
             snapshot = self._status_snapshot(operand)
             return UdmaStatus(
                 initiation=True,
@@ -256,9 +314,25 @@ class QueuedUdmaController(UdmaController):
                 match=snapshot.match,
                 remaining_bytes=snapshot.remaining_bytes,
             )
-        request = QueuedRequest(operand, self._dest, count, system=system)
+        request = QueuedRequest(
+            operand,
+            self._dest,
+            count,
+            system=system,
+            accepted_at=self.clock.now,
+        )
         self._dest = None
         self._count = 0
+        if self._spans is not None and self._span is not None:
+            self._spans.event(
+                self._span,
+                "queued",
+                source=f"{operand.proxy_addr:#x}",
+                count=count,
+                backlog=self.backlog_requests,
+            )
+            request.span = self._span
+            self._span = None
         queue.append(request)
         self._note_pages(request, +1)
         self.accepted += 1
@@ -311,13 +385,25 @@ class QueuedUdmaController(UdmaController):
         self._transfer_start_time = self.clock.now
         self._transfer_duration = duration
         self._transfer_count = request.count
-        self.engine.start(source, destination, request.count, self._head_done)
+        if self._spans is not None and request.span is not None:
+            self._spans.event(request.span, "launch")
+        self.engine.start(
+            source,
+            destination,
+            request.count,
+            self._head_done,
+            span_id=request.span,
+        )
 
     def _head_done(self) -> None:
         finished = self._in_flight
         self._in_flight = None
         if finished is not None:
             self._note_pages(finished, -1)
+            if self._latency_hist is not None:
+                self._latency_hist.observe(self.clock.now - finished.accepted_at)
+            if self._spans is not None and finished.span is not None:
+                self._spans.finish(finished.span, status="complete")
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now,

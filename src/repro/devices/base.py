@@ -48,6 +48,9 @@ class UDMADevice(abc.ABC):
         self.alignment = alignment
         self.clock: Optional[Clock] = None
         self.tracer: Tracer = NULL_TRACER
+        # Span tracker when the owning Machine traces spans (repro.obs);
+        # None otherwise, so call sites stay one attribute load.
+        self._spans = None
 
     def attach(self, clock: Clock, tracer: Tracer = NULL_TRACER) -> None:
         """Wire the device to a node's clock and tracer."""

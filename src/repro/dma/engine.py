@@ -207,6 +207,13 @@ class DmaEngine:
         self._source_snapshot: Optional[memoryview] = None
         self._oneshot: List[Callable[[], None]] = []
         self._listeners: List[Callable[[], None]] = []
+        # Observability (see repro.obs): the span tracker when tracing is
+        # on, the open "dma" child span, and the root transfer span whose
+        # data this engine is moving (published as current_data_span while
+        # delivering, so a NIC can parent its packet spans).
+        self._spans = None
+        self._dma_span: Optional[int] = None
+        self._parent_span: Optional[int] = None
 
     # ------------------------------------------------------------ controls
     def start(
@@ -215,6 +222,7 @@ class DmaEngine:
         destination: Endpoint,
         count: int,
         on_complete: Optional[Callable[[], None]] = None,
+        span_id: Optional[int] = None,
     ) -> None:
         """Begin moving ``count`` bytes; raises :class:`DmaError` if busy."""
         if self.busy:
@@ -228,6 +236,16 @@ class DmaEngine:
         if on_complete is not None:
             self._oneshot.append(on_complete)
         duration = self.transfer_duration(source, destination, count)
+        if self._spans is not None and span_id is not None:
+            self._parent_span = span_id
+            self._dma_span = self._spans.begin(
+                "dma",
+                parent=span_id,
+                engine=self.name,
+                src=source.describe(),
+                dst=destination.describe(),
+                count=count,
+            )
         if self.burst_bytes > 0:
             self._start_stepping(duration)
         else:
@@ -271,6 +289,8 @@ class DmaEngine:
             event.cancel()
         if self.tracer.enabled:
             self.tracer.emit(self.clock.now, self.name, "dma-abort", count=self.count)
+        if self._spans is not None and self._dma_span is not None:
+            self._spans.finish(self._dma_span, status="aborted")
         self._reset()
 
     def add_completion_listener(self, callback: Callable[[], None]) -> None:
@@ -340,10 +360,27 @@ class DmaEngine:
             self.progress_bytes = offset + size
             if last:
                 if self._staged is not None:
-                    self.destination.write(memoryview(self._staged))
+                    self._deliver(memoryview(self._staged))
                 self._finish()
 
         return chunk_event
+
+    def _deliver(self, data: Buffer) -> None:
+        """Hand the payload to the destination, tagging the data's span.
+
+        While the write runs, ``current_data_span`` names the transfer
+        that produced these bytes, so a destination that fans the data out
+        (a NIC carving packets) can attach its own child spans.
+        """
+        spans = self._spans
+        if spans is not None and self._parent_span is not None:
+            spans.current_data_span = self._parent_span
+            try:
+                self.destination.write(data)
+            finally:
+                spans.current_data_span = None
+        else:
+            self.destination.write(data)
 
     def _finish(self) -> None:
         self.transfers_completed += 1
@@ -352,6 +389,8 @@ class DmaEngine:
             self.tracer.emit(
                 self.clock.now, self.name, "dma-complete", count=self.count
             )
+        if self._spans is not None and self._dma_span is not None:
+            self._spans.finish(self._dma_span, status="complete")
         callbacks = self._oneshot + list(self._listeners)
         self._reset()
         for callback in callbacks:
@@ -367,13 +406,15 @@ class DmaEngine:
         data: Buffer = (
             viewer(self.count) if viewer is not None else self.source.read(self.count)
         )
-        self.destination.write(data)
+        self._deliver(data)
         self.transfers_completed += 1
         self.bytes_transferred += self.count
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now, self.name, "dma-complete", count=self.count
             )
+        if self._spans is not None and self._dma_span is not None:
+            self._spans.finish(self._dma_span, status="complete")
         callbacks = self._oneshot + list(self._listeners)
         self._reset()
         for callback in callbacks:
@@ -390,3 +431,5 @@ class DmaEngine:
         self._staged = None
         self._source_snapshot = None
         self._oneshot = []
+        self._dma_span = None
+        self._parent_span = None

@@ -39,6 +39,7 @@ from repro.kernel.remap_guard import GuardStrategy
 from repro.kernel.vm_manager import I3_WRITE_PROTECT
 from repro.mem.layout import DeviceWindow, Layout, ProxyScheme
 from repro.mem.physmem import PhysicalMemory
+from repro.obs import Observability, ObsConfig, unflatten
 from repro.params import CostModel, shrimp
 from repro.sim.clock import Clock
 from repro.sim.trace import Tracer
@@ -60,6 +61,11 @@ class Machine:
             "proxy-dirty" (the alternative of section 6).
         guard_strategy: how the I4 remap guard queries the hardware.
         record_trace: keep a full event trace (tests/debugging).
+        obs: observability plane configuration -- an
+            :class:`~repro.obs.ObsConfig` (build a private plane), a
+            shared :class:`~repro.obs.Observability` (cluster nodes share
+            one registry/span tracker, namespaced by node name), or None
+            for the metrics-only default.  See ``docs/OBSERVABILITY.md``.
         dma_burst_bytes: > 0 runs the UDMA engine in word-stepping mode
             with bursts of this many bytes (progress is observable).
         dma_bursts_per_event: batch this many stepping bursts per clock
@@ -91,11 +97,30 @@ class Machine:
         dma_bursts_per_event: int = 1,
         swap: str = "dict",
         fast_paths: bool = True,
+        obs: "Optional[ObsConfig | Observability]" = None,
     ) -> None:
         self.costs = costs if costs is not None else shrimp()
         self.name = name
         self.clock = clock if clock is not None else Clock()
-        self.tracer = tracer if tracer is not None else Tracer(record=record_trace)
+        if isinstance(obs, Observability):
+            # Shared plane (a cluster's): namespace this node's metrics.
+            self.obs = obs
+            self._obs_prefix = f"{name}."
+        else:
+            self.obs = Observability(obs, clock=self.clock)
+            self._obs_prefix = ""
+        self.obs.adopt_clock(self.clock)
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.obs.tracer is not None:
+            self.tracer = self.obs.tracer
+        else:
+            self.tracer = Tracer(
+                record=record_trace or self.obs.config.record_trace
+            )
+        if self.obs.tracer is None:
+            self.obs.tracer = self.tracer
+        self._metrics_bound = False
         self.layout = Layout(
             mem_size=mem_size,
             scheme=scheme,
@@ -164,9 +189,14 @@ class Machine:
             bounce_frames=bounce_frames,
             tracer=self.tracer,
         )
+        if self.obs.spans is not None:
+            self.udma._spans = self.obs.spans
+            self.udma_engine._spans = self.obs.spans
         self.swap_disk = None
         if swap != "dict":
             self._attach_swap_disk(swap, bounce_frames)
+        if self.obs.config.metrics:
+            self._bind_metrics()
 
     def _attach_swap_disk(self, swap: str, bounce_frames: int) -> None:
         """Replace the dict backing store with a real swap disk.
@@ -218,7 +248,95 @@ class Machine:
     # ------------------------------------------------------------ assembly
     def attach_device(self, device: UDMADevice) -> DeviceWindow:
         """Attach a device to the UDMA controller (reserves a proxy window)."""
-        return self.udma.attach_device(device)
+        window = self.udma.attach_device(device)
+        if self.obs.spans is not None:
+            device._spans = self.obs.spans
+        return window
+
+    # ------------------------------------------------------- observability
+    def _bind_metrics(self) -> None:
+        """Register this node's stable metric names over its live counters.
+
+        Bindings are *sampled*: each counter/gauge reads the component's
+        bare integer attribute only when a snapshot is taken, so the hot
+        paths stay untouched.  The one recording instrument is the
+        per-transfer latency histogram, handed to the UDMA controller
+        (guarded there with ``if hist is not None``).  Names are stable
+        API -- see ``tests/obs/test_metric_names_golden.py``.
+        """
+        if self._metrics_bound:
+            return
+        self._metrics_bound = True
+        reg = self.obs.registry
+        p = self._obs_prefix
+        cpu, tlb = self.cpu, self.mmu.tlb
+        vm = self.kernel.vm
+        sched = self.kernel.scheduler
+        sys = self.kernel.syscalls
+
+        reg.counter(p + "cpu.instructions", lambda: cpu.instructions)
+        reg.counter(p + "cpu.loads", lambda: cpu.loads)
+        reg.counter(p + "cpu.stores", lambda: cpu.stores)
+        reg.counter(p + "cpu.charged_cycles", lambda: cpu.charged_cycles)
+        reg.counter(p + "cpu.xlat_hits", lambda: cpu.xlat_hits)
+        reg.counter(p + "cpu.xlat_misses", lambda: cpu.xlat_misses)
+        reg.counter(p + "cpu.xlat_fills", lambda: cpu.xlat_fills)
+        reg.counter(p + "tlb.hits", lambda: tlb.hits)
+        reg.counter(p + "tlb.misses", lambda: tlb.misses)
+        reg.gauge(p + "tlb.hit_rate", lambda: round(tlb.hit_rate, 4))
+        reg.counter(p + "tlb.flushes", lambda: tlb.flushes)
+        reg.counter(p + "vm.faults", lambda: vm.faults_handled)
+        reg.counter(p + "vm.proxy_faults", lambda: vm.proxy_faults)
+        reg.counter(p + "vm.pages_in", lambda: vm.pages_in)
+        reg.counter(p + "vm.pages_out", lambda: vm.pages_out)
+        reg.counter(p + "vm.cleans", lambda: vm.cleans)
+        reg.counter(p + "vm.cleans_deferred", lambda: vm.cleans_deferred)
+        reg.counter(
+            p + "vm.evictions_redirected", lambda: vm.evictions_redirected
+        )
+        reg.counter(p + "scheduler.switches", lambda: sched.switches)
+        reg.counter(p + "scheduler.invals_fired", lambda: sched.invals_fired)
+        reg.counter(p + "syscalls.dma_calls", lambda: sys.dma_calls)
+        reg.counter(p + "syscalls.pages_pinned", lambda: sys.pages_pinned)
+        reg.counter(p + "syscalls.bytes_copied", lambda: sys.bytes_copied)
+        reg.counter(
+            p + "udma.engine_transfers",
+            lambda: self.udma_engine.transfers_completed,
+        )
+        reg.counter(
+            p + "udma.engine_bytes",
+            lambda: self.udma_engine.bytes_transferred,
+        )
+        udma = self.udma
+        if isinstance(udma, QueuedUdmaController):
+            reg.counter(p + "udma.accepted", lambda: udma.accepted)
+            reg.counter(p + "udma.refused", lambda: udma.refused)
+            reg.gauge(p + "udma.backlog", lambda: udma.backlog_requests)
+        else:
+            sm = udma.sm
+            reg.counter(p + "udma.initiations", lambda: sm.initiations)
+            reg.counter(p + "udma.completions", lambda: sm.completions)
+            reg.counter(p + "udma.bad_loads", lambda: sm.bad_loads)
+            reg.counter(p + "udma.invals", lambda: sm.invals)
+        reg.gauge(p + "sim.now_cycles", lambda: self.clock.now)
+        reg.counter(p + "sim.events_fired", lambda: self.clock.events_fired)
+        self.udma._latency_hist = reg.histogram(
+            p + "udma.transfer_cycles",
+            help="initiation-to-completion latency per UDMA transfer",
+        )
+
+    def metrics(self) -> dict:
+        """This node's counters, grouped by subsystem.
+
+        The stable replacement for the deprecated
+        :func:`repro.analysis.metrics.machine_metrics` free function: the
+        report is a nested view over the observability plane's registry
+        (``m.obs.registry``), sampled at call time.
+        """
+        self._bind_metrics()
+        return unflatten(
+            self.obs.registry.snapshot(self._obs_prefix), strip=self._obs_prefix
+        )
 
     # ------------------------------------------------------------- helpers
     def create_process(self, name: str) -> Process:

@@ -54,6 +54,8 @@ class Interconnect:
         self.topology = topology
         self.mesh_width = mesh_width
         self._nics: Dict[int, "ReceiverPort"] = {}
+        # Span tracker when the owning cluster traces spans (repro.obs).
+        self._spans = None
         self.packets_routed = 0
         self.bytes_routed = 0
         self.packets_dropped = 0
@@ -121,6 +123,14 @@ class Interconnect:
         self.packets_routed += 1
         self.bytes_routed += nbytes
         port = self._nics[dst_node]
+        if (
+            self._spans is not None
+            and isinstance(wire, Packet)
+            and wire.span is not None
+        ):
+            self._spans.event(
+                wire.span, "route", src=src_node, dst=dst_node, delay=delay
+            )
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now,

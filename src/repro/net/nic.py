@@ -139,12 +139,24 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         index = offset // self.page_size
         entry = self.nipt.require(index)
         dst_paddr = entry.dst_page * self.page_size + offset % self.page_size
+        pkt_span = None
+        if self._spans is not None and self._spans.current_data_span is not None:
+            # The engine publishes the transfer span whose data this is;
+            # the packet's life becomes a child of that transfer.
+            pkt_span = self._spans.begin(
+                "packet",
+                parent=self._spans.current_data_span,
+                src=self.node_id,
+                dst=entry.dst_node,
+                bytes=len(data),
+            )
         packet = Packet(
             src_node=self.node_id,
             dst_node=entry.dst_node,
             dst_paddr=dst_paddr,
             payload=bytes(data),
             seq=self._next_seq(),
+            span=pkt_span,
         )
         self.outgoing.push(packet)
         fill_duration = self.costs.dma_start_cycles + transfer_cycles(
@@ -182,6 +194,8 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         packet = self.outgoing.pop()
         self.packets_sent += 1
         self.bytes_sent += len(packet.payload)
+        if self._spans is not None:
+            self._spans.event(packet.span, "wire-tx", seq=packet.seq)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now,
@@ -256,6 +270,12 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         self.packets_received += 1
         self.bytes_received += len(packet.payload)
         self.last_delivery_done = self.clock.now
+        if self._spans is not None:
+            # Cluster nodes share one tracker, so the receiving NIC can
+            # close the span the sending NIC opened.
+            self._spans.finish(
+                packet.span, status="delivered", paddr=f"{packet.dst_paddr:#x}"
+            )
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock.now,

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import struct
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import NetworkError
 
@@ -68,6 +69,12 @@ class Packet:
     dst_paddr: int
     payload: bytes
     seq: int = 0
+    #: trace-only sidecar: the span id this packet belongs to (see
+    #: repro.obs).  Deliberately NOT part of the simulated wire format --
+    #: encode/decode ignore it, so wire bytes are unchanged and a packet
+    #: that round-trips through bytes (fault injection) loses its span,
+    #: leaving the span open: exactly the signal a drop should produce.
+    span: Optional[int] = field(default=None, compare=False, repr=False)
 
     HEADER_BYTES = _HEADER.size + 4  # header struct + checksum word
 

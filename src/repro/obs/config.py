@@ -1,0 +1,32 @@
+"""Observability configuration: the one knob assemblies accept.
+
+``Machine(..., obs=ObsConfig(...))`` and ``ShrimpCluster(..., obs=...)``
+replace the previous scatter of ``tracer=`` / ``record_trace=`` attach
+patterns (which still work, as thin aliases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What the observability plane should collect.
+
+    Attributes:
+        metrics: bind the metrics registry over the component counters
+            (sampled at snapshot time -- no hot-path cost) and record the
+            per-transfer latency histogram.  The default.
+        spans: mint causal transfer spans (initiation -> packets ->
+            completion).  Off by default; purely host-side when on.
+        record_trace: keep the full :class:`~repro.sim.trace.TraceEvent`
+            stream (the old ``record_trace=`` flag).
+        max_spans: span-tracker capacity; further spans are counted as
+            dropped rather than grown without bound.
+    """
+
+    metrics: bool = True
+    spans: bool = False
+    record_trace: bool = False
+    max_spans: int = 100_000

@@ -1,0 +1,105 @@
+"""Chrome trace-event export: load a transfer's span tree in Perfetto.
+
+:func:`chrome_trace` renders a :class:`~repro.obs.spans.SpanTracker` as
+the Chrome trace-event JSON format (the ``traceEvents`` array of ``"X"``
+complete-span and ``"i"`` instant events) that https://ui.perfetto.dev
+and ``chrome://tracing`` open directly.  Each transfer's span tree is
+placed on its own track (``tid`` = root span id), so one UDMA transfer
+reads as one lane: initiation, the DMA fill underneath it, each packet's
+flight, and the instant markers for retries, Invals and queue refusals.
+
+Timestamps are microseconds of *simulated* time (converted through the
+cost model when one is given, else raw cycles).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.spans import SpanTracker
+
+
+def chrome_trace(
+    tracker: SpanTracker,
+    costs=None,
+    process_name: str = "shrimp-udma",
+) -> Dict[str, Any]:
+    """Render every span as a Chrome trace-event JSON object."""
+    to_us = (lambda c: costs.cycles_to_us(c)) if costs is not None else float
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    # Open spans (a dropped packet, a crashed schedule) still render; they
+    # extend to the latest timestamp the tracker has seen.
+    horizon = 0
+    for span in tracker:
+        horizon = max(horizon, span.start, span.end or 0)
+        for ev in span.events:
+            horizon = max(horizon, ev.time)
+
+    named_tracks = set()
+    for span in sorted(tracker, key=lambda s: s.id):
+        root = tracker.root_of(span.id)
+        if root not in named_tracks:
+            named_tracks.add(root)
+            root_span = tracker.get(root)
+            label = root_span.name if root_span is not None else "span"
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": root,
+                    "args": {"name": f"{label} #{root}"},
+                }
+            )
+        end = span.end if span.end is not None else horizon
+        args: Dict[str, Any] = {"id": span.id, "status": span.status}
+        if span.parent is not None:
+            args["parent"] = span.parent
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": root,
+                "ts": to_us(span.start),
+                "dur": to_us(end - span.start),
+                "args": args,
+            }
+        )
+        for ev in span.events:
+            events.append(
+                {
+                    "name": ev.name,
+                    "cat": span.name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": root,
+                    "ts": to_us(ev.time),
+                    "args": dict(ev.attrs),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracker: SpanTracker,
+    path: str,
+    costs=None,
+    process_name: str = "shrimp-udma",
+) -> None:
+    """Write :func:`chrome_trace` output to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracker, costs=costs, process_name=process_name), fh)
+        fh.write("\n")

@@ -1,0 +1,272 @@
+"""Typed metrics registry: stable, namespaced names over live counters.
+
+The simulator's components keep plain integer attributes on their hot
+paths (``cpu.loads += 1`` costs one integer add and nothing else).  The
+registry does not replace those attributes -- it *binds* them: a
+:class:`Counter` or :class:`Gauge` registered with a ``read`` callback
+samples the live attribute only when a snapshot is taken, so observation
+costs nothing until someone observes.  :class:`Histogram` is the one
+*recording* instrument (distributions cannot be reconstructed after the
+fact); call sites guard it with ``if hist is not None``.
+
+Names are dotted, stable, and part of the public API: renaming a metric
+is an API change, enforced by the golden-name test in
+``tests/obs/test_metric_names_golden.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: dotted lowercase names: ``cpu.loads``, ``node0.nic.packets_sent``
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"metric name {name!r} is not a dotted lowercase identifier"
+        )
+    return name
+
+
+class Metric:
+    """Base of every registered instrument."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+
+    def value(self) -> Any:
+        """Current value as it should appear in a snapshot."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Counter(Metric):
+    """A monotonically increasing count.
+
+    Either *sampled* (``read`` callback over a component's live
+    attribute -- the zero-overhead binding) or *owned* (call
+    :meth:`inc`); not both.
+    """
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        read: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        super().__init__(name, help)
+        self._read = read
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Increment an owned counter (invalid on sampled counters)."""
+        if self._read is not None:
+            raise ConfigurationError(
+                f"counter {self.name!r} samples a live attribute; "
+                "increment the attribute, not the binding"
+            )
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    def value(self) -> Any:
+        return self._read() if self._read is not None else self._value
+
+
+class Gauge(Metric):
+    """A point-in-time value (may go up, down, or be a label string)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        read: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        super().__init__(name, help)
+        self._read = read
+        self._value: Any = 0
+
+    def set(self, value: Any) -> None:
+        """Set an owned gauge (invalid on sampled gauges)."""
+        if self._read is not None:
+            raise ConfigurationError(
+                f"gauge {self.name!r} samples a live attribute"
+            )
+        self._value = value
+
+    def value(self) -> Any:
+        return self._read() if self._read is not None else self._value
+
+
+#: default latency buckets: powers of two from 16 cycles to ~16M cycles
+DEFAULT_BUCKETS = tuple(1 << k for k in range(4, 25))
+
+
+class Histogram(Metric):
+    """A recording distribution over fixed bucket upper bounds.
+
+    Unlike counters and gauges, a histogram must see every sample when it
+    happens; call sites therefore hold a direct reference and guard with
+    ``if hist is not None`` so the unobserved cost is one attribute load.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: "tuple[int, ...]" = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError(
+                f"histogram {self.name!r} needs ascending bucket bounds"
+            )
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> int:
+        """Upper bucket bound holding the ``q``-quantile (0 < q <= 1)."""
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            if running >= target:
+                return bound
+        return self.max if self.max is not None else self.buckets[-1]
+
+    def value(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """All of one observability plane's instruments, by stable name."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # --------------------------------------------------------- registration
+    def register(self, metric: Metric) -> Metric:
+        """Add an instrument; duplicate names are configuration errors."""
+        if metric.name in self._metrics:
+            raise ConfigurationError(
+                f"metric {metric.name!r} is already registered"
+            )
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(
+        self,
+        name: str,
+        read: Optional[Callable[[], Any]] = None,
+        help: str = "",
+    ) -> Counter:
+        """Register a counter (sampled when ``read`` is given)."""
+        metric = Counter(name, help=help, read=read)
+        self.register(metric)
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        read: Optional[Callable[[], Any]] = None,
+        help: str = "",
+    ) -> Gauge:
+        """Register a gauge (sampled when ``read`` is given)."""
+        metric = Gauge(name, help=help, read=read)
+        self.register(metric)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: "tuple[int, ...]" = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Register a recording histogram."""
+        metric = Histogram(name, help=help, buckets=buckets)
+        self.register(metric)
+        return metric
+
+    # -------------------------------------------------------------- reading
+    def get(self, name: str) -> Metric:
+        """Instrument by name."""
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ConfigurationError(f"no metric {name!r} registered") from None
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted registered names (optionally under a prefix)."""
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """One deterministic flat reading: sorted name -> current value."""
+        return {n: self._metrics[n].value() for n in self.names(prefix)}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+def unflatten(flat: Dict[str, Any], strip: str = "") -> Dict[str, Any]:
+    """Nest a flat dotted-name snapshot into the classic report shape.
+
+    ``unflatten({"cpu.loads": 3}) == {"cpu": {"loads": 3}}``.  ``strip``
+    removes a shared prefix (a node's namespace in a cluster registry)
+    before nesting.
+    """
+    nested: Dict[str, Any] = {}
+    for name, value in flat.items():
+        if strip:
+            name = name[len(strip):]
+        node = nested
+        parts = name.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return nested

@@ -10,8 +10,11 @@ internals.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,9 @@ class Tracer:
         #: True when emitting would have any observable effect (read-only;
         #: derived from ``record`` and the subscriber list)
         self.enabled = record
+        #: subscriber exceptions swallowed (observers must never be able
+        #: to crash the simulation step that emitted the event)
+        self.subscriber_errors = 0
 
     @property
     def record(self) -> bool:
@@ -80,7 +86,15 @@ class Tracer:
         if self.record:
             self.events.append(event)
         for handler in self._subscribers:
-            handler(event)
+            # Observers are isolated: a broken handler must not propagate
+            # into (and desync) the simulation step that emitted the event.
+            try:
+                handler(event)
+            except Exception:
+                self.subscriber_errors += 1
+                _log.exception(
+                    "trace subscriber %r raised on %s.%s", handler, source, kind
+                )
 
     # ------------------------------------------------------------ querying
     def of_kind(self, kind: str) -> List[TraceEvent]:

@@ -1,13 +1,18 @@
-"""Tests for the metrics collector."""
+"""Tests for the metrics snapshot API and its deprecated wrappers."""
 
 import pytest
 
-from repro.analysis.metrics import cluster_metrics, machine_metrics, render
+from repro.analysis.metrics import (
+    cluster_metrics,
+    machine_metrics,
+    render,
+    transfer_latency,
+)
 
 
 class TestMachineMetrics:
     def test_groups_present(self, sink_machine):
-        metrics = machine_metrics(sink_machine.machine)
+        metrics = sink_machine.machine.metrics()
         for group in ("cpu", "tlb", "vm", "scheduler", "syscalls", "udma"):
             assert group in metrics
 
@@ -16,7 +21,7 @@ class TestMachineMetrics:
         rig.fill_buffer(b"x" * 256)
         rig.udma.transfer(rig.mem(0), rig.dev(0), 256)
         rig.machine.run_until_idle()
-        metrics = machine_metrics(rig.machine)
+        metrics = rig.machine.metrics()
         assert metrics["udma"]["initiations"] >= 1
         assert metrics["udma"]["engine_bytes"] >= 256
         assert metrics["cpu"]["instructions"] > 0
@@ -27,7 +32,7 @@ class TestMachineMetrics:
         rig.fill_buffer(b"y" * 64)
         rig.udma.transfer(rig.mem(0), rig.dev(0), 64)
         rig.machine.run_until_idle()
-        metrics = machine_metrics(rig.machine)
+        metrics = rig.machine.metrics()
         assert metrics["udma"]["accepted"] >= 1
         assert "refused" in metrics["udma"]
 
@@ -37,11 +42,38 @@ class TestClusterMetrics:
         rig = channel_rig
         rig.sender.send_bytes(b"abcd" * 64)
         rig.cluster.run_until_idle()
-        metrics = cluster_metrics(rig.cluster)
+        metrics = rig.cluster.metrics()
         assert metrics["backplane"]["packets_routed"] == 1
         assert metrics["node0"]["nic"]["packets_sent"] == 1
         assert metrics["node1"]["nic"]["packets_received"] == 1
         assert metrics["node1"]["nic"]["bytes_received"] == 256
+
+
+class TestDeprecatedWrappers:
+    def test_machine_metrics_warns_and_matches(self, sink_machine):
+        machine = sink_machine.machine
+        with pytest.warns(DeprecationWarning, match=r"use m\.metrics\(\)"):
+            legacy = machine_metrics(machine)
+        assert legacy == machine.metrics()
+
+    def test_cluster_metrics_warns_and_matches(self, channel_rig):
+        cluster = channel_rig.cluster
+        with pytest.warns(DeprecationWarning, match=r"use c\.metrics\(\)"):
+            legacy = cluster_metrics(cluster)
+        assert legacy == cluster.metrics()
+
+
+class TestTransferLatency:
+    def test_histogram_after_transfers(self, sink_machine):
+        rig = sink_machine
+        rig.fill_buffer(b"z" * 128)
+        for _ in range(3):
+            rig.udma.transfer(rig.mem(0), rig.dev(0), 128)
+            rig.machine.run_until_idle()
+        hist = transfer_latency(rig.machine)
+        assert hist["count"] == 3
+        assert hist["min"] > 0
+        assert hist["p50"] >= hist["min"]
 
 
 class TestRender:
@@ -52,6 +84,6 @@ class TestRender:
         assert text.count("\n") >= 3
 
     def test_real_metrics_render(self, sink_machine):
-        text = render(machine_metrics(sink_machine.machine))
+        text = render(sink_machine.machine.metrics())
         assert "hit_rate" in text
         assert "invals_fired" in text

@@ -1,0 +1,75 @@
+"""Golden-file test: the registered metric name set is a public API.
+
+Renaming, removing, or adding a metric must be a deliberate act: update
+the matching ``tests/obs/data/metric_names_*.txt`` file in the same
+change and call it out in the changelog.  The data files are the
+authoritative list of stable names.
+"""
+
+import os
+
+import pytest
+
+from repro import Machine, ShrimpCluster
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+
+
+def _golden(filename):
+    with open(os.path.join(DATA, filename)) as fh:
+        return [line.strip() for line in fh if line.strip()]
+
+
+def _diff_message(actual, expected):
+    missing = sorted(set(expected) - set(actual))
+    extra = sorted(set(actual) - set(expected))
+    return (
+        f"metric name set drifted from the golden file "
+        f"(missing={missing}, unexpected={extra}); if the change is "
+        f"deliberate, update tests/obs/data/ in the same commit"
+    )
+
+
+class TestGoldenNames:
+    def test_machine_basic(self):
+        names = Machine(mem_size=1 << 20).obs.registry.names()
+        expected = _golden("metric_names_machine_basic.txt")
+        assert names == expected, _diff_message(names, expected)
+
+    def test_machine_queued(self):
+        names = Machine(mem_size=1 << 20, queue_depth=8).obs.registry.names()
+        expected = _golden("metric_names_machine_queued.txt")
+        assert names == expected, _diff_message(names, expected)
+
+    def test_cluster(self):
+        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+        cluster.metrics()  # bind node namespaces
+        names = cluster.obs.registry.names()
+        expected = _golden("metric_names_cluster.txt")
+        assert names == expected, _diff_message(names, expected)
+
+
+class TestSnapshotDeterminism:
+    def _run(self):
+        machine = Machine(mem_size=1 << 20)
+        from repro.devices import SinkDevice
+        from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+
+        sink = SinkDevice("sink", size=1 << 14)
+        machine.attach_device(sink)
+        process = machine.create_process("p")
+        buf = machine.kernel.syscalls.alloc(process, 1024)
+        grant = machine.kernel.syscalls.grant_device_proxy(process, "sink")
+        udma = UdmaUser(machine, process)
+        machine.cpu.write_bytes(buf, b"d" * 1024)
+        for _ in range(4):
+            udma.transfer(MemoryRef(buf), DeviceRef(grant), 1024)
+            machine.run_until_idle()
+        return machine.obs.registry.snapshot()
+
+    def test_identical_runs_identical_snapshots(self):
+        assert self._run() == self._run()
+
+    def test_snapshot_key_order_is_sorted(self):
+        snapshot = self._run()
+        assert list(snapshot) == sorted(snapshot)
