@@ -302,6 +302,72 @@ def bench_translate_storm(iterations: int = 120, pages: int = 64) -> HostResult:
     )
 
 
+def bench_reliable_pingpong(
+    rounds: int = 100,
+    msg_bytes: int = 4096,
+    reliability: bool = False,
+    drop_every: int = 0,
+) -> HostResult:
+    """Ping-pong with the ack/retransmit transport in the loop.
+
+    Deliberately NOT registered in :data:`SCENARIOS`: the transport is an
+    opt-in feature, so it must not perturb the ``BENCH_core.json``
+    regression gate.  Run via ``run_bench.py --reliability-overhead``.
+
+    ``drop_every`` > 0 installs a deterministic counting injector that
+    drops every Nth routed packet (data and ACKs alike -- both must
+    heal), forcing the full encode/decode wire path plus retransmission
+    timeouts.  ``drop_every=100`` is the "1% loss" point.
+    """
+    cluster = ShrimpCluster(
+        num_nodes=2, mem_size=1 << 21, reliability=reliability
+    )
+    if drop_every > 0:
+        routed = {"n": 0}
+
+        def drop_nth(wire):
+            routed["n"] += 1
+            return None if routed["n"] % drop_every == 0 else wire
+
+        cluster.interconnect.fault_injector = drop_nth
+    procs = [cluster.node(i).create_process(f"p{i}") for i in range(2)]
+    bufs = [
+        cluster.node(i).kernel.syscalls.alloc(procs[i], msg_bytes)
+        for i in range(2)
+    ]
+    ch01 = cluster.create_channel(0, 1, procs[1], bufs[1], msg_bytes)
+    ch10 = cluster.create_channel(1, 0, procs[0], bufs[0], msg_bytes)
+    senders = [
+        Sender(cluster, procs[0], ch01),
+        Sender(cluster, procs[1], ch10),
+    ]
+    for sender in senders:
+        sender._ensure_current()
+        sender.machine.cpu.write_bytes(sender.buffer, make_payload(msg_bytes))
+    cluster.run_until_idle()
+
+    start_cycles = cluster.now
+    start_events = _events_fired(cluster.clock)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        senders[0].send_buffer(msg_bytes)
+        cluster.run_until_idle()
+        senders[1].send_buffer(msg_bytes)
+        cluster.run_until_idle()
+    elapsed = time.perf_counter() - t0
+    label = "reliable_pingpong" if reliability else "pingpong_unreliable"
+    if drop_every:
+        label += f"_loss{100 // drop_every}pct"
+    return HostResult(
+        scenario=label,
+        sim_bytes=2 * rounds * msg_bytes,
+        sim_cycles=cluster.now - start_cycles,
+        messages=2 * rounds,
+        host_seconds=elapsed,
+        events_fired=_events_fired(cluster.clock) - start_events,
+    )
+
+
 # --------------------------------------------------------------- running
 #: scenario name -> (full kwargs, quick kwargs)
 SCENARIOS: Dict[str, "ScenarioSpec"] = {}
@@ -382,6 +448,58 @@ def run_obs_overhead(
             if mode not in best or result.host_seconds < best[mode].host_seconds:
                 best[mode] = result
     return best
+
+
+# ------------------------------------------------- reliability overhead
+#: reliability A/B modes: label -> bench_reliable_pingpong kwargs.
+#: ``off`` is today's default (paper-faithful, lossless backplane);
+#: ``on-0%`` prices sequencing + cumulative ACK traffic alone;
+#: ``on-1%`` adds one dropped packet per hundred routed, so timeouts,
+#: backoff, and retransmissions are in the measured loop.
+RELIABILITY_MODES: Dict[str, Dict[str, int]] = {
+    "off": {"reliability": False, "drop_every": 0},
+    "on-0%": {"reliability": True, "drop_every": 0},
+    "on-1%": {"reliability": True, "drop_every": 100},
+}
+
+
+def run_reliability_overhead(
+    quick: bool = False, repeats: int = 3
+) -> Dict[str, HostResult]:
+    """A/B the reliable transport's host cost on the ping-pong path.
+
+    Interleaves the modes within each repeat (like
+    :func:`run_obs_overhead`) and keeps the fastest run per mode.  The
+    ``off`` mode is the reference: it must match plain
+    ``cluster_pingpong`` behaviour, since a disabled transport is a
+    single ``is None`` branch per packet.
+    """
+    rounds = 50 if quick else 100
+    best: Dict[str, HostResult] = {}
+    for _ in range(max(1, repeats)):
+        for mode, kwargs in RELIABILITY_MODES.items():
+            result = bench_reliable_pingpong(rounds=rounds, **kwargs)
+            if mode not in best or result.host_seconds < best[mode].host_seconds:
+                best[mode] = result
+    return best
+
+
+def format_reliability_overhead(results: Dict[str, HostResult]) -> str:
+    base = results.get("off")
+    lines = [
+        f"{'reliability':<12} {'MB/s (host)':>12} {'sim cycles':>12} "
+        f"{'host s':>8} {'vs off':>10}"
+    ]
+    for mode, r in results.items():
+        if base is not None and base.mb_per_s and mode != "off":
+            delta = f"{100.0 * (r.mb_per_s / base.mb_per_s - 1.0):>+9.1f}%"
+        else:
+            delta = f"{'-':>10}"
+        lines.append(
+            f"{mode:<12} {r.mb_per_s:>12.2f} {r.sim_cycles:>12} "
+            f"{r.host_seconds:>8.3f} {delta}"
+        )
+    return "\n".join(lines)
 
 
 def transfer_latency_profile(

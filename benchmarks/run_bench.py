@@ -33,9 +33,11 @@ for path in (os.path.join(_ROOT, "src"), _HERE):
 from bench_host_throughput import (  # noqa: E402
     HostResult,
     format_obs_overhead,
+    format_reliability_overhead,
     format_results,
     run_all,
     run_obs_overhead,
+    run_reliability_overhead,
     transfer_latency_profile,
 )
 
@@ -116,13 +118,20 @@ def main(argv=None) -> int:
                         help="allowed fractional MB/s cost of default "
                              "observability for --obs-overhead "
                              "(default 0.02)")
+    parser.add_argument("--reliability-overhead", action="store_true",
+                        help="A/B the ack/retransmit transport on the "
+                             "ping-pong path at 0%% and 1%% packet loss "
+                             "(reported, not gated -- reliability is "
+                             "opt-in)")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the scenario sweep (useful with "
-                             "--obs-overhead to run only the A/B)")
+                             "--obs-overhead / --reliability-overhead to "
+                             "run only the A/B)")
     args = parser.parse_args(argv)
 
-    if args.no_sweep and not args.obs_overhead:
-        parser.error("--no-sweep without --obs-overhead leaves nothing to run")
+    if args.no_sweep and not (args.obs_overhead or args.reliability_overhead):
+        parser.error("--no-sweep without --obs-overhead or "
+                     "--reliability-overhead leaves nothing to run")
     if args.no_sweep and (args.check or args.json):
         parser.error("--no-sweep cannot be combined with --check/--json "
                      "(both need the scenario sweep)")
@@ -143,11 +152,23 @@ def main(argv=None) -> int:
               f"p99={latency['p99']} cycles over {latency['count']} transfers")
         obs_failures = check_obs_overhead(obs_results, args.obs_tolerance)
 
+    rel_results = None
+    if args.reliability_overhead:
+        rel_results = run_reliability_overhead(
+            quick=args.quick, repeats=args.repeats
+        )
+        print()
+        print(format_reliability_overhead(rel_results))
+
     if args.json:
         payload = results_to_json(results, args.quick)
         if obs_results is not None:
             payload["obs_overhead"] = {
                 mode: r.as_dict() for mode, r in obs_results.items()
+            }
+        if rel_results is not None:
+            payload["reliability_overhead"] = {
+                mode: r.as_dict() for mode, r in rel_results.items()
             }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

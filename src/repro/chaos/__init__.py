@@ -29,7 +29,14 @@ from repro.chaos.actions import (
 )
 from repro.chaos.auditor import InvariantAuditor
 from repro.chaos.explorer import Failure, RunResult, ScheduleExplorer
-from repro.chaos.oracle import DifferentialOracle, OracleReport
+from repro.chaos.oracle import (
+    WIRE_FAULT_KINDS,
+    DeliveryReport,
+    DifferentialOracle,
+    EventualDeliveryOracle,
+    OracleReport,
+    strip_wire_faults,
+)
 from repro.chaos.shrinker import ShrinkResult, format_repro, shrink
 from repro.chaos.world import ChaosWorld
 
@@ -37,19 +44,23 @@ __all__ = [
     "Action",
     "ChaosReport",
     "ChaosWorld",
+    "DeliveryReport",
     "DifferentialOracle",
+    "EventualDeliveryOracle",
     "Failure",
     "InvariantAuditor",
     "OracleReport",
     "RunResult",
     "ScheduleExplorer",
     "ShrinkResult",
+    "WIRE_FAULT_KINDS",
     "actions_from_json",
     "actions_to_json",
     "format_repro",
     "generate_schedule",
     "run_chaos",
     "shrink",
+    "strip_wire_faults",
 ]
 
 
@@ -62,6 +73,7 @@ class ChaosReport:
     actions: List[Action]
     fast: RunResult
     oracle: Optional[OracleReport] = None
+    delivery: Optional[DeliveryReport] = None
     shrunk: Optional[ShrinkResult] = None
     repro: str = ""
     mismatches: List[str] = field(default_factory=list)
@@ -90,6 +102,8 @@ class ChaosReport:
         ]
         if self.oracle is not None:
             lines.append(self.oracle.summary())
+        if self.delivery is not None:
+            lines.append(self.delivery.summary())
         if self.ok:
             lines.append("result: PASS")
         else:
@@ -113,6 +127,7 @@ def run_chaos(
     diff: bool = True,
     actions: Optional[Sequence[Action]] = None,
     max_shrink_evals: int = 200,
+    reliability: bool = False,
 ) -> ChaosReport:
     """Run one chaos campaign: explore, audit, diff, and shrink failures.
 
@@ -126,27 +141,43 @@ def run_chaos(
         diff: also replay with fast paths disabled and run the oracle.
         actions: replay this explicit schedule instead of generating one.
         max_shrink_evals: ddmin replay budget when a failure needs shrinking.
+        reliability: enable the ack/retransmit transport and additionally
+            hold the run to the *eventual delivery* standard: wire faults
+            must leave final memory bit-identical to the fault-free twin
+            of the schedule, with zero lost messages (cluster runs only).
     """
     schedule = list(actions) if actions is not None else generate_schedule(seed, steps)
-    explorer = ScheduleExplorer(nodes=nodes, break_mode=break_mode)
+    explorer = ScheduleExplorer(
+        nodes=nodes, break_mode=break_mode, reliability=reliability
+    )
     fast = explorer.run(schedule, fast_paths=True)
 
     report = ChaosReport(seed=seed, nodes=nodes, actions=schedule, fast=fast)
     if diff:
         report.oracle = DifferentialOracle(explorer).compare(schedule, fast=fast)
-        report.mismatches = report.oracle.mismatches
+        report.mismatches = list(report.oracle.mismatches)
+    if reliability and nodes >= 2:
+        report.delivery = EventualDeliveryOracle(explorer).compare(
+            schedule, faulted=fast
+        )
+        report.mismatches.extend(report.delivery.mismatches)
 
     if report.ok:
         return report
 
     oracle = DifferentialOracle(explorer) if diff else None
+    delivery_oracle = (
+        EventualDeliveryOracle(explorer) if reliability and nodes >= 2 else None
+    )
 
     def still_fails(candidate: List[Action]) -> bool:
         probe = explorer.run(candidate, fast_paths=True)
         if probe.failure is not None:
             return True
-        if oracle is not None:
-            return not oracle.compare(candidate, fast=probe).ok
+        if oracle is not None and not oracle.compare(candidate, fast=probe).ok:
+            return True
+        if delivery_oracle is not None:
+            return not delivery_oracle.compare(candidate, faulted=probe).ok
         return False
 
     report.shrunk = shrink(schedule, still_fails, max_evals=max_shrink_evals)

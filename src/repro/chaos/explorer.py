@@ -67,15 +67,20 @@ class ScheduleExplorer:
         nodes: int = 1,
         break_mode: Optional[str] = None,
         audit: bool = True,
+        reliability: bool = False,
     ) -> None:
         self.nodes = nodes
         self.break_mode = break_mode
         self.audit = audit
+        self.reliability = reliability
 
     def run(self, actions: Sequence[Action], fast_paths: bool = True) -> RunResult:
         """Replay ``actions`` on a fresh world; never raises for findings."""
         world = ChaosWorld(
-            nodes=self.nodes, fast_paths=fast_paths, break_mode=self.break_mode
+            nodes=self.nodes,
+            fast_paths=fast_paths,
+            break_mode=self.break_mode,
+            reliability=self.reliability,
         )
         auditor = InvariantAuditor(world)
         if self.audit:

@@ -20,6 +20,17 @@ A kernel that breaks the generation discipline ("stale-xlat") passes
 every invariant check -- its page tables are internally consistent -- but
 cannot pass the oracle: the fast run serves stale translations the
 reference run never sees.
+
+A second oracle covers the reliable transport
+(:mod:`repro.net.reliable`): with reliability enabled, wire faults must
+be unobservable in the *end state*.  The
+:class:`EventualDeliveryOracle` replays each schedule with every
+wire-fault action stripped and requires the faulted run to converge to
+the same final memory image -- plus a quiesced transport: every tracked
+message delivered, nothing in flight, zero ``delivery_failed``.  Unlike
+the differential oracle it deliberately ignores audit logs and cycle
+counts: retransmission *changes* timing (that is its job); what it must
+not change is where the bytes end up.
 """
 
 from __future__ import annotations
@@ -29,6 +40,14 @@ from typing import List, Optional, Sequence
 
 from repro.chaos.actions import Action
 from repro.chaos.explorer import RunResult, ScheduleExplorer
+
+#: action kinds that perturb the wire (the faults reliability must absorb)
+WIRE_FAULT_KINDS = ("corrupt", "drop", "dup", "reorder")
+
+
+def strip_wire_faults(actions: Sequence[Action]) -> "List[Action]":
+    """The fault-free twin of a schedule: same workload, no wire faults."""
+    return [a for a in actions if a.kind not in WIRE_FAULT_KINDS]
 
 
 @dataclass
@@ -106,4 +125,90 @@ class DifferentialOracle:
             out.append(
                 f"memory digest diverges: fast={fast.mem_digest} "
                 f"vs reference={slow.mem_digest}"
+            )
+
+
+@dataclass
+class DeliveryReport:
+    """The verdict of one faulted-vs-fault-free comparison."""
+
+    faulted: RunResult
+    clean: RunResult
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                "delivery oracle: faulted run converged to the fault-free "
+                "memory image with zero lost messages"
+            )
+        head = self.mismatches[0]
+        more = len(self.mismatches) - 1
+        return f"delivery oracle: {head}" + (f" (+{more} more)" if more else "")
+
+
+class EventualDeliveryOracle:
+    """Asserts wire faults are absorbed, not merely counted.
+
+    Requires an explorer built with ``reliability=True`` (and ``nodes >=
+    2`` -- wire faults are a cluster concern).  For a given schedule it
+    replays the fault-free twin (wire-fault actions stripped) and
+    demands:
+
+    * neither run failed an invariant or crashed,
+    * the transport quiesced clean -- every message it tracked was
+      delivered and none exhausted its retry budget,
+    * the final memory digests are identical.
+
+    Audit logs, cycle counts, and packet counters are deliberately *not*
+    compared: retransmission exists to change those.
+    """
+
+    def __init__(self, explorer: ScheduleExplorer) -> None:
+        if not explorer.reliability:
+            raise ValueError(
+                "EventualDeliveryOracle needs an explorer with reliability=True"
+            )
+        self.explorer = explorer
+
+    def compare(
+        self,
+        actions: Sequence[Action],
+        faulted: Optional[RunResult] = None,
+    ) -> DeliveryReport:
+        """Run faulted and fault-free twins (reusing ``faulted`` if given)."""
+        if faulted is None:
+            faulted = self.explorer.run(actions)
+        clean = self.explorer.run(strip_wire_faults(actions))
+        report = DeliveryReport(faulted=faulted, clean=clean)
+        self._diff(report)
+        return report
+
+    def _diff(self, report: DeliveryReport) -> None:
+        faulted, clean = report.faulted, report.clean
+        out = report.mismatches
+        if faulted.failure is not None:
+            out.append(f"faulted run failed: {faulted.failure.identity()}")
+        if clean.failure is not None:
+            out.append(f"fault-free run failed: {clean.failure.identity()}")
+        if out:
+            return
+        sent = faulted.counters.get("rel.messages_sent", 0)
+        delivered = faulted.counters.get("rel.messages_delivered", 0)
+        failed = faulted.counters.get("rel.delivery_failed", 0)
+        if failed:
+            out.append(f"{failed} message(s) exhausted the retry budget")
+        if sent != delivered:
+            out.append(
+                f"lost messages: transport tracked {sent} but delivered "
+                f"{delivered}"
+            )
+        if faulted.mem_digest != clean.mem_digest:
+            out.append(
+                f"memory digest diverges from the fault-free run: "
+                f"faulted={faulted.mem_digest} vs clean={clean.mem_digest}"
             )

@@ -74,11 +74,15 @@ class ChaosWorld:
         nodes: int = 1,
         fast_paths: bool = True,
         break_mode: Optional[str] = None,
+        reliability: bool = False,
     ) -> None:
         if break_mode not in BREAK_MODES:
             raise ConfigurationError(f"unknown break mode {break_mode!r}")
         self.fast_paths = fast_paths
         self.break_mode = break_mode
+        #: ack/retransmit transport under test (cluster worlds only); off
+        #: keeps every audit log and counter bit-identical to history
+        self.reliability = reliability
         self.num_nodes = max(1, nodes)
         self.costs = shrimp()
         self.page_size = self.costs.page_size
@@ -153,6 +157,7 @@ class ChaosWorld:
             mem_size=96 * ps,
             fast_paths=self.fast_paths,
             obs=ObsConfig(spans=True),
+            reliability=self.reliability,
         )
         self.spans = cluster.obs.spans
         self.cluster = cluster
@@ -539,6 +544,11 @@ class ChaosWorld:
                 c[p + "bytes_rx"] = nic.bytes_received
             c["net.routed"] = self.interconnect.packets_routed
             c["net.dropped"] = self.interconnect.packets_dropped
+            if self.cluster.reliability is not None:
+                # Transport counters exist only when the transport does, so
+                # reliability-off counter sets stay bit-identical to history.
+                for name, value in self.cluster.reliability.counters().items():
+                    c["rel." + name] = value
         if self.sink is not None:
             c["sink.reads"] = self.sink.reads
             c["sink.writes"] = self.sink.writes

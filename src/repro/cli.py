@@ -185,6 +185,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         diff=not args.no_diff,
         actions=actions,
         max_shrink_evals=args.max_shrink_evals,
+        reliability=args.reliable,
     )
     print(report.summary())
     if args.dump_log:
@@ -250,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full per-action audit log")
     chaos.add_argument("--max-shrink-evals", type=int, default=200,
                        help="ddmin replay budget (default 200)")
+    chaos.add_argument("--reliable", action="store_true",
+                       help="enable the ack/retransmit transport and hold "
+                            "the run to the eventual-delivery oracle "
+                            "(cluster runs)")
     chaos.set_defaults(func=_cmd_chaos)
     return parser
 

@@ -31,6 +31,7 @@ from repro.machine import Machine
 from repro.mem.layout import ProxyScheme
 from repro.net.interconnect import Interconnect
 from repro.net.nic import ShrimpNic
+from repro.net.reliable import ReliabilityConfig, ReliabilityPlane
 from repro.obs import Observability, ObsConfig, unflatten
 from repro.params import CostModel, shrimp
 from repro.sim.clock import Clock
@@ -90,6 +91,7 @@ class ShrimpCluster:
         dma_bursts_per_event: int = 1,
         fast_paths: bool = True,
         obs: "Optional[ObsConfig | Observability]" = None,
+        reliability: "bool | ReliabilityConfig | None" = None,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
@@ -117,6 +119,22 @@ class ShrimpCluster:
         )
         if self.obs.spans is not None:
             self.interconnect._spans = self.obs.spans
+        # Optional ack/retransmit transport: one shared plane for the whole
+        # backplane (channels are keyed per (src, dst) node pair).  The
+        # default -- no plane -- leaves every NIC exactly as before.
+        self.reliability: Optional[ReliabilityPlane] = None
+        if reliability:
+            config = (
+                reliability
+                if isinstance(reliability, ReliabilityConfig)
+                else None
+            )
+            self.reliability = ReliabilityPlane(
+                config,
+                clock=self.clock,
+                spans=self.obs.spans,
+                tracer=self.tracer,
+            )
         self.nodes: List[Machine] = []
         self.nics: List[ShrimpNic] = []
         self._next_nipt: List[int] = []
@@ -143,6 +161,8 @@ class ShrimpCluster:
             )
             node.attach_device(nic)
             nic.connect(self.interconnect)
+            if self.reliability is not None:
+                nic.enable_reliability(self.reliability)
             # Wire the bus snooper for the automatic-update extension.
             node.cpu.store_snoop = nic.snoop_store
             self.nodes.append(node)
@@ -169,6 +189,19 @@ class ShrimpCluster:
         reg.counter("backplane.bytes_routed", lambda: ic.bytes_routed)
         reg.gauge("backplane.topology", lambda: ic.topology)
         reg.gauge("now_cycles", lambda: self.clock.now)
+        if self.reliability is not None:
+            # The net.* transport surface exists only when the transport
+            # does: reliability-off clusters keep the historical name set
+            # bit-identical (golden-file gated).
+            plane = self.reliability
+            reg.counter("net.retransmits", lambda: plane.retransmits)
+            reg.counter("net.acks", lambda: plane.acks_sent)
+            reg.counter("net.dup_suppressed", lambda: plane.dup_suppressed)
+            reg.counter("net.delivery_failed", lambda: plane.delivery_failed)
+            reg.counter("net.messages_sent", lambda: plane.messages_sent)
+            reg.counter(
+                "net.messages_delivered", lambda: plane.messages_delivered
+            )
         for i, nic in enumerate(self.nics):
             p = f"node{i}.nic."
             reg.counter(p + "packets_sent", (lambda n: lambda: n.packets_sent)(nic))

@@ -77,6 +77,15 @@ class Machine:
             outcomes must be bit-identical either way -- the chaos
             differential oracle replays workloads with this off to prove
             it.
+        reliability: enable the ack/retransmit transport
+            (:mod:`repro.net.reliable`) on any
+            :class:`~repro.net.nic.ShrimpNic` attached to this machine --
+            ``True`` for defaults or a
+            :class:`~repro.net.reliable.ReliabilityConfig`.  Default off:
+            the NIC stays exactly the paper's (fast and lossy).  Clusters
+            normally pass ``reliability=`` to
+            :class:`~repro.cluster.ShrimpCluster` instead, which shares
+            one plane across all nodes.
     """
 
     def __init__(
@@ -98,6 +107,7 @@ class Machine:
         swap: str = "dict",
         fast_paths: bool = True,
         obs: "Optional[ObsConfig | Observability]" = None,
+        reliability: "bool | object | None" = None,
     ) -> None:
         self.costs = costs if costs is not None else shrimp()
         self.name = name
@@ -193,6 +203,10 @@ class Machine:
             self.udma._spans = self.obs.spans
             self.udma_engine._spans = self.obs.spans
         self.swap_disk = None
+        #: requested reliability setting; the plane itself is created
+        #: lazily when the first NIC is attached (most machines have none)
+        self._reliability_requested = reliability
+        self.reliability = None
         if swap != "dict":
             self._attach_swap_disk(swap, bounce_frames)
         if self.obs.config.metrics:
@@ -251,6 +265,25 @@ class Machine:
         window = self.udma.attach_device(device)
         if self.obs.spans is not None:
             device._spans = self.obs.spans
+        if self._reliability_requested and hasattr(device, "enable_reliability"):
+            # A NIC on a reliability-enabled machine joins the machine's
+            # plane (created on first need).
+            if self.reliability is None:
+                from repro.net.reliable import ReliabilityConfig, ReliabilityPlane
+
+                requested = self._reliability_requested
+                config = (
+                    requested
+                    if isinstance(requested, ReliabilityConfig)
+                    else None
+                )
+                self.reliability = ReliabilityPlane(
+                    config,
+                    clock=self.clock,
+                    spans=self.obs.spans,
+                    tracer=self.tracer,
+                )
+            device.enable_reliability(self.reliability)
         return window
 
     # ------------------------------------------------------- observability

@@ -6,6 +6,8 @@
 * :mod:`repro.net.interconnect` -- the routing backplane.
 * :mod:`repro.net.nic` -- the SHRIMP network interface, a UDMA device
   implementing deliberate update (plus the automatic-update extension).
+* :mod:`repro.net.reliable` -- the optional ack/retransmit transport
+  (off by default; the paper's backplane never drops packets).
 """
 
 from repro.net.fifo import BoundedFifo
@@ -13,6 +15,7 @@ from repro.net.interconnect import Interconnect
 from repro.net.nipt import NetworkInterfacePageTable, NiptEntry
 from repro.net.nic import ShrimpNic
 from repro.net.packet import Packet
+from repro.net.reliable import ReliabilityConfig, ReliabilityPlane
 
 __all__ = [
     "BoundedFifo",
@@ -20,5 +23,7 @@ __all__ = [
     "NetworkInterfacePageTable",
     "NiptEntry",
     "Packet",
+    "ReliabilityConfig",
+    "ReliabilityPlane",
     "ShrimpNic",
 ]

@@ -62,9 +62,10 @@ class Interconnect:
         #: optional fault injector: wire bytes -> corrupted bytes, ``None``
         #: (the packet is dropped by the backplane), or a list of wire
         #: byte strings (each delivered in order -- duplication, and, with
-        #: a stateful injector that holds packets back, reordering)
+        #: a stateful injector that holds packets back, reordering; list
+        #: entries may themselves be ``None`` to drop just that copy)
         self.fault_injector: Optional[
-            Callable[[bytes], "bytes | None | list[bytes]"]
+            Callable[[bytes], "bytes | None | list[bytes | None]"]
         ] = None
 
     def register(self, node_id: int, port: "ReceiverPort") -> None:
@@ -102,22 +103,36 @@ class Interconnect:
         if self.fault_injector is not None:
             if isinstance(wire, Packet):
                 wire = wire.encode()
-            wire = self.fault_injector(wire)
-            if wire is None:
-                self.packets_dropped += 1
-                if self.tracer.enabled:
-                    self.tracer.emit(
-                        self.clock.now, "net", "drop", src=src_node, dst=dst_node
-                    )
-                return
-            if isinstance(wire, (list, tuple)):
-                for piece in wire:
-                    self._route_one(src_node, dst_node, piece)
-                return
+            produced = self.fault_injector(wire)
+            # Normalise the injector's output to a list of copies; every
+            # copy -- including a dropped one (``None``) -- goes through
+            # ``_route_one``, the single place where drop and routing
+            # counters are charged.  An injector that duplicates *and*
+            # drops therefore charges each copy exactly once.
+            pieces = (
+                produced if isinstance(produced, (list, tuple)) else [produced]
+            )
+            for piece in pieces:
+                self._route_one(src_node, dst_node, piece)
+            return
         self._route_one(src_node, dst_node, wire)
 
-    def _route_one(self, src_node: int, dst_node: int, wire: Wire) -> None:
-        """Deliver one (possibly injector-produced) packet after routing delay."""
+    def _route_one(
+        self, src_node: int, dst_node: int, wire: Optional[Wire]
+    ) -> None:
+        """Deliver one (possibly injector-produced) packet after routing delay.
+
+        ``None`` means the fault injector dropped this copy: the drop is
+        counted and traced here -- and only here -- so single-drop and
+        drop-within-a-list injector outputs are charged identically.
+        """
+        if wire is None:
+            self.packets_dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.clock.now, "net", "drop", src=src_node, dst=dst_node
+                )
+            return
         nbytes = wire.wire_bytes if isinstance(wire, Packet) else len(wire)
         delay = self.hops(src_node, dst_node) * self.costs.hop_cycles
         self.packets_routed += 1

@@ -29,7 +29,7 @@ page.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.devices.base import ERR_DEVICE_BASE, UDMADevice
 from repro.errors import ConfigurationError, NetworkError
@@ -40,6 +40,9 @@ from repro.net.nipt import NetworkInterfacePageTable
 from repro.net.packet import Packet
 from repro.params import CostModel
 from repro.sim.clock import transfer_cycles
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.reliable import ReliabilityPlane
 
 #: device-specific error bits (above the standard low bits)
 ERR_NO_RECEIVE = ERR_DEVICE_BASE  # NIC cannot be a UDMA source
@@ -82,6 +85,10 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         self._wire_free_at = 0
         self._rx_free_at = 0
         self._seq = 0
+        #: ack/retransmit transport (:mod:`repro.net.reliable`); ``None``
+        #: keeps the NIC exactly as fast -- and exactly as lossy -- as the
+        #: paper's hardware
+        self.reliability: Optional["ReliabilityPlane"] = None
         # Automatic-update bindings: local physical page -> NIPT index.
         self._automatic: Dict[int, int] = {}
         # Metrics and measurement hooks.
@@ -101,6 +108,10 @@ class ShrimpNic(UDMADevice, ReceiverPort):
             raise ConfigurationError(f"{self.name} is already connected")
         self.interconnect = interconnect
         interconnect.register(self.node_id, self)
+
+    def enable_reliability(self, plane: "ReliabilityPlane") -> None:
+        """Join an ack/retransmit transport plane (shared per backplane)."""
+        self.reliability = plane
 
     # ----------------------------------------------------- UDMA device side
     def check_transfer(self, as_source: bool, offset: int, nbytes: int) -> int:
@@ -155,7 +166,7 @@ class ShrimpNic(UDMADevice, ReceiverPort):
             dst_node=entry.dst_node,
             dst_paddr=dst_paddr,
             payload=bytes(data),
-            seq=self._next_seq(),
+            seq=self._next_seq(entry.dst_node),
             span=pkt_span,
         )
         self.outgoing.push(packet)
@@ -206,9 +217,25 @@ class ShrimpNic(UDMADevice, ReceiverPort):
                 bytes=len(packet.payload),
                 seq=packet.seq,
             )
+        if self.reliability is not None:
+            # Track the packet and arm its retransmit timer only once it
+            # has actually cleared the wire (retransmissions re-enter here
+            # too, re-arming with backoff).
+            self.reliability.on_transmit(self, packet)
         # Zero-copy transit: hand the packet object to the backplane; wire
         # bytes are only materialised if a fault injector must see them.
         self.interconnect.route(self.node_id, packet.dst_node, packet)
+
+    def retransmit(self, packet: Packet) -> None:
+        """Re-launch an unacknowledged packet through the ordinary wire path.
+
+        Called by the reliability plane's timeout handler; the retry pays
+        full store-and-forward wire occupancy (the outgoing FIFO holds it
+        again until the wire frees up), so retransmissions contend with
+        fresh traffic exactly like the real firmware's would.
+        """
+        self.outgoing.push(packet)
+        self._launch(packet)
 
     # --------------------------------------------------------- receive path
     def deliver(self, wire: "bytes | Packet") -> None:
@@ -232,6 +259,22 @@ class ShrimpNic(UDMADevice, ReceiverPort):
                         self.clock.now, self.name, "rx-error", bytes=len(wire)
                     )
                 return
+        if packet.is_ack:
+            # ACKs are the reliability transport's control traffic: the
+            # unpacking block consumes them on the spot; they never enter
+            # the incoming FIFO or occupy the receive DMA.
+            if self.reliability is None:
+                self.rx_errors += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.clock.now,
+                        self.name,
+                        "rx-unexpected-ack",
+                        src=packet.src_node,
+                    )
+                return
+            self.reliability.on_ack(self, packet)
+            return
         if packet.dst_paddr + len(packet.payload) > self.physmem.size:
             # The EISA DMA logic refuses to scribble outside RAM.
             self.rx_errors += 1
@@ -243,6 +286,17 @@ class ShrimpNic(UDMADevice, ReceiverPort):
                     paddr=f"{packet.dst_paddr:#x}",
                 )
             return
+        if self.reliability is not None:
+            # The transport filters duplicates and re-sequences; whatever
+            # it releases is in strict per-channel order.
+            for accepted in self.reliability.on_data(self, packet):
+                self._accept(accepted)
+            return
+        self._accept(packet)
+
+    def _accept(self, packet: Packet) -> None:
+        """Queue one checked packet for the receive-side DMA."""
+        assert self.clock is not None
         self.incoming.push(packet)
         if self.cut_through:
             # The receive DMA streams cut-through behind the wire (it is
@@ -288,6 +342,9 @@ class ShrimpNic(UDMADevice, ReceiverPort):
             )
         for hook in self.on_receive:
             hook(packet)
+        if self.reliability is not None:
+            # Acknowledge only after the data is safely in memory.
+            self.reliability.on_delivered(self, packet)
 
     # ------------------------------------------------------ automatic update
     def bind_automatic(self, local_page: int, nipt_index: int) -> None:
@@ -320,12 +377,21 @@ class ShrimpNic(UDMADevice, ReceiverPort):
             dst_node=entry.dst_node,
             dst_paddr=dst_paddr,
             payload=bytes(data),
-            seq=self._next_seq(),
+            seq=self._next_seq(entry.dst_node),
         )
         self.outgoing.push(packet)
         self._launch(packet)
 
     # ------------------------------------------------------------ internal
-    def _next_seq(self) -> int:
+    def _next_seq(self, dst_node: int) -> int:
+        """Next sequence number for a packet bound for ``dst_node``.
+
+        Reliability off keeps the historical NIC-global counter (the value
+        appears in golden traces); the transport needs per-(src,dst)
+        channel numbering, so with a plane attached the number comes from
+        the channel instead.
+        """
+        if self.reliability is not None:
+            return self.reliability.next_seq(self.node_id, dst_node)
         self._seq += 1
         return self._seq

@@ -16,6 +16,22 @@ fault injector needs to corrupt them (see
 needed, :meth:`Packet.encode_into` serialises into a caller-provided
 buffer and the checksum runs over whole little-endian words via a
 ``memoryview`` cast instead of a per-word Python loop.
+
+Two wire kinds share the header layout (and therefore every timing
+property): ``data`` packets carry a deliberate-update payload, and
+``ack`` packets -- the reliable-delivery extension's cumulative
+acknowledgement (see :mod:`repro.net.reliable`) -- carry the highest
+in-order sequence number delivered in their ``seq`` field and an empty
+payload.  The kind is encoded in the magic word, so the header size is
+identical for both and reliability-off traffic is bit-for-bit what it
+always was.
+
+The checksum covers the *whole* packet (header and payload): a flipped
+bit anywhere -- magic, addresses, sequence number, payload, or the
+checksum word itself -- is rejected by the receive-side Checking block.
+Header coverage is what lets the reliable layer promise eventual
+delivery under arbitrary single-byte corruption: a corrupted sequence
+number or destination address can never be silently honoured.
 """
 
 from __future__ import annotations
@@ -29,7 +45,10 @@ from repro.errors import NetworkError
 
 #: magic, src node, dst node, dst paddr, length, seq
 _HEADER = struct.Struct("<IHHQII")
-_MAGIC = 0x53485250  # "SHRP"
+_MAGIC = 0x53485250  # "SHRP": a deliberate-update data packet
+_MAGIC_ACK = 0x53485241  # "SHRA": a cumulative acknowledgement
+_MAGIC_BY_KIND = {"data": _MAGIC, "ack": _MAGIC_ACK}
+_KIND_BY_MAGIC = {_MAGIC: "data", _MAGIC_ACK: "ack"}
 
 _LITTLE_ENDIAN_HOST = sys.byteorder == "little"
 
@@ -69,6 +88,10 @@ class Packet:
     dst_paddr: int
     payload: bytes
     seq: int = 0
+    #: wire kind: ``"data"`` (deliberate update) or ``"ack"`` (cumulative
+    #: acknowledgement); encoded in the magic word, so both kinds share
+    #: one header size and identical timing.
+    kind: str = "data"
     #: trace-only sidecar: the span id this packet belongs to (see
     #: repro.obs).  Deliberately NOT part of the simulated wire format --
     #: encode/decode ignore it, so wire bytes are unchanged and a packet
@@ -77,6 +100,16 @@ class Packet:
     span: Optional[int] = field(default=None, compare=False, repr=False)
 
     HEADER_BYTES = _HEADER.size + 4  # header struct + checksum word
+
+    @property
+    def is_ack(self) -> bool:
+        """True for cumulative-acknowledgement packets."""
+        return self.kind == "ack"
+
+    @classmethod
+    def ack(cls, src_node: int, dst_node: int, cum_seq: int) -> "Packet":
+        """Build a cumulative ACK: "everything through ``cum_seq`` landed"."""
+        return cls(src_node, dst_node, 0, b"", seq=cum_seq, kind="ack")
 
     @property
     def wire_bytes(self) -> int:
@@ -90,10 +123,14 @@ class Packet:
         ``buf`` must have at least :attr:`wire_bytes` writable bytes at
         ``offset``.  The payload is copied exactly once.
         """
+        try:
+            magic = _MAGIC_BY_KIND[self.kind]
+        except KeyError:
+            raise NetworkError(f"unknown packet kind {self.kind!r}") from None
         _HEADER.pack_into(
             buf,
             offset,
-            _MAGIC,
+            magic,
             self.src_node,
             self.dst_node,
             self.dst_paddr,
@@ -103,7 +140,10 @@ class Packet:
         start = offset + _HEADER.size
         end = start + len(self.payload)
         buf[start:end] = self.payload
-        buf[end : end + 4] = _checksum(self.payload).to_bytes(4, "little")
+        # Whole-packet coverage: header words and payload alike.
+        buf[end : end + 4] = _checksum(
+            memoryview(buf)[offset:end]
+        ).to_bytes(4, "little")
         return end + 4 - offset
 
     def encode(self) -> bytes:
@@ -125,7 +165,8 @@ class Packet:
         if len(mv) < _HEADER.size + 4:
             raise NetworkError(f"runt packet of {len(mv)} bytes")
         magic, src, dst, paddr, length, seq = _HEADER.unpack_from(mv)
-        if magic != _MAGIC:
+        kind = _KIND_BY_MAGIC.get(magic)
+        if kind is None:
             raise NetworkError(f"bad packet magic {magic:#x}")
         expected = _HEADER.size + length + 4
         if len(mv) != expected:
@@ -134,6 +175,6 @@ class Packet:
             )
         payload = mv[_HEADER.size : _HEADER.size + length]
         check = int.from_bytes(mv[-4:], "little")
-        if check != _checksum(payload):
+        if check != _checksum(mv[: _HEADER.size + length]):
             raise NetworkError("packet checksum mismatch")
-        return cls(src, dst, paddr, bytes(payload), seq)
+        return cls(src, dst, paddr, bytes(payload), seq, kind=kind)

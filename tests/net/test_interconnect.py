@@ -78,6 +78,56 @@ class TestRouting:
         assert interconnect.node_ids == [0, 1, 2, 3]
 
 
+class TestInjectorDropAccounting:
+    """The drop/duplicate decision lives in one place (``_route_one``),
+    so every injector output shape charges the counters consistently."""
+
+    def test_single_drop_charged_once(self, net):
+        clock, interconnect, ports = net
+        interconnect.fault_injector = lambda wire: None
+        interconnect.route(0, 1, Packet(0, 1, 0, b"x").encode())
+        clock.run_until_idle()
+        assert interconnect.packets_dropped == 1
+        assert interconnect.packets_routed == 0
+        assert ports[1].delivered == []
+
+    def test_duplicate_and_drop_list_charges_each_copy_once(self, net):
+        """An injector that duplicates a packet and drops one copy: the
+        surviving copy is routed, the dropped copy is charged to
+        packets_dropped -- exactly once each."""
+        clock, interconnect, ports = net
+        corrupted = {}
+
+        def dup_and_drop_one(wire):
+            corrupted["copy"] = wire[:-1] + bytes([wire[-1] ^ 0xFF])
+            return [corrupted["copy"], None]
+
+        interconnect.fault_injector = dup_and_drop_one
+        interconnect.route(0, 1, Packet(0, 1, 0, b"x").encode())
+        clock.run_until_idle()
+        assert interconnect.packets_dropped == 1
+        assert interconnect.packets_routed == 1
+        assert ports[1].delivered == [corrupted["copy"]]
+
+    def test_all_none_list_counts_every_drop(self, net):
+        clock, interconnect, ports = net
+        interconnect.fault_injector = lambda wire: [None, None]
+        interconnect.route(0, 1, Packet(0, 1, 0, b"x").encode())
+        clock.run_until_idle()
+        assert interconnect.packets_dropped == 2
+        assert interconnect.packets_routed == 0
+        assert ports[1].delivered == []
+
+    def test_empty_list_is_a_silent_hold(self, net):
+        """Returning [] (the reorder injector's hold) is not a drop."""
+        clock, interconnect, ports = net
+        interconnect.fault_injector = lambda wire: []
+        interconnect.route(0, 1, Packet(0, 1, 0, b"x").encode())
+        clock.run_until_idle()
+        assert interconnect.packets_dropped == 0
+        assert interconnect.packets_routed == 0
+
+
 class TestMesh2dTopology:
     def make(self, width, nodes):
         clock = Clock()

@@ -1,7 +1,7 @@
 """Tests for packet encode/decode and integrity checking."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import example, given, strategies as st
 
 from repro.errors import NetworkError
 from repro.net.packet import Packet
@@ -22,10 +22,55 @@ class TestRoundtrip:
         assert len(packet.encode()) == packet.wire_bytes
 
 
+class TestAckWireKind:
+    def test_ack_roundtrip(self):
+        ack = Packet.ack(3, 1, cum_seq=0xDEADBEEF)
+        decoded = Packet.decode(ack.encode())
+        assert decoded == ack
+        assert decoded.is_ack
+        assert decoded.seq == 0xDEADBEEF
+        assert decoded.payload == b""
+
+    def test_ack_and_data_share_header_size(self):
+        # Same header layout => identical wire timing for both kinds.
+        data = Packet(0, 1, 0, b"")
+        ack = Packet.ack(0, 1, 5)
+        assert len(data.encode()) == len(ack.encode())
+        assert ack.wire_bytes == Packet.HEADER_BYTES
+
+    def test_kinds_are_distinguished_on_the_wire(self):
+        data_wire = Packet(0, 1, 0, b"", seq=5).encode()
+        ack_wire = Packet.ack(0, 1, 5).encode()
+        assert data_wire != ack_wire
+        assert not Packet.decode(data_wire).is_ack
+        assert Packet.decode(ack_wire).is_ack
+
+    def test_unknown_kind_refused_at_encode(self):
+        with pytest.raises(NetworkError):
+            Packet(0, 1, 0, b"", kind="gram").encode()
+
+
 class TestChecking:
     def test_corrupted_payload_detected(self):
         wire = bytearray(Packet(0, 1, 0x100, b"hello!!!").encode())
         wire[Packet.HEADER_BYTES - 4] ^= 0xFF  # flip a payload byte
+        with pytest.raises(NetworkError):
+            Packet.decode(bytes(wire))
+
+    def test_corrupted_header_detected(self):
+        """The checksum covers the header too: a flipped seq / paddr /
+        node byte must never be silently honoured (the reliable layer's
+        eventual-delivery promise depends on this)."""
+        packet = Packet(0, 1, 0x100, b"hello!!!", seq=42)
+        for offset in range(Packet.HEADER_BYTES - 4):  # every header byte
+            wire = bytearray(packet.encode())
+            wire[offset] ^= 0x04
+            with pytest.raises(NetworkError):
+                Packet.decode(bytes(wire))
+
+    def test_corrupted_checksum_word_detected(self):
+        wire = bytearray(Packet(0, 1, 0x100, b"data").encode())
+        wire[-1] ^= 0x01
         with pytest.raises(NetworkError):
             Packet.decode(bytes(wire))
 
@@ -90,10 +135,88 @@ class TestEncodeInto:
 @given(
     src=st.integers(min_value=0, max_value=0xFFFF),
     dst=st.integers(min_value=0, max_value=0xFFFF),
-    paddr=st.integers(min_value=0, max_value=(1 << 48)),
+    paddr=st.integers(min_value=0, max_value=(1 << 64) - 1),
     payload=st.binary(max_size=512),
     seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    kind=st.sampled_from(["data", "ack"]),
 )
-def test_property_roundtrip(src, dst, paddr, payload, seq):
-    packet = Packet(src, dst, paddr, payload, seq)
-    assert Packet.decode(packet.encode()) == packet
+@example(  # zero-length payload at the header-field extremes
+    src=0xFFFF, dst=0xFFFF, paddr=(1 << 64) - 1, payload=b"",
+    seq=0xFFFFFFFF, kind="data",
+)
+@example(  # full 32-bit seq wraparound boundary, on an ACK
+    src=0, dst=0, paddr=0, payload=b"", seq=0xFFFFFFFF, kind="ack",
+)
+@example(src=0, dst=1, paddr=0, payload=b"", seq=0, kind="data")
+def test_property_roundtrip(src, dst, paddr, payload, seq, kind):
+    packet = Packet(src, dst, paddr, payload, seq, kind=kind)
+    decoded = Packet.decode(packet.encode())
+    assert decoded == packet
+    assert decoded.kind == kind
+    assert decoded.seq == seq
+
+
+@given(data=st.data())
+def test_property_seq_survives_wraparound_neighbourhood(data):
+    """Sequence numbers just below, at, and after the 2**32 wrap encode
+    losslessly (the reliable layer counts modulo 2**32)."""
+    base = data.draw(st.sampled_from([0, 1, 0x7FFFFFFF, 0xFFFFFFFE, 0xFFFFFFFF]))
+    packet = Packet(0, 1, 0, b"w", seq=base)
+    assert Packet.decode(packet.encode()).seq == base
+
+
+class TestRxErrorAccounting:
+    """Damaged wire bytes bump the receiving NIC's rx_errors exactly once."""
+
+    def _rig(self):
+        from repro.mem.physmem import PhysicalMemory
+        from repro.net.interconnect import Interconnect
+        from repro.net.nic import ShrimpNic
+        from repro.params import shrimp
+        from repro.sim.clock import Clock
+
+        clock = Clock()
+        costs = shrimp()
+        interconnect = Interconnect(clock, costs)
+        nic = ShrimpNic(1, costs, PhysicalMemory(64 * 4096), nipt_entries=64)
+        nic.attach(clock)
+        nic.connect(interconnect)
+        return clock, interconnect, nic
+
+    def test_truncated_wire_bytes_rejected_once(self):
+        clock, interconnect, nic = self._rig()
+        wire = Packet(0, 1, 0x100, b"payload").encode()
+        interconnect.route(0, 1, wire[:-3])
+        clock.run_until_idle()
+        assert nic.rx_errors == 1
+        assert nic.packets_received == 0
+        assert len(nic.incoming) == 0
+
+    def test_checksum_corrupted_wire_bytes_rejected_once(self):
+        clock, interconnect, nic = self._rig()
+        wire = bytearray(Packet(0, 1, 0x100, b"payload").encode())
+        wire[-1] ^= 0xFF
+        interconnect.route(0, 1, bytes(wire))
+        clock.run_until_idle()
+        assert nic.rx_errors == 1
+        assert nic.packets_received == 0
+
+    def test_header_corrupted_wire_bytes_rejected_once(self):
+        clock, interconnect, nic = self._rig()
+        wire = bytearray(Packet(0, 1, 0x100, b"payload", seq=9).encode())
+        wire[20] ^= 0xFF  # a seq byte: header corruption, length intact
+        interconnect.route(0, 1, bytes(wire))
+        clock.run_until_idle()
+        assert nic.rx_errors == 1
+        assert nic.packets_received == 0
+
+    def test_good_packet_after_bad_still_lands(self):
+        clock, interconnect, nic = self._rig()
+        bad = Packet(0, 1, 0x100, b"payload").encode()[:-1]
+        good = Packet(0, 1, 0x100, b"payload").encode()
+        interconnect.route(0, 1, bad)
+        interconnect.route(0, 1, good)
+        clock.run_until_idle()
+        assert nic.rx_errors == 1
+        assert nic.packets_received == 1
+        assert nic.physmem.read(0x100, 7) == b"payload"

@@ -48,6 +48,26 @@ class TestGoldenNames:
         expected = _golden("metric_names_cluster.txt")
         assert names == expected, _diff_message(names, expected)
 
+    def test_cluster_reliable(self):
+        """Reliability on adds the ``net.*`` transport metrics -- and
+        nothing else -- to the cluster name set."""
+        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, reliability=True)
+        cluster.metrics()
+        names = cluster.obs.registry.names()
+        expected = _golden("metric_names_cluster_reliable.txt")
+        assert names == expected, _diff_message(names, expected)
+        base = _golden("metric_names_cluster.txt")
+        added = sorted(set(expected) - set(base))
+        assert added == [
+            "net.acks",
+            "net.delivery_failed",
+            "net.dup_suppressed",
+            "net.messages_delivered",
+            "net.messages_sent",
+            "net.retransmits",
+        ]
+        assert set(base) <= set(expected)  # opt-in never removes a name
+
 
 class TestSnapshotDeterminism:
     def _run(self):
