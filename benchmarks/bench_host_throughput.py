@@ -278,6 +278,7 @@ def bench_translate_storm(iterations: int = 120, pages: int = 64) -> HostResult:
     scratch = bytearray(nbytes)
     start_cycles = machine.now
     start_events = _events_fired(machine.clock)
+    start_instructions = cpu.instructions
     hits0, misses0 = _xlat_counters(cpu)
     t0 = time.perf_counter()
     for i in range(iterations):
@@ -296,10 +297,115 @@ def bench_translate_storm(iterations: int = 120, pages: int = 64) -> HostResult:
         sim_cycles=machine.now - start_cycles,
         messages=iterations,
         host_seconds=elapsed,
-        events_fired=_events_fired(machine.clock) - start_events,
+        # Pure CPU work never schedules a clock event, so the event
+        # column would read 0; the simulator's unit of work here is the
+        # retired instruction, and that is what events/s must reflect.
+        events_fired=(
+            _events_fired(machine.clock) - start_events
+            + cpu.instructions - start_instructions
+        ),
         xlat_hits=hits1 - hits0,
         xlat_misses=misses1 - misses0,
     )
+
+
+def bench_cluster_mesh_64(messages: int = 16, shards: int = 1) -> HostResult:
+    """A 64-node 8x8 mesh of self-driving senders on the sharded kernel.
+
+    Every node streams ``messages`` deliberate-update sends around the
+    node ring under the conservative-PDES engine (``repro.sharding``).
+    Construction of the 64 machines happens *outside* the timed window;
+    what is measured is pure event execution -- the metric that the
+    shard-scaling sweep (``run_bench.py --shards N``) must scale.
+    """
+    from repro.sharding import ClusterSpec, InProcessEngine
+
+    spec = ClusterSpec(num_nodes=64, messages_per_node=messages)
+    engine = InProcessEngine(spec, num_shards=shards)
+    t0 = time.perf_counter()
+    result = engine.run()
+    elapsed = time.perf_counter() - t0
+    return HostResult(
+        scenario="cluster_mesh_64",
+        sim_bytes=result.sent * spec.msg_bytes,
+        sim_cycles=result.now,
+        messages=result.sent,
+        host_seconds=elapsed,
+        events_fired=result.events_fired,
+    )
+
+
+def bench_cluster_mesh_worker(messages: int = 16, shards: int = 1) -> HostResult:
+    """The same 64-node mesh on the multi-process worker engine.
+
+    The timed window starts when every worker has built its shard and
+    ends when the relay drains (``WorkerEngine.timed_seconds``), so the
+    scaling sweep compares execution, not process spawning.  Not in
+    :data:`SCENARIOS` -- worker timings depend on the host's core count,
+    so they must not gate the regression check.
+    """
+    from repro.sharding import ClusterSpec, WorkerEngine
+
+    spec = ClusterSpec(num_nodes=64, messages_per_node=messages)
+    engine = WorkerEngine(spec, num_shards=shards)
+    result = engine.run()
+    assert engine.timed_seconds is not None
+    return HostResult(
+        scenario=f"cluster_mesh_64@{shards}shard",
+        sim_bytes=result.sent * spec.msg_bytes,
+        sim_cycles=result.now,
+        messages=result.sent,
+        host_seconds=engine.timed_seconds,
+        events_fired=result.events_fired,
+    )
+
+
+def run_scaling_sweep(
+    max_shards: int = 8, quick: bool = False, repeats: int = 3
+) -> "Dict[int, HostResult]":
+    """Worker-engine events/s at 1/2/4/.../``max_shards`` shards.
+
+    Single-schedule, best-of-N per point; every point simulates the
+    identical workload (the determinism contract), so events/s is
+    directly comparable across shard counts.
+    """
+    messages = 4 if quick else 16
+    counts = [c for c in (1, 2, 4, 8, 16) if c <= max_shards]
+    if max_shards not in counts:
+        counts.append(max_shards)
+    results: "Dict[int, HostResult]" = {}
+    for shards in counts:
+        best: Optional[HostResult] = None
+        for _ in range(max(1, repeats)):
+            result = bench_cluster_mesh_worker(
+                messages=messages, shards=shards
+            )
+            if best is None or result.host_seconds < best.host_seconds:
+                best = result
+        assert best is not None
+        results[shards] = best
+    return results
+
+
+def format_scaling(results: "Dict[int, HostResult]") -> str:
+    """The scaling table appended to the bench report."""
+    lines = [
+        "shard scaling (cluster_mesh_64, worker engine):",
+        f"{'shards':>7} {'events/s':>12} {'host s':>9} {'speedup':>8}",
+    ]
+    base = results.get(1)
+    for shards in sorted(results):
+        r = results[shards]
+        speedup = (
+            r.events_per_s / base.events_per_s
+            if base is not None and base.events_per_s
+            else 0.0
+        )
+        lines.append(
+            f"{shards:>7} {r.events_per_s:>12.0f} "
+            f"{r.host_seconds:>9.3f} {speedup:>7.2f}x"
+        )
+    return "\n".join(lines)
 
 
 def bench_reliable_pingpong(
@@ -396,6 +502,8 @@ _register("stepping_dma", bench_stepping_dma,
           {"transfers": 40}, {"transfers": 15})
 _register("translate_storm", bench_translate_storm,
           {"iterations": 120}, {"iterations": 40})
+_register("cluster_mesh_64", bench_cluster_mesh_64,
+          {"messages": 16}, {"messages": 4})
 
 
 def run_all(quick: bool = False, repeats: int = 3) -> Dict[str, HostResult]:

@@ -35,9 +35,11 @@ from bench_host_throughput import (  # noqa: E402
     format_obs_overhead,
     format_reliability_overhead,
     format_results,
+    format_scaling,
     run_all,
     run_obs_overhead,
     run_reliability_overhead,
+    run_scaling_sweep,
     transfer_latency_profile,
 )
 
@@ -123,6 +125,10 @@ def main(argv=None) -> int:
                              "ping-pong path at 0%% and 1%% packet loss "
                              "(reported, not gated -- reliability is "
                              "opt-in)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="also run the cluster_mesh_64 shard-scaling "
+                             "sweep (worker engine) at 1/2/4/... up to N "
+                             "shards and append the scaling table")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the scenario sweep (useful with "
                              "--obs-overhead / --reliability-overhead to "
@@ -152,6 +158,14 @@ def main(argv=None) -> int:
               f"p99={latency['p99']} cycles over {latency['count']} transfers")
         obs_failures = check_obs_overhead(obs_results, args.obs_tolerance)
 
+    scaling_results = None
+    if args.shards:
+        scaling_results = run_scaling_sweep(
+            max_shards=args.shards, quick=args.quick, repeats=args.repeats
+        )
+        print()
+        print(format_scaling(scaling_results))
+
     rel_results = None
     if args.reliability_overhead:
         rel_results = run_reliability_overhead(
@@ -169,6 +183,11 @@ def main(argv=None) -> int:
         if rel_results is not None:
             payload["reliability_overhead"] = {
                 mode: r.as_dict() for mode, r in rel_results.items()
+            }
+        if scaling_results is not None:
+            payload["scaling"] = {
+                str(shards): r.as_dict()
+                for shards, r in scaling_results.items()
             }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

@@ -1,0 +1,190 @@
+"""Differential oracle for the sharded PDES engine.
+
+The contract under test (``docs/SHARDING.md``): a sharded run is
+**bit-identical** to the single-process reference on the per-node audit
+logs, the per-node memory digests, and the curated counters -- for any
+shard count and either engine.  The oracle runs the reference, then the
+candidate, and diffs the three surfaces; a failing spec serialises to a
+JSON artifact so CI can upload it and anyone can replay it:
+
+    python -m repro chaos --shards 4 --replay-spec artifact.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sharding import ClusterSpec, ShardRunResult, run_sharded
+
+
+@dataclass
+class ShardingReport:
+    """The verdict of one sharded-vs-reference comparison."""
+
+    spec: ClusterSpec
+    num_shards: int
+    engine: str
+    reference: Optional[ShardRunResult] = None
+    sharded: Optional[ShardRunResult] = None
+    mismatches: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and self.error is None
+
+    def summary(self) -> str:
+        what = (
+            f"{self.num_shards}-shard {self.engine} run "
+            f"({self.spec.num_nodes}-node {self.spec.topology}, "
+            f"seed {self.spec.seed}, gap {self.spec.gap_cycles})"
+        )
+        if self.ok:
+            return f"sharding oracle: {what} is bit-identical to the reference"
+        if self.error is not None:
+            return f"sharding oracle: {what} FAILED to run: {self.error}"
+        head = self.mismatches[0]
+        more = len(self.mismatches) - 1
+        return (
+            f"sharding oracle: {what} DIVERGED: {head}"
+            + (f" (+{more} more)" if more else "")
+        )
+
+    def artifact(self) -> str:
+        """The failing schedule as a replayable JSON artifact."""
+        return json.dumps(
+            {
+                "kind": "sharding-differential-failure",
+                "spec": self.spec.as_dict(),
+                "num_shards": self.num_shards,
+                "engine": self.engine,
+                "error": self.error,
+                "mismatches": self.mismatches[:50],
+            },
+            indent=2,
+        )
+
+
+class ShardingOracle:
+    """Runs reference and sharded twins of a spec and diffs them."""
+
+    def __init__(self, audit: bool = True) -> None:
+        #: audit=True additionally checks every kernel invariant at
+        #: every operation boundary of both runs
+        self.audit = audit
+
+    def compare(
+        self,
+        spec: ClusterSpec,
+        num_shards: int,
+        engine: str = "in-process",
+        reference: Optional[ShardRunResult] = None,
+    ) -> ShardingReport:
+        report = ShardingReport(
+            spec=spec, num_shards=num_shards, engine=engine
+        )
+        try:
+            if reference is None:
+                reference = run_sharded(spec, num_shards=1, audit=self.audit)
+            report.reference = reference
+            report.sharded = run_sharded(
+                spec, num_shards=num_shards, engine=engine, audit=self.audit
+            )
+        except Exception as exc:
+            report.error = f"{type(exc).__name__}: {exc}"
+            return report
+        self._diff(report)
+        return report
+
+    # ------------------------------------------------------------- diffing
+    def _diff(self, report: ShardingReport) -> None:
+        ref, cand = report.reference, report.sharded
+        assert ref is not None and cand is not None
+        out = report.mismatches
+
+        for i, (a, b) in enumerate(zip(ref.logs, cand.logs)):
+            if a != b:
+                out.append(
+                    f"audit log diverges at line {i}: "
+                    f"reference={a!r} vs sharded={b!r}"
+                )
+                break
+        else:
+            if len(ref.logs) != len(cand.logs):
+                out.append(
+                    f"audit log length diverges: reference={len(ref.logs)} "
+                    f"vs sharded={len(cand.logs)}"
+                )
+
+        for node in sorted(set(ref.digests) | set(cand.digests)):
+            a, b = ref.digests.get(node), cand.digests.get(node)
+            if a != b:
+                out.append(
+                    f"memory digest diverges on {node}: "
+                    f"reference={a} vs sharded={b}"
+                )
+
+        ref_counters = ref.curated_counters()
+        cand_counters = cand.curated_counters()
+        for key in sorted(set(ref_counters) | set(cand_counters)):
+            a, b = ref_counters.get(key), cand_counters.get(key)
+            if a != b:
+                out.append(
+                    f"counter {key}: reference={a} vs sharded={b}"
+                )
+
+
+def suite_specs(
+    num_nodes: int = 16, seeds: Sequence[int] = (0, 1, 2, 3, 4)
+) -> List[ClusterSpec]:
+    """The seeded schedule suite: jittered starts, contention, torus.
+
+    Every spec is pure data -- the suite is derandomized by construction
+    (the seed perturbs per-node start offsets, nothing else).
+    """
+    specs = [
+        ClusterSpec(num_nodes=num_nodes, topology="mesh2d", seed=seed)
+        for seed in seeds
+    ]
+    # Contention twin: gap far below the transfer time, so every node
+    # exercises the busy-device retry path.
+    specs.append(
+        ClusterSpec(
+            num_nodes=num_nodes, topology="mesh2d", seed=seeds[0],
+            gap_cycles=200,
+        )
+    )
+    specs.append(
+        ClusterSpec(num_nodes=num_nodes, topology="torus2d", seed=seeds[0])
+    )
+    return specs
+
+
+def run_sharding_suite(
+    num_shards: int,
+    num_nodes: int = 16,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    engine: str = "in-process",
+    audit: bool = True,
+    also_worker: bool = False,
+) -> List[ShardingReport]:
+    """Run the whole differential suite; every report should be ``ok``.
+
+    ``also_worker=True`` re-checks each spec under the multi-process
+    engine (reusing the same reference run).
+    """
+    oracle = ShardingOracle(audit=audit)
+    reports: List[ShardingReport] = []
+    for spec in suite_specs(num_nodes=num_nodes, seeds=seeds):
+        report = oracle.compare(spec, num_shards, engine=engine)
+        reports.append(report)
+        if also_worker:
+            reports.append(
+                oracle.compare(
+                    spec, num_shards, engine="worker",
+                    reference=report.reference,
+                )
+            )
+    return reports

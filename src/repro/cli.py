@@ -161,11 +161,89 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_shards(args: argparse.Namespace) -> int:
+    """The sharding differential mode of the chaos command.
+
+    K-shard runs (in-process, optionally the worker engine too) are
+    diffed bit-for-bit against the single-process reference on audit
+    logs, memory digests and curated counters.  Failing specs are
+    written as replayable JSON artifacts.
+    """
+    import json
+
+    from repro.chaos.sharding_oracle import (
+        ShardingOracle,
+        run_sharding_suite,
+    )
+    from repro.sharding import ClusterSpec
+
+    audit = not args.no_audit
+    if args.replay_spec is not None:
+        with open(args.replay_spec, "r", encoding="utf-8") as fh:
+            artifact = json.load(fh)
+        spec = ClusterSpec.from_dict(artifact["spec"])
+        reports = [
+            ShardingOracle(audit=audit).compare(
+                spec,
+                artifact.get("num_shards", args.shards),
+                engine=artifact.get("engine", args.engine),
+            )
+        ]
+    elif args.suite:
+        nodes = args.nodes if args.nodes >= 4 else 16
+        reports = run_sharding_suite(
+            args.shards,
+            num_nodes=nodes,
+            seeds=tuple(range(args.seed, args.seed + 3)),
+            audit=audit,
+            also_worker=args.engine in ("worker", "both"),
+        )
+    else:
+        nodes = args.nodes if args.nodes >= 4 else 16
+        spec = ClusterSpec(num_nodes=nodes, seed=args.seed)
+        oracle = ShardingOracle(audit=audit)
+        engines = (
+            ["in-process", "worker"] if args.engine == "both"
+            else [args.engine]
+        )
+        reports = []
+        reference = None
+        for engine in engines:
+            report = oracle.compare(
+                spec, args.shards, engine=engine, reference=reference
+            )
+            reference = report.reference
+            reports.append(report)
+
+    failures = [r for r in reports if not r.ok]
+    for report in reports:
+        print(report.summary())
+    if failures:
+        path = args.repro_file or "sharding-failure.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(failures[0].artifact() + "\n")
+        print(f"\n(failing shard schedule written to {path})")
+        return 1
+    total_audits = sum(
+        r.sharded.audits + r.reference.audits
+        for r in reports
+        if r.sharded is not None and r.reference is not None
+    )
+    print(
+        f"{len(reports)} comparison(s) clean"
+        + (f"; {total_audits} invariant audits" if total_audits else "")
+    )
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
     from repro.chaos import actions_from_json, run_chaos
     from repro.chaos.world import BREAK_MODES
+
+    if args.shards is not None:
+        return _cmd_chaos_shards(args)
 
     if args.break_mode is not None and args.break_mode not in BREAK_MODES:
         print(f"unknown --break mode {args.break_mode!r}; "
@@ -251,6 +329,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full per-action audit log")
     chaos.add_argument("--max-shrink-evals", type=int, default=200,
                        help="ddmin replay budget (default 200)")
+    chaos.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="sharding differential mode: diff a K-shard "
+                            "PDES run against the single-process reference "
+                            "(bit-identical logs, digests, counters)")
+    chaos.add_argument("--engine", default="in-process",
+                       choices=["in-process", "worker", "both"],
+                       help="sharded engine(s) to check (with --shards)")
+    chaos.add_argument("--suite", action="store_true",
+                       help="run the whole seeded spec suite (with --shards)")
+    chaos.add_argument("--no-audit", action="store_true",
+                       help="skip per-operation invariant auditing "
+                            "(with --shards)")
+    chaos.add_argument("--replay-spec", default=None, metavar="FILE",
+                       help="replay a failing shard-schedule artifact "
+                            "(with --shards)")
     chaos.add_argument("--reliable", action="store_true",
                        help="enable the ack/retransmit transport and hold "
                             "the run to the eventual-delivery oracle "

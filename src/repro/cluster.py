@@ -117,6 +117,9 @@ class ShrimpCluster:
             self.clock, self.costs, self.tracer,
             topology=topology, mesh_width=mesh_width,
         )
+        # Fail fast on a node count that does not fill the configured
+        # grid (ragged meshes would silently skew hop distances).
+        self.interconnect.validate_topology(num_nodes)
         if self.obs.spans is not None:
             self.interconnect._spans = self.obs.spans
         # Optional ack/retransmit transport: one shared plane for the whole

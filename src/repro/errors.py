@@ -107,6 +107,43 @@ class SyscallError(ReproError):
         super().__init__(message)
 
 
+class SimulationLimitError(ReproError):
+    """An event-loop guard tripped (e.g. ``run_until_idle`` max_events).
+
+    Distinguishes "the simulation is livelocked / runaway" from silent
+    truncation: the clock stops *before* exceeding the budget, leaves the
+    queue accounting consistent, and reports where it stopped so the
+    failure is diagnosable.
+
+    Attributes:
+        limit: the event budget that was exhausted.
+        fired: events fired within this call before stopping.
+        pending: live events still queued when the guard tripped.
+        now: simulated time when the guard tripped.
+        next_event_time: due time of the event that was *not* fired.
+    """
+
+    def __init__(
+        self,
+        limit: int,
+        fired: int,
+        pending: int,
+        now: int,
+        next_event_time: "int | None",
+    ) -> None:
+        self.limit = limit
+        self.fired = fired
+        self.pending = pending
+        self.now = now
+        self.next_event_time = next_event_time
+        super().__init__(
+            f"event budget exhausted: fired {fired} events "
+            f"(limit {limit}) with {pending} still pending at t={now} "
+            f"(next due at t={next_event_time}); a component appears to "
+            "reschedule itself unboundedly"
+        )
+
+
 class InvariantViolation(ReproError):
     """One of the paper's invariants I1-I4 was found violated.
 

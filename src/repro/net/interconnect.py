@@ -19,6 +19,7 @@ the same decode path.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Optional, Union
 
 from repro.errors import ConfigurationError, NetworkError
@@ -42,17 +43,22 @@ class Interconnect:
         topology: str = "linear",
         mesh_width: int = 0,
     ) -> None:
-        """``topology`` is ``"linear"`` (a row of routers) or ``"mesh2d"``
-        (the Paragon's 2D mesh, dimension-ordered routing); for mesh2d,
-        ``mesh_width`` gives the number of columns (0 = square-ish,
-        derived from the registered node count at routing time)."""
-        if topology not in ("linear", "mesh2d"):
+        """``topology`` is ``"linear"`` (a row of routers), ``"mesh2d"``
+        (the Paragon's 2D mesh, dimension-ordered routing) or
+        ``"torus2d"`` (the mesh with wraparound links in both
+        dimensions); for the 2D topologies, ``mesh_width`` gives the
+        number of columns (0 = square, derived from the node count --
+        see :meth:`validate_topology`)."""
+        if topology not in ("linear", "mesh2d", "torus2d"):
             raise ConfigurationError(f"unknown topology {topology!r}")
         self.clock = clock
         self.costs = costs
         self.tracer = tracer
         self.topology = topology
         self.mesh_width = mesh_width
+        #: rows of the 2D grid; pinned by :meth:`validate_topology`,
+        #: otherwise derived from the registered node count on demand
+        self._mesh_height: Optional[int] = None
         self._nics: Dict[int, "ReceiverPort"] = {}
         # Span tracker when the owning cluster traces spans (repro.obs).
         self._spans = None
@@ -74,22 +80,126 @@ class Interconnect:
             raise ConfigurationError(f"node {node_id} already registered")
         self._nics[node_id] = port
 
+    def validate_topology(self, num_nodes: int) -> None:
+        """Check ``num_nodes`` fits the configured topology; pin the grid.
+
+        The 2D topologies require a full rectangle: with ``mesh_width``
+        given, ``num_nodes`` must be an exact multiple of it; with
+        ``mesh_width == 0`` the grid is square and ``num_nodes`` must be
+        a perfect square.  Rejections name the nearest valid node counts
+        so a mis-sized cluster is a one-line fix.  On success the derived
+        width/height are pinned, which also fixes the torus wraparound
+        before any NIC registers.
+        """
+        if num_nodes < 1:
+            raise ConfigurationError(
+                f"a cluster needs at least one node, got {num_nodes}"
+            )
+        if self.topology == "linear":
+            return
+        width = self.mesh_width
+        if width > 0:
+            if num_nodes % width != 0:
+                below = width * (num_nodes // width)
+                above = below + width
+                nearest = [
+                    f"{n} nodes ({width}x{n // width})"
+                    for n in (below, above)
+                    if n > 0
+                ]
+                raise ConfigurationError(
+                    f"{self.topology} with mesh_width={width} needs a full "
+                    f"rectangle of nodes; {num_nodes} leaves a ragged last "
+                    f"row (nearest valid: {' or '.join(nearest)})"
+                )
+            height = num_nodes // width
+        else:
+            root = math.isqrt(num_nodes)
+            if root * root != num_nodes:
+                below, above = root * root, (root + 1) * (root + 1)
+                nearest = [
+                    f"{n} nodes ({r}x{r})"
+                    for n, r in ((below, root), (above, root + 1))
+                    if n > 0
+                ]
+                raise ConfigurationError(
+                    f"{self.topology} without mesh_width needs a square "
+                    f"node count; got {num_nodes} "
+                    f"(nearest valid: {' or '.join(nearest)})"
+                )
+            width = height = root
+        self.mesh_width = width
+        self._mesh_height = height
+
+    def _grid_dims(self) -> "tuple[int, int]":
+        """(columns, rows) of the 2D grid, derived if not yet validated."""
+        width = self.mesh_width
+        if width <= 0:
+            count = max(len(self._nics), 1)
+            width = max(1, int(count ** 0.5))
+        height = self._mesh_height
+        if height is None or height <= 0:
+            count = max(len(self._nics), 1)
+            height = max(1, -(-count // width))
+        return width, height
+
     def hops(self, src_node: int, dst_node: int) -> int:
         """Routing distance under the configured topology (minimum 1).
 
         Linear: a row of routers, distance = |src - dst|.  Mesh2d:
         dimension-ordered (X then Y) routing on a ``mesh_width``-column
-        grid, the Paragon backplane's scheme.
+        grid, the Paragon backplane's scheme.  Torus2d: the same grid
+        with wraparound links, so each per-dimension distance is the
+        shorter way around the ring.
         """
         if self.topology == "linear":
             return max(1, abs(src_node - dst_node))
-        width = self.mesh_width
-        if width <= 0:
-            count = max(len(self._nics), 1)
-            width = max(1, int(count ** 0.5))
+        width, height = self._grid_dims()
         sx, sy = src_node % width, src_node // width
         dx, dy = dst_node % width, dst_node // width
-        return max(1, abs(sx - dx) + abs(sy - dy))
+        ddx, ddy = abs(sx - dx), abs(sy - dy)
+        if self.topology == "torus2d":
+            ddx = min(ddx, width - ddx)
+            ddy = min(ddy, height - ddy)
+        return max(1, ddx + ddy)
+
+    def route_path(self, src_node: int, dst_node: int) -> "list[int]":
+        """The node ids a packet visits after ``src_node``, in hop order.
+
+        Dimension-ordered: the packet first corrects X (choosing the
+        shorter ring direction on a torus, ties broken toward +X), then
+        Y.  Purely diagnostic -- latency uses :meth:`hops` -- but it
+        pins down the routing scheme for tests and docs.
+        """
+        if self.topology == "linear":
+            if src_node == dst_node:
+                return [dst_node]
+            step = 1 if dst_node > src_node else -1
+            return list(range(src_node + step, dst_node + step, step))
+        width, height = self._grid_dims()
+        torus = self.topology == "torus2d"
+
+        def _toward(cur: int, target: int, size: int) -> int:
+            if not torus:
+                return 1 if target > cur else -1
+            forward = (target - cur) % size
+            backward = (cur - target) % size
+            return 1 if forward <= backward else -1
+
+        x, y = src_node % width, src_node // width
+        tx, ty = dst_node % width, dst_node // width
+        path = []
+        while x != tx:
+            x = (x + _toward(x, tx, width)) % width if torus else x + _toward(
+                x, tx, width
+            )
+            path.append(y * width + x)
+        while y != ty:
+            y = (y + _toward(y, ty, height)) % height if torus else y + _toward(
+                y, ty, height
+            )
+            path.append(y * width + x)
+        return path or [dst_node]
 
     def route(self, src_node: int, dst_node: int, wire: Wire) -> None:
         """Inject a packet (object or wire bytes); delivery after routing delay.

@@ -23,7 +23,9 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationLimitError
 
 #: Compaction fires when ``len(queue) > 2 * live + COMPACT_SLACK``: the
 #: slack keeps tiny queues from compacting on every cancel.
@@ -65,12 +67,39 @@ class Event:
             self._clock._on_cancel()
 
 
+@dataclass(slots=True)
+class KeyedEvent(Event):
+    """An event with a canonical ordering key: (time, key, seq).
+
+    The sharded kernel uses the ``key`` to make per-node execution order a
+    pure function of the workload rather than of scheduling interleaving:
+    local hardware events carry the empty key ``()`` (sorting first at a
+    given cycle), network arrivals carry ``(1, src_node, channel_seq)`` so
+    same-cycle arrivals land in a source/sequence order that is identical
+    no matter which shard — or which worker process — delivered them.
+    """
+
+    key: Tuple = ()
+
+    def __lt__(self, other: "KeyedEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.key != other.key:
+            return self.key < other.key
+        return self.seq < other.seq
+
+
 class Clock:
     """A shared cycle counter with an event queue.
 
     The clock never runs backwards.  Events scheduled for a time that has
     already passed fire on the next :meth:`advance` / :meth:`run` call.
     """
+
+    #: event class used by :meth:`schedule`; a class hook (rather than a
+    #: per-event branch) so the single-clock hot path pays nothing for the
+    #: sharded kernel's keyed ordering
+    _event_cls = Event
 
     def __init__(self) -> None:
         self._now = 0
@@ -113,7 +142,9 @@ class Clock:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule an event {delay} cycles in the past")
-        event = Event(self._now + delay, next(self._seq), callback, False, self)
+        event = self._event_cls(
+            self._now + delay, next(self._seq), callback, False, self
+        )
         heapq.heappush(self._queue, event)
         self._live += 1
         return event
@@ -161,22 +192,31 @@ class Clock:
         """Drain every queued event (events may schedule further events).
 
         ``max_events`` guards against a component that reschedules itself
-        forever.
+        forever.  On exhaustion the guard trips *before* firing event
+        ``max_events + 1`` and raises :class:`SimulationLimitError` with
+        the stop point; the unfired event stays queued, so
+        :meth:`pending` / :meth:`next_event_time` remain consistent and
+        the caller can inspect (or keep draining) the survivors.
         """
         queue = self._queue
         pop = heapq.heappop
         fired = 0
         while queue:
-            head = pop(queue)
+            head = queue[0]
             if head.cancelled:
+                pop(queue)
                 continue
+            if fired >= max_events:
+                raise SimulationLimitError(
+                    limit=max_events,
+                    fired=fired,
+                    pending=self._live,
+                    now=self._now,
+                    next_event_time=head.time,
+                )
+            pop(queue)
             self._fire(head)
             fired += 1
-            if fired > max_events:
-                raise RuntimeError(
-                    f"run_until_idle fired more than {max_events} events; "
-                    "a component appears to reschedule itself unboundedly"
-                )
 
     # ------------------------------------------------------------ internal
     def _fire(self, event: Event) -> None:
@@ -220,6 +260,89 @@ class Clock:
         """
         self._queue[:] = [e for e in self._queue if not e.cancelled]
         heapq.heapify(self._queue)
+
+
+class ShardClock(Clock):
+    """A per-node clock driven by a shard engine instead of by itself.
+
+    In the sharded kernel every node owns one ShardClock.  Two rules make
+    the execution order a pure function of the workload (and therefore
+    bit-identical across shard counts and across the in-process /
+    worker-process engines):
+
+    1. **Charging never fires.**  :meth:`advance` only moves ``now``; the
+       engine fires events explicitly, between workload steps, in
+       canonical ``(time, key, seq)`` order.  Conservative-PDES bounds can
+       then only *delay* an event, never reorder it relative to the
+       node's other work.
+    2. **Arrivals are keyed.**  Cross-node deliveries are scheduled with
+       :meth:`schedule_keyed` carrying ``(1, src_node, channel_seq)``, so
+       same-cycle arrivals sort after local hardware events (empty key)
+       and in a source order independent of delivery interleaving.
+
+    ``run`` / ``run_until_idle`` raise: any component that coasts the
+    clock itself would fire events outside engine control and silently
+    break the determinism contract, so misuse fails loudly.
+    """
+
+    _event_cls = KeyedEvent
+
+    def advance(self, cycles: int) -> None:
+        """Charge CPU cycles without firing events (engine fires them)."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance time by {cycles} cycles")
+        self._now += cycles
+
+    def run(self, until: Optional[int] = None) -> None:
+        raise ConfigurationError(
+            "ShardClock is engine-driven: components must not coast the "
+            "clock (got run()); sharded workloads must use non-blocking "
+            "initiations"
+        )
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        raise ConfigurationError(
+            "ShardClock is engine-driven: use the shard engine to drain "
+            "events, not run_until_idle()"
+        )
+
+    # -------------------------------------------------------- engine API
+    def schedule_keyed(
+        self, time: int, key: Tuple, callback: Callable[[], None]
+    ) -> KeyedEvent:
+        """Schedule at absolute ``time`` with an explicit ordering key.
+
+        Unlike :meth:`schedule_at` this permits ``time <= now``: a
+        cross-shard arrival may be ingested after the receiving node's
+        clock has already charged past the wire arrival cycle; it still
+        sorts (and fires) at its true arrival time.
+        """
+        event = KeyedEvent(time, next(self._seq), callback, False, self, key)
+        heapq.heappush(self._queue, event)
+        self._live += 1
+        return event
+
+    def next_op(self) -> Optional[Tuple[int, Tuple]]:
+        """(time, key) of the earliest live event, or None if idle."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        if not queue:
+            return None
+        head = queue[0]
+        return (head.time, head.key)
+
+    def fire_next(self) -> int:
+        """Pop and fire the earliest live event; returns its due time."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        if not queue:
+            raise ConfigurationError("fire_next() on an idle ShardClock")
+        head = heapq.heappop(queue)
+        time = head.time
+        self._fire(head)
+        return time
 
 
 def transfer_cycles(nbytes: int, bytes_per_cycle: float) -> int:

@@ -37,6 +37,8 @@ _GLYPHS = {
     "route": ">",
     "chain-start": "c",
     "chain-complete": "C",
+    "handoff": "h",
+    "lbts": "b",
 }
 
 

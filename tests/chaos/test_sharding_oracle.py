@@ -1,0 +1,136 @@
+"""The sharding differential oracle and its chaos CLI mode."""
+
+import json
+
+import pytest
+
+from repro.chaos.sharding_oracle import (
+    ShardingOracle,
+    ShardingReport,
+    run_sharding_suite,
+    suite_specs,
+)
+from repro.cli import main
+from repro.sharding import ClusterSpec, run_sharded
+
+
+def small_spec(**overrides):
+    params = dict(num_nodes=4, topology="linear", messages_per_node=3)
+    params.update(overrides)
+    return ClusterSpec(**params)
+
+
+class TestShardingOracle:
+    def test_clean_comparison(self):
+        report = ShardingOracle(audit=False).compare(small_spec(), 2)
+        assert report.ok
+        assert "bit-identical" in report.summary()
+
+    def test_audited_comparison_counts_audits(self):
+        report = ShardingOracle(audit=True).compare(small_spec(), 2)
+        assert report.ok
+        assert report.sharded.audits == report.sharded.ops_executed
+
+    def test_reference_is_reusable(self):
+        oracle = ShardingOracle(audit=False)
+        first = oracle.compare(small_spec(), 2)
+        second = oracle.compare(
+            small_spec(), 2, engine="worker", reference=first.reference
+        )
+        assert second.ok
+        assert second.reference is first.reference
+
+    def test_divergence_is_reported_per_surface(self):
+        spec = small_spec()
+        reference = run_sharded(spec, num_shards=1)
+        report = ShardingOracle(audit=False).compare(spec, 2)
+        # Forge a divergence on every surface.
+        report.sharded.logs[0] = "forged"
+        report.sharded.digests["n0"] = "beef"
+        report.sharded.counters["n0.now"] += 1
+        report.mismatches.clear()
+        ShardingOracle()._diff(report)
+        assert not report.ok
+        kinds = " ".join(report.mismatches)
+        assert "audit log diverges" in kinds
+        assert "memory digest diverges" in kinds
+        assert "counter n0.now" in kinds
+        del reference
+
+    def test_run_error_is_captured_not_raised(self):
+        report = ShardingOracle(audit=False).compare(small_spec(), 99)
+        assert not report.ok
+        assert report.error is not None
+        assert "FAILED to run" in report.summary()
+
+    def test_artifact_round_trips(self):
+        report = ShardingReport(spec=small_spec(seed=9), num_shards=2,
+                                engine="worker")
+        report.mismatches.append("counter n0.now: reference=1 vs sharded=2")
+        artifact = json.loads(report.artifact())
+        assert artifact["kind"] == "sharding-differential-failure"
+        assert ClusterSpec.from_dict(artifact["spec"]).seed == 9
+        assert artifact["num_shards"] == 2
+
+
+class TestSuite:
+    def test_suite_covers_contention_and_torus(self):
+        specs = suite_specs(num_nodes=9, seeds=(0, 1))
+        assert len(specs) == 4
+        assert any(s.gap_cycles < 1000 for s in specs)
+        assert any(s.topology == "torus2d" for s in specs)
+
+    def test_suite_runs_clean(self):
+        reports = run_sharding_suite(
+            2, num_nodes=4, seeds=(0,), audit=False
+        )
+        assert reports and all(r.ok for r in reports)
+
+
+class TestChaosShardsCli:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main([
+            "chaos", "--shards", "2", "--nodes", "4", "--no-audit",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+
+    def test_failure_writes_artifact(self, tmp_path, monkeypatch, capsys):
+        # Sabotage the sharded engine so the differential trips.
+        from repro.chaos import sharding_oracle
+
+        real = sharding_oracle.run_sharded
+
+        def sabotage(spec, num_shards=1, engine="in-process", audit=False):
+            result = real(spec, num_shards=num_shards, engine=engine,
+                          audit=audit)
+            if num_shards > 1:
+                result.logs[0] = "forged divergence"
+            return result
+
+        monkeypatch.setattr(sharding_oracle, "run_sharded", sabotage)
+        artifact = tmp_path / "failure.json"
+        code = main([
+            "chaos", "--shards", "2", "--nodes", "4", "--no-audit",
+            "--repro-file", str(artifact),
+        ])
+        assert code == 1
+        data = json.loads(artifact.read_text())
+        assert data["kind"] == "sharding-differential-failure"
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_spec_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "replay.json"
+        artifact.write_text(json.dumps({
+            "kind": "sharding-differential-failure",
+            "spec": small_spec().as_dict(),
+            "num_shards": 2,
+            "engine": "in-process",
+        }))
+        code = main([
+            "chaos", "--shards", "2", "--no-audit",
+            "--replay-spec", str(artifact),
+        ])
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out

@@ -173,3 +173,135 @@ class TestMesh2dTopology:
             num_nodes=4, mem_size=1 << 20, topology="mesh2d", mesh_width=2
         )
         assert cluster.interconnect.hops(0, 3) == 2
+
+    def test_route_path_is_dimension_ordered(self):
+        mesh = self.make(width=4, nodes=16)
+        # (0,0) -> (2,2): X first (1, 2), then Y (6, 10).
+        assert mesh.route_path(0, 10) == [1, 2, 6, 10]
+
+    def test_route_path_length_matches_hops(self):
+        mesh = self.make(width=4, nodes=16)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                assert len(mesh.route_path(src, dst)) == mesh.hops(src, dst)
+
+
+class TestTorus2dTopology:
+    def make(self, width, nodes):
+        clock = Clock()
+        interconnect = Interconnect(
+            clock, shrimp(), topology="torus2d", mesh_width=width
+        )
+        interconnect.validate_topology(nodes)
+        for i in range(nodes):
+            interconnect.register(i, RecordingPort())
+        return interconnect
+
+    def test_row_edge_wraparound(self):
+        torus = self.make(width=4, nodes=16)
+        # (0,0) -> (3,0): one hop around the X ring, not three across.
+        assert torus.hops(0, 3) == 1
+
+    def test_column_edge_wraparound(self):
+        torus = self.make(width=4, nodes=16)
+        # (0,0) -> (0,3): one hop around the Y ring.
+        assert torus.hops(0, 12) == 1
+
+    def test_corner_to_corner_wraps_both_dimensions(self):
+        torus = self.make(width=4, nodes=16)
+        assert torus.hops(0, 15) == 2  # mesh2d distance would be 6
+
+    def test_interior_distance_matches_mesh(self):
+        torus = self.make(width=4, nodes=16)
+        mesh = Interconnect(
+            Clock(), shrimp(), topology="mesh2d", mesh_width=4
+        )
+        mesh.validate_topology(16)
+        assert torus.hops(0, 5) == mesh.hops(0, 5) == 2
+
+    def test_wrap_uses_shorter_ring_direction_on_rectangles(self):
+        torus = self.make(width=8, nodes=32)  # 8 wide, 4 tall
+        assert torus.hops(0, 7) == 1   # X wraps on the 8-ring
+        assert torus.hops(0, 24) == 1  # Y wraps on the 4-ring
+        assert torus.hops(0, 4) == 4   # halfway around the X ring
+
+    def test_route_path_wraps_edges(self):
+        torus = self.make(width=4, nodes=16)
+        assert torus.route_path(0, 3) == [3]       # -X around the ring
+        assert torus.route_path(0, 12) == [12]     # -Y around the ring
+        assert torus.route_path(0, 15) == [3, 15]  # X ring then Y ring
+
+    def test_route_path_length_matches_hops(self):
+        torus = self.make(width=4, nodes=16)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                assert len(torus.route_path(src, dst)) == torus.hops(src, dst)
+
+
+class TestTopologyValidation:
+    def test_linear_accepts_any_count(self):
+        interconnect = Interconnect(Clock(), shrimp(), topology="linear")
+        interconnect.validate_topology(7)  # no error
+
+    def test_rectangle_accepted_and_pins_height(self):
+        interconnect = Interconnect(
+            Clock(), shrimp(), topology="mesh2d", mesh_width=8
+        )
+        interconnect.validate_topology(24)
+        assert interconnect.mesh_width == 8
+        assert interconnect._mesh_height == 3
+
+    def test_ragged_mesh_rejected_naming_nearest(self):
+        interconnect = Interconnect(
+            Clock(), shrimp(), topology="mesh2d", mesh_width=8
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            interconnect.validate_topology(60)
+        message = str(excinfo.value)
+        assert "56" in message and "8x7" in message  # nearest below
+        assert "64" in message and "8x8" in message  # nearest above
+
+    def test_nonsquare_autowidth_rejected_naming_nearest(self):
+        interconnect = Interconnect(Clock(), shrimp(), topology="torus2d")
+        with pytest.raises(ConfigurationError) as excinfo:
+            interconnect.validate_topology(60)
+        message = str(excinfo.value)
+        assert "49" in message and "7x7" in message
+        assert "64" in message and "8x8" in message
+
+    def test_square_autowidth_accepted(self):
+        interconnect = Interconnect(Clock(), shrimp(), topology="mesh2d")
+        interconnect.validate_topology(64)
+        assert interconnect.mesh_width == 8
+        assert interconnect._mesh_height == 8
+
+    def test_count_smaller_than_width_suggests_only_above(self):
+        interconnect = Interconnect(
+            Clock(), shrimp(), topology="mesh2d", mesh_width=8
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            interconnect.validate_topology(5)
+        message = str(excinfo.value)
+        assert "8 nodes (8x1)" in message
+        assert "0 nodes" not in message
+
+    def test_cluster_rejects_ragged_mesh(self):
+        from repro import ShrimpCluster
+        with pytest.raises(ConfigurationError):
+            ShrimpCluster(
+                num_nodes=3, mem_size=1 << 20,
+                topology="mesh2d", mesh_width=2,
+            )
+
+    def test_cluster_builds_on_torus(self):
+        from repro import ShrimpCluster
+        cluster = ShrimpCluster(
+            num_nodes=4, mem_size=1 << 20, topology="torus2d", mesh_width=2
+        )
+        # On a 2x2 torus wraparound cannot beat the direct path.
+        assert cluster.interconnect.hops(0, 1) == 1
+        assert cluster.interconnect.hops(0, 3) == 2

@@ -1,0 +1,52 @@
+"""Bench integration: the cluster_mesh_64 scenario and scaling sweep."""
+
+import os
+import sys
+
+_BENCH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+if _BENCH not in sys.path:  # the bench package is not installed
+    sys.path.insert(0, _BENCH)
+
+from bench_host_throughput import (  # noqa: E402
+    SCENARIOS,
+    bench_cluster_mesh_64,
+    bench_cluster_mesh_worker,
+    format_scaling,
+    run_scaling_sweep,
+)
+
+
+class TestClusterMeshScenario:
+    def test_registered_with_quick_workload(self):
+        spec = SCENARIOS["cluster_mesh_64"]
+        assert spec.quick["messages"] < spec.full["messages"]
+
+    def test_counts_events_and_bytes(self):
+        result = bench_cluster_mesh_64(messages=2)
+        assert result.events_fired > 0
+        assert result.events_per_s > 0
+        assert result.messages == 64 * 2
+        assert result.sim_bytes == 64 * 2 * 2048
+        assert result.sim_cycles > 0
+
+    def test_worker_variant_times_execution_only(self):
+        result = bench_cluster_mesh_worker(messages=2, shards=2)
+        assert result.events_fired > 0
+        assert result.host_seconds > 0
+
+
+class TestScalingSweep:
+    def test_sweep_covers_powers_of_two(self):
+        results = run_scaling_sweep(max_shards=2, quick=True, repeats=1)
+        assert sorted(results) == [1, 2]
+        # Identical workload at every point: events must match exactly.
+        assert results[1].events_fired == results[2].events_fired
+
+    def test_table_reports_speedup_column(self):
+        results = run_scaling_sweep(max_shards=2, quick=True, repeats=1)
+        table = format_scaling(results)
+        assert "speedup" in table
+        assert "1.00x" in table

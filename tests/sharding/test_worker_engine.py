@@ -1,0 +1,59 @@
+"""The worker (multi-process) engine against the in-process reference.
+
+Marked ``slow`` where runs are long; the core equivalence check is
+tier-1 because it is the whole point of the engine.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sharding import ClusterSpec, WorkerEngine, run_sharded
+
+
+def spec4():
+    return ClusterSpec(
+        num_nodes=4, topology="linear", messages_per_node=3, seed=2
+    )
+
+
+class TestWorkerEngine:
+    def test_matches_in_process_reference(self):
+        spec = spec4()
+        ref = run_sharded(spec, num_shards=1)
+        result = run_sharded(spec, num_shards=2, engine="worker")
+        assert result.engine == "worker"
+        assert result.logs == ref.logs
+        assert result.digests == ref.digests
+        assert result.curated_counters() == ref.curated_counters()
+
+    def test_matches_under_contention(self):
+        spec = ClusterSpec(
+            num_nodes=4, topology="linear", messages_per_node=3,
+            gap_cycles=50,
+        )
+        ref = run_sharded(spec, num_shards=1)
+        result = run_sharded(spec, num_shards=2, engine="worker")
+        assert ref.retries > 0
+        assert result.logs == ref.logs
+        assert result.digests == ref.digests
+
+    def test_single_worker_degenerates_to_reference(self):
+        spec = spec4()
+        ref = run_sharded(spec, num_shards=1)
+        result = run_sharded(spec, num_shards=1, engine="worker")
+        assert result.logs == ref.logs
+        assert result.digests == ref.digests
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded(spec4(), num_shards=2, engine="threads")
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            WorkerEngine(spec4(), num_shards=0)
+
+    def test_worker_failure_surfaces_in_parent(self):
+        # 4 nodes cannot split 5 ways; the ConfigurationError must come
+        # back to the caller, not hang the relay.
+        with pytest.raises(ConfigurationError):
+            run_sharded(spec4(), num_shards=5, engine="worker")

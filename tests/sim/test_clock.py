@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim.clock import Clock, transfer_cycles
+from repro.errors import ConfigurationError, SimulationLimitError
+from repro.sim.clock import Clock, KeyedEvent, ShardClock, transfer_cycles
 
 
 class TestAdvance:
@@ -154,8 +155,52 @@ class TestRun:
             clock.schedule(1, reschedule)
 
         clock.schedule(1, reschedule)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SimulationLimitError):
             clock.run_until_idle(max_events=100)
+
+    def test_run_until_idle_exhaustion_is_diagnosable(self):
+        """The guard must report where it stopped, not silently truncate."""
+        clock = Clock()
+
+        def reschedule():
+            clock.schedule(3, reschedule)
+
+        clock.schedule(3, reschedule)
+        with pytest.raises(SimulationLimitError) as excinfo:
+            clock.run_until_idle(max_events=10)
+        err = excinfo.value
+        assert err.limit == 10
+        assert err.fired == 10
+        assert err.pending == 1
+        assert err.now == 30  # the 10th firing landed at t=30
+        assert err.next_event_time == 33
+        # Every diagnostic appears in the rendered message.
+        message = str(err)
+        for token in ("10", "t=30", "t=33"):
+            assert token in message
+
+    def test_run_until_idle_accounting_consistent_after_exhaustion(self):
+        """The unfired event stays queued; pending/next_event_time agree,
+        and a later drain with head-room finishes the leftovers."""
+        clock = Clock()
+        fired = []
+
+        def reschedule(n):
+            fired.append(n)
+            if n < 15:
+                clock.schedule(1, lambda: reschedule(n + 1))
+
+        clock.schedule(1, lambda: reschedule(1))
+        with pytest.raises(SimulationLimitError):
+            clock.run_until_idle(max_events=5)
+        assert fired == [1, 2, 3, 4, 5]
+        assert clock.pending() == 1
+        assert clock.next_event_time() == 6
+        assert clock.events_fired == 5
+        # The queue is intact: draining again completes the chain.
+        clock.run_until_idle(max_events=100)
+        assert fired == list(range(1, 16))
+        assert clock.pending() == 0
 
 
 class TestEventHousekeeping:
@@ -215,6 +260,88 @@ class TestEventHousekeeping:
         events[5].cancel()
         clock.advance(12)  # fires events at 10(cancelled skip), 11, 12
         assert clock.pending() == 2
+
+
+class TestKeyedOrdering:
+    def test_keyed_events_sort_time_key_seq(self):
+        a = KeyedEvent(10, 5, None, key=())
+        b = KeyedEvent(10, 1, None, key=(1, 0, 0))
+        c = KeyedEvent(10, 0, None, key=(1, 2, 0))
+        d = KeyedEvent(9, 9, None, key=(1, 9, 9))
+        assert d < a < b < c  # time first, then key, then seq
+
+    def test_local_events_precede_same_cycle_arrivals(self):
+        clock = ShardClock()
+        order = []
+        clock.schedule_keyed(20, (1, 7, 0), lambda: order.append("arrival"))
+        clock.schedule(20, lambda: order.append("local"))
+        while clock.next_op():
+            clock.fire_next()
+        assert order == ["local", "arrival"]
+
+    def test_same_cycle_arrivals_order_by_source_then_seq(self):
+        clock = ShardClock()
+        order = []
+        # Ingestion order deliberately scrambled: ordering must come from
+        # the key, not from scheduling order.
+        clock.schedule_keyed(20, (1, 3, 0), lambda: order.append("n3#0"))
+        clock.schedule_keyed(20, (1, 1, 1), lambda: order.append("n1#1"))
+        clock.schedule_keyed(20, (1, 1, 0), lambda: order.append("n1#0"))
+        while clock.next_op():
+            clock.fire_next()
+        assert order == ["n1#0", "n1#1", "n3#0"]
+
+
+class TestShardClock:
+    def test_advance_charges_without_firing(self):
+        clock = ShardClock()
+        fired = []
+        clock.schedule(5, lambda: fired.append(1))
+        clock.advance(50)
+        assert clock.now == 50
+        assert fired == []
+        assert clock.pending() == 1
+
+    def test_engine_fires_deferred_events_at_their_due_time(self):
+        clock = ShardClock()
+        seen = []
+        clock.schedule(5, lambda: seen.append(clock.now))
+        clock.advance(50)
+        assert clock.fire_next() == 5
+        # Time never runs backwards: now stays at the charged 50, but the
+        # callback observed a consistent (not-yet-rewound) clock.
+        assert clock.now == 50
+        assert seen == [50]
+
+    def test_overdue_keyed_arrival_allowed(self):
+        """A cross-shard arrival may be ingested after now has passed its
+        wire arrival cycle; schedule_keyed must accept it."""
+        clock = ShardClock()
+        clock.advance(100)
+        fired = []
+        clock.schedule_keyed(40, (1, 0, 0), lambda: fired.append(1))
+        assert clock.next_op() == (40, (1, 0, 0))
+        clock.fire_next()
+        assert fired == [1]
+        assert clock.now == 100
+
+    def test_self_coasting_is_rejected(self):
+        clock = ShardClock()
+        with pytest.raises(ConfigurationError):
+            clock.run()
+        with pytest.raises(ConfigurationError):
+            clock.run_until_idle()
+
+    def test_fire_next_on_idle_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardClock().fire_next()
+
+    def test_next_op_skips_cancelled(self):
+        clock = ShardClock()
+        doomed = clock.schedule_keyed(10, (1, 0, 0), lambda: None)
+        clock.schedule_keyed(20, (1, 0, 1), lambda: None)
+        doomed.cancel()
+        assert clock.next_op() == (20, (1, 0, 1))
 
 
 class TestTransferCycles:
