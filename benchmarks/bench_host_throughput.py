@@ -332,6 +332,8 @@ def bench_cluster_mesh_64(messages: int = 16, shards: int = 1) -> HostResult:
         messages=result.sent,
         host_seconds=elapsed,
         events_fired=result.events_fired,
+        xlat_hits=result.xlat_hits,
+        xlat_misses=result.xlat_misses,
     )
 
 
@@ -357,6 +359,8 @@ def bench_cluster_mesh_worker(messages: int = 16, shards: int = 1) -> HostResult
         messages=result.sent,
         host_seconds=engine.timed_seconds,
         events_fired=result.events_fired,
+        xlat_hits=result.xlat_hits,
+        xlat_misses=result.xlat_misses,
     )
 
 

@@ -44,6 +44,7 @@ from bench_host_throughput import (  # noqa: E402
 )
 
 SCHEMA = "shrimp-bench-host-throughput/1"
+SCALE_SCHEMA = "shrimp-bench-scale/1"
 
 
 def results_to_json(results, quick: bool) -> dict:
@@ -55,6 +56,72 @@ def results_to_json(results, quick: bool) -> dict:
         "platform": platform.platform(),
         "scenarios": {name: r.as_dict() for name, r in results.items()},
     }
+
+
+def scale_results_to_json(results, quick: bool) -> dict:
+    """BENCH_scale.json payload.  ``cpu_count`` is recorded so the gate
+    can warn (rather than fail) when the baseline came from a machine
+    with a different core count -- host msg/s is not comparable then."""
+    return {
+        "schema": SCALE_SCHEMA,
+        "quick": quick,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "scenarios": {name: r.as_dict() for name, r in results.items()},
+    }
+
+
+def check_scale_against(results, baseline: dict, tolerance: float) -> "tuple[list, list]":
+    """Gate scale results against a committed BENCH_scale.json.
+
+    Returns ``(failures, warnings)``.  Simulated fields (cycles, events,
+    deliveries) must match the baseline *exactly* when the workload
+    matches -- they are deterministic -- while host messages/s gets the
+    tier-2-style tolerance.  A differing ``cpu_count`` downgrades rate
+    failures to warnings: the committed numbers came from different
+    hardware, so a slowdown proves nothing.
+    """
+    failures, warnings = [], []
+    same_cpu = baseline.get("cpu_count") == os.cpu_count()
+    if not same_cpu:
+        warnings.append(
+            f"baseline cpu_count={baseline.get('cpu_count')} != host "
+            f"cpu_count={os.cpu_count()}; host-rate regressions are "
+            f"reported as warnings only"
+        )
+    base_scenarios = baseline.get("scenarios", {})
+    for name, result in results.items():
+        base = base_scenarios.get(name)
+        if base is None:
+            continue  # new scenario; nothing to regress against
+        base_enabled = base.get("enabled", {})
+        if base_enabled.get("messages") == result.enabled.get("messages"):
+            # Same workload: the simulation is deterministic, so these
+            # must be bit-identical across machines and Python builds.
+            for key in ("sim_cycles", "events", "delivered", "retries",
+                        "churns"):
+                if base_enabled.get(key) != result.enabled.get(key):
+                    failures.append(
+                        f"{name}: simulated {key} diverged from baseline "
+                        f"({result.enabled.get(key)!r} != "
+                        f"{base_enabled.get(key)!r}) -- determinism break"
+                    )
+        base_rate = base_enabled.get("messages_per_sec", 0.0)
+        rate = result.enabled.get("messages_per_sec", 0.0)
+        floor = base_rate * (1.0 - tolerance)
+        if base_rate and rate < floor:
+            msg = (
+                f"{name}: {rate:.0f} msg/s < floor {floor:.0f} "
+                f"(baseline {base_rate:.0f} msg/s, "
+                f"tolerance {tolerance:.0%})"
+            )
+            if same_cpu:
+                failures.append(msg)
+            else:
+                warnings.append(msg)
+    return failures, warnings
 
 
 def check_obs_overhead(obs_results, tolerance: float) -> list:
@@ -98,6 +165,108 @@ def check_against(results, baseline: dict, tolerance: float) -> list:
     return failures
 
 
+def profile_call(fn, path: str, label: str, top: int = 25) -> object:
+    """Run ``fn()`` under cProfile, append its top-``top`` cumulative
+    entries to ``path``, and return ``fn``'s result."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    with open(path, "a") as fh:
+        fh.write(f"==== {label} ====\n")
+        fh.write(buf.getvalue())
+        fh.write("\n")
+    return result
+
+
+def run_scale_mode(args) -> int:
+    """The --scale suite: traffic-engine scenarios + BENCH_scale gate."""
+    from bench_scale import (
+        SCALE_SCENARIOS,
+        check_identity,
+        format_scale,
+        run_scale,
+        run_scale_scenario,
+    )
+
+    names = None
+    if args.scenario:
+        unknown = [n for n in args.scenario if n not in SCALE_SCENARIOS]
+        if unknown:
+            print(f"error: unknown scale scenario(s) {unknown}; choose "
+                  f"from {sorted(SCALE_SCENARIOS)}", file=sys.stderr)
+            return 2
+        names = args.scenario
+    baseline_flag = False if args.no_baseline else None
+
+    if args.profile:
+        results = {}
+        for name, spec in SCALE_SCENARIOS.items():
+            if names is not None and name not in names:
+                continue
+            results[name] = profile_call(
+                lambda spec=spec: run_scale_scenario(
+                    spec, quick=args.quick, baseline=baseline_flag
+                ),
+                args.profile, name,
+            )
+        print(f"profile written to {args.profile}")
+    else:
+        results = run_scale(
+            quick=args.quick, names=names, baseline=baseline_flag,
+            progress=lambda msg: print(msg, flush=True),
+        )
+    print(format_scale(results))
+
+    # The fast lane must not change the simulation: refuse to report or
+    # record a speedup over diverging cycles/counters.
+    identity_failures = check_identity(results)
+    if identity_failures:
+        print("FAST-LANE IDENTITY VIOLATION:", file=sys.stderr)
+        for failure in identity_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        payload = scale_results_to_json(results, args.quick)
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        try:
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if baseline.get("schema") != SCALE_SCHEMA:
+            print(f"error: {args.check} has schema "
+                  f"{baseline.get('schema')!r}, expected {SCALE_SCHEMA!r}",
+                  file=sys.stderr)
+            return 2
+        failures, warnings = check_scale_against(
+            results, baseline, args.tolerance
+        )
+        for warning in warnings:
+            print(f"warning: {warning}")
+        if failures:
+            print("SCALE REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"scale check ok vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH",
@@ -107,6 +276,22 @@ def main(argv=None) -> int:
                              "host-throughput regression")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (CI-friendly)")
+    parser.add_argument("--scale", action="store_true",
+                        help="run the traffic-engine scale suite "
+                             "(bench_scale.py) instead of the core sweep; "
+                             "--json/--check then use the "
+                             "shrimp-bench-scale schema (BENCH_scale.json)")
+    parser.add_argument("--scenario", action="append", metavar="NAME",
+                        help="with --scale: run only the named scenario "
+                             "(repeatable)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="with --scale: skip the pooling/pipelining-"
+                             "disabled baseline passes (faster, but no "
+                             "speedup or identity cross-check)")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="run each scenario under cProfile and append "
+                             "the top-25 cumulative entries per scenario "
+                             "to PATH")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N host timing (default 3)")
     parser.add_argument("--tolerance", type=float, default=0.30,
@@ -141,10 +326,40 @@ def main(argv=None) -> int:
     if args.no_sweep and (args.check or args.json):
         parser.error("--no-sweep cannot be combined with --check/--json "
                      "(both need the scenario sweep)")
+    if args.scale and (args.no_sweep or args.obs_overhead
+                       or args.reliability_overhead or args.shards):
+        parser.error("--scale is its own suite; combine it only with "
+                     "--quick/--json/--check/--scenario/--no-baseline/"
+                     "--profile")
+    if (args.scenario or args.no_baseline) and not args.scale:
+        parser.error("--scenario/--no-baseline require --scale")
+
+    if args.profile:
+        # Fresh file per invocation; profile_call appends per scenario.
+        with open(args.profile, "w") as fh:
+            fh.write(f"# cProfile top-25 cumulative, "
+                     f"{'scale' if args.scale else 'core'} suite, "
+                     f"quick={args.quick}\n\n")
+
+    if args.scale:
+        return run_scale_mode(args)
 
     results = {}
     if not args.no_sweep:
-        results = run_all(quick=args.quick, repeats=args.repeats)
+        if args.profile:
+            # Profiling skews host timing, so run each scenario exactly
+            # once under the profiler and report those (not best-of-N).
+            from bench_host_throughput import SCENARIOS
+
+            for spec in SCENARIOS.values():
+                kwargs = spec.quick if args.quick else spec.full
+                results[spec.name] = profile_call(
+                    lambda spec=spec, kwargs=kwargs: spec.fn(**kwargs),
+                    args.profile, spec.name,
+                )
+            print(f"profile written to {args.profile}")
+        else:
+            results = run_all(quick=args.quick, repeats=args.repeats)
         print(format_results(results))
 
     obs_failures = []

@@ -12,6 +12,7 @@ JSON artifact so CI can upload it and anyone can replay it:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -21,11 +22,19 @@ from repro.sharding import ClusterSpec, ShardRunResult, run_sharded
 
 @dataclass
 class ShardingReport:
-    """The verdict of one sharded-vs-reference comparison."""
+    """The verdict of one sharded-vs-reference comparison.
+
+    ``mode`` names the axis under test: ``"shards"`` diffs a K-shard run
+    against the single-process reference; ``"pooling"`` diffs a pooled
+    run against the same schedule with the free-list fast lane disabled
+    (the ``--no-pool`` differential).  Both demand bit-identity on the
+    same three surfaces.
+    """
 
     spec: ClusterSpec
     num_shards: int
     engine: str
+    mode: str = "shards"
     reference: Optional[ShardRunResult] = None
     sharded: Optional[ShardRunResult] = None
     mismatches: List[str] = field(default_factory=list)
@@ -36,19 +45,29 @@ class ShardingReport:
         return not self.mismatches and self.error is None
 
     def summary(self) -> str:
-        what = (
-            f"{self.num_shards}-shard {self.engine} run "
-            f"({self.spec.num_nodes}-node {self.spec.topology}, "
-            f"seed {self.spec.seed}, gap {self.spec.gap_cycles})"
-        )
+        if self.mode == "pooling":
+            what = (
+                f"pooled {self.num_shards}-shard {self.engine} run "
+                f"({self.spec.num_nodes}-node {self.spec.topology}, "
+                f"seed {self.spec.seed}, gap {self.spec.gap_cycles}) "
+                f"vs pooling off"
+            )
+            name = "pooling oracle"
+        else:
+            what = (
+                f"{self.num_shards}-shard {self.engine} run "
+                f"({self.spec.num_nodes}-node {self.spec.topology}, "
+                f"seed {self.spec.seed}, gap {self.spec.gap_cycles})"
+            )
+            name = "sharding oracle"
         if self.ok:
-            return f"sharding oracle: {what} is bit-identical to the reference"
+            return f"{name}: {what} is bit-identical to the reference"
         if self.error is not None:
-            return f"sharding oracle: {what} FAILED to run: {self.error}"
+            return f"{name}: {what} FAILED to run: {self.error}"
         head = self.mismatches[0]
         more = len(self.mismatches) - 1
         return (
-            f"sharding oracle: {what} DIVERGED: {head}"
+            f"{name}: {what} DIVERGED: {head}"
             + (f" (+{more} more)" if more else "")
         )
 
@@ -56,10 +75,15 @@ class ShardingReport:
         """The failing schedule as a replayable JSON artifact."""
         return json.dumps(
             {
-                "kind": "sharding-differential-failure",
+                "kind": (
+                    "pooling-differential-failure"
+                    if self.mode == "pooling"
+                    else "sharding-differential-failure"
+                ),
                 "spec": self.spec.as_dict(),
                 "num_shards": self.num_shards,
                 "engine": self.engine,
+                "mode": self.mode,
                 "error": self.error,
                 "mismatches": self.mismatches[:50],
             },
@@ -91,6 +115,38 @@ class ShardingOracle:
             report.reference = reference
             report.sharded = run_sharded(
                 spec, num_shards=num_shards, engine=engine, audit=self.audit
+            )
+        except Exception as exc:
+            report.error = f"{type(exc).__name__}: {exc}"
+            return report
+        self._diff(report)
+        return report
+
+    def compare_pooling(
+        self,
+        spec: ClusterSpec,
+        num_shards: int = 1,
+        engine: str = "in-process",
+    ) -> ShardingReport:
+        """Diff one schedule run pooled vs with the fast lane disabled.
+
+        The reference is the spec with ``pooling=False`` (every event,
+        packet and wire buffer freshly allocated, no batched send
+        initiation); the candidate re-runs the *same* schedule pooled.
+        Any divergence in audit logs, memory digests or curated counters
+        means the fast lane changed the simulation, not just host time.
+        """
+        report = ShardingReport(
+            spec=spec, num_shards=num_shards, engine=engine, mode="pooling"
+        )
+        try:
+            report.reference = run_sharded(
+                dataclasses.replace(spec, pooling=False),
+                num_shards=num_shards, engine=engine, audit=self.audit,
+            )
+            report.sharded = run_sharded(
+                dataclasses.replace(spec, pooling=True),
+                num_shards=num_shards, engine=engine, audit=self.audit,
             )
         except Exception as exc:
             report.error = f"{type(exc).__name__}: {exc}"
@@ -188,3 +244,23 @@ def run_sharding_suite(
                 )
             )
     return reports
+
+
+def run_pooling_suite(
+    num_shards: int = 1,
+    num_nodes: int = 16,
+    seeds: Sequence[int] = (0, 1, 2),
+    engine: str = "in-process",
+    audit: bool = True,
+) -> List[ShardingReport]:
+    """The ``--no-pool`` differential over the seeded schedule suite.
+
+    Every spec runs twice at the *same* shard count -- fast lane off,
+    then on -- and must be bit-identical on audit logs, digests and
+    curated counters.
+    """
+    oracle = ShardingOracle(audit=audit)
+    return [
+        oracle.compare_pooling(spec, num_shards=num_shards, engine=engine)
+        for spec in suite_specs(num_nodes=num_nodes, seeds=seeds)
+    ]

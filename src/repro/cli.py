@@ -173,12 +173,34 @@ def _cmd_chaos_shards(args: argparse.Namespace) -> int:
 
     from repro.chaos.sharding_oracle import (
         ShardingOracle,
+        run_pooling_suite,
         run_sharding_suite,
     )
     from repro.sharding import ClusterSpec
 
     audit = not args.no_audit
-    if args.replay_spec is not None:
+    if args.no_pool:
+        nodes = args.nodes if args.nodes >= 4 else 16
+        if args.suite:
+            reports = run_pooling_suite(
+                num_shards=args.shards or 1,
+                num_nodes=nodes,
+                seeds=tuple(range(args.seed, args.seed + 3)),
+                engine=args.engine if args.engine != "both" else "in-process",
+                audit=audit,
+            )
+        else:
+            spec = ClusterSpec(num_nodes=nodes, seed=args.seed)
+            reports = [
+                ShardingOracle(audit=audit).compare_pooling(
+                    spec,
+                    num_shards=args.shards or 1,
+                    engine=(
+                        args.engine if args.engine != "both" else "in-process"
+                    ),
+                )
+            ]
+    elif args.replay_spec is not None:
         with open(args.replay_spec, "r", encoding="utf-8") as fh:
             artifact = json.load(fh)
         spec = ClusterSpec.from_dict(artifact["spec"])
@@ -242,7 +264,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import actions_from_json, run_chaos
     from repro.chaos.world import BREAK_MODES
 
-    if args.shards is not None:
+    if args.shards is not None or args.no_pool:
         return _cmd_chaos_shards(args)
 
     if args.break_mode is not None and args.break_mode not in BREAK_MODES:
@@ -333,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sharding differential mode: diff a K-shard "
                             "PDES run against the single-process reference "
                             "(bit-identical logs, digests, counters)")
+    chaos.add_argument("--no-pool", action="store_true",
+                       help="pooling differential mode: run the same "
+                            "schedule with the free-list/pipelining fast "
+                            "lane off vs on (at --shards K, default 1) and "
+                            "require bit-identical logs, digests, counters")
     chaos.add_argument("--engine", default="in-process",
                        choices=["in-process", "worker", "both"],
                        help="sharded engine(s) to check (with --shards)")

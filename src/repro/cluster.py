@@ -31,6 +31,7 @@ from repro.machine import Machine
 from repro.mem.layout import ProxyScheme
 from repro.net.interconnect import Interconnect
 from repro.net.nic import ShrimpNic
+from repro.net.pool import PacketPool
 from repro.net.reliable import ReliabilityConfig, ReliabilityPlane
 from repro.obs import Observability, ObsConfig, unflatten
 from repro.params import CostModel, shrimp
@@ -92,11 +93,20 @@ class ShrimpCluster:
         fast_paths: bool = True,
         obs: "Optional[ObsConfig | Observability]" = None,
         reliability: "bool | ReliabilityConfig | None" = None,
+        pooling: bool = True,
+        pool_debug: bool = False,
+        pipelining: bool = True,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
         self.costs = costs if costs is not None else shrimp()
-        self.clock = Clock()
+        #: fast-lane toggles: ``pooling`` recycles events/packets/buffers,
+        #: ``pipelining`` lets senders reuse cached initiation plans.  Both
+        #: are exact -- simulated cycles and every curated counter are
+        #: bit-identical on or off (chaos ``--no-pool`` gates this).
+        self.pooling = pooling
+        self.pipelining = pipelining
+        self.clock = Clock(pooling=pooling, pool_debug=pool_debug)
         # One shared observability plane: every node registers its metrics
         # under a node{i}. namespace and all spans land on one tracker, so
         # a transfer's causality survives crossing the backplane.
@@ -120,6 +130,8 @@ class ShrimpCluster:
         # Fail fast on a node count that does not fill the configured
         # grid (ragged meshes would silently skew hop distances).
         self.interconnect.validate_topology(num_nodes)
+        if pooling:
+            self.interconnect.packet_pool = PacketPool(debug=pool_debug)
         if self.obs.spans is not None:
             self.interconnect._spans = self.obs.spans
         # Optional ack/retransmit transport: one shared plane for the whole
@@ -140,7 +152,10 @@ class ShrimpCluster:
             )
         self.nodes: List[Machine] = []
         self.nics: List[ShrimpNic] = []
-        self._next_nipt: List[int] = []
+        # Per-node NIPT allocator: free (base, length) ranges, first-fit.
+        # Starts as one big range, so allocation order matches the old
+        # bump allocator until something is released.
+        self._nipt_free: List[List[Tuple[int, int]]] = []
         for i in range(num_nodes):
             node = Machine(
                 costs=self.costs,
@@ -170,7 +185,7 @@ class ShrimpCluster:
             node.cpu.store_snoop = nic.snoop_store
             self.nodes.append(node)
             self.nics.append(nic)
-            self._next_nipt.append(0)
+            self._nipt_free.append([(0, nipt_entries)])
         if self.obs.config.metrics:
             self._bind_metrics()
 
@@ -368,17 +383,59 @@ class ShrimpCluster:
                 if node.kernel.frames.is_pinned(frame):
                     node.kernel.frames.unpin(frame)
 
+    def release_channel(self, channel: Channel) -> None:
+        """Tear down a deliberate-update channel (the tenant-churn path).
+
+        Invalidates the sender-side NIPT entries, returns the index range
+        to the allocator, and unpins the receiver frames the export
+        pinned.  This is the OS-level unmap a multi-tenant node performs
+        when a process exits -- or when the kernel evicts a mapping to
+        make room under NIPT pressure (see :mod:`repro.traffic.tenants`).
+        In-flight packets for the channel are unaffected: they already
+        carry resolved physical addresses, exactly like the hardware.
+        """
+        nic = self.nics[channel.src_node]
+        for i in range(channel.npages):
+            nic.nipt.clear_entry(channel.nipt_base + i)
+        self._free_nipt(channel.src_node, channel.nipt_base, channel.npages)
+        node = self.nodes[channel.dst_node]
+        for frame in channel.dst_frames:
+            if node.kernel.frames.is_pinned(frame):
+                node.kernel.frames.unpin(frame)
+
     def _alloc_nipt(self, node_index: int, npages: int) -> int:
-        base = self._next_nipt[node_index]
-        if base + npages > self.nics[node_index].nipt.num_entries:
-            raise SyscallError("ENOSPC", "sender NIPT exhausted")
-        self._next_nipt[node_index] = base + npages
-        return base
+        ranges = self._nipt_free[node_index]
+        for i, (base, length) in enumerate(ranges):
+            if length >= npages:
+                if length == npages:
+                    del ranges[i]
+                else:
+                    ranges[i] = (base + npages, length - npages)
+                return base
+        raise SyscallError("ENOSPC", "sender NIPT exhausted")
+
+    def _free_nipt(self, node_index: int, base: int, npages: int) -> None:
+        """Return a NIPT index range, coalescing with neighbours."""
+        ranges = self._nipt_free[node_index]
+        ranges.append((base, npages))
+        ranges.sort()
+        merged = [ranges[0]]
+        for start, length in ranges[1:]:
+            prev_start, prev_len = merged[-1]
+            if prev_start + prev_len == start:
+                merged[-1] = (prev_start, prev_len + length)
+            else:
+                merged.append((start, length))
+        ranges[:] = merged
 
     # ----------------------------------------------------------- running
-    def run_until_idle(self) -> None:
-        """Drain all in-flight packets and DMA on every node."""
-        self.clock.run_until_idle()
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Drain all in-flight packets and DMA on every node.
+
+        ``max_events`` bounds the drain (million-message traffic runs
+        need head-room beyond the clock's default guard).
+        """
+        self.clock.run_until_idle(max_events=max_events)
 
     @property
     def now(self) -> int:

@@ -40,6 +40,12 @@ from repro.sim.trace import NULL_TRACER, Tracer
 class UdmaController:
     """The basic (unqueued) UDMA device of sections 3-6."""
 
+    #: True when the send fast lane (:mod:`repro.userlib.udma`) may batch
+    #: initiations and polls against this controller's state machine.  The
+    #: queued controller overrides io_store/io_load with different
+    #: semantics, so it opts out and every access takes the full path.
+    fast_path_capable = True
+
     def __init__(
         self,
         layout: Layout,
@@ -204,6 +210,38 @@ class UdmaController:
     def busy(self) -> bool:
         """True while a transfer is in flight."""
         return self.sm.state is UdmaState.TRANSFERRING
+
+    # ------------------------------------------------------- poll fast lane
+    def fast_poll_ok(self) -> bool:
+        """True when :meth:`fast_poll` is exactly equivalent to io_load.
+
+        A LOAD is a pure status read whenever the machine is *not* in
+        DestLoaded (Idle and Transferring loads cause no transition and
+        consult no device), and nothing host-side needs the full status
+        object (no spans, no tracer).  Event firing cannot enter
+        DestLoaded -- only a CPU store can -- so a True answer stays valid
+        across the caller's cycle charge.
+        """
+        return (
+            self._spans is None
+            and not self.tracer.enabled
+            and self.sm.state is not UdmaState.DEST_LOADED
+        )
+
+    def fast_poll(self, paddr: int) -> bool:
+        """The MATCH flag of a status LOAD from ``paddr``, cheaply.
+
+        Identical simulated effects to :meth:`io_load` under the
+        :meth:`fast_poll_ok` guard: the state machine's load counter is
+        bumped and nothing else changes.  Only the MATCH flag is computed
+        -- a completion poll never looks at the rest of the word.
+        """
+        sm = self.sm
+        sm.loads += 1
+        if sm.state is UdmaState.TRANSFERRING:
+            source = sm.source
+            return source is not None and source.proxy_addr == paddr
+        return False
 
     # ------------------------------------------------------------ internal
     _OPERAND_CACHE_CAPACITY = 1 << 16

@@ -72,6 +72,10 @@ class QueuedUdmaController(UdmaController):
             system queue).  Must be positive.
     """
 
+    #: the queued latch/queue semantics differ from the base three-state
+    #: machine, so the userlib send fast lane must not batch against it
+    fast_path_capable = False
+
     def __init__(
         self,
         layout: Layout,

@@ -240,6 +240,40 @@ class CPU:
         self._charge(self.costs.io_ref_cycles)
         self._require_udma().io_store(paddr, value)
 
+    def poll_proxy(self, vaddr: int) -> Optional[bool]:
+        """Completion-poll fast lane: the MATCH flag of ``load(vaddr)``.
+
+        Returns None -- with **no** simulated effects -- whenever the
+        access needs the full path (translation miss or stale, a non-proxy
+        address, tracing/spans active, or a controller state where the
+        LOAD would not be a pure status read).  Otherwise performs
+        bookkeeping and charging bit-identical to :meth:`load` on a proxy
+        status read and returns the MATCH flag, skipping the status-word
+        construction/encode/decode round trip a poll loop never looks at.
+        """
+        entry = self._xlat.get(vaddr >> self._page_shift)
+        if (
+            entry is None
+            or entry.region is Region.MEMORY
+            or entry.table is not self.page_table
+            or entry.pt_gen != entry.table.generation
+            or entry.tlb_gen != self._tlb.generation
+        ):
+            return None
+        udma = self.udma
+        if (
+            udma is None
+            or not udma.fast_path_capable
+            or not udma.fast_poll_ok()
+        ):
+            return None
+        self.xlat_hits += 1
+        entry.pte.referenced = True
+        self.loads += 1
+        self.instructions += 1
+        self._charge(self._io_ref_cycles)
+        return udma.fast_poll(entry.paddr_base | (vaddr & self._page_mask))
+
     def fence(self) -> None:
         """Order the STORE before the LOAD of an initiation sequence.
 

@@ -155,3 +155,17 @@ class InvariantViolation(ReproError):
     def __init__(self, invariant: str, detail: str) -> None:
         self.invariant = invariant
         super().__init__(f"invariant {invariant} violated: {detail}")
+
+
+class PoolIntegrityError(ReproError):
+    """An object pool's recycling discipline was violated.
+
+    Raised only in pool-debug mode (``pool_debug=True`` /
+    ``REPRO_POOL_DEBUG=1``): a double release, a release of a still-live
+    object, or an acquire of an object the pool does not own.  A correct
+    fast lane never triggers it; the chaos differential suite runs with
+    the checks on to prove recycling never aliases two tenants.
+    """
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"pool integrity violated: {detail}")

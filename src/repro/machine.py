@@ -108,10 +108,18 @@ class Machine:
         fast_paths: bool = True,
         obs: "Optional[ObsConfig | Observability]" = None,
         reliability: "bool | object | None" = None,
+        pooling: bool = True,
+        pool_debug: bool = False,
     ) -> None:
         self.costs = costs if costs is not None else shrimp()
         self.name = name
-        self.clock = clock if clock is not None else Clock()
+        # ``pooling``/``pool_debug`` apply only when the machine owns its
+        # clock; a shared (cluster) clock arrives pre-configured.
+        self.clock = (
+            clock
+            if clock is not None
+            else Clock(pooling=pooling, pool_debug=pool_debug)
+        )
         if isinstance(obs, Observability):
             # Shared plane (a cluster's): namespace this node's metrics.
             self.obs = obs

@@ -62,6 +62,12 @@ class Interconnect:
         self._nics: Dict[int, "ReceiverPort"] = {}
         # Span tracker when the owning cluster traces spans (repro.obs).
         self._spans = None
+        #: per-backplane packet/payload free lists (one per shard in the
+        #: sharded kernel); ``None`` = pooling off, NICs allocate fresh
+        self.packet_pool = None
+        #: (src, dst) -> routing delay; topology and hop cost are fixed
+        #: once nodes register, so the product is memoised per pair
+        self._delay_cache: Dict["tuple[int, int]", int] = {}
         self.packets_routed = 0
         self.bytes_routed = 0
         self.packets_dropped = 0
@@ -79,6 +85,9 @@ class Interconnect:
         if node_id in self._nics:
             raise ConfigurationError(f"node {node_id} already registered")
         self._nics[node_id] = port
+        # Grid dimensions may be derived from the node count until
+        # validate_topology pins them, so memoised distances go stale.
+        self._delay_cache.clear()
 
     def validate_topology(self, num_nodes: int) -> None:
         """Check ``num_nodes`` fits the configured topology; pin the grid.
@@ -130,6 +139,7 @@ class Interconnect:
             width = height = root
         self.mesh_width = width
         self._mesh_height = height
+        self._delay_cache.clear()
 
     def _grid_dims(self) -> "tuple[int, int]":
         """(columns, rows) of the 2D grid, derived if not yet validated."""
@@ -244,7 +254,11 @@ class Interconnect:
                 )
             return
         nbytes = wire.wire_bytes if isinstance(wire, Packet) else len(wire)
-        delay = self.hops(src_node, dst_node) * self.costs.hop_cycles
+        pair = (src_node, dst_node)
+        delay = self._delay_cache.get(pair)
+        if delay is None:
+            delay = self.hops(src_node, dst_node) * self.costs.hop_cycles
+            self._delay_cache[pair] = delay
         self.packets_routed += 1
         self.bytes_routed += nbytes
         port = self._nics[dst_node]

@@ -85,6 +85,10 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         self._wire_free_at = 0
         self._rx_free_at = 0
         self._seq = 0
+        # Duration memos: messaging workloads use a handful of distinct
+        # sizes, so ceil-division per packet is wasted work.
+        self._fill_cycles: Dict[int, int] = {}
+        self._wire_cycles: Dict[int, int] = {}
         #: ack/retransmit transport (:mod:`repro.net.reliable`); ``None``
         #: keeps the NIC exactly as fast -- and exactly as lossy -- as the
         #: paper's hardware
@@ -161,18 +165,35 @@ class ShrimpNic(UDMADevice, ReceiverPort):
                 dst=entry.dst_node,
                 bytes=len(data),
             )
-        packet = Packet(
-            src_node=self.node_id,
-            dst_node=entry.dst_node,
-            dst_paddr=dst_paddr,
-            payload=bytes(data),
-            seq=self._next_seq(entry.dst_node),
-            span=pkt_span,
-        )
+        pool = self.interconnect.packet_pool
+        if pool is not None and pkt_span is None and self.reliability is None:
+            # Fast lane: recycled packet shell + payload buffer.  Skipped
+            # whenever something downstream may retain the packet past
+            # delivery (spans, reliability), so recycling is always safe.
+            packet = pool.acquire(
+                self.node_id,
+                entry.dst_node,
+                dst_paddr,
+                data,
+                self._next_seq(entry.dst_node),
+            )
+        else:
+            packet = Packet(
+                src_node=self.node_id,
+                dst_node=entry.dst_node,
+                dst_paddr=dst_paddr,
+                payload=bytes(data),
+                seq=self._next_seq(entry.dst_node),
+                span=pkt_span,
+            )
         self.outgoing.push(packet)
-        fill_duration = self.costs.dma_start_cycles + transfer_cycles(
-            len(data), self.costs.dma_bytes_per_cycle
-        )
+        nbytes = len(data)
+        fill_duration = self._fill_cycles.get(nbytes)
+        if fill_duration is None:
+            fill_duration = self.costs.dma_start_cycles + transfer_cycles(
+                nbytes, self.costs.dma_bytes_per_cycle
+            )
+            self._fill_cycles[nbytes] = fill_duration
         self._launch(packet, fill_start=self.clock.now - fill_duration)
 
     # ------------------------------------------------------------ send path
@@ -190,10 +211,15 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         else:
             begin = self.clock.now  # store-and-forward: wait for full fill
         wire_start = max(begin + self.costs.packet_header_cycles, self._wire_free_at)
+        wire_bytes = packet.wire_bytes
+        wire_duration = self._wire_cycles.get(wire_bytes)
+        if wire_duration is None:
+            wire_duration = transfer_cycles(
+                wire_bytes, self.costs.wire_bytes_per_cycle
+            )
+            self._wire_cycles[wire_bytes] = wire_duration
         done = max(
-            wire_start + transfer_cycles(
-                packet.wire_bytes, self.costs.wire_bytes_per_cycle
-            ),
+            wire_start + wire_duration,
             self.clock.now + self.costs.wire_flush_cycles,
         )
         self._wire_free_at = done
@@ -345,6 +371,17 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         if self.reliability is not None:
             # Acknowledge only after the data is safely in memory.
             self.reliability.on_delivered(self, packet)
+        elif packet._pooled and not self.on_receive:
+            # Delivered and nothing downstream retains it: recycle.  The
+            # receiving backplane is the one that lent the packet (pools
+            # are per-backplane, per-shard), so the shell goes home.
+            pool = (
+                self.interconnect.packet_pool
+                if self.interconnect is not None
+                else None
+            )
+            if pool is not None:
+                pool.release(packet)
 
     # ------------------------------------------------------ automatic update
     def bind_automatic(self, local_page: int, nipt_index: int) -> None:

@@ -42,6 +42,10 @@ class NetworkInterfacePageTable:
             )
         self.num_entries = num_entries
         self._entries: Dict[int, NiptEntry] = {}
+        #: bumped on every OS-side mutation; the send fast lane caches
+        #: per-channel lookups keyed on this, so a remap or eviction
+        #: invalidates every cached plan in O(1)
+        self.generation = 0
 
     def set_entry(self, index: int, dst_node: int, dst_page: int) -> None:
         """OS-side: install a destination mapping."""
@@ -52,11 +56,13 @@ class NetworkInterfacePageTable:
                 f"page {dst_page}"
             )
         self._entries[index] = NiptEntry(dst_node, dst_page)
+        self.generation += 1
 
     def clear_entry(self, index: int) -> None:
         """OS-side: invalidate a destination mapping."""
         self._check_index(index)
         self._entries.pop(index, None)
+        self.generation += 1
 
     def lookup(self, index: int) -> Optional[NiptEntry]:
         """Hardware-side: fetch the destination, or None if invalid."""

@@ -86,7 +86,9 @@ class Packet:
     src_node: int
     dst_node: int
     dst_paddr: int
-    payload: bytes
+    #: private payload snapshot; a pooled packet carries a recycled
+    #: ``bytearray`` (same buffer protocol, same equality semantics)
+    payload: "bytes | bytearray"
     seq: int = 0
     #: wire kind: ``"data"`` (deliberate update) or ``"ack"`` (cumulative
     #: acknowledgement); encoded in the magic word, so both kinds share
@@ -98,6 +100,10 @@ class Packet:
     #: that round-trips through bytes (fault injection) loses its span,
     #: leaving the span open: exactly the signal a drop should produce.
     span: Optional[int] = field(default=None, compare=False, repr=False)
+    #: host-side provenance sidecar: True iff this packet shell belongs to
+    #: a :class:`~repro.net.pool.PacketPool` and may be recycled after the
+    #: receive DMA lands it.  Not part of the wire format or equality.
+    _pooled: bool = field(default=False, compare=False, repr=False)
 
     HEADER_BYTES = _HEADER.size + 4  # header struct + checksum word
 

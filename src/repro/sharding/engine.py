@@ -63,6 +63,10 @@ class ShardRunResult:
     net_routed: int = 0
     net_bytes: int = 0
     rounds: int = 0
+    #: translation-cache totals aggregated across every node (the bench
+    #: report used to show 0.0 here because per-shard stats were dropped)
+    xlat_hits: int = 0
+    xlat_misses: int = 0
 
     def curated_counters(self) -> Dict[str, int]:
         """The shard-count-invariant counter subset (plus net totals)."""
@@ -94,6 +98,11 @@ def _merge(engine: str, num_shards: int, reports: List[dict], rounds: int) -> Sh
         result.net_bytes += report["counters"][f"shard{index}.net.bytes"]
     for node_id in sorted(logs):
         result.logs.extend(logs[node_id])
+    for key, value in result.counters.items():
+        if key.endswith(".xlat_hits"):
+            result.xlat_hits += value
+        elif key.endswith(".xlat_misses"):
+            result.xlat_misses += value
     return result
 
 

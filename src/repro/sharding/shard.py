@@ -40,6 +40,7 @@ from repro.machine import Machine
 from repro.net.interconnect import Interconnect
 from repro.net.nic import ShrimpNic
 from repro.net.packet import Packet
+from repro.net.pool import PacketPool
 from repro.obs import Observability, ObsConfig
 from repro.params import CostModel, shrimp
 from repro.sharding.spec import RETRY_GAP_CYCLES, ClusterSpec, ShardSpec
@@ -77,6 +78,10 @@ class ShardInterconnect(Interconnect):
         )
         self.validate_topology(spec.num_nodes)
         self._shard = shard
+        if spec.pooling:
+            # One pool per shard: free lists never cross a process
+            # boundary (the worker engine pickles only wire bytes).
+            self.packet_pool = PacketPool()
 
     def route(self, src_node: int, dst_node: int, wire) -> None:
         if self.fault_injector is not None:
@@ -125,7 +130,7 @@ def build_node(
     machine = Machine(
         costs=costs,
         mem_size=spec.mem_size,
-        clock=ShardClock(),
+        clock=ShardClock(pooling=spec.pooling),
         name=f"node{node_id}",
         obs=obs,
         fast_paths=True,
@@ -342,7 +347,15 @@ class Shard:
                 arrival, (1, src, chseq), lambda: rt.nic.deliver(wire)
             )
             return
-        data = wire.encode() if isinstance(wire, Packet) else bytes(wire)
+        if isinstance(wire, Packet):
+            data = wire.encode()
+            # Cross-shard transit is always wire bytes; the pooled shell
+            # has served its purpose and can go straight home.
+            pool = self.interconnect.packet_pool
+            if pool is not None:
+                pool.release(wire)
+        else:
+            data = bytes(wire)
         if self.deliver_remote is not None:
             self.deliver_remote(src, dst, arrival, chseq, data)
         else:
@@ -518,6 +531,8 @@ class Shard:
             f"n{i}.mmu_faults": machine.mmu.faults,
             f"n{i}.switches": sched.switches,
             f"n{i}.invals": sched.invals_fired,
+            f"n{i}.xlat_hits": cpu.xlat_hits,
+            f"n{i}.xlat_misses": cpu.xlat_misses,
             f"nic{i}.tx": rt.nic.packets_sent,
             f"nic{i}.rx": rt.nic.packets_received,
             f"nic{i}.rx_err": rt.nic.rx_errors,

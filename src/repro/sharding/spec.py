@@ -54,6 +54,9 @@ class ClusterSpec:
         mem_size: per-node RAM.
         channel_pages: channel/buffer length in pages.
         nipt_entries: sender NIPT size (sized to the channel).
+        pooling: enable the event/packet free-list fast lane (exact: the
+            simulation is bit-identical on or off, which the chaos
+            ``--no-pool`` differential mode verifies).
     """
 
     num_nodes: int = 64
@@ -67,6 +70,7 @@ class ClusterSpec:
     mem_size: int = 96 * 4096
     channel_pages: int = 1
     nipt_entries: int = 16
+    pooling: bool = True
 
     def __post_init__(self) -> None:
         costs = shrimp()

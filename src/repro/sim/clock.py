@@ -15,6 +15,25 @@ counter makes :meth:`Clock.pending` O(1), cancellation drops the callback
 reference immediately (so closed-over buffers are reclaimable before the
 tombstone is popped), and the heap compacts itself when tombstones
 outnumber live events.
+
+Two further fast-lane mechanisms (on by default, disabled together with
+``pooling=False`` for the chaos differential oracle):
+
+* **Event free list** -- fired events are recycled instead of freed, so a
+  steady-state workload schedules without allocating.  Only *fired* events
+  are recycled; cancelled tombstones are dropped (a stale ``cancel()``
+  through a retained reference must never kill a pool successor).  The
+  contract for holders of an :class:`Event` reference is unchanged: once
+  the event has fired the reference is dead and ``cancel()`` must not be
+  called through it (the existing callers -- DMA completion, retransmit
+  timers -- already null or replace their references before that point).
+* **Same-time FIFO bucket** -- a burst of events scheduled for one due
+  time (the common shape on the per-message path) lands in a deque instead
+  of the heap.  Firing compares the bucket head against the heap head with
+  the ordinary event ordering, so the global ``(time[, key], seq)`` fire
+  order is bit-identical to the heap-only queue: bucket entries all share
+  one due time and the empty key, and are appended in sequence order, so
+  the deque is sorted by construction.
 """
 
 from __future__ import annotations
@@ -22,14 +41,24 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Set, Tuple
 
-from repro.errors import ConfigurationError, SimulationLimitError
+from repro.errors import (
+    ConfigurationError,
+    PoolIntegrityError,
+    SimulationLimitError,
+)
 
 #: Compaction fires when ``len(queue) > 2 * live + COMPACT_SLACK``: the
 #: slack keeps tiny queues from compacting on every cancel.
 COMPACT_SLACK = 64
+
+#: Upper bound on the per-clock event free list.  Steady-state messaging
+#: needs a handful of in-flight events per channel; the cap only matters
+#: after a transient burst and bounds worst-case retained memory.
+EVENT_FREE_LIST_CAP = 4096
 
 
 @dataclass(slots=True)
@@ -94,14 +123,24 @@ class Clock:
 
     The clock never runs backwards.  Events scheduled for a time that has
     already passed fire on the next :meth:`advance` / :meth:`run` call.
+
+    ``pooling`` (default on) enables the event free list and the
+    same-time FIFO bucket; both are exact optimisations -- fire order,
+    fire times and every counter are bit-identical either way, which the
+    chaos differential oracle checks (``python -m repro chaos
+    --no-pool``).  ``pool_debug`` adds ownership checks that raise
+    :class:`~repro.errors.PoolIntegrityError` on double releases or
+    foreign acquires.
     """
 
     #: event class used by :meth:`schedule`; a class hook (rather than a
     #: per-event branch) so the single-clock hot path pays nothing for the
     #: sharded kernel's keyed ordering
     _event_cls = Event
+    #: set on ShardClock: recycled events need their ``key`` reset
+    _keyed = False
 
-    def __init__(self) -> None:
+    def __init__(self, pooling: bool = True, pool_debug: bool = False) -> None:
         self._now = 0
         self._queue: List[Event] = []
         self._seq = itertools.count()
@@ -113,6 +152,16 @@ class Clock:
         #: chaos harness's continuous invariant auditor); None keeps the
         #: hot path a single attribute check
         self.audit_hook: Optional[Callable[[], None]] = None
+        self.pooling = pooling
+        self.pool_debug = pool_debug
+        #: events served from the free list (pool effectiveness metric)
+        self.pool_reuses = 0
+        self._free: List[Event] = []
+        self._free_ids: Set[int] = set()  # pool_debug ownership ledger
+        #: same-time FIFO bucket: every entry shares ``_bucket_time`` and
+        #: the empty key, appended in seq order (sorted by construction)
+        self._bucket: Deque[Event] = deque()
+        self._bucket_time = 0
 
     # ------------------------------------------------------------- reading
     @property
@@ -126,12 +175,8 @@ class Clock:
 
     def next_event_time(self) -> Optional[int]:
         """Due time of the earliest live event, or None if the queue is idle."""
-        queue = self._queue
-        while queue and queue[0].cancelled:
-            heapq.heappop(queue)
-        if not queue:
-            return None
-        return queue[0].time
+        head = self._peek()
+        return None if head is None else head.time
 
     # ---------------------------------------------------------- scheduling
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
@@ -142,10 +187,33 @@ class Clock:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule an event {delay} cycles in the past")
-        event = self._event_cls(
-            self._now + delay, next(self._seq), callback, False, self
-        )
-        heapq.heappush(self._queue, event)
+        due = self._now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            if self.pool_debug:
+                self._debug_acquire(event)
+            event.time = due
+            event.seq = next(self._seq)
+            event.callback = callback
+            event.cancelled = False
+            event._clock = self
+            if self._keyed:
+                event.key = ()
+            self.pool_reuses += 1
+        else:
+            event = self._event_cls(due, next(self._seq), callback, False, self)
+        bucket = self._bucket
+        if bucket:
+            if due == self._bucket_time:
+                bucket.append(event)
+            else:
+                heapq.heappush(self._queue, event)
+        elif self.pooling:
+            self._bucket_time = due
+            bucket.append(event)
+        else:
+            heapq.heappush(self._queue, event)
         self._live += 1
         return event
 
@@ -174,16 +242,11 @@ class Clock:
         simulation should coast forward on device activity alone.
         """
         limit = math.inf if until is None else until
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            head = queue[0]
-            if head.cancelled:
-                pop(queue)
-                continue
-            if head.time > limit:
+        while True:
+            head = self._peek()
+            if head is None or head.time > limit:
                 break
-            pop(queue)
+            self._pop(head)
             self._fire(head)
         if until is not None and until > self._now:
             self._now = until
@@ -198,14 +261,11 @@ class Clock:
         :meth:`pending` / :meth:`next_event_time` remain consistent and
         the caller can inspect (or keep draining) the survivors.
         """
-        queue = self._queue
-        pop = heapq.heappop
         fired = 0
-        while queue:
-            head = queue[0]
-            if head.cancelled:
-                pop(queue)
-                continue
+        while True:
+            head = self._peek()
+            if head is None:
+                return
             if fired >= max_events:
                 raise SimulationLimitError(
                     limit=max_events,
@@ -214,11 +274,39 @@ class Clock:
                     now=self._now,
                     next_event_time=head.time,
                 )
-            pop(queue)
+            self._pop(head)
             self._fire(head)
             fired += 1
 
     # ------------------------------------------------------------ internal
+    def _peek(self) -> Optional[Event]:
+        """Earliest live event across heap and bucket, without popping.
+
+        Skims cancelled tombstones off both heads.  The winner is chosen
+        with the event ordering itself, so heap/bucket placement can never
+        perturb fire order.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        bucket = self._bucket
+        while bucket and bucket[0].cancelled:
+            bucket.popleft()
+        if bucket:
+            head = bucket[0]
+            if queue and queue[0] < head:
+                return queue[0]
+            return head
+        return queue[0] if queue else None
+
+    def _pop(self, head: Event) -> None:
+        """Remove ``head`` (the current :meth:`_peek` result) from its home."""
+        bucket = self._bucket
+        if bucket and head is bucket[0]:
+            bucket.popleft()
+        else:
+            heapq.heappop(self._queue)
+
     def _fire(self, event: Event) -> None:
         """Fire one popped, live event (advancing time to its due cycle)."""
         callback = event.callback
@@ -232,19 +320,58 @@ class Clock:
         hook = self.audit_hook
         if hook is not None:
             hook()
+        if self.pooling:
+            free = self._free
+            if len(free) < EVENT_FREE_LIST_CAP:
+                if self.pool_debug:
+                    self._debug_release(event)
+                event._clock = None
+                free.append(event)
 
     def _fire_until(self, target: int) -> None:
         queue = self._queue
+        bucket = self._bucket
         pop = heapq.heappop
-        while queue:
-            head = queue[0]
-            if head.cancelled:
+        while True:
+            while queue and queue[0].cancelled:
                 pop(queue)
-                continue
+            while bucket and bucket[0].cancelled:
+                bucket.popleft()
+            if bucket:
+                head = bucket[0]
+                if queue and queue[0] < head:
+                    head = queue[0]
+            elif queue:
+                head = queue[0]
+            else:
+                return
             if head.time > target:
                 return
-            pop(queue)
+            if bucket and head is bucket[0]:
+                bucket.popleft()
+            else:
+                pop(queue)
             self._fire(head)
+
+    def _debug_acquire(self, event: Event) -> None:
+        eid = id(event)
+        if eid not in self._free_ids:
+            raise PoolIntegrityError(
+                "acquired an event the pool does not own"
+            )
+        self._free_ids.discard(eid)
+        if event.callback is not None or event.cancelled:
+            raise PoolIntegrityError(
+                "pooled event was not reset (callback or cancelled flag set)"
+            )
+
+    def _debug_release(self, event: Event) -> None:
+        eid = id(event)
+        if eid in self._free_ids:
+            raise PoolIntegrityError("event double-released to pool")
+        if event.callback is not None:
+            raise PoolIntegrityError("live event released to pool")
+        self._free_ids.add(eid)
 
     def _on_cancel(self) -> None:
         self._live -= 1
@@ -283,9 +410,15 @@ class ShardClock(Clock):
     ``run`` / ``run_until_idle`` raise: any component that coasts the
     clock itself would fire events outside engine control and silently
     break the determinism contract, so misuse fails loudly.
+
+    The same-time bucket only ever holds plain :meth:`schedule` events
+    (empty key); keyed arrivals always take the heap, so the bucket's
+    sorted-by-construction invariant (one time, one key, ascending seq)
+    holds here too.
     """
 
     _event_cls = KeyedEvent
+    _keyed = True
 
     def advance(self, cycles: int) -> None:
         """Charge CPU cycles without firing events (engine fires them)."""
@@ -317,29 +450,37 @@ class ShardClock(Clock):
         clock has already charged past the wire arrival cycle; it still
         sorts (and fires) at its true arrival time.
         """
-        event = KeyedEvent(time, next(self._seq), callback, False, self, key)
+        free = self._free
+        if free:
+            event = free.pop()
+            if self.pool_debug:
+                self._debug_acquire(event)
+            event.time = time
+            event.seq = next(self._seq)
+            event.callback = callback
+            event.cancelled = False
+            event._clock = self
+            event.key = key
+            self.pool_reuses += 1
+        else:
+            event = KeyedEvent(time, next(self._seq), callback, False, self, key)
         heapq.heappush(self._queue, event)
         self._live += 1
         return event
 
     def next_op(self) -> Optional[Tuple[int, Tuple]]:
         """(time, key) of the earliest live event, or None if idle."""
-        queue = self._queue
-        while queue and queue[0].cancelled:
-            heapq.heappop(queue)
-        if not queue:
+        head = self._peek()
+        if head is None:
             return None
-        head = queue[0]
         return (head.time, head.key)
 
     def fire_next(self) -> int:
         """Pop and fire the earliest live event; returns its due time."""
-        queue = self._queue
-        while queue and queue[0].cancelled:
-            heapq.heappop(queue)
-        if not queue:
+        head = self._peek()
+        if head is None:
             raise ConfigurationError("fire_next() on an idle ShardClock")
-        head = heapq.heappop(queue)
+        self._pop(head)
         time = head.time
         self._fire(head)
         return time

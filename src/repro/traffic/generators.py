@@ -1,0 +1,245 @@
+"""Seeded destination-pattern generators.
+
+A :class:`TrafficPattern` answers two questions for each source node:
+
+* :meth:`TrafficPattern.peers` -- which destinations it will ever talk to
+  (the channel set the OS must configure before the run starts), and
+* :meth:`TrafficPattern.dst_stream` -- the per-message destination
+  sequence, as a zero-argument callable.
+
+Streams draw from :class:`Xorshift` (xorshift64*), an explicit-state
+generator seeded from ``(pattern seed, src, tenant)`` -- no hidden
+``random`` module state, so every scenario is a pure function of its
+parameters and replays bit-identically anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+
+class Xorshift:
+    """xorshift64* -- tiny, fast, explicit-state PRNG.
+
+    Good enough spectral behaviour for traffic spreading; chosen over the
+    ``random`` module so streams are seedable per (src, tenant) without
+    global state and are identical across Python versions.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int) -> None:
+        # SplitMix-style scramble so small/sequential seeds diverge fast.
+        mixed = (seed + 0x9E3779B97F4A7C15) & _MASK64
+        mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & _MASK64
+        self.state = (mixed ^ (mixed >> 31)) or 0x9E3779B97F4A7C15
+
+    def next(self) -> int:
+        x = self.state
+        x ^= x >> 12
+        x = (x ^ (x << 25)) & _MASK64
+        x ^= x >> 27
+        self.state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def below(self, n: int) -> int:
+        """Uniform integer in [0, n) (modulo bias is irrelevant here)."""
+        return self.next() % n
+
+
+def _mix_seed(seed: int, src: int, tenant: int) -> int:
+    return (seed * 0x1000193) ^ (src * 2654435761) ^ (tenant * 40503) ^ 0x5BD1
+
+
+class TrafficPattern:
+    """Base class: a deterministic communication pattern over N nodes."""
+
+    name = "pattern"
+
+    def __init__(self, num_nodes: int, seed: int = 0) -> None:
+        if num_nodes < 2:
+            raise ConfigurationError(
+                f"traffic patterns need >= 2 nodes, got {num_nodes}"
+            )
+        self.num_nodes = num_nodes
+        self.seed = seed
+
+    def peers(self, src: int) -> Tuple[int, ...]:
+        """Destinations ``src`` will ever send to (its channel set)."""
+        raise NotImplementedError
+
+    def dst_stream(self, src: int, tenant: int = 0) -> Callable[[], int]:
+        """Zero-argument callable yielding the per-message destination."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ helpers
+    def _sample_peers(self, src: int, degree: int) -> Tuple[int, ...]:
+        """A seeded sample of ``degree`` distinct destinations != src."""
+        others = [n for n in range(self.num_nodes) if n != src]
+        if degree >= len(others):
+            return tuple(others)
+        rng = Xorshift(_mix_seed(self.seed, src, 0x7EE5))
+        chosen: List[int] = []
+        for _ in range(degree):
+            pick = rng.below(len(others))
+            chosen.append(others.pop(pick))
+        chosen.sort()
+        return tuple(chosen)
+
+
+class UniformTraffic(TrafficPattern):
+    """Each message goes to a uniformly random peer.
+
+    ``degree`` bounds the per-source channel set (a node talks to a seeded
+    sample of ``degree`` peers, uniform over that set), keeping channel
+    setup O(N * degree) rather than O(N^2) at large N.
+    """
+
+    name = "uniform"
+
+    def __init__(self, num_nodes: int, seed: int = 0, degree: int = 8) -> None:
+        super().__init__(num_nodes, seed)
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+
+    def peers(self, src: int) -> Tuple[int, ...]:
+        return self._sample_peers(src, self.degree)
+
+    def dst_stream(self, src: int, tenant: int = 0) -> Callable[[], int]:
+        peers = self.peers(src)
+        rng = Xorshift(_mix_seed(self.seed, src, tenant))
+        n = len(peers)
+
+        def next_dst() -> int:
+            return peers[rng.below(n)]
+
+        return next_dst
+
+
+class HotspotTraffic(TrafficPattern):
+    """A fraction of all traffic converges on one hot node.
+
+    Models the classic shared-structure hotspot: with probability
+    ``hot_permille/1000`` a message targets ``hot_node``; otherwise it is
+    uniform over a seeded sample of cold peers.
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        seed: int = 0,
+        hot_node: int = 0,
+        hot_permille: int = 500,
+        degree: int = 8,
+    ) -> None:
+        super().__init__(num_nodes, seed)
+        if not 0 <= hot_node < num_nodes:
+            raise ConfigurationError(f"hot_node {hot_node} out of range")
+        if not 0 < hot_permille <= 1000:
+            raise ConfigurationError(
+                f"hot_permille must be in (0, 1000], got {hot_permille}"
+            )
+        self.hot_node = hot_node
+        self.hot_permille = hot_permille
+        self.degree = degree
+
+    def peers(self, src: int) -> Tuple[int, ...]:
+        cold = self._sample_peers(src, self.degree)
+        if src == self.hot_node or self.hot_node in cold:
+            return cold
+        return tuple(sorted(cold + (self.hot_node,)))
+
+    def dst_stream(self, src: int, tenant: int = 0) -> Callable[[], int]:
+        peers = self.peers(src)
+        hot = self.hot_node if src != self.hot_node else None
+        cold = tuple(p for p in peers if p != hot)
+        rng = Xorshift(_mix_seed(self.seed, src, tenant))
+        permille = self.hot_permille
+        n_cold = len(cold)
+
+        def next_dst() -> int:
+            if hot is not None and (n_cold == 0 or rng.below(1000) < permille):
+                return hot
+            return cold[rng.below(n_cold)]
+
+        return next_dst
+
+
+class IncastTraffic(TrafficPattern):
+    """Everyone hammers one sink (the N-to-1 collective tail).
+
+    The sink sends nothing; every other node's channel set is exactly the
+    sink.  Stresses the receive-side DMA serialisation timeline.
+    """
+
+    name = "incast"
+
+    def __init__(self, num_nodes: int, seed: int = 0, sink: int = 0) -> None:
+        super().__init__(num_nodes, seed)
+        if not 0 <= sink < num_nodes:
+            raise ConfigurationError(f"sink {sink} out of range")
+        self.sink = sink
+
+    def peers(self, src: int) -> Tuple[int, ...]:
+        return () if src == self.sink else (self.sink,)
+
+    def dst_stream(self, src: int, tenant: int = 0) -> Callable[[], int]:
+        sink = self.sink
+
+        def next_dst() -> int:
+            return sink
+
+        return next_dst
+
+
+class AllToAllTraffic(TrafficPattern):
+    """The all-to-all personalised collective: round-robin over all peers.
+
+    Each source walks every other node in ring order, starting from a
+    source/tenant-dependent rotation so the wave front is staggered rather
+    than synchronised (the standard balanced all-to-all schedule).
+    """
+
+    name = "all_to_all"
+
+    def peers(self, src: int) -> Tuple[int, ...]:
+        return tuple(n for n in range(self.num_nodes) if n != src)
+
+    def dst_stream(self, src: int, tenant: int = 0) -> Callable[[], int]:
+        peers = self.peers(src)
+        n = len(peers)
+        state = {"i": (src + tenant) % n}
+
+        def next_dst() -> int:
+            i = state["i"]
+            state["i"] = (i + 1) % n
+            return peers[i]
+
+        return next_dst
+
+
+_PATTERNS = {
+    "uniform": UniformTraffic,
+    "hotspot": HotspotTraffic,
+    "incast": IncastTraffic,
+    "all_to_all": AllToAllTraffic,
+}
+
+
+def make_pattern(name: str, num_nodes: int, seed: int = 0, **kwargs) -> TrafficPattern:
+    """Build a pattern by name (``uniform``/``hotspot``/``incast``/``all_to_all``)."""
+    try:
+        cls = _PATTERNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown traffic pattern {name!r}; choose from {sorted(_PATTERNS)}"
+        ) from None
+    return cls(num_nodes, seed=seed, **kwargs)

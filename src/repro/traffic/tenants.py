@@ -1,0 +1,139 @@
+"""Multi-tenant process placement over a SHRIMP cluster.
+
+``tenants_per_node`` independent processes share each node; tenant ``t``
+on node ``i`` talks only to tenant ``t`` on its pattern peers (the usual
+space-shared allocation of a multicomputer).  Every tenant owns its own
+receive buffers, channels and NIPT entries, so tenants contend for
+exactly the resources the paper's protection model guards: the NIC's
+page-table capacity, pinned receive frames, and the per-node UDMA device.
+
+Channel *churn* models eviction under NIPT pressure: :meth:`TenantPlacement.churn`
+tears a live channel down (``release_channel`` clears its NIPT entries and
+unpins its frames) and rebuilds it through the full OS path.  The NIPT
+generation bump automatically invalidates any cached send plans, so the
+userlib fast lane re-validates instead of replaying stale state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cluster import Channel, ShrimpCluster
+from repro.errors import ConfigurationError
+from repro.traffic.generators import TrafficPattern
+from repro.userlib.messaging import Sender
+
+
+class TenantPlacement:
+    """Processes + channels + senders realising a pattern at M tenants/node."""
+
+    def __init__(
+        self,
+        pattern: TrafficPattern,
+        tenants_per_node: int = 1,
+        channel_pages: int = 1,
+    ) -> None:
+        if tenants_per_node < 1:
+            raise ConfigurationError(
+                f"tenants_per_node must be >= 1, got {tenants_per_node}"
+            )
+        if channel_pages < 1:
+            raise ConfigurationError(
+                f"channel_pages must be >= 1, got {channel_pages}"
+            )
+        self.pattern = pattern
+        self.tenants_per_node = tenants_per_node
+        self.channel_pages = channel_pages
+        self.tx_process: Dict[Tuple[int, int], object] = {}
+        self.rx_process: Dict[Tuple[int, int], object] = {}
+        #: (src, tenant, dst) -> receive-buffer vaddr on dst (stable across
+        #: churns, so a rebuilt channel re-exports the same pages)
+        self.rx_vaddr: Dict[Tuple[int, int, int], int] = {}
+        self.channels: Dict[Tuple[int, int, int], Channel] = {}
+        self.senders: Dict[Tuple[int, int, int], Sender] = {}
+        self.churns = 0
+
+    # ------------------------------------------------------------- sizing
+    def channel_count(self, *, incoming_to: "int | None" = None) -> int:
+        """Total channels, or just those terminating at one node."""
+        total = 0
+        for src in range(self.pattern.num_nodes):
+            for dst in self.pattern.peers(src):
+                if incoming_to is None or dst == incoming_to:
+                    total += self.tenants_per_node
+        return total
+
+    def nipt_demand(self, src: int) -> int:
+        """NIPT entries node ``src``'s NIC needs for all its channels."""
+        return (
+            len(self.pattern.peers(src))
+            * self.tenants_per_node
+            * self.channel_pages
+        )
+
+    def required_pages(self, node: int) -> int:
+        """Data pages node ``node`` must back (rx exports + tx buffers)."""
+        outgoing = len(self.pattern.peers(node)) * self.tenants_per_node
+        incoming = self.channel_count(incoming_to=node)
+        return (outgoing + incoming) * self.channel_pages
+
+    # ------------------------------------------------------------ building
+    def build(self, cluster: ShrimpCluster, payload: bytes) -> None:
+        """Create every process, channel and sender; fill send buffers."""
+        pattern = self.pattern
+        if cluster.num_nodes != pattern.num_nodes:
+            raise ConfigurationError(
+                f"cluster has {cluster.num_nodes} nodes but the pattern "
+                f"expects {pattern.num_nodes}"
+            )
+        for tenant in range(self.tenants_per_node):
+            for node in range(pattern.num_nodes):
+                self.rx_process[(node, tenant)] = cluster.node(
+                    node
+                ).create_process(f"rx{node}.{tenant}")
+        for tenant in range(self.tenants_per_node):
+            for src in range(pattern.num_nodes):
+                peers = pattern.peers(src)
+                if not peers:
+                    continue
+                tx = cluster.node(src).create_process(f"tx{src}.{tenant}")
+                self.tx_process[(src, tenant)] = tx
+                for dst in peers:
+                    self._wire(cluster, src, tenant, dst, payload)
+
+    def _wire(
+        self, cluster: ShrimpCluster, src: int, tenant: int, dst: int, payload: bytes
+    ) -> Sender:
+        key = (src, tenant, dst)
+        rx = self.rx_process[(dst, tenant)]
+        nbytes = self.channel_pages * cluster.costs.page_size
+        vaddr = self.rx_vaddr.get(key)
+        if vaddr is None:
+            vaddr = cluster.node(dst).kernel.syscalls.alloc(rx, nbytes)
+            self.rx_vaddr[key] = vaddr
+        channel = cluster.create_channel(src, dst, rx, vaddr, nbytes)
+        sender = Sender(cluster, self.tx_process[(src, tenant)], channel)
+        sender._ensure_current()
+        cluster.node(src).cpu.write_bytes(sender.buffer, payload)
+        self.channels[key] = channel
+        self.senders[key] = sender
+        return sender
+
+    # -------------------------------------------------------------- churn
+    def churn(
+        self, cluster: ShrimpCluster, src: int, tenant: int, dst: int, payload: bytes
+    ) -> Sender:
+        """Evict one live channel and rebuild it through the full OS path.
+
+        The release clears the sender NIC's NIPT entries (bumping the
+        generation that invalidates cached send plans) and unpins the
+        receive frames; the rebuild re-exports the same receive buffer and
+        re-allocates NIPT space from the free list.
+        """
+        key = (src, tenant, dst)
+        cluster.release_channel(self.channels[key])
+        self.churns += 1
+        return self._wire(cluster, src, tenant, dst, payload)
+
+    def sender(self, src: int, tenant: int, dst: int) -> Sender:
+        return self.senders[(src, tenant, dst)]

@@ -51,7 +51,19 @@ class Sender:
         nbytes = buffer_bytes if buffer_bytes is not None else channel.nbytes
         self.buffer = kernel.syscalls.alloc(process, nbytes)
         self.buffer_bytes = nbytes
-        self.udma = UdmaUser(self.machine, process)
+        self.udma = UdmaUser(
+            self.machine, process, pipelining=getattr(cluster, "pipelining", True)
+        )
+        # (nbytes, buffer_offset, channel_offset) -> (src ref, dst ref,
+        # padded length): back-to-back sends of the same shape reuse one
+        # validated endpoint pair, which also keeps the UDMA runtime's
+        # plan cache hitting on identical keys.
+        self._ref_memo: "dict[tuple, tuple]" = {}
+        # Per-shape fast-lane plan handles ([plan-or-None] boxes) and one
+        # reusable cumulative stats object for try_send -- both host-side
+        # only, so reuse cannot perturb the simulation.
+        self._plan_memo: "dict[tuple, list]" = {}
+        self._try_stats = TransferStats()
 
     def device_ref(self, channel_offset: int = 0) -> DeviceRef:
         """Device-proxy endpoint for a byte offset within the channel."""
@@ -86,6 +98,47 @@ class Sender:
         channel past the message, which the channel sizing must allow.
         Offsets must already be aligned.
         """
+        source, destination, padded = self._refs(
+            nbytes, buffer_offset, channel_offset
+        )
+        self._ensure_current()
+        return self.udma.transfer(
+            source=source, destination=destination, nbytes=padded, wait=wait
+        )
+
+    def try_send(
+        self, nbytes: int, buffer_offset: int = 0, channel_offset: int = 0
+    ) -> bool:
+        """One non-blocking send attempt of the (already filled) buffer.
+
+        The event-driven traffic engine's primitive: returns True when the
+        UDMA transfer started, False on a transient refusal (device still
+        draining the previous message) -- the caller schedules its own
+        retry instead of spinning.  Never coasts the clock, so it is safe
+        to call from inside an event callback.
+        """
+        key = (nbytes, buffer_offset, channel_offset)
+        source, destination, padded = self._refs(
+            nbytes, buffer_offset, channel_offset
+        )
+        box = self._plan_memo.get(key)
+        if box is None:
+            box = [None]
+            self._plan_memo[key] = box
+        if box[0] is None:
+            box[0] = self.udma.plan_for(source, destination, padded)
+        self._ensure_current()
+        return self.udma.send_once(
+            source, destination, padded, stats=self._try_stats, plan=box[0]
+        )
+
+    def _refs(
+        self, nbytes: int, buffer_offset: int, channel_offset: int
+    ) -> "tuple[MemoryRef, DeviceRef, int]":
+        key = (nbytes, buffer_offset, channel_offset)
+        memo = self._ref_memo.get(key)
+        if memo is not None:
+            return memo
         if channel_offset + nbytes > self.channel.nbytes:
             raise DmaError(
                 f"send of {nbytes} bytes at channel offset {channel_offset} "
@@ -95,13 +148,14 @@ class Sender:
         padded = -(-nbytes // align) * align
         if channel_offset + padded > self.channel.nbytes:
             padded = nbytes  # no room to pad; let the device report it
-        self._ensure_current()
-        return self.udma.transfer(
-            source=MemoryRef(self.buffer + buffer_offset),
-            destination=self.device_ref(channel_offset),
-            nbytes=padded,
-            wait=wait,
+        memo = (
+            MemoryRef(self.buffer + buffer_offset),
+            self.device_ref(channel_offset),
+            padded,
         )
+        if len(self._ref_memo) < 1024:
+            self._ref_memo[key] = memo
+        return memo
 
     def _ensure_current(self) -> None:
         kernel = self.machine.kernel

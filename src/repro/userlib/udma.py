@@ -18,10 +18,11 @@ repeating the initiating LOAD.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
+from repro.core.state_machine import SpaceKind, StartDirective, UdmaState
 from repro.core.status import UdmaStatus
-from repro.errors import DmaError
+from repro.errors import AddressError, DmaError
 from repro.kernel.process import Process
 from repro.machine import Machine
 
@@ -62,6 +63,44 @@ class TransferStats:
     bytes_moved: int = 0
 
 
+class _SendPlan:
+    """Cached fast-lane state for one ``(source, destination, nbytes)`` send.
+
+    A plan is built after a send has gone through the slow path once (so
+    both proxy pages are warm in the CPU's translation cache) and caches
+    everything about the initiation that is a pure function of stable
+    state: the physical proxy addresses, the decoded operands and start
+    directive, the one-piece byte count, and the batched cycle charge of
+    ``execute(align) + STORE + fence + LOAD``.  Every use re-validates the
+    translations (generation stamps + physical address equality) and the
+    destination device's veto (keyed on its NIPT generation), so a remap,
+    shootdown or channel eviction sends the message back down the slow
+    path instead of replaying stale state.
+    """
+
+    __slots__ = (
+        "src_proxy",
+        "dst_proxy",
+        "src_vpage",
+        "dst_vpage",
+        "src_paddr",
+        "dst_paddr",
+        "count",
+        "instructions",
+        "total_cycles",
+        "directive",
+        "device",
+        "dst_offset",
+        "nipt",
+        "nipt_gen",
+    )
+
+
+#: plans cached per runtime before wholesale clearing (a runtime talks to
+#: a handful of channels; the cap only guards pathological key churn)
+_PLAN_CACHE_CAPACITY = 256
+
+
 class UdmaUser:
     """Per-process user-level UDMA runtime.
 
@@ -71,6 +110,13 @@ class UdmaUser:
             hardware never learns which process is issuing references).
         retry_limit: initiation attempts per piece before giving up.
         poll_limit: completion polls per piece before giving up.
+        pipelining: enable the send fast lane -- cached one-piece
+            initiation plans whose four charges (alignment check, STORE,
+            fence, LOAD) are applied as one batched clock advance, plus
+            the cheap completion poll.  Exact: simulated cycles, counters
+            and machine state are bit-identical on or off (the fast path
+            only engages when no event is due inside the batched window,
+            so no interleaving is ever reordered).
     """
 
     def __init__(
@@ -79,6 +125,7 @@ class UdmaUser:
         process: Process,
         retry_limit: int = 64,
         poll_limit: int = 1_000_000,
+        pipelining: bool = True,
     ) -> None:
         self.machine = machine
         self.process = process
@@ -92,6 +139,12 @@ class UdmaUser:
         from repro.core.queueing import QueuedUdmaController
 
         self._device_queued = isinstance(machine.udma, QueuedUdmaController)
+        self.pipelining = (
+            pipelining
+            and machine.udma is not None
+            and machine.udma.fast_path_capable
+        )
+        self._plans: "dict[tuple, _SendPlan]" = {}
 
     # ----------------------------------------------------------- low level
     def proxy_of(self, ref: Ref, offset: int = 0) -> int:
@@ -140,6 +193,13 @@ class UdmaUser:
         if nbytes <= 0:
             raise DmaError(f"transfer length must be positive, got {nbytes}")
         stats = stats if stats is not None else TransferStats()
+        if self.pipelining:
+            plan = self._plans.get((source, destination, nbytes))
+            if plan is not None and self._fast_send(plan, stats):
+                if wait:
+                    self._wait_piece(plan.src_proxy, stats)
+                return stats
+        pieces_before = stats.pieces
         offset = 0
         last_src_proxy = 0
         while offset < nbytes:
@@ -165,7 +225,59 @@ class UdmaUser:
                 self._wait_piece(src_proxy, stats)
         if wait and self._device_is_queued():
             self._wait_piece(last_src_proxy, stats)
+        if self.pipelining and stats.pieces - pieces_before == 1:
+            self._remember_plan(source, destination, nbytes)
         return stats
+
+    def send_once(
+        self,
+        source: Ref,
+        destination: Ref,
+        nbytes: int,
+        stats: "TransferStats | None" = None,
+        plan: "_SendPlan | None" = None,
+    ) -> bool:
+        """One align-checked, non-blocking initiation attempt (no retry).
+
+        The event-driven traffic engine's primitive: returns True when the
+        transfer started, False on a transient refusal (device busy or a
+        context-switch Inval) -- the caller reschedules its own retry
+        rather than coasting the clock from inside an event callback.
+        Raises :class:`DmaError` on a hard error.  The message must fit a
+        single piece (no page crossing in either space).
+
+        ``plan`` is an optional pre-resolved handle from :meth:`plan_for`;
+        passing it skips the per-call plan-cache lookup (hashing two
+        endpoint refs), which matters at millions of messages.
+        """
+        stats = stats if stats is not None else TransferStats()
+        if self.pipelining:
+            if plan is None:
+                plan = self._plans.get((source, destination, nbytes))
+                if plan is None:
+                    plan = self._remember_plan(source, destination, nbytes)
+            if plan is not None and self._fast_send(plan, stats):
+                return True
+        src_proxy = self.proxy_of(source)
+        dst_proxy = self.proxy_of(destination)
+        if min(nbytes, self._span(src_proxy), self._span(dst_proxy)) != nbytes:
+            raise DmaError(
+                f"send_once needs a single-piece transfer, but {nbytes} "
+                "bytes cross a page boundary"
+            )
+        self.cpu.execute(self.machine.costs.udma_align_check_cycles)
+        status = self.initiate(dst_proxy, src_proxy, nbytes)
+        stats.initiations += 1
+        if status.started:
+            stats.pieces += 1
+            stats.bytes_moved += nbytes
+            return True
+        if status.hard_error:
+            raise DmaError(
+                f"UDMA initiation failed permanently: {status.describe()}"
+            )
+        stats.retries += 1
+        return False
 
     def wait_all(self, source: Ref, offset: int = 0) -> None:
         """Poll until the device reports nothing pending for this source."""
@@ -201,13 +313,214 @@ class UdmaUser:
         "If this LOAD instruction returns with the match flag set, then
         the transfer has not completed; otherwise it has."
         """
+        poll_fast = self.cpu.poll_proxy if self.pipelining else None
         for _ in range(self.poll_limit):
-            status = self.poll(src_proxy)
+            match: "bool | None" = None
+            if poll_fast is not None:
+                match = poll_fast(src_proxy)
+            if match is None:
+                match = self.poll(src_proxy).match
             stats.poll_loads += 1
-            if not status.match:
+            if not match:
                 return
             self._back_off()
         raise DmaError("UDMA transfer never completed")
+
+    # ----------------------------------------------------- send fast lane
+    def plan_for(
+        self, source: Ref, destination: Ref, nbytes: int
+    ) -> "Optional[_SendPlan]":
+        """Resolve (building if needed) the fast-lane plan for a send shape.
+
+        Returns None when pipelining is off or the shape is ineligible;
+        callers hold the handle and pass it back to :meth:`send_once` to
+        skip the per-call cache lookup.  The handle stays safe across
+        remaps and channel churn -- every use re-validates translations
+        and the device check against their current generations.
+        """
+        if not self.pipelining:
+            return None
+        plan = self._plans.get((source, destination, nbytes))
+        if plan is None:
+            plan = self._remember_plan(source, destination, nbytes)
+        return plan
+
+    def _remember_plan(
+        self, source: Ref, destination: Ref, nbytes: int
+    ) -> "Optional[_SendPlan]":
+        plan = self._build_plan(source, destination, nbytes)
+        if plan is not None:
+            if len(self._plans) >= _PLAN_CACHE_CAPACITY:
+                self._plans.clear()
+            self._plans[(source, destination, nbytes)] = plan
+        return plan
+
+    def _build_plan(
+        self, source: Ref, destination: Ref, nbytes: int
+    ) -> "Optional[_SendPlan]":
+        """Assemble a fast-lane plan, or None if the send must stay slow.
+
+        Requires warm, current translations for both proxy pages (i.e. at
+        least one slow-path send has happened), a memory-to-device
+        one-piece transfer, and a destination device that exposes a NIPT
+        generation to key the cached transfer check on.
+        """
+        if not (
+            isinstance(source, MemoryRef) and isinstance(destination, DeviceRef)
+        ):
+            return None
+        udma = self.machine.udma
+        if udma is None or not udma.fast_path_capable:
+            return None
+        src_proxy = self.proxy_of(source)
+        dst_proxy = destination.vaddr
+        if min(nbytes, self._span(src_proxy), self._span(dst_proxy)) != nbytes:
+            return None  # multi-piece: the slow-path split handles it
+        cpu = self.cpu
+        shift = cpu._page_shift
+        mask = cpu._page_mask
+        src_vpage = src_proxy >> shift
+        dst_vpage = dst_proxy >> shift
+        xlat = cpu._xlat
+        src_e = xlat.get(src_vpage)
+        dst_e = xlat.get(dst_vpage)
+        table = cpu.page_table
+        tlb_gen = cpu._tlb.generation
+        if (
+            src_e is None
+            or dst_e is None
+            or not dst_e.writable
+            or src_e.table is not table
+            or dst_e.table is not table
+            or src_e.pt_gen != table.generation
+            or dst_e.pt_gen != table.generation
+            or src_e.tlb_gen != tlb_gen
+            or dst_e.tlb_gen != tlb_gen
+        ):
+            return None
+        src_paddr = src_e.paddr_base | (src_proxy & mask)
+        dst_paddr = dst_e.paddr_base | (dst_proxy & mask)
+        try:
+            src_op = udma._decode(src_paddr)
+            dst_op = udma._decode(dst_paddr)
+        except AddressError:
+            return None
+        if (
+            src_op.space is not SpaceKind.MEMORY
+            or dst_op.space is not SpaceKind.DEVICE
+        ):
+            return None
+        device, dst_offset = udma._device_at(dst_paddr)
+        nipt = getattr(device, "nipt", None)
+        if nipt is None:
+            return None
+        costs = self.machine.costs
+        plan = _SendPlan()
+        plan.src_proxy = src_proxy
+        plan.dst_proxy = dst_proxy
+        plan.src_vpage = src_vpage
+        plan.dst_vpage = dst_vpage
+        plan.src_paddr = src_paddr
+        plan.dst_paddr = dst_paddr
+        plan.count = nbytes
+        plan.instructions = costs.udma_align_check_cycles + 3
+        plan.total_cycles = (
+            costs.udma_align_check_cycles * costs.alu_cycles
+            + 2 * costs.io_ref_cycles
+            + costs.fence_cycles
+        )
+        plan.directive = StartDirective(
+            source=src_op, destination=dst_op, count=nbytes
+        )
+        plan.device = device
+        plan.dst_offset = dst_offset
+        plan.nipt = nipt
+        plan.nipt_gen = -1  # first use re-runs the device check
+        return plan
+
+    def _fast_send(self, plan: _SendPlan, stats: TransferStats) -> bool:
+        """Apply a planned initiation as one batched charge, if exact.
+
+        Returns False (with **no** simulated effects) whenever any guard
+        fails; the caller then takes the ordinary slow path.  On True the
+        simulated outcome -- cycle times, every CPU/state-machine counter,
+        PTE reference/dirty bits, the scheduled DMA completion -- is
+        bit-identical to ``execute(align); STORE; fence; LOAD`` through
+        the full machinery.  Events due inside the batched window still
+        fire at their exact cycles (``Clock.advance`` pops them at their
+        due times regardless of how the charge is split); they cannot
+        observe the difference because the only intermediate state the
+        slow path exposes mid-window -- Idle vs DestLoaded on the state
+        machine, partially bumped CPU counters -- is readable/writable
+        solely by CPU-initiated work, which never runs from an event
+        callback.  The launch itself is anchored to the LOAD (the state
+        machine starts the transfer on the status read, not the store),
+        so both paths schedule the DMA completion from the same cycle.
+        The device veto is pure given the NIPT (no FIFO-occupancy terms),
+        so re-checking it at window start instead of window end is exact;
+        spans/tracing must be off (nothing host-side then observes the
+        intermediate states), and the state machine must start in Idle.
+        """
+        udma = self.machine.udma
+        sm = udma.sm
+        if sm.state is not UdmaState.IDLE:
+            return False
+        if udma._spans is not None or udma.tracer.enabled:
+            return False
+        cpu = self.cpu
+        xlat = cpu._xlat
+        src_e = xlat.get(plan.src_vpage)
+        dst_e = xlat.get(plan.dst_vpage)
+        table = cpu.page_table
+        tlb_gen = cpu._tlb.generation
+        if (
+            src_e is None
+            or dst_e is None
+            or not dst_e.writable
+            or src_e.table is not table
+            or dst_e.table is not table
+            or src_e.pt_gen != table.generation
+            or dst_e.pt_gen != table.generation
+            or src_e.tlb_gen != tlb_gen
+            or dst_e.tlb_gen != tlb_gen
+        ):
+            return False
+        mask = cpu._page_mask
+        if (src_e.paddr_base | (plan.src_proxy & mask)) != plan.src_paddr:
+            return False
+        if (dst_e.paddr_base | (plan.dst_proxy & mask)) != plan.dst_paddr:
+            return False
+        clock = self.machine.clock
+        if plan.nipt_gen != plan.nipt.generation:
+            if plan.device.check_transfer(False, plan.dst_offset, plan.count):
+                return False  # let the slow path surface the error status
+            plan.nipt_gen = plan.nipt.generation
+        # Exact application of execute(align) + STORE + fence + LOAD.
+        cpu.instructions += plan.instructions
+        cpu.loads += 1
+        cpu.stores += 1
+        cpu.xlat_hits += 2
+        src_pte = src_e.pte
+        src_pte.referenced = True
+        dst_pte = dst_e.pte
+        dst_pte.referenced = True
+        dst_pte.dirty = True
+        cpu.charged_cycles += plan.total_cycles
+        clock.advance(plan.total_cycles)  # guarded: nothing fires
+        directive = plan.directive
+        sm.stores += 1
+        sm.loads += 1
+        sm.initiations += 1
+        sm.destination = directive.destination
+        sm.count = plan.count
+        sm.source = directive.source
+        sm._in_flight_count = plan.count
+        sm.state = UdmaState.TRANSFERRING
+        udma._launch(directive)
+        stats.pieces += 1
+        stats.initiations += 1
+        stats.bytes_moved += plan.count
+        return True
 
     def _back_off(self) -> None:
         """Let hardware make progress while the user process spins.

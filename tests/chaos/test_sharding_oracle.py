@@ -134,3 +134,47 @@ class TestChaosShardsCli:
         ])
         assert code == 0
         assert "bit-identical" in capsys.readouterr().out
+
+
+class TestPoolingOracle:
+    def test_clean_pooling_comparison(self):
+        report = ShardingOracle(audit=False).compare_pooling(small_spec())
+        assert report.ok
+        assert report.mode == "pooling"
+        assert "pooling oracle" in report.summary()
+        assert "vs pooling off" in report.summary()
+
+    def test_pooling_comparison_at_multiple_shards(self):
+        report = ShardingOracle(audit=False).compare_pooling(
+            small_spec(), num_shards=2
+        )
+        assert report.ok
+
+    def test_pooling_artifact_kind(self):
+        report = ShardingOracle(audit=False).compare_pooling(small_spec())
+        data = json.loads(report.artifact())
+        assert data["kind"] == "pooling-differential-failure"
+        assert data["mode"] == "pooling"
+
+    def test_cli_no_pool_mode(self, capsys):
+        code = main(["chaos", "--no-pool", "--nodes", "4", "--no-audit"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pooling oracle" in out
+        assert "bit-identical" in out
+
+    def test_cli_no_pool_with_shards(self, capsys):
+        code = main([
+            "chaos", "--no-pool", "--shards", "2", "--nodes", "4",
+            "--no-audit",
+        ])
+        assert code == 0
+        assert "pooled 2-shard" in capsys.readouterr().out
+
+    def test_cli_no_pool_suite(self, capsys):
+        code = main([
+            "chaos", "--no-pool", "--suite", "--nodes", "4", "--no-audit",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("bit-identical") >= 3

@@ -1,0 +1,117 @@
+"""Traffic patterns: determinism, distribution shape, registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    AllToAllTraffic,
+    HotspotTraffic,
+    IncastTraffic,
+    UniformTraffic,
+    Xorshift,
+    make_pattern,
+)
+
+
+def _drain(stream, n):
+    return [stream() for _ in range(n)]
+
+
+class TestXorshift:
+    def test_deterministic(self):
+        a, b = Xorshift(42), Xorshift(42)
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+    def test_seeds_diverge(self):
+        assert Xorshift(1).next() != Xorshift(2).next()
+
+    def test_zero_seed_is_valid(self):
+        rng = Xorshift(0)
+        assert rng.next() != rng.next()
+
+    def test_below_in_range(self):
+        rng = Xorshift(7)
+        assert all(0 <= rng.below(13) < 13 for _ in range(200))
+
+
+class TestUniform:
+    def test_peers_are_distinct_and_exclude_self(self):
+        pat = UniformTraffic(16, seed=3, degree=5)
+        for src in range(16):
+            peers = pat.peers(src)
+            assert len(peers) == 5
+            assert len(set(peers)) == 5
+            assert src not in peers
+
+    def test_degree_clamps_to_cluster(self):
+        pat = UniformTraffic(4, degree=32)
+        assert pat.peers(0) == (1, 2, 3)
+
+    def test_stream_stays_on_peers_and_replays(self):
+        pat = UniformTraffic(12, seed=9, degree=4)
+        peers = set(pat.peers(5))
+        first = _drain(pat.dst_stream(5), 300)
+        assert set(first) <= peers
+        assert first == _drain(pat.dst_stream(5), 300)
+
+    def test_tenants_get_distinct_streams(self):
+        pat = UniformTraffic(12, seed=9, degree=8)
+        assert _drain(pat.dst_stream(5, 0), 50) != _drain(pat.dst_stream(5, 1), 50)
+
+
+class TestHotspot:
+    def test_hot_node_dominates(self):
+        pat = HotspotTraffic(16, seed=1, hot_node=3, hot_permille=800)
+        dsts = _drain(pat.dst_stream(7), 1000)
+        hot_share = dsts.count(3) / len(dsts)
+        assert 0.7 < hot_share < 0.9
+
+    def test_hot_node_sends_cold_only(self):
+        pat = HotspotTraffic(16, seed=1, hot_node=3)
+        assert 3 not in _drain(pat.dst_stream(3), 200)
+
+    def test_hot_node_always_a_peer(self):
+        pat = HotspotTraffic(32, seed=5, hot_node=9, degree=4)
+        for src in range(32):
+            if src != 9:
+                assert 9 in pat.peers(src)
+
+
+class TestIncast:
+    def test_sink_is_silent(self):
+        pat = IncastTraffic(8, sink=2)
+        assert pat.peers(2) == ()
+
+    def test_everyone_else_hits_the_sink(self):
+        pat = IncastTraffic(8, sink=2)
+        for src in range(8):
+            if src != 2:
+                assert pat.peers(src) == (2,)
+                assert set(_drain(pat.dst_stream(src), 20)) == {2}
+
+
+class TestAllToAll:
+    def test_round_robin_covers_everyone(self):
+        pat = AllToAllTraffic(6)
+        dsts = _drain(pat.dst_stream(2), 5)
+        assert sorted(dsts) == [0, 1, 3, 4, 5]
+
+    def test_rotation_staggers_sources(self):
+        pat = AllToAllTraffic(6)
+        assert _drain(pat.dst_stream(0), 5) != _drain(pat.dst_stream(1), 5)
+
+
+class TestRegistry:
+    def test_make_pattern_dispatch(self):
+        assert isinstance(make_pattern("incast", 8), IncastTraffic)
+        assert isinstance(
+            make_pattern("hotspot", 8, hot_node=1), HotspotTraffic
+        )
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError, match="unknown traffic"):
+            make_pattern("zipf", 8)
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ConfigurationError, match=">= 2 nodes"):
+            make_pattern("uniform", 1)
