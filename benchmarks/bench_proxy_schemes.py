@@ -25,13 +25,13 @@ from benchmarks.conftest import SinkRig
 PAGE = 4096
 
 
-def run_workload(scheme):
+def run_workload(scheme, protection=None):
     """The same transfer mix on a machine with the given PROXY scheme."""
     from repro import Machine
     from repro.devices import SinkDevice
     from repro.userlib import UdmaUser
 
-    machine = Machine(mem_size=1 << 20, scheme=scheme)
+    machine = Machine(mem_size=1 << 20, scheme=scheme, protection=protection)
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     p = machine.create_process("app")
@@ -76,6 +76,58 @@ def test_proxy_schemes_behave_identically(benchmark):
                "the paper asserts"],
     )
     assert all(r.ok in (True, None) for r in rows)
+
+
+def test_protection_backends_outcome_equivalent(benchmark):
+    """PROXY-B: the protection *scheme* is priced, not the outcome.
+
+    Rerun the scheme-equivalence workload once per protection backend.
+    The proxy backend must be cycle-identical to the default machine;
+    captable/handler must move the same bytes with the same CPU charge,
+    paying only their per-initiation toll on the clock.
+    """
+    from repro.protection import BACKEND_NAMES, backend_class
+
+    def run():
+        return {
+            name: run_workload(ProxyScheme.HIGH_BIT, protection=name)
+            for name in BACKEND_NAMES
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_cycles, base_data, base_cpu = run_workload(ProxyScheme.HIGH_BIT)
+    proxy_cycles, proxy_data, proxy_cpu = measured["proxy"]
+    rows = [
+        Row("proxy backend simulated cycles", "== default machine",
+            f"{proxy_cycles} vs {base_cycles}", proxy_cycles == base_cycles),
+        Row("proxy backend CPU cycles", "== default machine",
+            f"{proxy_cpu} vs {base_cpu}", proxy_cpu == base_cpu),
+        Row("proxy backend data", "bit-for-bit", "checked",
+            proxy_data == base_data),
+    ]
+    for name in BACKEND_NAMES[1:]:
+        cycles, data, cpu = measured[name]
+        toll = backend_class(name).initiation_check_cycles
+        rows.append(
+            Row(f"{name} data movement", "bit-for-bit", "checked",
+                data == base_data)
+        )
+        rows.append(
+            Row(f"{name} CPU cycles charged", "== proxy", f"{cpu}",
+                cpu == base_cpu)
+        )
+        rows.append(
+            Row(f"{name} clock vs proxy", f"+{toll}/initiation",
+                f"+{cycles - base_cycles} cycles total",
+                cycles > base_cycles)
+        )
+    print_table(
+        "PROXY-B: protection backends are outcome-equivalent (PR-8 tentpole)",
+        rows,
+        notes=["the protection decision is pluggable; only its price is "
+               "backend-specific (see docs/PROTECTION.md)"],
+    )
+    assert all(r.ok for r in rows)
 
 
 def test_proxy_translation_speed_high_bit(benchmark):

@@ -39,9 +39,9 @@ class SinkRig:
     """A single node with a sink device, buffer, grant and runtime."""
 
     def __init__(self, queue_depth=None, mem_size=1 << 21, sink_bytes=1 << 18,
-                 costs=None, buffer_bytes=1 << 16):
+                 costs=None, buffer_bytes=1 << 16, protection=None):
         self.machine = Machine(costs=costs, mem_size=mem_size,
-                               queue_depth=queue_depth)
+                               queue_depth=queue_depth, protection=protection)
         self.sink = SinkDevice("sink", size=sink_bytes)
         self.machine.attach_device(self.sink)
         self.process = self.machine.create_process("app")

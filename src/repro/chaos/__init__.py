@@ -22,12 +22,24 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.chaos.actions import (
+    ACTION_WEIGHTS,
+    CHURN_WEIGHTS,
+    SCHEDULE_PROFILES,
     Action,
     actions_from_json,
     actions_to_json,
     generate_schedule,
 )
 from repro.chaos.auditor import InvariantAuditor
+from repro.chaos.conformance import (
+    PROTECTION_BACKENDS,
+    ConformanceOracle,
+    ConformanceReport,
+    ConformanceSuiteReport,
+    outcome_class,
+    run_conformance_suite,
+    write_conformance_artifact,
+)
 from repro.chaos.explorer import Failure, RunResult, ScheduleExplorer
 from repro.chaos.oracle import (
     WIRE_FAULT_KINDS,
@@ -41,9 +53,16 @@ from repro.chaos.shrinker import ShrinkResult, format_repro, shrink
 from repro.chaos.world import ChaosWorld
 
 __all__ = [
+    "ACTION_WEIGHTS",
+    "CHURN_WEIGHTS",
+    "SCHEDULE_PROFILES",
     "Action",
     "ChaosReport",
     "ChaosWorld",
+    "ConformanceOracle",
+    "ConformanceReport",
+    "ConformanceSuiteReport",
+    "PROTECTION_BACKENDS",
     "DeliveryReport",
     "DifferentialOracle",
     "EventualDeliveryOracle",
@@ -58,9 +77,12 @@ __all__ = [
     "actions_to_json",
     "format_repro",
     "generate_schedule",
+    "outcome_class",
     "run_chaos",
+    "run_conformance_suite",
     "shrink",
     "strip_wire_faults",
+    "write_conformance_artifact",
 ]
 
 

@@ -47,6 +47,22 @@ ACTION_WEIGHTS: "Dict[str, int]" = {
     "drain": 4,       # run all pending hardware to completion
 }
 
+#: The "churn" profile rides two extra kinds on top of the default mix,
+#: aimed at the protection surface: "churn" parks/recreates a channel
+#: (NIPT clear + free-list recycle + re-export) or revokes/re-grants a
+#: device window, and "rawsend" issues an un-padded UDMA transfer whose
+#: size can trip the device alignment veto.  The default profile is
+#: untouched -- schedules generated without a profile are byte-for-byte
+#: what they were before the profile existed.
+CHURN_WEIGHTS: "Dict[str, int]" = dict(
+    ACTION_WEIGHTS, churn=4, rawsend=4
+)
+
+SCHEDULE_PROFILES: "Dict[str, Dict[str, int]]" = {
+    "default": ACTION_WEIGHTS,
+    "churn": CHURN_WEIGHTS,
+}
+
 
 @dataclass(frozen=True)
 class Action:
@@ -81,16 +97,27 @@ class Action:
         )
 
 
-def generate_schedule(seed: int, steps: int) -> List[Action]:
+def generate_schedule(
+    seed: int, steps: int, profile: str = "default"
+) -> List[Action]:
     """Generate ``steps`` actions from one seeded RNG, deterministically.
 
     Uses only ``random.Random`` methods with stable cross-version
     behaviour (``choices`` over a fixed kind list, ``randrange``), so a
     seed printed by a failing CI run reproduces bit-identically anywhere.
+    ``profile`` selects the action mix (see SCHEDULE_PROFILES); the
+    default mix is frozen -- same seed, same bytes, forever.
     """
+    try:
+        weight_map = SCHEDULE_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule profile {profile!r}"
+            f" (available: {', '.join(sorted(SCHEDULE_PROFILES))})"
+        ) from None
     rng = random.Random(seed)
-    kinds = list(ACTION_WEIGHTS)
-    weights = [ACTION_WEIGHTS[k] for k in kinds]
+    kinds = list(weight_map)
+    weights = [weight_map[k] for k in kinds]
     schedule: List[Action] = []
     for _ in range(steps):
         kind = rng.choices(kinds, weights=weights)[0]

@@ -1,0 +1,322 @@
+"""Backend conformance: protection outcomes must not depend on the scheme.
+
+The paper's protection argument is about *outcomes*: which transfers are
+allowed, which fault, what lands in memory, and what the NIPT ends up
+holding.  The proxy-space decode, a capability table consulted at
+initiation, and a pre-validated handler are three mechanically different
+ways to make the same decision -- so the repo treats "same decision" as
+a testable contract.  This module replays one adversarial schedule once
+per :class:`~repro.protection.ProtectionBackend` and diffs the
+*timing-free* projection of each run:
+
+* per-action outcome **classes** (``"ok:3p0r"`` -> ``"ok"``): backends
+  may legally shift cycle counts (captable/handler charge extra
+  initiation-check cycles), so retry/piece counts and clock values are
+  excluded from the contract;
+* the **protection fault ledger** (``world.protection_faults()``): every
+  backend must record the same fault kinds, in the same order;
+* the failure identity, if any, compared by **kind and index** (messages
+  may embed timestamps);
+* the settled **memory digest** and final **NIPT state**: what actually
+  landed, and what the hardware ended up trusting.
+
+Within one backend the simulation stays bit-exact deterministic; that is
+asserted separately (``check_determinism``) by twin-running the schedule
+and requiring byte-identical audit logs.
+
+A failing comparison shrinks (ddmin, via :func:`repro.chaos.shrink`) to
+the minimal schedule that still splits the backends, and serialises to a
+JSON artifact CI uploads and ``python -m repro chaos --backend ...
+--replay`` accepts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.chaos.actions import (
+    Action,
+    actions_to_json,
+    generate_schedule,
+)
+from repro.chaos.explorer import RunResult, ScheduleExplorer
+from repro.chaos.shrinker import ShrinkResult, shrink
+from repro.protection import BACKEND_NAMES
+
+#: the stock backends every conformance campaign covers by default
+PROTECTION_BACKENDS = BACKEND_NAMES
+
+#: cap on recorded mismatch lines per comparison -- a diverged run can
+#: disagree on every action; the first few localise the split
+_MISMATCH_CAP = 8
+
+
+def outcome_class(outcome: str) -> str:
+    """Timing-free projection of a world.apply() outcome label.
+
+    Outcomes are ``"class"`` or ``"class:detail"`` where the detail may
+    carry piece/retry counts that legally vary across backends (extra
+    initiation cycles shift device-busy windows).  Only the class is
+    part of the conformance contract.
+    """
+    return outcome.split(":", 1)[0]
+
+
+def _failure_identity(result: RunResult) -> str:
+    """Backend-comparable failure key: kind and index, not message."""
+    if result.failure is None:
+        return ""
+    return f"{result.failure.kind}@{result.failure.index}"
+
+
+@dataclass
+class ConformanceReport:
+    """One schedule, replayed under every backend, diffed."""
+
+    nodes: int
+    backends: List[str]
+    actions: List[Action]
+    #: backend spec -> its run (insertion order == self.backends)
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+    mismatches: List[str] = field(default_factory=list)
+    #: filled by the suite driver when a failing report gets shrunk
+    shrunk: Optional[ShrinkResult] = None
+    seed: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        ref = self.backends[0]
+        lines = [
+            f"conformance: backends={','.join(self.backends)} "
+            f"nodes={self.nodes} actions={len(self.actions)}"
+            + (f" seed={self.seed}" if self.seed is not None else ""),
+            f"reference  : {ref} "
+            f"mem={self.runs[ref].mem_digest} "
+            f"faults={len(self.runs[ref].protection_faults)}",
+        ]
+        if self.ok:
+            lines.append("result: CONFORM")
+        else:
+            lines.append(f"result: DIVERGE ({len(self.mismatches)} mismatches)")
+            lines.extend(f"  {m}" for m in self.mismatches)
+            if self.shrunk is not None:
+                lines.append(
+                    f"shrunk: {len(self.actions)} -> "
+                    f"{len(self.shrunk.actions)} actions "
+                    f"({self.shrunk.evaluations} replays)"
+                )
+        return "\n".join(lines)
+
+    def artifact(self) -> dict:
+        """JSON-ready reproducer: what CI uploads on divergence.
+
+        The ``actions`` list is the shrunk schedule when shrinking ran,
+        the full schedule otherwise; either replays with::
+
+            python -m repro chaos --backend all --nodes N --replay repro.json
+        """
+        actions = self.shrunk.actions if self.shrunk is not None else self.actions
+        return {
+            "kind": "protection-conformance",
+            "backends": list(self.backends),
+            "nodes": self.nodes,
+            "seed": self.seed,
+            "mismatches": list(self.mismatches),
+            "digests": {
+                spec: run.mem_digest for spec, run in self.runs.items()
+            },
+            "actions": actions_to_json(actions),
+        }
+
+
+class ConformanceOracle:
+    """Replays one schedule per backend and diffs the projections."""
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        backends: Sequence[str] = PROTECTION_BACKENDS,
+        audit: bool = True,
+        check_determinism: bool = False,
+    ) -> None:
+        if len(backends) < 2:
+            raise ValueError("conformance needs at least two backends")
+        self.nodes = nodes
+        self.backends = list(backends)
+        self.audit = audit
+        self.check_determinism = check_determinism
+
+    def compare(self, actions: Sequence[Action]) -> ConformanceReport:
+        report = ConformanceReport(
+            nodes=self.nodes,
+            backends=list(self.backends),
+            actions=list(actions),
+        )
+        for spec in self.backends:
+            explorer = ScheduleExplorer(
+                nodes=self.nodes, audit=self.audit, protection=spec
+            )
+            run = explorer.run(actions, fast_paths=True)
+            report.runs[spec] = run
+            if self.check_determinism:
+                twin = explorer.run(actions, fast_paths=True)
+                self._diff_twin(report, spec, run, twin)
+        ref_spec = self.backends[0]
+        for spec in self.backends[1:]:
+            self._diff_backend(report, ref_spec, spec)
+        return report
+
+    # -- internal ----------------------------------------------------
+
+    @staticmethod
+    def _note(report: ConformanceReport, line: str) -> None:
+        if len(report.mismatches) < _MISMATCH_CAP:
+            report.mismatches.append(line)
+        elif len(report.mismatches) == _MISMATCH_CAP:
+            report.mismatches.append("... (mismatch cap reached)")
+
+    def _diff_twin(
+        self,
+        report: ConformanceReport,
+        spec: str,
+        run: RunResult,
+        twin: RunResult,
+    ) -> None:
+        """Within-backend determinism: twin runs must be bit-exact."""
+        if run.audit_log != twin.audit_log:
+            self._note(report, f"[{spec}] twin run audit log diverged")
+        if run.counters != twin.counters:
+            self._note(report, f"[{spec}] twin run counters diverged")
+        if run.mem_digest != twin.mem_digest:
+            self._note(report, f"[{spec}] twin run memory digest diverged")
+        if _failure_identity(run) != _failure_identity(twin):
+            self._note(
+                report,
+                f"[{spec}] twin run failure diverged: "
+                f"{_failure_identity(run) or 'ok'} vs "
+                f"{_failure_identity(twin) or 'ok'}",
+            )
+
+    def _diff_backend(
+        self, report: ConformanceReport, ref_spec: str, spec: str
+    ) -> None:
+        ref = report.runs[ref_spec]
+        run = report.runs[spec]
+        tag = f"{ref_spec} vs {spec}"
+
+        ref_fail = _failure_identity(ref)
+        run_fail = _failure_identity(run)
+        if ref_fail != run_fail:
+            self._note(
+                report,
+                f"[{tag}] failure: {ref_fail or 'ok'} vs {run_fail or 'ok'}",
+            )
+
+        for i, (a, b) in enumerate(zip(ref.outcomes, run.outcomes)):
+            ca, cb = outcome_class(a), outcome_class(b)
+            if ca != cb:
+                self._note(
+                    report,
+                    f"[{tag}] action {i} "
+                    f"{report.actions[i].brief()}: {ca!r} vs {cb!r}",
+                )
+        if len(ref.outcomes) != len(run.outcomes):
+            self._note(
+                report,
+                f"[{tag}] applied {len(ref.outcomes)} vs "
+                f"{len(run.outcomes)} actions",
+            )
+
+        if ref.protection_faults != run.protection_faults:
+            self._note(
+                report,
+                f"[{tag}] protection faults: "
+                f"{ref.protection_faults} vs {run.protection_faults}",
+            )
+        if ref.nipt_state != run.nipt_state:
+            self._note(report, f"[{tag}] final NIPT state diverged")
+        if ref.mem_digest != run.mem_digest:
+            self._note(
+                report,
+                f"[{tag}] memory digest: "
+                f"{ref.mem_digest} vs {run.mem_digest}",
+            )
+
+
+@dataclass
+class ConformanceSuiteReport:
+    """A seeded campaign of conformance comparisons."""
+
+    nodes: int
+    backends: List[str]
+    reports: List[ConformanceReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.reports)
+
+    @property
+    def first_failure(self) -> Optional[ConformanceReport]:
+        for report in self.reports:
+            if not report.ok:
+                return report
+        return None
+
+    def summary(self) -> str:
+        passed = sum(1 for r in self.reports if r.ok)
+        lines = [
+            f"conformance suite: {passed}/{len(self.reports)} schedules "
+            f"conform across {','.join(self.backends)} (nodes={self.nodes})",
+        ]
+        failure = self.first_failure
+        if failure is not None:
+            lines.append(failure.summary())
+        else:
+            lines.append("result: PASS")
+        return "\n".join(lines)
+
+
+def run_conformance_suite(
+    seeds: Sequence[int],
+    steps: int = 40,
+    nodes: int = 2,
+    backends: Sequence[str] = PROTECTION_BACKENDS,
+    profile: str = "churn",
+    check_determinism: bool = False,
+    max_shrink_evals: int = 200,
+) -> ConformanceSuiteReport:
+    """Compare backends over a batch of seeded churn schedules.
+
+    Stops at the first diverging seed and shrinks it (every remaining
+    backend replay is a full multi-world run; once one seed diverges,
+    budget goes to minimising it, not to finding more).
+    """
+    oracle = ConformanceOracle(
+        nodes=nodes, backends=backends, check_determinism=check_determinism
+    )
+    suite = ConformanceSuiteReport(nodes=nodes, backends=list(backends))
+    for seed in seeds:
+        actions = generate_schedule(seed, steps, profile=profile)
+        report = oracle.compare(actions)
+        report.seed = seed
+        suite.reports.append(report)
+        if not report.ok:
+            report.shrunk = shrink(
+                actions,
+                lambda candidate: not oracle.compare(candidate).ok,
+                max_evals=max_shrink_evals,
+            )
+            break
+    return suite
+
+
+def write_conformance_artifact(report: ConformanceReport, path: str) -> None:
+    """Serialise a diverging report's reproducer to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.artifact(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

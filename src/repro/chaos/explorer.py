@@ -17,7 +17,7 @@ line-by-line comparison medium.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.actions import Action
 from repro.chaos.auditor import InvariantAuditor
@@ -53,6 +53,14 @@ class RunResult:
     mem_digest: str = ""
     event_audits: int = 0
     boundary_audits: int = 0
+    #: raw per-action outcome labels, in schedule order (the audit log
+    #: folds these into timing-bearing lines; the conformance oracle
+    #: compares their timing-free *classes* across protection backends)
+    outcomes: List[str] = field(default_factory=list)
+    #: canonical protection fault ledger (world.protection_faults())
+    protection_faults: List[str] = field(default_factory=list)
+    #: final per-NIC NIPT snapshot (world.nipt_state())
+    nipt_state: Tuple[tuple, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -68,11 +76,13 @@ class ScheduleExplorer:
         break_mode: Optional[str] = None,
         audit: bool = True,
         reliability: bool = False,
+        protection: str = "proxy",
     ) -> None:
         self.nodes = nodes
         self.break_mode = break_mode
         self.audit = audit
         self.reliability = reliability
+        self.protection = protection
 
     def run(self, actions: Sequence[Action], fast_paths: bool = True) -> RunResult:
         """Replay ``actions`` on a fresh world; never raises for findings."""
@@ -81,6 +91,7 @@ class ScheduleExplorer:
             fast_paths=fast_paths,
             break_mode=self.break_mode,
             reliability=self.reliability,
+            protection=self.protection,
         )
         auditor = InvariantAuditor(world)
         if self.audit:
@@ -100,6 +111,7 @@ class ScheduleExplorer:
                         i, "crash", f"{type(exc).__name__}: {exc}"
                     )
                     break
+                result.outcomes.append(outcome)
                 result.audit_log.append(self._log_line(i, action, outcome, world))
             if result.failure is None:
                 try:
@@ -118,6 +130,8 @@ class ScheduleExplorer:
             result.failure.span_context = world.span_context()
         result.counters = world.counters()
         result.mem_digest = world.mem_digest()
+        result.protection_faults = world.protection_faults()
+        result.nipt_state = world.nipt_state()
         result.event_audits = auditor.event_audits
         result.boundary_audits = auditor.boundary_audits
         return result

@@ -75,6 +75,7 @@ class ChaosWorld:
         fast_paths: bool = True,
         break_mode: Optional[str] = None,
         reliability: bool = False,
+        protection: str = "proxy",
     ) -> None:
         if break_mode not in BREAK_MODES:
             raise ConfigurationError(f"unknown break mode {break_mode!r}")
@@ -83,6 +84,9 @@ class ChaosWorld:
         #: ack/retransmit transport under test (cluster worlds only); off
         #: keeps every audit log and counter bit-identical to history
         self.reliability = reliability
+        #: protection-backend spec (see repro.protection.make_backend);
+        #: the default "proxy" is bit-identical to pre-backend history
+        self.protection = protection
         self.num_nodes = max(1, nodes)
         self.costs = shrimp()
         self.page_size = self.costs.page_size
@@ -93,6 +97,13 @@ class ChaosWorld:
         self.senders: List[Sender] = []
         self.receivers: List[Receiver] = []
         self._rigs: List[List[_ProcRig]] = []  # [node][proc]
+
+        # channel-churn state: at most one channel is "parked" (released)
+        # at a time, so the first-fit NIPT free list hands the same base
+        # back on recreate and schedules stay deterministic
+        self._parked: "Optional[Tuple[int, object]]" = None
+        self._rx_procs: List[Process] = []
+        self._rx_bufs: List[int] = []
 
         # fault-injection arming state (cluster only)
         self._armed: Optional[list] = None  # [mode, remaining, salt]
@@ -120,6 +131,7 @@ class ChaosWorld:
             # Spans are host-side and deterministic, so they are safe
             # under the differential oracle; failures get causal context.
             obs=ObsConfig(spans=True),
+            protection=self.protection,
         )
         self.spans = machine.obs.spans
         self.machines = [machine]
@@ -158,6 +170,7 @@ class ChaosWorld:
             fast_paths=self.fast_paths,
             obs=ObsConfig(spans=True),
             reliability=self.reliability,
+            protection=self.protection,
         )
         self.spans = cluster.obs.spans
         self.cluster = cluster
@@ -172,6 +185,8 @@ class ChaosWorld:
             proc = cluster.node(i).create_process(f"rx{i}")
             rx_procs.append(proc)
             rx_bufs.append(cluster.node(i).kernel.syscalls.alloc(proc, nbytes))
+        self._rx_procs = rx_procs
+        self._rx_bufs = rx_bufs
 
         # A ring of channels: node i sends to node (i + 1) % N.
         for i in range(self.num_nodes):
@@ -364,6 +379,70 @@ class ChaosWorld:
             return f"ok:{self._checksum(buf)}"
         return f"ok:{stats.pieces}p{stats.retries}r"
 
+    def _do_rawsend(self, action: Action) -> str:
+        """A send that bypasses the Sender's padding: sizes may be odd.
+
+        Unaligned sizes trip the device's alignment veto (DmaError), a
+        hard protection outcome every backend must classify identically
+        — this is the chaos-visible surface for an alignment-skipping
+        backend bug.  Aligned sizes behave exactly like a small send.
+        """
+        if self.cluster is None:
+            return self._single_udma(action, to_device=True)
+        sender = self.senders[action.node % len(self.senders)]
+        nbytes = sender.channel.nbytes
+        size = 1 + action.size % 256
+        offset = ((action.page * 53) % (nbytes - size)) & ~3
+        data = make_payload(size, seed=1 + (action.page + action.size) % 233)
+        sender._ensure_current()
+        sender.machine.cpu.write_bytes(sender.buffer, data)
+        stats = sender.udma.transfer(
+            MemoryRef(sender.buffer),
+            sender.device_ref(offset),
+            size,
+            wait=bool(action.arg & 1),
+        )
+        return f"ok:{stats.pieces}p{stats.retries}r"
+
+    def _do_churn(self, action: Action) -> str:
+        """Protection-state churn: recycle a grant or a channel's NIPT.
+
+        Cluster worlds toggle ONE channel at a time between parked
+        (released: NIPT entries cleared, pages unpinned, free-list range
+        returned) and recreated; the single-parked discipline makes the
+        first-fit NIPT allocator hand back the same base, so schedules
+        stay deterministic and the sender's window grant stays valid.
+        Sends to a parked channel must fault cleanly (nipt-invalid /
+        DmaError) on every backend — the prime divergence window for a
+        stale-capability bug.  Single-node worlds revoke and re-grant
+        the sink window instead, exercising grant/revoke bookkeeping.
+        In-flight traffic is settled first: mid-flight teardown is a
+        directed-test scenario, not a schedule-determinism hazard.
+        """
+        if self.cluster is None:
+            rig = self._rig(action)
+            self.settle()
+            syscalls = rig.machine.kernel.syscalls
+            syscalls.revoke_device_proxy(rig.process, "sink")
+            rig.grant = syscalls.grant_device_proxy(rig.process, "sink")
+            return "ok:regrant"
+        self.settle()
+        if self._parked is not None:
+            i, _old = self._parked
+            self._parked = None
+            dst = (i + 1) % self.num_nodes
+            nbytes = self.CHANNEL_PAGES * self.page_size
+            channel = self.cluster.create_channel(
+                i, dst, self._rx_procs[dst], self._rx_bufs[dst], nbytes
+            )
+            self.senders[i].channel = channel
+            self.receivers[i].channel = channel
+            return f"ok:recreate{i}"
+        i = action.node % len(self.senders)
+        self.cluster.release_channel(self.senders[i].channel)
+        self._parked = (i, self.senders[i].channel)
+        return f"ok:park{i}"
+
     def _do_touch(self, action: Action) -> str:
         rig = self._rig(action)
         self._run_as(rig)
@@ -553,6 +632,38 @@ class ChaosWorld:
             c["sink.reads"] = self.sink.reads
             c["sink.writes"] = self.sink.writes
         return c
+
+    def protection_faults(self) -> "List[str]":
+        """Canonical per-node protection fault ledger (hard refusals).
+
+        Entries are ``"n{node}:{kind}"`` with kinds from the frozen
+        :data:`repro.protection.FAULT_KINDS` vocabulary, in order of
+        occurrence.  The conformance oracle requires this list to be
+        identical across backends: *what* is refused and *why* is
+        outcome, not timing.
+        """
+        out: "List[str]" = []
+        for i, machine in enumerate(self.machines):
+            for kind in machine.udma.backend.fault_log:
+                out.append(f"n{i}:{kind}")
+        return out
+
+    def nipt_state(self) -> "Tuple[tuple, ...]":
+        """Final NIPT contents per NIC, as a hashable snapshot.
+
+        Backends must leave the OS-owned table in the same state: which
+        pages are exported, and to where, is a protection *outcome*.
+        """
+        if self.cluster is None:
+            return ()
+        return tuple(
+            (i,)
+            + tuple(
+                (index, entry.dst_node, entry.dst_page)
+                for index, entry in nic.nipt.entries()
+            )
+            for i, nic in enumerate(self.cluster.nics)
+        )
 
     def span_context(self, limit: int = 4) -> str:
         """Causal transfer context for a failure report.

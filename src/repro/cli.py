@@ -258,12 +258,103 @@ def _cmd_chaos_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_backend_specs(spec: str) -> List[str]:
+    """``--backend`` value -> ordered backend spec list, proxy first.
+
+    ``all`` selects the three stock backends.  A comma list selects
+    specific specs (``name`` or ``name:planted-bug``); the proxy
+    reference is prepended when absent, since conformance is always
+    measured against the paper's scheme.
+    """
+    from repro.chaos import PROTECTION_BACKENDS
+
+    if spec == "all":
+        return list(PROTECTION_BACKENDS)
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    if all(name.partition(":")[0] != "proxy" for name in names):
+        names.insert(0, "proxy")
+    if len(names) < 2:
+        names = list(PROTECTION_BACKENDS)
+    return names
+
+
+def _cmd_chaos_backend(args: argparse.Namespace) -> int:
+    """The protection-backend differential mode of the chaos command.
+
+    Replays each schedule once per backend and requires identical
+    protection outcomes (fault ledgers, outcome classes, NIPT state,
+    settled memory digests); simulated cycle counts may differ per
+    backend.  Diverging schedules are shrunk and written as replayable
+    JSON artifacts.
+    """
+    import json
+
+    from repro.chaos import (
+        ConformanceOracle,
+        actions_from_json,
+        run_conformance_suite,
+        shrink,
+        write_conformance_artifact,
+    )
+    from repro.errors import ConfigurationError
+    from repro.protection import make_backend
+
+    backends = _parse_backend_specs(args.backend)
+    try:
+        for name in backends:
+            make_backend(name)  # validate names / planted bugs up front
+    except ConfigurationError as exc:
+        print(f"bad --backend spec: {exc}", file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        with open(args.replay, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        raw = payload["actions"] if isinstance(payload, dict) else payload
+        actions = actions_from_json(raw)
+        oracle = ConformanceOracle(
+            nodes=args.nodes,
+            backends=backends,
+            check_determinism=args.check_determinism,
+        )
+        report = oracle.compare(actions)
+        if not report.ok:
+            report.shrunk = shrink(
+                actions,
+                lambda candidate: not oracle.compare(candidate).ok,
+                max_evals=args.max_shrink_evals,
+            )
+        print(report.summary())
+        failing = None if report.ok else report
+    else:
+        count = args.schedules if args.suite else 1
+        suite = run_conformance_suite(
+            seeds=range(args.seed, args.seed + count),
+            steps=args.steps,
+            nodes=args.nodes,
+            backends=backends,
+            check_determinism=args.check_determinism,
+            max_shrink_evals=args.max_shrink_evals,
+        )
+        print(suite.summary())
+        failing = suite.first_failure
+
+    if failing is not None:
+        path = args.repro_file or "protection-failure.json"
+        write_conformance_artifact(failing, path)
+        print(f"\n(diverging schedule written to {path})")
+        return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
     from repro.chaos import actions_from_json, run_chaos
     from repro.chaos.world import BREAK_MODES
 
+    if args.backend is not None:
+        return _cmd_chaos_backend(args)
     if args.shards is not None or args.no_pool:
         return _cmd_chaos_shards(args)
 
@@ -371,6 +462,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay-spec", default=None, metavar="FILE",
                        help="replay a failing shard-schedule artifact "
                             "(with --shards)")
+    chaos.add_argument("--backend", default=None, metavar="SPEC",
+                       help="protection differential mode: replay each "
+                            "schedule under multiple protection backends "
+                            "and require identical protection outcomes. "
+                            "SPEC is proxy | captable | handler | all, or "
+                            "a comma list; name:bug plants a backend bug "
+                            "(e.g. captable:stale-cap)")
+    chaos.add_argument("--schedules", type=int, default=8, metavar="M",
+                       help="seeded schedules per --backend --suite "
+                            "campaign (default 8)")
+    chaos.add_argument("--check-determinism", action="store_true",
+                       help="also twin-run each backend and require "
+                            "bit-identical audit logs (with --backend)")
     chaos.add_argument("--reliable", action="store_true",
                        help="enable the ack/retransmit transport and hold "
                             "the run to the eventual-delivery oracle "

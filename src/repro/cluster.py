@@ -96,6 +96,7 @@ class ShrimpCluster:
         pooling: bool = True,
         pool_debug: bool = False,
         pipelining: bool = True,
+        protection: Optional[str] = None,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
@@ -106,6 +107,9 @@ class ShrimpCluster:
         #: bit-identical on or off (chaos ``--no-pool`` gates this).
         self.pooling = pooling
         self.pipelining = pipelining
+        #: protection-backend spec applied to every node (each node gets
+        #: its own backend instance; see repro.protection)
+        self.protection = protection if protection is not None else "proxy"
         self.clock = Clock(pooling=pooling, pool_debug=pool_debug)
         # One shared observability plane: every node registers its metrics
         # under a node{i}. namespace and all spans land on one tracker, so
@@ -169,6 +173,7 @@ class ShrimpCluster:
                 dma_bursts_per_event=dma_bursts_per_event,
                 fast_paths=fast_paths,
                 obs=self.obs,
+                protection=self.protection,
             )
             nic = ShrimpNic(
                 node_id=i,

@@ -33,6 +33,7 @@ from repro.dma.engine import DeviceEndpoint, DmaEngine, Endpoint, MemoryEndpoint
 from repro.errors import AddressError, ConfigurationError
 from repro.mem.layout import DeviceWindow, Layout, Region
 from repro.mem.physmem import PhysicalMemory
+from repro.protection import ProtectionBackend, ProxyBackend
 from repro.sim.clock import Clock
 from repro.sim.trace import NULL_TRACER, Tracer
 
@@ -54,6 +55,7 @@ class UdmaController:
         clock: Clock,
         name: str = "udma",
         tracer: Tracer = NULL_TRACER,
+        backend: Optional[ProtectionBackend] = None,
     ) -> None:
         self.layout = layout
         self.physmem = physmem
@@ -62,6 +64,14 @@ class UdmaController:
         self.name = name
         self.tracer = tracer
         self.page_size = layout.page_size
+        # The protection decision for the two-instruction send lives in a
+        # pluggable backend (see repro.protection).  The default proxy
+        # backend is bit-identical to the pre-backend controller.
+        self.backend = backend if backend is not None else ProxyBackend()
+        self.backend.attach(self)
+        # Live grants, kept so a backend switch can replay them into the
+        # new backend's tables: (asid, device name, writable).
+        self._grants: Set["tuple[int, str, bool]"] = set()
         self.sm = UdmaStateMachine(
             page_size=layout.page_size,
             remaining_in_flight=self._remaining_in_flight,
@@ -101,6 +111,7 @@ class UdmaController:
         self._devices[device.name] = device
         self._window_cache.clear()
         device.attach(self.clock, self.tracer)
+        self.backend.device_attached(device)
         return window
 
     def device(self, name: str) -> UDMADevice:
@@ -110,11 +121,51 @@ class UdmaController:
         except KeyError:
             raise ConfigurationError(f"no device {name!r} attached to {self.name}") from None
 
+    # -------------------------------------------------- protection backend
+    def set_backend(self, backend: ProtectionBackend) -> ProtectionBackend:
+        """Swap the protection backend on a live controller.
+
+        The new backend inherits the controller's world: devices are
+        re-announced (rebuilding capability tables from live NIPT state)
+        and outstanding grants are replayed.  The host-side decode and
+        window caches are flushed — they were populated under the old
+        backend, and cache keys are only operand bits (see ISSUE 8
+        satellite), so a stale entry must not survive the switch.
+        """
+        backend.attach(self)
+        for device in self._devices.values():
+            backend.device_attached(device)
+        for asid, device_name, writable in sorted(self._grants):
+            backend.note_grant(asid, device_name, writable)
+        self.backend = backend
+        self._operand_cache.clear()
+        self._window_cache.clear()
+        self._inval_operand = None
+        return backend
+
+    def note_grant(self, asid: int, device_name: str, writable: bool) -> None:
+        """Kernel hook: a device-proxy window was granted to ``asid``."""
+        self._grants.add((asid, device_name, writable))
+        self.backend.note_grant(asid, device_name, writable)
+
+    def note_revoke(self, asid: int, device_name: str) -> None:
+        """Kernel hook: a device-proxy grant was torn down."""
+        self._grants = {
+            grant
+            for grant in self._grants
+            if not (grant[0] == asid and grant[1] == device_name)
+        }
+        self.backend.note_revoke(asid, device_name)
+
     # ---------------------------------------------------------- bus access
     def io_store(self, paddr: int, value: int) -> None:
         """A CPU STORE reached proxy space (value = nbytes, or <=0 = Inval)."""
         operand = self._decode(paddr)
+        latched = self.sm.state is UdmaState.DEST_LOADED
         event = self.sm.store(operand, value)
+        if event is UdmaEvent.INVAL and latched:
+            # I1: a latched destination was thrown away before its LOAD.
+            self.backend.record_fault("inval")
         if self._spans is not None:
             self._span_store(operand, value, event)
         if self.tracer.enabled:
@@ -133,6 +184,10 @@ class UdmaController:
         operand = self._decode(paddr)
         device_errors = self._prospective_device_errors(operand)
         result = self.sm.load(operand, device_errors=device_errors)
+        if device_errors:
+            self.backend.record_error_bits(device_errors)
+        elif result.event is UdmaEvent.BAD_LOAD:
+            self.backend.record_fault("bad-load")
         if self._spans is not None:
             self._span_load(operand, result)
         if result.start is not None:
@@ -161,6 +216,8 @@ class UdmaController:
             operand = self._inval_operand = ProxyOperand(
                 self.layout.proxy(0), SpaceKind.MEMORY
             )
+        if self.sm.state is UdmaState.DEST_LOADED:
+            self.backend.record_fault("inval")
         self.sm.store(operand, -1)
         if self._spans is not None:
             self._span_inval()
@@ -250,13 +307,7 @@ class UdmaController:
         operand = self._operand_cache.get(paddr)
         if operand is not None:
             return operand
-        region = self.layout.region_of(paddr)
-        if region is Region.MEMORY_PROXY:
-            operand = ProxyOperand(paddr, SpaceKind.MEMORY)
-        elif region is Region.DEVICE_PROXY:
-            operand = ProxyOperand(paddr, SpaceKind.DEVICE)
-        else:
-            raise AddressError(paddr, f"{self.name} was handed a non-proxy address")
+        operand = self.backend.decode(paddr)
         if len(self._operand_cache) >= self._OPERAND_CACHE_CAPACITY:
             self._operand_cache.clear()
         self._operand_cache[paddr] = operand
@@ -274,13 +325,21 @@ class UdmaController:
             self.sm.count,
             self.page_size - (source_operand.proxy_addr % self.page_size),
         )
+        backend = self.backend
+        extra = backend.initiation_check_cycles
+        if extra:
+            # Non-proxy backends pay for their check here: the LOAD that
+            # would start the transfer stalls while the capability table
+            # or the in-kernel handler renders its verdict.  The proxy
+            # scheme rides the MMU and charges nothing (extra == 0).
+            self.clock.advance(extra)
         errors = 0
         if source_operand.space is SpaceKind.DEVICE:
             device, offset = self._device_at(source_operand.proxy_addr)
-            errors |= device.check_transfer(True, offset, count)
+            errors |= backend.source_errors(device, offset, count)
         if dest.space is SpaceKind.DEVICE:
             device, offset = self._device_at(dest.proxy_addr)
-            errors |= device.check_transfer(False, offset, count)
+            errors |= backend.dest_errors(device, offset, count)
         return errors
 
     # ----------------------------------------------------------- span hooks

@@ -85,8 +85,11 @@ class QueuedUdmaController(UdmaController):
         queue_depth: int = 16,
         name: str = "udmaq",
         tracer: Tracer = NULL_TRACER,
+        backend=None,
     ) -> None:
-        super().__init__(layout, physmem, engine, clock, name=name, tracer=tracer)
+        super().__init__(
+            layout, physmem, engine, clock, name=name, tracer=tracer, backend=backend
+        )
         if queue_depth <= 0:
             raise ConfigurationError(
                 f"queue_depth must be positive, got {queue_depth}"
@@ -112,6 +115,8 @@ class QueuedUdmaController(UdmaController):
         if event is UdmaEvent.INVAL:
             # Clears the initiation latch only; accepted requests are
             # hardware property and keep flowing (section 6 statelessness).
+            if self._dest is not None:
+                self.backend.record_fault("inval")
             self._dest = None
             self._count = 0
             if self._spans is not None:
@@ -150,6 +155,8 @@ class QueuedUdmaController(UdmaController):
 
     def inval(self) -> None:
         """Context-switch Inval: clears the latch, never queued requests."""
+        if self._dest is not None:
+            self.backend.record_fault("inval")
         self._dest = None
         self._count = 0
         if self._spans is not None:
@@ -270,6 +277,7 @@ class QueuedUdmaController(UdmaController):
             return self._status_snapshot(operand)
         if operand.space is self._dest.space:
             # BadLoad, as in the basic device: drop the latch.
+            self.backend.record_fault("bad-load")
             self._dest = None
             self._count = 0
             if self._spans is not None:
@@ -289,6 +297,7 @@ class QueuedUdmaController(UdmaController):
         )
         errors = self._endpoint_errors(operand, self._dest, count)
         if errors:
+            self.backend.record_error_bits(errors)
             self._dest = None
             self._count = 0
             if self._spans is not None:
@@ -350,13 +359,19 @@ class QueuedUdmaController(UdmaController):
     def _endpoint_errors(
         self, source: ProxyOperand, dest: ProxyOperand, count: int
     ) -> int:
+        backend = self.backend
+        extra = backend.initiation_check_cycles
+        if extra:
+            # Same charging point as the basic controller: the initiating
+            # LOAD stalls for the backend's verdict.
+            self.clock.advance(extra)
         errors = 0
         if source.space is SpaceKind.DEVICE:
             device, offset = self._device_at(source.proxy_addr)
-            errors |= device.check_transfer(True, offset, count)
+            errors |= backend.source_errors(device, offset, count)
         if dest.space is SpaceKind.DEVICE:
             device, offset = self._device_at(dest.proxy_addr)
-            errors |= device.check_transfer(False, offset, count)
+            errors |= backend.dest_errors(device, offset, count)
         return errors
 
     def _status_snapshot(self, operand: Optional[ProxyOperand]) -> UdmaStatus:

@@ -89,5 +89,17 @@ class UDMADevice(abc.ABC):
             errors |= ERR_RANGE
         return errors
 
+    def physical_errors(self, as_source: bool, offset: int, nbytes: int) -> int:
+        """The *physical* subset of :meth:`check_transfer`.
+
+        Alignment, range and direction constraints are properties of the
+        device hardware; protection backends that bring their own access
+        verdict (e.g. a capability table) still consult these.  Devices
+        whose ``check_transfer`` folds in a protection lookup (the NIC's
+        NIPT walk) override this to expose only the physical part; by
+        default the two checks coincide.
+        """
+        return self.check_transfer(as_source, offset, nbytes)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} proxy_size={self.proxy_size:#x}>"

@@ -113,7 +113,14 @@ class SyscallInterface:
                     f"pid {process.pid} may not map device {device_name!r}",
                 )
             window = self.layout.window_by_name(device_name)
-            return self.vm.map_device_window(process, window, writable, pages)
+            base = self.vm.map_device_window(process, window, writable, pages)
+            # Tell the protection backends (host-side bookkeeping; the
+            # proxy backend's real check IS the mapping just created).
+            for controller in self.vm.remap_guard.controllers:
+                note = getattr(controller, "note_grant", None)
+                if note is not None:
+                    note(process.asid, device_name, writable)
+            return base
         finally:
             self._exit()
 
@@ -123,6 +130,10 @@ class SyscallInterface:
         try:
             window = self.layout.window_by_name(device_name)
             self.vm.revoke_device_window(process, window)
+            for controller in self.vm.remap_guard.controllers:
+                note = getattr(controller, "note_revoke", None)
+                if note is not None:
+                    note(process.asid, device_name)
         finally:
             self._exit()
 

@@ -41,6 +41,7 @@ from repro.mem.layout import DeviceWindow, Layout, ProxyScheme
 from repro.mem.physmem import PhysicalMemory
 from repro.obs import Observability, ObsConfig, unflatten
 from repro.params import CostModel, shrimp
+from repro.protection import ProtectionBackend, make_backend
 from repro.sim.clock import Clock
 from repro.sim.trace import Tracer
 from repro.vm.mmu import MMU
@@ -110,6 +111,7 @@ class Machine:
         reliability: "bool | object | None" = None,
         pooling: bool = True,
         pool_debug: bool = False,
+        protection: "str | ProtectionBackend | None" = None,
     ) -> None:
         self.costs = costs if costs is not None else shrimp()
         self.name = name
@@ -153,6 +155,7 @@ class Machine:
             tracer=self.tracer, burst_bytes=dma_burst_bytes,
             bursts_per_event=dma_bursts_per_event,
         )
+        backend = make_backend(protection)
         if depth > 0:
             self.udma: UdmaController = QueuedUdmaController(
                 self.layout,
@@ -162,6 +165,7 @@ class Machine:
                 queue_depth=depth,
                 name=f"{name}.udma",
                 tracer=self.tracer,
+                backend=backend,
             )
         else:
             self.udma = UdmaController(
@@ -171,6 +175,7 @@ class Machine:
                 self.clock,
                 name=f"{name}.udma",
                 tracer=self.tracer,
+                backend=backend,
             )
 
         self.tdma_engine = DmaEngine(
@@ -293,6 +298,23 @@ class Machine:
                 )
             device.enable_reliability(self.reliability)
         return window
+
+    def set_protection(
+        self, protection: "str | ProtectionBackend"
+    ) -> ProtectionBackend:
+        """Switch the UDMA protection backend on the live machine.
+
+        Accepts the same spec strings as ``Machine(protection=...)``
+        (see :func:`repro.protection.make_backend`).  Devices and
+        outstanding grants are replayed into the new backend and the
+        host-side decode caches are flushed.
+        """
+        return self.udma.set_backend(make_backend(protection))
+
+    @property
+    def protection(self) -> ProtectionBackend:
+        """The active UDMA protection backend."""
+        return self.udma.backend
 
     # ------------------------------------------------------- observability
     def _bind_metrics(self) -> None:

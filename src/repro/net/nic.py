@@ -118,12 +118,20 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         self.reliability = plane
 
     # ----------------------------------------------------- UDMA device side
-    def check_transfer(self, as_source: bool, offset: int, nbytes: int) -> int:
+    def physical_errors(self, as_source: bool, offset: int, nbytes: int) -> int:
         errors = super().check_transfer(as_source, offset, nbytes)
         if as_source:
             # The SHRIMP NIC is a UDMA destination only.
             errors |= ERR_NO_RECEIVE
+        return errors
+
+    def check_transfer(self, as_source: bool, offset: int, nbytes: int) -> int:
+        errors = self.physical_errors(as_source, offset, nbytes)
+        if as_source:
             return errors
+        # The protection half: a destination page is sendable only while
+        # its NIPT entry is valid.  Alternative backends substitute their
+        # own verdict for this lookup (see repro.protection).
         if self.nipt.lookup(offset // self.page_size) is None:
             errors |= ERR_NIPT_INVALID
         return errors

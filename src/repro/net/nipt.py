@@ -16,7 +16,7 @@ hardware only reads it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, NetworkError
 
@@ -46,6 +46,14 @@ class NetworkInterfacePageTable:
         #: per-channel lookups keyed on this, so a remap or eviction
         #: invalidates every cached plan in O(1)
         self.generation = 0
+        #: host-side observers of OS mutations (protection backends mint
+        #: and revoke send capabilities from these); called with
+        #: ``(index, installed)`` after the table has been updated
+        self._listeners: List[Callable[[int, bool], None]] = []
+
+    def add_listener(self, listener: Callable[[int, bool], None]) -> None:
+        """Subscribe to set/clear events (host-side, costs nothing)."""
+        self._listeners.append(listener)
 
     def set_entry(self, index: int, dst_node: int, dst_page: int) -> None:
         """OS-side: install a destination mapping."""
@@ -57,12 +65,17 @@ class NetworkInterfacePageTable:
             )
         self._entries[index] = NiptEntry(dst_node, dst_page)
         self.generation += 1
+        for listener in self._listeners:
+            listener(index, True)
 
     def clear_entry(self, index: int) -> None:
         """OS-side: invalidate a destination mapping."""
         self._check_index(index)
-        self._entries.pop(index, None)
+        removed = self._entries.pop(index, None)
         self.generation += 1
+        if removed is not None:
+            for listener in self._listeners:
+                listener(index, False)
 
     def lookup(self, index: int) -> Optional[NiptEntry]:
         """Hardware-side: fetch the destination, or None if invalid."""
@@ -80,6 +93,10 @@ class NetworkInterfacePageTable:
     def valid_entries(self) -> int:
         """Number of installed entries."""
         return len(self._entries)
+
+    def entries(self) -> Iterable[Tuple[int, NiptEntry]]:
+        """Installed entries in index order (inspection / snapshots)."""
+        return sorted(self._entries.items())
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.num_entries:

@@ -1,0 +1,139 @@
+"""CAPIO-style capability-table protection backend.
+
+Instead of letting the MMU's proxy aliasing *be* the protection check,
+this backend keeps an explicit per-node capability table and consults it
+on every initiating LOAD:
+
+* a **send capability** per (device, page) — minted when the kernel
+  installs the page's NIPT entry, revoked when the entry is cleared.
+  Capabilities occupy recycled table slots guarded by per-slot
+  generation numbers, so a stale handle to a recycled slot can never
+  validate (the CAPIO revocation idiom).
+* a **window capability** per (asid, device) — minted by
+  ``grant_device_proxy``.  Outcome-wise this duplicates the MMU mapping
+  the kernel creates at the same moment (a process without the grant
+  cannot even address the proxy page), so it is bookkeeping the
+  conformance suite can audit rather than an extra veto.
+* devices with no NIPT (e.g. the bench sink) get a **blanket device
+  capability** at attach time — their only protection is the window
+  grant, same as under the proxy scheme.
+
+The table walk is charged as ``initiation_check_cycles`` on the LOAD;
+the *verdict* must match the proxy backend bit-for-bit.
+
+Planted bug ``stale-cap`` (for the conformance suite to catch): the
+per-page verdict memo is never invalidated, so a revoked capability for
+a recycled NIPT entry keeps validating — exactly the class of bug the
+slot generations exist to prevent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from repro.net.nic import ERR_NIPT_INVALID
+from repro.protection.base import ProtectionBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devices.base import UDMADevice
+
+
+class CapTableBackend(ProtectionBackend):
+    name = "captable"
+    #: indexed table lookup + slot-generation compare on the LOAD path
+    initiation_check_cycles = 6
+    BUGS = ("stale-cap",)
+
+    def __init__(self, bug=None) -> None:
+        super().__init__(bug)
+        self._slot_gen: List[int] = []
+        self._free_slots: List[int] = []
+        #: (device name, page index) -> (slot, generation at mint time)
+        self._caps: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        #: (asid, device name) -> writable
+        self._windows: Dict[Tuple[int, str], bool] = {}
+        self._blanket: Set[str] = set()
+        self._verdict_memo: Dict[Tuple[str, int], bool] = {}
+
+    # ------------------------------------------------------------ wiring
+    def device_attached(self, device: "UDMADevice") -> None:
+        super().device_attached(device)
+        nipt = getattr(device, "nipt", None)
+        if nipt is None:
+            self._blanket.add(device.name)
+            return
+        # Backend switches happen on live machines: mint capabilities
+        # for entries the kernel installed before we were listening.
+        for index, _entry in nipt.entries():
+            self._mint(device.name, index)
+
+    # ----------------------------------------------------- change events
+    def nipt_changed(self, device: "UDMADevice", index: int, installed: bool) -> None:
+        self.generation += 1
+        if installed:
+            self._mint(device.name, index)
+        else:
+            self._revoke(device.name, index)
+
+    def note_grant(self, asid: int, device_name: str, writable: bool) -> None:
+        super().note_grant(asid, device_name, writable)
+        self._windows[(asid, device_name)] = writable
+
+    def note_revoke(self, asid: int, device_name: str) -> None:
+        super().note_revoke(asid, device_name)
+        self._windows.pop((asid, device_name), None)
+
+    # -------------------------------------------------------- the checks
+    def source_errors(self, device: "UDMADevice", offset: int, nbytes: int) -> int:
+        # Source-side protection is the window grant, which the MMU
+        # enforced when the user formed the address; only the physical
+        # constraints (alignment/range/direction) remain.
+        return device.physical_errors(True, offset, nbytes)
+
+    def dest_errors(self, device: "UDMADevice", offset: int, nbytes: int) -> int:
+        errors = device.physical_errors(False, offset, nbytes)
+        if getattr(device, "nipt", None) is not None:
+            page = offset // getattr(device, "page_size", self._page_size)
+            if not self._check_send_cap(device.name, page):
+                errors |= ERR_NIPT_INVALID
+        elif device.name not in self._blanket:
+            errors |= ERR_NIPT_INVALID
+        return errors
+
+    # ------------------------------------------------------------- table
+    def _mint(self, device_name: str, index: int) -> None:
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._slot_gen[slot] += 1
+        else:
+            slot = len(self._slot_gen)
+            self._slot_gen.append(0)
+        self._caps[(device_name, index)] = (slot, self._slot_gen[slot])
+
+    def _revoke(self, device_name: str, index: int) -> None:
+        cap = self._caps.pop((device_name, index), None)
+        if cap is not None:
+            slot, _gen = cap
+            # Invalidate every outstanding handle to the slot before it
+            # can be recycled for a fresh capability.
+            self._slot_gen[slot] += 1
+            self._free_slots.append(slot)
+
+    def _check_send_cap(self, device_name: str, page: int) -> bool:
+        key = (device_name, page)
+        if self.bug == "stale-cap" and self._verdict_memo.get(key):
+            return True  # planted: memo never invalidated on revoke
+        cap = self._caps.get(key)
+        verdict = cap is not None and self._slot_gen[cap[0]] == cap[1]
+        if self.bug == "stale-cap" and verdict:
+            self._verdict_memo[key] = True
+        return verdict
+
+    # --------------------------------------------------- test inspection
+    def send_capability(self, device_name: str, page: int) -> bool:
+        """Does a valid send capability exist for (device, page)?"""
+        cap = self._caps.get((device_name, page))
+        return cap is not None and self._slot_gen[cap[0]] == cap[1]
+
+    def window_capability(self, asid: int, device_name: str) -> bool:
+        return (asid, device_name) in self._windows

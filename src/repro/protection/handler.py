@@ -1,0 +1,63 @@
+"""SBPF-style validated-handler protection backend.
+
+The SBPF work lets a user process install a *pre-validated* accessor in
+the kernel: the kernel verifies the handler once at install time, then
+every fast-path operation runs it in kernel context without a full
+syscall.  Here the "handler" for a device is compiled (closed over the
+device's transfer-check entry points) when the device is attached, and
+every initiating LOAD is charged the cost of trapping into that
+in-kernel check — heavier than a capability lookup, far lighter than the
+hundreds-of-instructions traditional DMA syscall.
+
+The verdict must match the proxy backend bit-for-bit; only the charged
+cycles differ.
+
+Planted bug ``skip-align`` (for the conformance suite to catch): the
+install-time validator "optimises away" the alignment test, so the
+compiled accessor lets unaligned transfers through to the device.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict
+
+from repro.devices.base import ERR_ALIGNMENT
+from repro.protection.base import ProtectionBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devices.base import UDMADevice
+
+
+class HandlerBackend(ProtectionBackend):
+    name = "handler"
+    #: protected entry + validated accessor + return on the LOAD path
+    initiation_check_cycles = 18
+    BUGS = ("skip-align",)
+
+    def __init__(self, bug=None) -> None:
+        super().__init__(bug)
+        self._accessors: Dict[str, Callable[[bool, int, int], int]] = {}
+
+    def device_attached(self, device: "UDMADevice") -> None:
+        super().device_attached(device)
+        self._accessors[device.name] = self._compile(device)
+
+    def _compile(self, device: "UDMADevice") -> Callable[[bool, int, int], int]:
+        check = device.check_transfer
+        if self.bug == "skip-align":
+            def accessor(as_source: bool, offset: int, nbytes: int) -> int:
+                return check(as_source, offset, nbytes) & ~ERR_ALIGNMENT
+            return accessor
+        return check
+
+    def _accessor(self, device: "UDMADevice") -> Callable[[bool, int, int], int]:
+        accessor = self._accessors.get(device.name)
+        if accessor is None:  # device attached before the backend: compile now
+            accessor = self._accessors[device.name] = self._compile(device)
+        return accessor
+
+    def source_errors(self, device: "UDMADevice", offset: int, nbytes: int) -> int:
+        return self._accessor(device)(True, offset, nbytes)
+
+    def dest_errors(self, device: "UDMADevice", offset: int, nbytes: int) -> int:
+        return self._accessor(device)(False, offset, nbytes)

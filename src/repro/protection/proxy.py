@@ -1,0 +1,34 @@
+"""The paper's proxy-address-space protection scheme (the default).
+
+"Address translation hardware on the CPU provides protection" (section
+4): because a user process can only *reach* a proxy page the kernel
+mapped for it, the MMU has already made the grant decision by the time
+the two-instruction sequence hits the controller.  The only remaining
+work on the initiating LOAD is the device's own transfer check
+(alignment, range, NIPT validity for the NIC) — exactly what the
+pre-refactor controller asked of ``device.check_transfer``.
+
+This backend must stay **bit-identical** to that pre-refactor behaviour:
+it charges zero extra cycles and delegates the veto verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.protection.base import ProtectionBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devices.base import UDMADevice
+
+
+class ProxyBackend(ProtectionBackend):
+    name = "proxy"
+    initiation_check_cycles = 0
+    BUGS = ()
+
+    def source_errors(self, device: "UDMADevice", offset: int, nbytes: int) -> int:
+        return device.check_transfer(True, offset, nbytes)
+
+    def dest_errors(self, device: "UDMADevice", offset: int, nbytes: int) -> int:
+        return device.check_transfer(False, offset, nbytes)

@@ -73,9 +73,10 @@ class _SendPlan:
     directive, the one-piece byte count, and the batched cycle charge of
     ``execute(align) + STORE + fence + LOAD``.  Every use re-validates the
     translations (generation stamps + physical address equality) and the
-    destination device's veto (keyed on its NIPT generation), so a remap,
-    shootdown or channel eviction sends the message back down the slow
-    path instead of replaying stale state.
+    protection backend's veto (keyed on the backend's generation, which
+    every grant, revoke and NIPT set/clear bumps), so a remap, shootdown,
+    backend switch or channel eviction sends the message back down the
+    slow path instead of replaying stale state.
     """
 
     __slots__ = (
@@ -87,12 +88,13 @@ class _SendPlan:
         "dst_paddr",
         "count",
         "instructions",
+        "cpu_cycles",
         "total_cycles",
         "directive",
         "device",
         "dst_offset",
-        "nipt",
-        "nipt_gen",
+        "backend",
+        "prot_gen",
     )
 
 
@@ -424,18 +426,23 @@ class UdmaUser:
         plan.dst_paddr = dst_paddr
         plan.count = nbytes
         plan.instructions = costs.udma_align_check_cycles + 3
-        plan.total_cycles = (
+        # CPU-charged cycles for execute(align) + STORE + fence + LOAD;
+        # the protection backend's initiation check rides the same window
+        # but is a device-side stall, so it is in total_cycles only (the
+        # proxy backend's check is free and the two are then equal).
+        plan.cpu_cycles = (
             costs.udma_align_check_cycles * costs.alu_cycles
             + 2 * costs.io_ref_cycles
             + costs.fence_cycles
         )
+        plan.total_cycles = plan.cpu_cycles + udma.backend.initiation_check_cycles
         plan.directive = StartDirective(
             source=src_op, destination=dst_op, count=nbytes
         )
         plan.device = device
         plan.dst_offset = dst_offset
-        plan.nipt = nipt
-        plan.nipt_gen = -1  # first use re-runs the device check
+        plan.backend = udma.backend
+        plan.prot_gen = -1  # first use re-runs the protection check
         return plan
 
     def _fast_send(self, plan: _SendPlan, stats: TransferStats) -> bool:
@@ -467,6 +474,9 @@ class UdmaUser:
             return False
         if udma._spans is not None or udma.tracer.enabled:
             return False
+        backend = udma.backend
+        if plan.backend is not backend:
+            return False  # backend switched since the plan was built
         cpu = self.cpu
         xlat = cpu._xlat
         src_e = xlat.get(plan.src_vpage)
@@ -491,10 +501,10 @@ class UdmaUser:
         if (dst_e.paddr_base | (plan.dst_proxy & mask)) != plan.dst_paddr:
             return False
         clock = self.machine.clock
-        if plan.nipt_gen != plan.nipt.generation:
-            if plan.device.check_transfer(False, plan.dst_offset, plan.count):
+        if plan.prot_gen != backend.generation:
+            if backend.dest_errors(plan.device, plan.dst_offset, plan.count):
                 return False  # let the slow path surface the error status
-            plan.nipt_gen = plan.nipt.generation
+            plan.prot_gen = backend.generation
         # Exact application of execute(align) + STORE + fence + LOAD.
         cpu.instructions += plan.instructions
         cpu.loads += 1
@@ -505,8 +515,8 @@ class UdmaUser:
         dst_pte = dst_e.pte
         dst_pte.referenced = True
         dst_pte.dirty = True
-        cpu.charged_cycles += plan.total_cycles
-        clock.advance(plan.total_cycles)  # guarded: nothing fires
+        cpu.charged_cycles += plan.cpu_cycles
+        clock.advance(plan.total_cycles)  # due events still fire exactly
         directive = plan.directive
         sm.stores += 1
         sm.loads += 1

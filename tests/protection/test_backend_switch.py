@@ -1,0 +1,128 @@
+"""Satellite: host-side decode caches vs live backend switches.
+
+The controller memoizes proxy decodes keyed only on the operand's
+address bits -- correct while the backend is fixed, and exactly the kind
+of cache that silently keeps answering for the *old* scheme after a
+switch.  ``set_backend`` must flush every such memo and re-announce
+devices so the incoming backend sees current NIPT/grant state.
+"""
+
+from repro.bench import make_payload
+from repro.errors import DmaError
+from repro.userlib import DeviceRef, MemoryRef
+
+import pytest
+
+from tests.protection.conftest import ALL_BACKENDS, ProtChannelRig, ProtSinkRig
+
+
+class TestCacheFlush:
+    def test_decode_memos_flushed(self):
+        rig = ProtSinkRig(protection="proxy")
+        data = make_payload(256)
+        rig.machine.cpu.write_bytes(rig.buffer, data)
+        rig.udma.transfer(MemoryRef(rig.buffer), DeviceRef(rig.grant), 256)
+        rig.machine.run_until_idle()
+        udma = rig.machine.udma
+        assert udma._operand_cache  # warmed by the send
+        rig.machine.set_protection("captable")
+        assert udma._operand_cache == {}
+        assert udma._window_cache == {}
+        assert udma._inval_operand is None
+
+    def test_new_backend_is_live(self):
+        rig = ProtSinkRig(protection="proxy")
+        rig.machine.set_protection("handler")
+        assert rig.machine.protection.name == "handler"
+        assert rig.machine.udma.backend is rig.machine.protection
+
+    def test_switch_replays_grants(self):
+        rig = ProtSinkRig(protection="proxy")
+        rig.machine.set_protection("captable")
+        backend = rig.machine.protection
+        # The grant made under the proxy backend was replayed into the
+        # incoming capability table.
+        assert backend.window_capability(rig.process.asid, "sink")
+
+
+class TestFunctionalEquivalenceAcrossSwitch:
+    @pytest.mark.parametrize("target", ALL_BACKENDS)
+    def test_sink_transfers_before_and_after(self, target):
+        rig = ProtSinkRig(protection="proxy")
+        a = make_payload(512, seed=1)
+        rig.machine.cpu.write_bytes(rig.buffer, a)
+        rig.udma.transfer(MemoryRef(rig.buffer), DeviceRef(rig.grant), 512)
+        rig.machine.run_until_idle()
+        assert rig.sink.peek(0, 512) == a
+
+        rig.machine.set_protection(target)
+        b = make_payload(512, seed=2)
+        rig.machine.cpu.write_bytes(rig.buffer, b)
+        rig.udma.transfer(MemoryRef(rig.buffer), DeviceRef(rig.grant), 512)
+        rig.machine.run_until_idle()
+        assert rig.sink.peek(0, 512) == b
+
+    def test_vetoes_survive_switch(self):
+        rig = ProtSinkRig(protection="proxy", alignment=4)
+        rig.machine.set_protection("handler")
+        with pytest.raises(DmaError):
+            rig.udma.transfer(MemoryRef(rig.buffer), DeviceRef(rig.grant), 7)
+        assert rig.machine.protection.fault_log == ["alignment"]
+
+    def test_live_cluster_switch_snapshots_nipt(self):
+        """Switching to captable on a node with live channels must mint
+        capabilities for the NIPT entries installed before the switch."""
+        rig = ProtChannelRig(protection="proxy")
+        data = make_payload(1024, seed=3)
+        rig.sender.send_bytes(data)
+        rig.receiver.drain()
+
+        rig.cluster.node(0).set_protection("captable")
+        backend = rig.cluster.node(0).protection
+        base = rig.channel.nipt_base
+        for page in range(rig.channel.npages):
+            assert backend.send_capability("nic0", base + page)
+
+        after = make_payload(1024, seed=4)
+        rig.sender.send_bytes(after)
+        rig.receiver.drain()
+        assert rig.receiver.recv_bytes(1024) == after
+
+    def test_unexported_page_still_refused_after_switch(self):
+        rig = ProtChannelRig(protection="proxy")
+        rig.cluster.node(0).set_protection("captable")
+        rig.cluster.release_channel(rig.channel)
+        with pytest.raises(DmaError):
+            rig.sender.send_bytes(b"\x00" * 64)
+        assert rig.cluster.node(0).protection.fault_log[-1] == "nipt-invalid"
+
+
+class TestFastLaneInvalidation:
+    def test_cached_plan_does_not_serve_old_backend(self):
+        """A send plan built under one backend is rejected by identity
+        check after a switch; the slow path rebuilds it for the new one."""
+        rig = ProtChannelRig(protection="proxy")
+        data = make_payload(256, seed=5)
+        rig.sender.send_bytes(data)       # slow path
+        rig.sender.send_bytes(data)       # builds/uses the fast-lane plan
+        rig.receiver.drain()
+
+        plan = rig.sender.udma.plan_for(
+            MemoryRef(rig.sender.buffer), rig.sender.device_ref(0), 256
+        )
+        assert plan is not None
+        old_backend = plan.backend
+
+        rig.cluster.node(0).set_protection("handler")
+        assert rig.cluster.node(0).udma.backend is not old_backend
+
+        after = make_payload(256, seed=6)
+        rig.sender.send_bytes(after)
+        rig.receiver.drain()
+        assert rig.receiver.recv_bytes(256) == after
+        # The rebuilt/revalidated plan now references the new backend.
+        plan2 = rig.sender.udma.plan_for(
+            MemoryRef(rig.sender.buffer), rig.sender.device_ref(0), 256
+        )
+        assert plan2 is not None
+        assert plan2.backend is rig.cluster.node(0).udma.backend

@@ -1,0 +1,263 @@
+"""Directed per-backend tests: same outcomes, per-backend cycle cost."""
+
+import pytest
+
+from repro import Machine
+from repro.bench import make_payload
+from repro.errors import ConfigurationError, DmaError
+from repro.protection import (
+    BACKEND_NAMES,
+    CapTableBackend,
+    HandlerBackend,
+    ProxyBackend,
+    backend_class,
+    make_backend,
+)
+from repro.userlib import DeviceRef, MemoryRef
+
+from tests.protection.conftest import ProtChannelRig, ProtSinkRig
+
+
+class TestRegistry:
+    def test_stock_names(self):
+        assert BACKEND_NAMES == ("proxy", "captable", "handler")
+        assert backend_class("proxy") is ProxyBackend
+        assert backend_class("captable") is CapTableBackend
+        assert backend_class("handler") is HandlerBackend
+
+    def test_make_backend_specs(self):
+        assert make_backend(None).name == "proxy"
+        assert make_backend("handler").name == "handler"
+        planted = make_backend("captable:stale-cap")
+        assert planted.bug == "stale-cap"
+        assert planted.spec == "captable:stale-cap"
+
+    def test_make_backend_passthrough(self):
+        backend = CapTableBackend()
+        assert make_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("nope")
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("proxy:stale-cap")
+
+    def test_describe_mentions_spec_and_cost(self):
+        backend = make_backend("handler:skip-align")
+        text = backend.describe()
+        assert "handler:skip-align" in text
+        assert str(HandlerBackend.initiation_check_cycles) in text
+
+
+class TestSameOutcomesSingleNode:
+    """The directed protection cases land identically on every backend."""
+
+    def test_clean_transfer_delivers(self, prot_sink_rig):
+        rig = prot_sink_rig
+        data = make_payload(512)
+        rig.machine.cpu.write_bytes(rig.buffer, data)
+        stats = rig.udma.transfer(
+            MemoryRef(rig.buffer), DeviceRef(rig.grant), 512
+        )
+        rig.machine.run_until_idle()
+        assert stats.pieces == 1
+        assert rig.sink.peek(0, 512) == data
+        assert rig.backend.fault_log == []
+
+    def test_range_veto(self, backend_name):
+        rig = ProtSinkRig(protection=backend_name, sink_size=256)
+        with pytest.raises(DmaError):
+            rig.udma.transfer(
+                MemoryRef(rig.buffer), DeviceRef(rig.grant + 128), 256
+            )
+        assert rig.backend.fault_log == ["range"]
+        assert rig.sink.peek(0, 256) == bytes(256)
+
+    def test_alignment_veto(self, backend_name):
+        # The stock handler compiles the same physical checks in; only
+        # the planted skip-align bug would admit a misaligned transfer.
+        rig = ProtSinkRig(protection=backend_name, alignment=4)
+        with pytest.raises(DmaError):
+            rig.udma.transfer(MemoryRef(rig.buffer), DeviceRef(rig.grant), 7)
+        assert rig.backend.fault_log == ["alignment"]
+
+    def test_mem_to_mem_refused(self, prot_sink_rig):
+        rig = prot_sink_rig
+        status = rig.udma.initiate(
+            rig.machine.proxy(rig.buffer),
+            rig.machine.proxy(rig.buffer + 8192),
+            64,
+        )
+        assert status.wrong_space and not status.started
+        assert rig.backend.fault_log == ["bad-load"]
+
+
+class TestSameOutcomesCluster:
+    def test_channel_send_delivers(self, prot_channel_rig):
+        rig = prot_channel_rig
+        data = make_payload(2048, seed=9)
+        rig.sender.send_bytes(data)
+        rig.receiver.drain()
+        assert rig.receiver.recv_bytes(2048) == data
+        assert rig.cluster.node(0).protection.fault_log == []
+
+    def test_nic_refuses_to_source(self, prot_channel_rig):
+        rig = prot_channel_rig
+        sender = rig.sender
+        sender._ensure_current()
+        with pytest.raises(DmaError):
+            sender.udma.transfer(
+                sender.device_ref(0), MemoryRef(sender.buffer), 64
+            )
+        assert "no-receive" in rig.backend.fault_log
+
+    def test_unexported_page_refused(self, prot_channel_rig):
+        rig = prot_channel_rig
+        rig.cluster.release_channel(rig.channel)
+        sent_before = rig.tx_nic.packets_sent
+        with pytest.raises(DmaError):
+            rig.sender.send_bytes(make_payload(64))
+        assert rig.backend.fault_log[-1] == "nipt-invalid"
+        assert rig.tx_nic.packets_sent == sent_before
+
+
+class TestCycleCharging:
+    """Simulated cycles: proxy is free; the others charge per initiation."""
+
+    @staticmethod
+    def _run_workload(rig):
+        stats = None
+        for i, size in enumerate((64, 512, 4096)):
+            rig.machine.cpu.write_bytes(
+                rig.buffer, make_payload(size, seed=i + 1)
+            )
+            stats = rig.udma.transfer(
+                MemoryRef(rig.buffer), DeviceRef(rig.grant), size,
+                stats=stats,
+            )
+            rig.machine.run_until_idle()
+        return stats
+
+    def test_proxy_is_cycle_identical_to_default(self):
+        base = ProtSinkRig(protection=None)
+        proxy = ProtSinkRig(protection="proxy")
+        s0 = self._run_workload(base)
+        s1 = self._run_workload(proxy)
+        assert base.machine.clock.now == proxy.machine.clock.now
+        assert base.machine.cpu.charged_cycles == proxy.machine.cpu.charged_cycles
+        assert (s0.pieces, s0.retries, s0.poll_loads) == (
+            s1.pieces, s1.retries, s1.poll_loads
+        )
+
+    @pytest.mark.parametrize("name", ["captable", "handler"])
+    def test_backend_charges_per_initiation(self, name):
+        proxy = ProtSinkRig(protection="proxy")
+        other = ProtSinkRig(protection=name)
+        s0 = self._run_workload(proxy)
+        s1 = self._run_workload(other)
+        # Identical decisions and data movement...
+        assert (s0.pieces, s0.initiations, s0.bytes_moved) == (
+            s1.pieces, s1.initiations, s1.bytes_moved
+        )
+        assert proxy.sink.peek(0, 4096) == other.sink.peek(0, 4096)
+        # ...but the initiation check is a device-side stall, visible on
+        # the clock, not in the CPU's charged cycles.
+        per_check = other.backend.initiation_check_cycles
+        assert per_check > 0
+        expected = other.machine.clock.now - proxy.machine.clock.now
+        assert expected == s1.initiations * per_check
+        assert (
+            proxy.machine.cpu.charged_cycles
+            == other.machine.cpu.charged_cycles
+        )
+
+    @pytest.mark.parametrize("name", ["proxy", "captable", "handler"])
+    def test_queued_controller_variant(self, name):
+        rig = ProtSinkRig(protection=name, queue_depth=8)
+        data = make_payload(1024, seed=3)
+        rig.machine.cpu.write_bytes(rig.buffer, data)
+        rig.udma.transfer(MemoryRef(rig.buffer), DeviceRef(rig.grant), 1024)
+        rig.machine.run_until_idle()
+        assert rig.sink.peek(0, 1024) == data
+        assert rig.backend.fault_log == []
+
+    def test_queued_controller_charges(self):
+        proxy = ProtSinkRig(protection="proxy", queue_depth=8)
+        table = ProtSinkRig(protection="captable", queue_depth=8)
+        s0 = self._run_workload(proxy)
+        s1 = self._run_workload(table)
+        assert s0.initiations == s1.initiations
+        assert (
+            table.machine.clock.now - proxy.machine.clock.now
+            == s1.initiations * table.backend.initiation_check_cycles
+        )
+
+
+class TestCapTableState:
+    """The captable backend's book-keeping mirrors kernel/NIPT state."""
+
+    def test_channel_pages_minted(self):
+        rig = ProtChannelRig(protection="captable")
+        backend = rig.backend
+        base = rig.channel.nipt_base
+        for page in range(rig.channel.npages):
+            assert backend.send_capability("nic0", base + page)
+        assert not backend.send_capability("nic0", base + rig.channel.npages)
+
+    def test_release_revokes_capabilities(self):
+        rig = ProtChannelRig(protection="captable")
+        base = rig.channel.nipt_base
+        rig.cluster.release_channel(rig.channel)
+        assert not rig.backend.send_capability("nic0", base)
+
+    def test_recycled_slot_gets_new_generation(self):
+        rig = ProtChannelRig(protection="captable")
+        backend = rig.backend
+        base = rig.channel.nipt_base
+        old = backend._caps[("nic0", base)]
+        rig.cluster.release_channel(rig.channel)
+        channel = rig.cluster.create_channel(
+            0, 1, rig.rx, rig.rx_buf, rig.CHANNEL_BYTES
+        )
+        assert channel.nipt_base == base  # free list recycles the range
+        new = backend._caps[("nic0", base)]
+        # Same slot may be reused, but only at a bumped generation -- the
+        # old handle can never validate again.
+        assert new != old
+        assert backend.send_capability("nic0", base)
+        slot, gen = old
+        assert backend._slot_gen[slot] != gen
+
+    def test_window_capability_tracks_grants(self):
+        rig = ProtSinkRig(protection="captable")
+        backend = rig.backend
+        asid = rig.process.asid
+        assert backend.window_capability(asid, "sink")
+        rig.machine.kernel.syscalls.revoke_device_proxy(rig.process, "sink")
+        assert not backend.window_capability(asid, "sink")
+
+    def test_non_nipt_device_is_blanketed(self):
+        rig = ProtSinkRig(protection="captable")
+        # The sink has no NIPT: physical checks still apply, but no
+        # per-page capability is required.
+        assert "sink" in rig.backend._blanket
+
+
+class TestMachineWiring:
+    def test_protection_property_reports_backend(self):
+        machine = Machine(mem_size=1 << 20, protection="handler")
+        assert machine.protection.name == "handler"
+        assert machine.udma.backend is machine.protection
+
+    def test_backend_instance_accepted(self):
+        backend = CapTableBackend()
+        machine = Machine(mem_size=1 << 20, protection=backend)
+        assert machine.protection is backend
+
+    def test_grant_bumps_generation(self, prot_sink_rig):
+        rig = prot_sink_rig
+        before = rig.backend.generation
+        rig.machine.kernel.syscalls.revoke_device_proxy(rig.process, "sink")
+        assert rig.backend.generation > before

@@ -1,0 +1,124 @@
+"""The headline suite: backends are outcome-equivalent under chaos.
+
+Stock backends must conform on seeded churn schedules; a planted bug in
+any one backend must be caught, shrunk, and serialised to a replayable
+JSON artifact.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ConformanceOracle,
+    actions_from_json,
+    generate_schedule,
+    outcome_class,
+    run_conformance_suite,
+    write_conformance_artifact,
+)
+from repro.chaos.conformance import PROTECTION_BACKENDS
+
+#: seeds x steps for the stock-conformance sweep; CI adds more via the
+#: CLI campaign (see .github/workflows/ci.yml)
+STOCK_SEEDS = range(6)
+STEPS = 35
+
+
+class TestOutcomeClass:
+    def test_strips_detail(self):
+        assert outcome_class("ok:3p0r") == "ok"
+        assert outcome_class("DmaError") == "DmaError"
+        assert outcome_class("ok:park0") == "ok"
+
+
+class TestOracleShape:
+    def test_needs_two_backends(self):
+        with pytest.raises(ValueError):
+            ConformanceOracle(backends=("proxy",))
+
+    def test_report_runs_keyed_by_spec(self):
+        oracle = ConformanceOracle(nodes=1, backends=("proxy", "handler"))
+        report = oracle.compare(generate_schedule(0, 10, profile="churn"))
+        assert list(report.runs) == ["proxy", "handler"]
+        assert report.ok
+
+
+class TestStockBackendsConform:
+    def test_cluster_suite(self):
+        suite = run_conformance_suite(
+            seeds=STOCK_SEEDS, steps=STEPS, nodes=2,
+            backends=PROTECTION_BACKENDS,
+        )
+        assert suite.ok, suite.summary()
+        assert len(suite.reports) == len(STOCK_SEEDS)
+
+    def test_single_node_suite(self):
+        suite = run_conformance_suite(
+            seeds=STOCK_SEEDS, steps=STEPS, nodes=1,
+            backends=PROTECTION_BACKENDS,
+        )
+        assert suite.ok, suite.summary()
+
+    def test_within_backend_determinism(self):
+        oracle = ConformanceOracle(
+            nodes=2, backends=PROTECTION_BACKENDS, check_determinism=True
+        )
+        report = oracle.compare(generate_schedule(7, STEPS, profile="churn"))
+        assert report.ok, report.summary()
+
+    def test_default_profile_also_conforms(self):
+        oracle = ConformanceOracle(nodes=2, backends=PROTECTION_BACKENDS)
+        report = oracle.compare(generate_schedule(3, STEPS))
+        assert report.ok, report.summary()
+
+
+class TestPlantedBugsAreCaught:
+    """The acceptance check: the suite detects a broken backend."""
+
+    @staticmethod
+    def _hunt(backends, nodes=2, seeds=range(30)):
+        return run_conformance_suite(
+            seeds=seeds, steps=STEPS, nodes=nodes, backends=backends,
+            max_shrink_evals=80,
+        )
+
+    def test_stale_cap_caught_and_shrunk(self):
+        suite = self._hunt(("proxy", "captable:stale-cap"))
+        failure = suite.first_failure
+        assert failure is not None, "stale-cap bug escaped the suite"
+        assert failure.mismatches
+        assert failure.shrunk is not None
+        assert len(failure.shrunk.actions) < len(failure.actions)
+
+    def test_skip_align_caught(self):
+        suite = self._hunt(("proxy", "handler:skip-align"))
+        failure = suite.first_failure
+        assert failure is not None, "skip-align bug escaped the suite"
+        assert failure.shrunk is not None
+
+    def test_artifact_round_trips(self, tmp_path):
+        suite = self._hunt(("proxy", "captable:stale-cap"))
+        failure = suite.first_failure
+        assert failure is not None
+        path = tmp_path / "protection-failure.json"
+        write_conformance_artifact(failure, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "protection-conformance"
+        assert payload["backends"] == ["proxy", "captable:stale-cap"]
+        assert payload["mismatches"]
+        # The stored (shrunk) schedule still splits the backends.
+        actions = actions_from_json(payload["actions"])
+        oracle = ConformanceOracle(
+            nodes=payload["nodes"], backends=payload["backends"]
+        )
+        assert not oracle.compare(actions).ok
+
+    def test_shrunk_schedule_still_diverges(self):
+        suite = self._hunt(("proxy", "captable:stale-cap"))
+        failure = suite.first_failure
+        assert failure is not None and failure.shrunk is not None
+        oracle = ConformanceOracle(
+            nodes=2, backends=("proxy", "captable:stale-cap")
+        )
+        assert not oracle.compare(failure.shrunk.actions).ok

@@ -1,0 +1,155 @@
+"""Golden test: the protection fault vocabulary is frozen.
+
+Tools, CI artifacts and the conformance oracle diff fault ledgers as
+exact strings.  Renaming, removing or reordering a kind is a breaking
+change to every stored reproducer -- this test pins the vocabulary so
+such a change has to be made consciously, here.
+"""
+
+import pytest
+
+from repro.devices.base import (
+    ERR_ALIGNMENT,
+    ERR_DEVICE_BASE,
+    ERR_RANGE,
+    ERR_READONLY,
+)
+from repro.errors import ConfigurationError, DmaError
+from repro.net.nic import ERR_NIPT_INVALID, ERR_NO_RECEIVE
+from repro.protection import FAULT_KINDS, fault_kinds_from_errors, make_backend
+from repro.userlib import DeviceRef, MemoryRef
+
+from tests.protection.conftest import ALL_BACKENDS, ProtChannelRig, ProtSinkRig
+
+#: THE frozen vocabulary.  Do not edit casually: stored JSON reproducers
+#: and CI ledger diffs depend on these exact strings in this exact order.
+GOLDEN_FAULT_KINDS = (
+    "bad-load",
+    "inval",
+    "alignment",
+    "range",
+    "readonly",
+    "no-receive",
+    "nipt-invalid",
+    "device",
+)
+
+
+class TestVocabularyIsFrozen:
+    def test_exact_kinds_and_order(self):
+        assert FAULT_KINDS == GOLDEN_FAULT_KINDS
+
+    def test_decode_covers_every_error_bit(self):
+        assert fault_kinds_from_errors(0) == ()
+        assert fault_kinds_from_errors(ERR_ALIGNMENT) == ("alignment",)
+        assert fault_kinds_from_errors(ERR_RANGE) == ("range",)
+        assert fault_kinds_from_errors(ERR_READONLY) == ("readonly",)
+        assert fault_kinds_from_errors(ERR_NO_RECEIVE) == ("no-receive",)
+        assert fault_kinds_from_errors(ERR_NIPT_INVALID) == ("nipt-invalid",)
+        # Device-specific bits above the NIC pair fold into "device".
+        assert fault_kinds_from_errors(ERR_DEVICE_BASE << 2) == ("device",)
+        assert fault_kinds_from_errors(ERR_DEVICE_BASE << 7) == ("device",)
+
+    def test_decode_order_is_canonical(self):
+        mask = ERR_RANGE | ERR_ALIGNMENT | (ERR_DEVICE_BASE << 3)
+        assert fault_kinds_from_errors(mask) == ("alignment", "range", "device")
+
+    def test_every_decoded_kind_is_in_vocabulary(self):
+        for bit in range(12):
+            for kind in fault_kinds_from_errors(1 << bit):
+                assert kind in FAULT_KINDS
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_ledger_rejects_unknown_kinds(self, name):
+        backend = make_backend(name)
+        with pytest.raises(ConfigurationError):
+            backend.record_fault("totally-new-fault")
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_ledger_accepts_every_kind(self, name):
+        backend = make_backend(name)
+        for kind in GOLDEN_FAULT_KINDS:
+            backend.record_fault(kind)
+        assert backend.fault_log == list(GOLDEN_FAULT_KINDS)
+
+
+class TestDirectedProvocation:
+    """Each end-to-end reachable kind lands in the ledger, identically on
+    every backend."""
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_bad_load(self, name):
+        rig = ProtSinkRig(protection=name)
+        status = rig.udma.initiate(
+            rig.machine.proxy(rig.buffer),
+            rig.machine.proxy(rig.buffer + 8192),
+            64,
+        )
+        assert status.wrong_space
+        assert rig.backend.fault_log == ["bad-load"]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_inval(self, name):
+        rig = ProtSinkRig(protection=name)
+        rig.machine.cpu.store(rig.grant, 64)  # latch a destination
+        rig.machine.udma.inval()              # context switch clears it
+        assert rig.backend.fault_log == ["inval"]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_alignment(self, name):
+        rig = ProtSinkRig(protection=name, alignment=4)
+        with pytest.raises(DmaError):
+            rig.udma.transfer(MemoryRef(rig.buffer), DeviceRef(rig.grant), 6)
+        assert rig.backend.fault_log == ["alignment"]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_range(self, name):
+        # A sub-page device: the proxy page is mapped, but the tail of
+        # the transfer falls past the device's window.
+        rig = ProtSinkRig(protection=name, sink_size=2048)
+        with pytest.raises(DmaError):
+            rig.udma.transfer(
+                MemoryRef(rig.buffer), DeviceRef(rig.grant + 1900), 256
+            )
+        assert rig.backend.fault_log == ["range"]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_no_receive(self, name):
+        rig = ProtChannelRig(protection=name)
+        rig.sender._ensure_current()
+        with pytest.raises(DmaError):
+            rig.sender.udma.transfer(
+                rig.sender.device_ref(0), MemoryRef(rig.sender.buffer), 64
+            )
+        assert rig.backend.fault_log == ["no-receive"]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_nipt_invalid(self, name):
+        rig = ProtChannelRig(protection=name)
+        rig.cluster.release_channel(rig.channel)
+        with pytest.raises(DmaError):
+            rig.sender.send_bytes(b"\x00" * 64)
+        assert rig.backend.fault_log == ["nipt-invalid"]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_ledgers_identical_across_backends(self, name):
+        """One mixed workload -> the same ledger as the proxy reference."""
+        def workload(rig):
+            rig.udma.initiate(
+                rig.machine.proxy(rig.buffer),
+                rig.machine.proxy(rig.buffer + 8192),
+                64,
+            )
+            try:
+                rig.udma.transfer(
+                    MemoryRef(rig.buffer), DeviceRef(rig.grant), 6
+                )
+            except DmaError:
+                pass
+            rig.machine.cpu.store(rig.grant, 64)
+            rig.machine.udma.inval()
+            return list(rig.backend.fault_log)
+
+        reference = workload(ProtSinkRig(protection="proxy", alignment=4))
+        assert reference == ["bad-load", "alignment", "inval"]
+        assert workload(ProtSinkRig(protection=name, alignment=4)) == reference

@@ -1,0 +1,96 @@
+"""Satellite: NIPT free-list recycling vs outstanding send plans.
+
+The userlib fast lane stamps its cached ``_SendPlan`` with the
+protection backend's generation.  Every NIPT set/clear bumps that
+generation, so a recycled entry -- the same index now pointing at a
+different receiver -- must force the plan back through the protection
+check instead of replaying the cached verdict into the wrong buffer.
+"""
+
+import pytest
+
+from repro.bench import make_payload
+from repro.errors import DmaError, NetworkError
+from repro.userlib import MemoryRef
+
+from tests.protection.conftest import ALL_BACKENDS, ProtChannelRig
+
+
+def _warm_fast_lane(rig, size=256):
+    """Three identical sends: warm translations, build the plan, use it."""
+    data = make_payload(size, seed=11)
+    for _ in range(3):
+        rig.sender.send_bytes(data)
+    rig.receiver.drain()
+    return data
+
+
+class TestRecycledEntriesInvalidatePlans:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_release_faults_warm_plan(self, name):
+        rig = ProtChannelRig(protection=name)
+        _warm_fast_lane(rig)
+        plan = rig.sender.udma.plan_for(
+            MemoryRef(rig.sender.buffer), rig.sender.device_ref(0), 256
+        )
+        assert plan is not None
+        assert plan.prot_gen == rig.backend.generation  # stamp is current
+
+        rig.cluster.release_channel(rig.channel)
+        assert plan.prot_gen != rig.backend.generation  # stamp went stale
+
+        sent_before = rig.tx_nic.packets_sent
+        with pytest.raises(DmaError):
+            rig.sender.send_bytes(make_payload(256, seed=12))
+        # Faulted at initiation: nothing entered the wire.
+        assert rig.tx_nic.packets_sent == sent_before
+        assert rig.backend.fault_log[-1] == "nipt-invalid"
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_recreate_delivers_to_new_channel(self, name):
+        rig = ProtChannelRig(protection=name)
+        _warm_fast_lane(rig)
+        rig.cluster.release_channel(rig.channel)
+
+        # Recycle the same NIPT range for a brand-new receive buffer.
+        new_buf = rig.cluster.node(1).kernel.syscalls.alloc(
+            rig.rx, rig.CHANNEL_BYTES
+        )
+        channel = rig.cluster.create_channel(
+            0, 1, rig.rx, new_buf, rig.CHANNEL_BYTES
+        )
+        assert channel.nipt_base == rig.channel.nipt_base
+        rig.sender.channel = channel
+        rig.receiver.channel = channel
+
+        data = make_payload(256, seed=13)
+        rig.sender.send_bytes(data)
+        rig.receiver.drain()
+        # Landed in the NEW buffer at the recycled index...
+        assert rig.receiver.recv_bytes(256) == data
+        # ...and not in the old one.
+        kernel = rig.cluster.node(1).kernel
+        if kernel.current is not rig.rx:
+            kernel.scheduler.switch_to(rig.rx)
+        old = rig.cluster.node(1).cpu.read_bytes(rig.rx_buf, 256)
+        assert old != data
+
+
+class TestReleaseDuringFlight:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_inflight_clear_faults_not_misdelivers(self, name):
+        """Clearing the NIPT under a launched transfer raises a hardware
+        fault when the DMA reaches the NIC, rather than delivering with
+        the stale translation."""
+        rig = ProtChannelRig(protection=name)
+        _warm_fast_lane(rig)
+        before = rig.receiver.recv_bytes(rig.CHANNEL_BYTES)
+
+        data = make_payload(4096, seed=14)
+        rig.sender.send_bytes(data, channel_offset=8192, wait=False)
+        rig.cluster.release_channel(rig.channel)  # transfer still in flight
+        with pytest.raises(NetworkError):
+            rig.cluster.run_until_idle()
+
+        after = rig.receiver.recv_bytes(rig.CHANNEL_BYTES)
+        assert after == before  # nothing landed anywhere in the channel
