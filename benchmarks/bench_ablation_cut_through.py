@@ -10,7 +10,7 @@ reaches a far smaller fraction of the (also lower) streaming peak.
 
 from __future__ import annotations
 
-from repro import Sender, ShrimpCluster
+from repro import ClusterConfig, Sender, ShrimpCluster
 from repro.bench import Row, measure_message, measure_peak_bandwidth, print_table
 from repro.bench.report import fmt_pct
 
@@ -19,8 +19,12 @@ PAGE = 4096
 
 def build(cut_through: bool):
     cluster = ShrimpCluster(
-        num_nodes=2, mem_size=1 << 21, cut_through=cut_through
-    )
+                  config=ClusterConfig(
+                      num_nodes=2,
+                      mem_size=1 << 21,
+                      cut_through=cut_through,
+                  ),
+              )
     rx = cluster.node(1).create_process("rx")
     buf = cluster.node(1).kernel.syscalls.alloc(rx, 1 << 18)
     channel = cluster.create_channel(0, 1, rx, buf, 1 << 18)

@@ -15,7 +15,7 @@ proxy-dirty strategy pays none.
 
 from __future__ import annotations
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench import Row, print_table
 from repro.bench.workloads import make_payload
 from repro.devices import SinkDevice
@@ -28,7 +28,9 @@ ROUNDS = 12
 
 def run_strategy(strategy: str):
     """Device-to-memory transfers interleaved with page cleaning."""
-    machine = Machine(mem_size=1 << 20, i3_strategy=strategy)
+    machine = Machine(
+                  config=MachineConfig(mem_size=1 << 20, i3_strategy=strategy),
+              )
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     p = machine.create_process("app")

@@ -10,7 +10,7 @@ second-chance bit makes it behave LRU-like on mixed access patterns.
 
 from __future__ import annotations
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench import Row, print_table
 
 PAGE = 4096
@@ -26,8 +26,13 @@ def run_policy(policy: str):
     frames, below the HOT+COLD working set, so the sweep forces capacity
     evictions on every round.
     """
-    machine = Machine(mem_size=32 * PAGE, replacement_policy=policy,
-                      bounce_frames=32 - FRAMES)
+    machine = Machine(
+                  config=MachineConfig(
+                      mem_size=32 * PAGE,
+                      replacement_policy=policy,
+                      bounce_frames=32 - FRAMES,
+                  ),
+              )
     p = machine.create_process("app")
     hot = machine.kernel.syscalls.alloc(p, HOT * PAGE)
     cold = machine.kernel.syscalls.alloc(p, COLD * PAGE)

@@ -13,7 +13,7 @@ Expected shape: automatic update wins for *sparse single-word updates*
 
 from __future__ import annotations
 
-from repro import Sender, ShrimpCluster
+from repro import ClusterConfig, Sender, ShrimpCluster
 from repro.bench import Row, print_table
 from repro.bench.workloads import make_payload
 
@@ -21,7 +21,9 @@ PAGE = 4096
 
 
 def build():
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 21),
+              )
     src = cluster.node(0).create_process("writer")
     dst = cluster.node(1).create_process("mirror")
 

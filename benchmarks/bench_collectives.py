@@ -11,7 +11,7 @@ library layer built on deliberate update:
 
 from __future__ import annotations
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.bench import Row, print_table
 from repro.bench.workloads import make_payload
 from repro.userlib import CollectiveGroup
@@ -20,7 +20,9 @@ PAGE = 4096
 
 
 def build_group(nodes):
-    cluster = ShrimpCluster(num_nodes=nodes, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=nodes, mem_size=1 << 21),
+              )
     procs = [cluster.node(i).create_process(f"r{i}") for i in range(nodes)]
     return cluster, CollectiveGroup(cluster, procs, slot_bytes=PAGE)
 

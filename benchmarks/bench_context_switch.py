@@ -16,7 +16,7 @@ Paper targets:
 
 from __future__ import annotations
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench import Row, print_table
 from repro.bench.workloads import make_payload
 from repro.userlib.udma import DeviceRef, MemoryRef
@@ -45,7 +45,7 @@ def test_context_switch_inval_cost(benchmark):
         with_udma = switch_cost(machine, a, b)
         # Rebuild the scheduler cost without the hook by subtracting the
         # documented single store: measure a controller-free scheduler.
-        bare = Machine(mem_size=1 << 20)
+        bare = Machine(config=MachineConfig(mem_size=1 << 20))
         bare.kernel.scheduler.udma_controllers.clear()
         pa = bare.create_process("a")
         pb = bare.create_process("b")

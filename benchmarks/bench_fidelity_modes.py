@@ -14,6 +14,7 @@ from repro.bench import Row, print_table
 from repro.bench.workloads import make_payload
 from repro.devices import SinkDevice
 from repro.userlib import DeviceRef, MemoryRef, UdmaUser
+from repro.config import MachineConfig
 
 from benchmarks.conftest import SinkRig
 
@@ -21,7 +22,12 @@ from benchmarks.conftest import SinkRig
 def run_workload(burst_bytes: int):
     from repro import Machine
 
-    machine = Machine(mem_size=1 << 20, dma_burst_bytes=burst_bytes)
+    machine = Machine(
+                  config=MachineConfig(
+                      mem_size=1 << 20,
+                      dma_burst_bytes=burst_bytes,
+                  ),
+              )
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     p = machine.create_process("app")

@@ -35,7 +35,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro import Machine, ObsConfig, ShrimpCluster
+from repro import (
+    ClusterConfig,
+    Machine,
+    MachineConfig,
+    ObsConfig,
+    ShrimpCluster,
+)
 from repro.bench.workloads import make_payload
 from repro.devices import SinkDevice
 from repro.dma.engine import DmaEngine, MemoryEndpoint
@@ -119,7 +125,7 @@ def bench_udma_send(
     configuration, so the same scenario doubles as the obs-overhead A/B
     instrument (see :func:`run_obs_overhead`).
     """
-    machine = Machine(mem_size=1 << 21, obs=obs)
+    machine = Machine(config=MachineConfig(mem_size=1 << 21, obs=obs))
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     process = machine.create_process("bench")
@@ -159,7 +165,9 @@ def bench_cluster_pingpong(
     drained to remote-memory delivery (the full Figure 6 pipeline).  The
     payload buffers are filled once outside the timed window.
     """
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, obs=obs)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 21, obs=obs),
+              )
     procs = [cluster.node(i).create_process(f"p{i}") for i in range(2)]
     bufs = [
         cluster.node(i).kernel.syscalls.alloc(procs[i], msg_bytes)
@@ -212,7 +220,7 @@ def bench_stepping_dma(
     chunked stepping; older engines fall back to one event per burst, so
     the scenario stays runnable for before/after comparison.
     """
-    machine = Machine(mem_size=1 << 21)
+    machine = Machine(config=MachineConfig(mem_size=1 << 21))
     clock = machine.clock
     try:
         engine = DmaEngine(
@@ -263,7 +271,7 @@ def bench_translate_storm(iterations: int = 120, pages: int = 64) -> HostResult:
     re-validate via full MMU walks -- so the measured hit rate reflects
     shootdown-correct caching, not an unrealistic 100%.
     """
-    machine = Machine(mem_size=1 << 22)
+    machine = Machine(config=MachineConfig(mem_size=1 << 22))
     page_size = machine.costs.page_size
     nbytes = pages * page_size
     storm = machine.create_process("storm")
@@ -430,8 +438,12 @@ def bench_reliable_pingpong(
     timeouts.  ``drop_every=100`` is the "1% loss" point.
     """
     cluster = ShrimpCluster(
-        num_nodes=2, mem_size=1 << 21, reliability=reliability
-    )
+                  config=ClusterConfig(
+                      num_nodes=2,
+                      mem_size=1 << 21,
+                      reliability=reliability,
+                  ),
+              )
     if drop_every > 0:
         routed = {"n": 0}
 
@@ -623,7 +635,7 @@ def transfer_latency_profile(
     (count/sum/min/max/p50/p99, in simulated cycles) after ``messages``
     sends -- the number ``docs/PERFORMANCE.md`` quotes.
     """
-    machine = Machine(mem_size=1 << 21)
+    machine = Machine(config=MachineConfig(mem_size=1 << 21))
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     process = machine.create_process("latency")

@@ -12,7 +12,7 @@ checks the structural properties the architecture implies:
 
 from __future__ import annotations
 
-from repro import Sender, ShrimpCluster
+from repro import ClusterConfig, Sender, ShrimpCluster
 from repro.bench import Row, make_payload, print_table
 from repro.bench.report import fmt_us
 
@@ -30,7 +30,12 @@ def one_way_cycles(cluster, sender, nbytes):
 
 
 def build_pair(distance):
-    cluster = ShrimpCluster(num_nodes=distance + 1, mem_size=1 << 20)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(
+                      num_nodes=distance + 1,
+                      mem_size=1 << 20,
+                  ),
+              )
     rx = cluster.node(distance).create_process("rx")
     buf = cluster.node(distance).kernel.syscalls.alloc(rx, 2 * PAGE)
     channel = cluster.create_channel(0, distance, rx, buf, 2 * PAGE)

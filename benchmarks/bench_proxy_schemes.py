@@ -19,6 +19,7 @@ from repro.bench import Row, print_table
 from repro.bench.workloads import make_payload
 from repro.mem.layout import Layout, ProxyScheme
 from repro.userlib.udma import DeviceRef, MemoryRef
+from repro.config import MachineConfig
 
 from benchmarks.conftest import SinkRig
 
@@ -31,7 +32,13 @@ def run_workload(scheme, protection=None):
     from repro.devices import SinkDevice
     from repro.userlib import UdmaUser
 
-    machine = Machine(mem_size=1 << 20, scheme=scheme, protection=protection)
+    machine = Machine(
+                  config=MachineConfig(
+                      mem_size=1 << 20,
+                      scheme=scheme,
+                      protection=protection,
+                  ),
+              )
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     p = machine.create_process("app")

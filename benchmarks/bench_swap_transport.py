@@ -13,7 +13,7 @@ checks the structural expectations:
 
 from __future__ import annotations
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench import Row, print_table
 from repro.devices import SinkDevice
 from repro.kernel.invariants import InvariantChecker
@@ -23,11 +23,13 @@ PAGE = 4096
 
 def run_paging(swap, queue_depth=None):
     machine = Machine(
-        mem_size=16 * PAGE,
-        bounce_frames=4,
-        swap=swap,
-        queue_depth=queue_depth,
-    )
+                  config=MachineConfig(
+                      mem_size=16 * PAGE,
+                      bounce_frames=4,
+                      swap=swap,
+                      queue_depth=queue_depth,
+                  ),
+              )
     machine.attach_device(SinkDevice("sink", size=1 << 14))
     p = machine.create_process("app")
     va = machine.kernel.syscalls.alloc(p, 14 * PAGE)

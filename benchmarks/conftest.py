@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Machine, ShrimpCluster
+from repro import ClusterConfig, Machine, MachineConfig, ShrimpCluster
 from repro.devices import SinkDevice
 from repro.userlib import Receiver, Sender, UdmaUser
 
@@ -24,8 +24,12 @@ class ClusterRig:
 
     def __init__(self, queue_depth=None, mem_size=1 << 21, channel_bytes=1 << 19):
         self.cluster = ShrimpCluster(
-            num_nodes=2, mem_size=mem_size, queue_depth=queue_depth
-        )
+                           config=ClusterConfig(
+                               num_nodes=2,
+                               mem_size=mem_size,
+                               queue_depth=queue_depth,
+                           ),
+                       )
         self.rx = self.cluster.node(1).create_process("rx")
         buf = self.cluster.node(1).kernel.syscalls.alloc(self.rx, channel_bytes)
         self.channel = self.cluster.create_channel(0, 1, self.rx, buf, channel_bytes)
@@ -40,8 +44,14 @@ class SinkRig:
 
     def __init__(self, queue_depth=None, mem_size=1 << 21, sink_bytes=1 << 18,
                  costs=None, buffer_bytes=1 << 16, protection=None):
-        self.machine = Machine(costs=costs, mem_size=mem_size,
-                               queue_depth=queue_depth, protection=protection)
+        self.machine = Machine(
+                           config=MachineConfig(
+                               costs=costs,
+                               mem_size=mem_size,
+                               queue_depth=queue_depth,
+                               protection=protection,
+                           ),
+                       )
         self.sink = SinkDevice("sink", size=sink_bytes)
         self.machine.attach_device(self.sink)
         self.process = self.machine.create_process("app")

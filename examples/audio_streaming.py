@@ -16,7 +16,7 @@ small refill chunks:
 Run:  python examples/audio_streaming.py
 """
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench import make_payload
 from repro.devices import AudioDevice
 from repro.userlib import DeviceRef, MemoryRef, UdmaUser
@@ -55,7 +55,7 @@ def stream(machine, refill):
 
 
 def build(label):
-    machine = Machine(mem_size=1 << 20)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))
     machine.attach_device(AudioDevice(
         "audio", ring_bytes=RING, bytes_per_cycle=RATE))
     process = machine.create_process(label)

@@ -19,7 +19,7 @@ Run:  python examples/collective_compute.py
 
 import struct
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.userlib import CollectiveGroup
 
 N = 64          # vector length
@@ -28,7 +28,9 @@ SLICE = N // RANKS
 
 
 def main() -> None:
-    cluster = ShrimpCluster(num_nodes=RANKS, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=RANKS, mem_size=1 << 21),
+              )
     procs = [cluster.node(i).create_process(f"rank{i}") for i in range(RANKS)]
     group = CollectiveGroup(cluster, procs, slot_bytes=4096)
     print(f"{RANKS} ranks, full-mesh channels wired "

@@ -10,7 +10,7 @@ once through UDMA, and reports the software overhead each pays.
 Run:  python examples/disk_fine_grained_io.py
 """
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench import make_payload
 from repro.devices import Disk
 from repro.userlib import DeviceRef, MemoryRef, UdmaUser
@@ -20,7 +20,7 @@ RECORD_BYTES = 512
 
 
 def main() -> None:
-    machine = Machine(mem_size=1 << 20)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))
     disk = Disk("disk", num_blocks=256, block_size=512,
                 seek_cycles=2_000, bytes_per_cycle=0.5)
     machine.attach_device(disk)

@@ -10,7 +10,7 @@ result as ASCII art and reports the cost per frame.
 Run:  python examples/framebuffer_blit.py
 """
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.devices import FrameBuffer
 from repro.userlib import DeviceRef, MemoryRef, UdmaUser
 
@@ -30,7 +30,7 @@ def render_scanline(y: int) -> bytes:
 
 
 def main() -> None:
-    machine = Machine(mem_size=1 << 20)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))
     fb = FrameBuffer("fb", width=WIDTH, height=HEIGHT, bytes_per_pixel=4)
     machine.attach_device(fb)
     process = machine.create_process("render")

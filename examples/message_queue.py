@@ -14,7 +14,7 @@ refusing, and recovering -- all without a single kernel call per message.
 Run:  python examples/message_queue.py
 """
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.bench import make_payload
 from repro.userlib import MessageRing
 
@@ -23,7 +23,9 @@ RECORDS = 24
 
 
 def main() -> None:
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 21),
+              )
     producer_proc = cluster.node(0).create_process("producer")
     consumer_proc = cluster.node(1).create_process("consumer")
     ring = MessageRing(

@@ -15,7 +15,7 @@ example shows every protection boundary in action:
 Run:  python examples/protection_demo.py
 """
 
-from repro import Machine, UdmaStatus
+from repro import Machine, MachineConfig, UdmaStatus
 from repro.devices import SinkDevice
 from repro.errors import ProtectionFault
 from repro.kernel.invariants import InvariantChecker
@@ -23,7 +23,7 @@ from repro.userlib import DeviceRef, MemoryRef, UdmaUser
 
 
 def main() -> None:
-    machine = Machine(mem_size=1 << 20)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))
     device = SinkDevice("shared", size=1 << 16)
     machine.attach_device(device)
 

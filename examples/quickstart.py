@@ -17,14 +17,14 @@ node with a simple storage-like device:
 Run:  python examples/quickstart.py
 """
 
-from repro import Machine, UdmaStatus
+from repro import Machine, MachineConfig, UdmaStatus
 from repro.devices import SinkDevice
 from repro.userlib import DeviceRef, MemoryRef, UdmaUser
 
 
 def main() -> None:
     # --- 1. hardware -----------------------------------------------------
-    machine = Machine(mem_size=1 << 20)  # 1 MB node, basic UDMA device
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))  # 1 MB node, basic UDMA device
     device = SinkDevice("store", size=1 << 16)
     machine.attach_device(device)
     print(f"built {machine}")

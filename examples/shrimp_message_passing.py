@@ -14,14 +14,16 @@ transfer of the data from memory to the network interface device"
 Run:  python examples/shrimp_message_passing.py
 """
 
-from repro import Receiver, Sender, ShrimpCluster
+from repro import ClusterConfig, Receiver, Sender, ShrimpCluster
 from repro.bench import make_payload, measure_message, measure_peak_bandwidth
 
 PAGE = 4096
 
 
 def main() -> None:
-    cluster = ShrimpCluster(num_nodes=4, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=4, mem_size=1 << 21),
+              )
     print(f"cluster: {cluster.num_nodes} nodes on one backplane, "
           f"{cluster.costs.cpu_hz / 1e6:.0f} MHz each")
 

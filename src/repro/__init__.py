@@ -34,6 +34,7 @@ Quick start::
 """
 
 from repro.cluster import Channel, ShrimpCluster
+from repro.config import ClusterConfig, IommuConfig, MachineConfig
 from repro.core import (
     QueuedUdmaController,
     UdmaController,
@@ -59,12 +60,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Channel",
+    "ClusterConfig",
     "CostModel",
     "Counter",
     "DeviceRef",
     "Gauge",
     "Histogram",
+    "IommuConfig",
     "Machine",
+    "MachineConfig",
     "MemoryRef",
     "MetricsRegistry",
     "ObsConfig",

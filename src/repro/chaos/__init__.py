@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 from repro.chaos.actions import (
     ACTION_WEIGHTS,
     CHURN_WEIGHTS,
+    PAGING_WEIGHTS,
     SCHEDULE_PROFILES,
     Action,
     actions_from_json,
@@ -42,11 +43,15 @@ from repro.chaos.conformance import (
 )
 from repro.chaos.explorer import Failure, RunResult, ScheduleExplorer
 from repro.chaos.oracle import (
+    PAGING_FAULT_KINDS,
     WIRE_FAULT_KINDS,
+    ConvergenceReport,
     DeliveryReport,
     DifferentialOracle,
     EventualDeliveryOracle,
+    IommuConvergenceOracle,
     OracleReport,
+    strip_paging_faults,
     strip_wire_faults,
 )
 from repro.chaos.shrinker import ShrinkResult, format_repro, shrink
@@ -55,6 +60,7 @@ from repro.chaos.world import ChaosWorld
 __all__ = [
     "ACTION_WEIGHTS",
     "CHURN_WEIGHTS",
+    "PAGING_WEIGHTS",
     "SCHEDULE_PROFILES",
     "Action",
     "ChaosReport",
@@ -62,12 +68,15 @@ __all__ = [
     "ConformanceOracle",
     "ConformanceReport",
     "ConformanceSuiteReport",
+    "ConvergenceReport",
     "PROTECTION_BACKENDS",
+    "PAGING_FAULT_KINDS",
     "DeliveryReport",
     "DifferentialOracle",
     "EventualDeliveryOracle",
     "Failure",
     "InvariantAuditor",
+    "IommuConvergenceOracle",
     "OracleReport",
     "RunResult",
     "ScheduleExplorer",
@@ -78,6 +87,7 @@ __all__ = [
     "format_repro",
     "generate_schedule",
     "outcome_class",
+    "strip_paging_faults",
     "run_chaos",
     "run_conformance_suite",
     "shrink",
@@ -96,6 +106,7 @@ class ChaosReport:
     fast: RunResult
     oracle: Optional[OracleReport] = None
     delivery: Optional[DeliveryReport] = None
+    convergence: Optional[ConvergenceReport] = None
     shrunk: Optional[ShrinkResult] = None
     repro: str = ""
     mismatches: List[str] = field(default_factory=list)
@@ -126,6 +137,8 @@ class ChaosReport:
             lines.append(self.oracle.summary())
         if self.delivery is not None:
             lines.append(self.delivery.summary())
+        if self.convergence is not None:
+            lines.append(self.convergence.summary())
         if self.ok:
             lines.append("result: PASS")
         else:
@@ -150,6 +163,8 @@ def run_chaos(
     actions: Optional[Sequence[Action]] = None,
     max_shrink_evals: int = 200,
     reliability: bool = False,
+    iommu: bool = False,
+    profile: Optional[str] = None,
 ) -> ChaosReport:
     """Run one chaos campaign: explore, audit, diff, and shrink failures.
 
@@ -167,10 +182,24 @@ def run_chaos(
             hold the run to the *eventual delivery* standard: wire faults
             must leave final memory bit-identical to the fault-free twin
             of the schedule, with zero lost messages (cluster runs only).
+        iommu: enable the virtual-address RDMA tier on every node and
+            additionally hold the run to the *convergence* standard:
+            paging faults must park-and-replay, leaving logical memory
+            bit-identical to the paging-free twin of the schedule with an
+            exact delivery ledger (cluster runs only; composes with
+            ``reliability`` and the differential oracle).
+        profile: schedule profile (see SCHEDULE_PROFILES); defaults to
+            ``"paging"`` for iommu campaigns, ``"default"`` otherwise.
     """
-    schedule = list(actions) if actions is not None else generate_schedule(seed, steps)
+    if profile is None:
+        profile = "paging" if iommu else "default"
+    schedule = (
+        list(actions)
+        if actions is not None
+        else generate_schedule(seed, steps, profile=profile)
+    )
     explorer = ScheduleExplorer(
-        nodes=nodes, break_mode=break_mode, reliability=reliability
+        nodes=nodes, break_mode=break_mode, reliability=reliability, iommu=iommu
     )
     fast = explorer.run(schedule, fast_paths=True)
 
@@ -183,6 +212,11 @@ def run_chaos(
             schedule, faulted=fast
         )
         report.mismatches.extend(report.delivery.mismatches)
+    if iommu and nodes >= 2:
+        report.convergence = IommuConvergenceOracle(explorer).compare(
+            schedule, faulted=fast
+        )
+        report.mismatches.extend(report.convergence.mismatches)
 
     if report.ok:
         return report
@@ -191,6 +225,9 @@ def run_chaos(
     delivery_oracle = (
         EventualDeliveryOracle(explorer) if reliability and nodes >= 2 else None
     )
+    convergence_oracle = (
+        IommuConvergenceOracle(explorer) if iommu and nodes >= 2 else None
+    )
 
     def still_fails(candidate: List[Action]) -> bool:
         probe = explorer.run(candidate, fast_paths=True)
@@ -198,8 +235,14 @@ def run_chaos(
             return True
         if oracle is not None and not oracle.compare(candidate, fast=probe).ok:
             return True
-        if delivery_oracle is not None:
-            return not delivery_oracle.compare(candidate, faulted=probe).ok
+        if delivery_oracle is not None and not delivery_oracle.compare(
+            candidate, faulted=probe
+        ).ok:
+            return True
+        if convergence_oracle is not None and not convergence_oracle.compare(
+            candidate, faulted=probe
+        ).ok:
+            return True
         return False
 
     report.shrunk = shrink(schedule, still_fails, max_evals=max_shrink_evals)

@@ -38,7 +38,7 @@ ACTION_WEIGHTS: "Dict[str, int]" = {
     "touch": 4,       # demand page-in via a single load
     "downgrade": 3,   # revoke write permission on a buffer page
     "upgrade": 3,     # restore write permission on a buffer page
-    "shootdown": 3,   # TLB flush (asid or全 full)
+    "shootdown": 3,   # TLB flush (asid or full)
     "corrupt": 2,     # arm wire corruption for the next packet(s)
     "drop": 2,        # arm packet drop
     "dup": 2,         # arm packet duplication
@@ -58,9 +58,25 @@ CHURN_WEIGHTS: "Dict[str, int]" = dict(
     ACTION_WEIGHTS, churn=4, rawsend=4
 )
 
+#: The "paging" profile leans hard on the memory system -- forced
+#: evictions, page cleaning, and demand page-ins interleaved with sends
+#: -- so virtual-address (IOMMU) campaigns reliably drive incoming
+#: transfers into the park-and-resume path.  The wire is kept quiet:
+#: wire-fault actions arm "the next packet", and *which* packet that is
+#: shifts once paging actions are stripped for the convergence twin, so
+#: the same armed fault would hit different transfers in the two runs --
+#: wire adversity belongs to the reliability standard, not this one.
+#: Existing profiles are untouched: same seed, same bytes, forever.
+PAGING_WEIGHTS: "Dict[str, int]" = dict(
+    ACTION_WEIGHTS,
+    pageout=12, clean=6, touch=6, send=12, recv=6,
+    corrupt=0, drop=0, dup=0, reorder=0,
+)
+
 SCHEDULE_PROFILES: "Dict[str, Dict[str, int]]" = {
     "default": ACTION_WEIGHTS,
     "churn": CHURN_WEIGHTS,
+    "paging": PAGING_WEIGHTS,
 }
 
 

@@ -51,6 +51,10 @@ class RunResult:
     failure: Optional[Failure] = None
     counters: Dict[str, int] = field(default_factory=dict)
     mem_digest: str = ""
+    #: digest of logical (per-address-space) memory; the IOMMU
+    #: convergence oracle's comparison medium -- physical images cannot
+    #: converge once paging actions are stripped from a schedule
+    vm_digest: str = ""
     event_audits: int = 0
     boundary_audits: int = 0
     #: raw per-action outcome labels, in schedule order (the audit log
@@ -77,12 +81,14 @@ class ScheduleExplorer:
         audit: bool = True,
         reliability: bool = False,
         protection: str = "proxy",
+        iommu: bool = False,
     ) -> None:
         self.nodes = nodes
         self.break_mode = break_mode
         self.audit = audit
         self.reliability = reliability
         self.protection = protection
+        self.iommu = iommu
 
     def run(self, actions: Sequence[Action], fast_paths: bool = True) -> RunResult:
         """Replay ``actions`` on a fresh world; never raises for findings."""
@@ -92,6 +98,7 @@ class ScheduleExplorer:
             break_mode=self.break_mode,
             reliability=self.reliability,
             protection=self.protection,
+            iommu=self.iommu,
         )
         auditor = InvariantAuditor(world)
         if self.audit:
@@ -130,6 +137,7 @@ class ScheduleExplorer:
             result.failure.span_context = world.span_context()
         result.counters = world.counters()
         result.mem_digest = world.mem_digest()
+        result.vm_digest = world.vm_digest()
         result.protection_faults = world.protection_faults()
         result.nipt_state = world.nipt_state()
         result.event_audits = auditor.event_audits

@@ -44,10 +44,20 @@ from repro.chaos.explorer import RunResult, ScheduleExplorer
 #: action kinds that perturb the wire (the faults reliability must absorb)
 WIRE_FAULT_KINDS = ("corrupt", "drop", "dup", "reorder")
 
+#: action kinds that perturb paging (the faults the IOMMU's
+#: park-and-resume path must absorb): forced evictions are what make a
+#: receive-buffer page non-resident under an incoming virtual transfer
+PAGING_FAULT_KINDS = ("pageout",)
+
 
 def strip_wire_faults(actions: Sequence[Action]) -> "List[Action]":
     """The fault-free twin of a schedule: same workload, no wire faults."""
     return [a for a in actions if a.kind not in WIRE_FAULT_KINDS]
+
+
+def strip_paging_faults(actions: Sequence[Action]) -> "List[Action]":
+    """The paging-free twin: same workload, no forced evictions."""
+    return [a for a in actions if a.kind not in PAGING_FAULT_KINDS]
 
 
 @dataclass
@@ -211,4 +221,137 @@ class EventualDeliveryOracle:
             out.append(
                 f"memory digest diverges from the fault-free run: "
                 f"faulted={faulted.mem_digest} vs clean={clean.mem_digest}"
+            )
+
+
+@dataclass
+class ConvergenceReport:
+    """The verdict of one paging-faulted-vs-paging-free comparison."""
+
+    faulted: RunResult
+    clean: RunResult
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                "iommu oracle: paging-faulted run converged to the "
+                "paging-free logical memory image with an exact delivery "
+                "ledger"
+            )
+        head = self.mismatches[0]
+        more = len(self.mismatches) - 1
+        return f"iommu oracle: {head}" + (f" (+{more} more)" if more else "")
+
+
+class IommuConvergenceOracle:
+    """Asserts paging faults are absorbed by park-and-resume.
+
+    Requires an explorer built with ``iommu=True`` (and ``nodes >= 2`` --
+    the virtual-address tier lives on the cluster receive path).  For a
+    given schedule it replays the paging-free twin (every forced-eviction
+    action stripped) and demands:
+
+    * neither run failed an invariant or crashed,
+    * the IOMMU delivery ledger is *exact* in both runs -- every
+      translated transfer was delivered directly, delivered by replay, or
+      aborted, with nothing unaccounted (no lost or duplicated
+      deliveries),
+    * parking never degraded: the faulted run aborted no more transfers
+      than its paging-free twin (wire-fault actions can abort transfers
+      identically in both runs; paging must not add to that),
+    * the final *logical* memory digests are identical
+      (:meth:`~repro.chaos.world.ChaosWorld.vm_digest` -- physical
+      images cannot converge once evictions are stripped, since frame
+      assignment changes).
+
+    Audit logs, cycle counts, and physical digests are deliberately not
+    compared: park-and-resume exists to change timing and placement; what
+    it must not change is what each address space eventually contains.
+    """
+
+    def __init__(self, explorer: ScheduleExplorer) -> None:
+        if not explorer.iommu:
+            raise ValueError(
+                "IommuConvergenceOracle needs an explorer with iommu=True"
+            )
+        self.explorer = explorer
+
+    def compare(
+        self,
+        actions: Sequence[Action],
+        faulted: Optional[RunResult] = None,
+    ) -> ConvergenceReport:
+        """Run faulted and paging-free twins (reusing ``faulted`` if given).
+
+        Wire-fault actions are stripped from *both* sides first: an armed
+        wire fault hits "the next packet", and which packet that is
+        shifts once pageouts are stripped, so the same fault would hit
+        different transfers in the two runs.  ``faulted`` is only reused
+        when the schedule carried no wire faults (always true for the
+        "paging" profile, which zeroes their weights).
+        """
+        base = strip_wire_faults(actions)
+        if faulted is None or len(base) != len(actions):
+            faulted = self.explorer.run(base)
+        clean = self.explorer.run(strip_paging_faults(base))
+        report = ConvergenceReport(faulted=faulted, clean=clean)
+        self._diff(report)
+        return report
+
+    @staticmethod
+    def _ledger(result: RunResult, out: List[str], label: str) -> "tuple[int, int]":
+        """Sum the per-node IOMMU ledgers; flag any inexact one."""
+        delivered = aborted = 0
+        node = 0
+        while f"io{node}.translations" in result.counters:
+            c = result.counters
+            p = f"io{node}."
+            total = c[p + "delivered_direct"] + c[p + "delivered_replayed"]
+            if total + c[p + "aborted"] != c[p + "translations"]:
+                out.append(
+                    f"{label} run's node {node} ledger is inexact: "
+                    f"{c[p + 'translations']} translations vs "
+                    f"{total} delivered + {c[p + 'aborted']} aborted"
+                )
+            if c[p + "parked_now"]:
+                out.append(
+                    f"{label} run left {c[p + 'parked_now']} transfer(s) "
+                    f"parked on node {node} after settling"
+                )
+            delivered += total
+            aborted += c[p + "aborted"]
+            node += 1
+        return delivered, aborted
+
+    def _diff(self, report: ConvergenceReport) -> None:
+        faulted, clean = report.faulted, report.clean
+        out = report.mismatches
+        if faulted.failure is not None:
+            out.append(f"paging-faulted run failed: {faulted.failure.identity()}")
+        if clean.failure is not None:
+            out.append(f"paging-free run failed: {clean.failure.identity()}")
+        if out:
+            return
+        f_delivered, f_aborted = self._ledger(faulted, out, "faulted")
+        c_delivered, c_aborted = self._ledger(clean, out, "paging-free")
+        if f_aborted > c_aborted:
+            out.append(
+                f"paging degraded {f_aborted - c_aborted} transfer(s) to "
+                f"the abort outcome (faulted={f_aborted} vs "
+                f"paging-free={c_aborted})"
+            )
+        if f_delivered != c_delivered:
+            out.append(
+                f"delivery count diverges: faulted={f_delivered} vs "
+                f"paging-free={c_delivered} (lost or duplicated deliveries)"
+            )
+        if faulted.vm_digest != clean.vm_digest:
+            out.append(
+                f"logical memory diverges from the paging-free run: "
+                f"faulted={faulted.vm_digest} vs clean={clean.vm_digest}"
             )

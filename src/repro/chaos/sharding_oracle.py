@@ -193,15 +193,23 @@ class ShardingOracle:
 
 
 def suite_specs(
-    num_nodes: int = 16, seeds: Sequence[int] = (0, 1, 2, 3, 4)
+    num_nodes: int = 16,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    iommu: bool = False,
 ) -> List[ClusterSpec]:
     """The seeded schedule suite: jittered starts, contention, torus.
 
     Every spec is pure data -- the suite is derandomized by construction
-    (the seed perturbs per-node start offsets, nothing else).
+    (the seed perturbs per-node start offsets, nothing else).  With
+    ``iommu`` every spec runs the virtual-address RDMA tier: receive
+    buffers start cold, so every node's first deliveries take the
+    park / fault-service / replay path and the differential holds *that*
+    machinery to bit-identity across shard counts.
     """
     specs = [
-        ClusterSpec(num_nodes=num_nodes, topology="mesh2d", seed=seed)
+        ClusterSpec(
+            num_nodes=num_nodes, topology="mesh2d", seed=seed, iommu=iommu
+        )
         for seed in seeds
     ]
     # Contention twin: gap far below the transfer time, so every node
@@ -209,11 +217,14 @@ def suite_specs(
     specs.append(
         ClusterSpec(
             num_nodes=num_nodes, topology="mesh2d", seed=seeds[0],
-            gap_cycles=200,
+            gap_cycles=200, iommu=iommu,
         )
     )
     specs.append(
-        ClusterSpec(num_nodes=num_nodes, topology="torus2d", seed=seeds[0])
+        ClusterSpec(
+            num_nodes=num_nodes, topology="torus2d", seed=seeds[0],
+            iommu=iommu,
+        )
     )
     return specs
 
@@ -225,15 +236,17 @@ def run_sharding_suite(
     engine: str = "in-process",
     audit: bool = True,
     also_worker: bool = False,
+    iommu: bool = False,
 ) -> List[ShardingReport]:
     """Run the whole differential suite; every report should be ``ok``.
 
     ``also_worker=True`` re-checks each spec under the multi-process
-    engine (reusing the same reference run).
+    engine (reusing the same reference run).  ``iommu=True`` runs the
+    suite with the virtual-address RDMA tier on every node.
     """
     oracle = ShardingOracle(audit=audit)
     reports: List[ShardingReport] = []
-    for spec in suite_specs(num_nodes=num_nodes, seeds=seeds):
+    for spec in suite_specs(num_nodes=num_nodes, seeds=seeds, iommu=iommu):
         report = oracle.compare(spec, num_shards, engine=engine)
         reports.append(report)
         if also_worker:
@@ -252,6 +265,7 @@ def run_pooling_suite(
     seeds: Sequence[int] = (0, 1, 2),
     engine: str = "in-process",
     audit: bool = True,
+    iommu: bool = False,
 ) -> List[ShardingReport]:
     """The ``--no-pool`` differential over the seeded schedule suite.
 
@@ -262,5 +276,5 @@ def run_pooling_suite(
     oracle = ShardingOracle(audit=audit)
     return [
         oracle.compare_pooling(spec, num_shards=num_shards, engine=engine)
-        for spec in suite_specs(num_nodes=num_nodes, seeds=seeds)
+        for spec in suite_specs(num_nodes=num_nodes, seeds=seeds, iommu=iommu)
     ]

@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.bench.workloads import make_payload
 from repro.chaos.actions import Action
 from repro.cluster import ShrimpCluster
+from repro.config import ClusterConfig, IommuConfig, MachineConfig
 from repro.devices.sink import SinkDevice
 from repro.errors import ConfigurationError, InvariantViolation, ReproError
 from repro.kernel.process import Process
@@ -47,6 +48,13 @@ _RETRY_LIMIT = 16
 _POLL_LIMIT = 50_000
 
 BREAK_MODES = (None, "no-inval", "stale-xlat")
+
+#: the IOMMU tier chaos worlds run under: bounds generous enough that an
+#: adversarial paging schedule can never trip the degradation paths
+#: (queue-full / park-budget aborts change the outcome, and the
+#: convergence oracle requires faulted runs to *converge*, not degrade).
+#: The degradation paths are exercised by directed unit tests instead.
+CHAOS_IOMMU = IommuConfig(iotlb_entries=64, fault_queue_depth=256, park_budget=8)
 
 
 @dataclass
@@ -76,9 +84,15 @@ class ChaosWorld:
         break_mode: Optional[str] = None,
         reliability: bool = False,
         protection: str = "proxy",
+        iommu: bool = False,
     ) -> None:
         if break_mode not in BREAK_MODES:
             raise ConfigurationError(f"unknown break mode {break_mode!r}")
+        if iommu and nodes < 2:
+            raise ConfigurationError(
+                "iommu chaos worlds need a cluster (nodes >= 2): the "
+                "virtual-address tier lives on the receive path"
+            )
         self.fast_paths = fast_paths
         self.break_mode = break_mode
         #: ack/retransmit transport under test (cluster worlds only); off
@@ -87,6 +101,10 @@ class ChaosWorld:
         #: protection-backend spec (see repro.protection.make_backend);
         #: the default "proxy" is bit-identical to pre-backend history
         self.protection = protection
+        #: virtual-address RDMA tier under test: channels carry
+        #: (asid, vpage) destinations, receive buffers are unpinned, and
+        #: paging actions can force park-and-replay on the receive path
+        self.iommu = iommu
         self.num_nodes = max(1, nodes)
         self.costs = shrimp()
         self.page_size = self.costs.page_size
@@ -125,13 +143,15 @@ class ChaosWorld:
     def _build_single(self) -> None:
         ps = self.page_size
         machine = Machine(
-            costs=self.costs,
-            mem_size=96 * ps,
-            fast_paths=self.fast_paths,
-            # Spans are host-side and deterministic, so they are safe
-            # under the differential oracle; failures get causal context.
-            obs=ObsConfig(spans=True),
-            protection=self.protection,
+            config=MachineConfig(
+                costs=self.costs,
+                mem_size=96 * ps,
+                fast_paths=self.fast_paths,
+                # Spans are host-side and deterministic, so they are safe
+                # under the differential oracle; failures get causal context.
+                obs=ObsConfig(spans=True),
+                protection=self.protection,
+            )
         )
         self.spans = machine.obs.spans
         self.machines = [machine]
@@ -164,13 +184,16 @@ class ChaosWorld:
     def _build_cluster(self) -> None:
         ps = self.page_size
         cluster = ShrimpCluster(
-            num_nodes=self.num_nodes,
-            costs=self.costs,
-            mem_size=96 * ps,
-            fast_paths=self.fast_paths,
-            obs=ObsConfig(spans=True),
-            reliability=self.reliability,
-            protection=self.protection,
+            config=ClusterConfig(
+                num_nodes=self.num_nodes,
+                costs=self.costs,
+                mem_size=96 * ps,
+                fast_paths=self.fast_paths,
+                obs=ObsConfig(spans=True),
+                reliability=self.reliability,
+                protection=self.protection,
+                iommu=CHAOS_IOMMU if self.iommu else False,
+            )
         )
         self.spans = cluster.obs.spans
         self.cluster = cluster
@@ -202,25 +225,47 @@ class ChaosWorld:
         self._rigs = []
         for i in range(self.num_nodes):
             sender = self.senders[i]
-            self._rigs.append(
-                [
+            rigs = [
+                _ProcRig(
+                    machine=cluster.node(i),
+                    process=sender.process,
+                    buffer=sender.buffer,
+                    buf_bytes=sender.buffer_bytes,
+                    buf_pages=sender.buffer_bytes // ps,
+                    udma=sender.udma,
+                ),
+                _ProcRig(
+                    machine=cluster.node(i),
+                    process=rx_procs[i],
+                    buffer=rx_bufs[i],
+                    buf_bytes=nbytes,
+                    buf_pages=self.CHANNEL_PAGES,
+                ),
+            ]
+            if self.iommu:
+                # IOMMU worlds get a third, DMA-free scratch process per
+                # node and route CPU "write" actions to it (_write_rig):
+                # a store racing an in-flight transfer -- a pending source
+                # read of the tx buffer, or a parked delivery into the rx
+                # buffer -- has a timing-dependent outcome, which is an
+                # application bug, not a convergence failure.  Scratch
+                # writes keep the dirty-page / eviction pressure the
+                # paging campaign needs without touching DMA-visible
+                # memory.
+                scratch = cluster.node(i).create_process(f"sc{i}")
+                sc_buf = cluster.node(i).kernel.syscalls.alloc(
+                    scratch, self.PROC_BUF_PAGES * ps
+                )
+                rigs.append(
                     _ProcRig(
                         machine=cluster.node(i),
-                        process=sender.process,
-                        buffer=sender.buffer,
-                        buf_bytes=sender.buffer_bytes,
-                        buf_pages=sender.buffer_bytes // ps,
-                        udma=sender.udma,
-                    ),
-                    _ProcRig(
-                        machine=cluster.node(i),
-                        process=rx_procs[i],
-                        buffer=rx_bufs[i],
-                        buf_bytes=nbytes,
-                        buf_pages=self.CHANNEL_PAGES,
-                    ),
-                ]
-            )
+                        process=scratch,
+                        buffer=sc_buf,
+                        buf_bytes=self.PROC_BUF_PAGES * ps,
+                        buf_pages=self.PROC_BUF_PAGES,
+                    )
+                )
+            self._rigs.append(rigs)
 
     # ------------------------------------------------------- deliberate bugs
     def _break_no_inval(self) -> None:
@@ -279,6 +324,16 @@ class ChaosWorld:
         node = self._rigs[action.node % len(self._rigs)]
         return node[action.proc % len(node)]
 
+    def _write_rig(self, action: Action) -> _ProcRig:
+        """The rig CPU stores may scribble: scratch-only under the IOMMU.
+
+        See _build_cluster -- convergence requires stores to stay off
+        DMA-visible buffers, whose content must be schedule-determined.
+        """
+        if self.iommu and self.cluster is not None:
+            return self._rigs[action.node % len(self._rigs)][2]
+        return self._rig(action)
+
     @staticmethod
     def _run_as(rig: _ProcRig) -> None:
         kernel = rig.machine.kernel
@@ -321,7 +376,7 @@ class ChaosWorld:
 
     # -------------------------------------------------- workload actions
     def _do_write(self, action: Action) -> str:
-        rig = self._rig(action)
+        rig = self._write_rig(action)
         self._run_as(rig)
         offset, size = self._span(action, rig.buf_bytes, 2048)
         data = make_payload(size, seed=1 + (action.page + action.size) % 251)
@@ -345,7 +400,20 @@ class ChaosWorld:
         offset = ((action.page * 97) % (nbytes - size + 1)) & ~3
         data = make_payload(size, seed=1 + (action.page + action.size) % 239)
         wait = bool(action.arg & 1)
-        stats = sender.send_bytes(data, channel_offset=offset, wait=wait)
+        # Stage at the channel offset (the tx buffer is channel-sized), not
+        # at the buffer head: a non-waited transfer reads its source lazily,
+        # so head-staged back-to-back sends would race the previous
+        # transfer's source read -- an incorrect UDMA application whose
+        # outcome depends on timing, which the twin-comparing oracles
+        # (delivery, convergence) cannot tolerate.  Offset staging makes
+        # each send's source bytes its own; where two in-flight sends
+        # overlap, source and destination ranges coincide, so the later
+        # arrival's payload wins in both twins.
+        sender._ensure_current()
+        sender.machine.cpu.write_bytes(sender.buffer + offset, data)
+        stats = sender.send_buffer(
+            size, buffer_offset=offset, channel_offset=offset, wait=wait
+        )
         return f"ok:{stats.pieces}p{stats.retries}r"
 
     def _do_recv(self, action: Action) -> str:
@@ -395,9 +463,10 @@ class ChaosWorld:
         offset = ((action.page * 53) % (nbytes - size)) & ~3
         data = make_payload(size, seed=1 + (action.page + action.size) % 233)
         sender._ensure_current()
-        sender.machine.cpu.write_bytes(sender.buffer, data)
+        # Offset staging, same reasoning as _do_send.
+        sender.machine.cpu.write_bytes(sender.buffer + offset, data)
         stats = sender.udma.transfer(
-            MemoryRef(sender.buffer),
+            MemoryRef(sender.buffer + offset),
             sender.device_ref(offset),
             size,
             wait=bool(action.arg & 1),
@@ -631,6 +700,13 @@ class ChaosWorld:
         if self.sink is not None:
             c["sink.reads"] = self.sink.reads
             c["sink.writes"] = self.sink.writes
+        if self.iommu:
+            # Only present when the tier is on, so iommu-off counter sets
+            # stay bit-identical to history.
+            for i, machine in enumerate(self.machines):
+                assert machine.iommu is not None
+                for name, value in machine.iommu.counters().items():
+                    c[f"io{i}.{name}"] = value
         return c
 
     def protection_faults(self) -> "List[str]":
@@ -690,6 +766,40 @@ class ChaosWorld:
         h = hashlib.blake2b(digest_size=16)
         for machine in self.machines:
             h.update(machine.physmem.view(0, machine.physmem.size))
+        if self.sink is not None:
+            h.update(self.sink.peek(0, self.SINK_PAGES * self.page_size))
+        return h.hexdigest()
+
+    def vm_digest(self) -> str:
+        """Digest of every process's *logical* memory (and the sink).
+
+        The IOMMU convergence oracle cannot use :meth:`mem_digest`:
+        stripping paging actions from a schedule changes which physical
+        frame backs each page, so the raw physical image never converges.
+        What must converge is the address-space *content* -- for every
+        process (sorted by asid) and every valid non-proxy page (sorted
+        by vpage), the page's bytes wherever they live: the resident
+        frame, the swap copy (read via the counter-free
+        ``BackingStore.peek`` so observing a run never perturbs it), or
+        zeros for never-touched demand-zero pages.  Proxy aliases are
+        skipped: pageout invalidates them (I2), so their mapped-ness
+        legitimately differs between a faulted run and its twin.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        zero = bytes(self.page_size)
+        for machine in self.machines:
+            backing = machine.kernel.vm.backing
+            for asid in sorted(machine.kernel.processes):
+                process = machine.kernel.processes[asid]
+                for vpage, pte in sorted(process.page_table.entries()):
+                    if machine.layout.is_proxy(vpage * self.page_size):
+                        continue
+                    h.update(f"{asid}:{vpage}".encode())
+                    if pte.present:
+                        h.update(machine.physmem.read_frame(pte.pfn))
+                    else:
+                        data = backing.peek(asid, vpage)
+                        h.update(data if data is not None else zero)
         if self.sink is not None:
             h.update(self.sink.peek(0, self.SINK_PAGES * self.page_size))
         return h.hexdigest()

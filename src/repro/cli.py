@@ -20,7 +20,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import Machine, ShrimpCluster
+from repro import ClusterConfig, Machine, MachineConfig, ShrimpCluster
 from repro.bench import (
     bandwidth_curve,
     fig8_sizes,
@@ -53,7 +53,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    cluster = ShrimpCluster(config=ClusterConfig(num_nodes=2, mem_size=1 << 21))
     rx = cluster.node(1).create_process("rx")
     buf = cluster.node(1).kernel.syscalls.alloc(rx, 1 << 19)
     channel = cluster.create_channel(0, 1, rx, buf, 1 << 19)
@@ -69,7 +69,7 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def _cmd_init(args: argparse.Namespace) -> int:
-    machine = Machine(mem_size=1 << 20)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))
     machine.attach_device(SinkDevice("sink", size=1 << 16))
     p = machine.create_process("app")
     buf = machine.kernel.syscalls.alloc(p, 4096)
@@ -98,7 +98,7 @@ def _cmd_init(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    machine = Machine(mem_size=1 << 20, record_trace=True)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20, record_trace=True))
     machine.attach_device(SinkDevice("sink", size=1 << 16))
     p = machine.create_process("app")
     buf = machine.kernel.syscalls.alloc(p, 8192)
@@ -118,7 +118,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.analysis import render
     from repro.userlib import DeviceRef, MemoryRef
 
-    machine = Machine(mem_size=1 << 20)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))
     machine.attach_device(SinkDevice("sink", size=1 << 16))
     p = machine.create_process("app")
     buf = machine.kernel.syscalls.alloc(p, 8192)
@@ -137,7 +137,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import ObsConfig
 
     cluster = ShrimpCluster(
-        num_nodes=2, mem_size=1 << 21, obs=ObsConfig(spans=True)
+        config=ClusterConfig(
+            num_nodes=2, mem_size=1 << 21, obs=ObsConfig(spans=True)
+        )
     )
     rx = cluster.node(1).create_process("rx")
     buf = cluster.node(1).kernel.syscalls.alloc(rx, 1 << 16)
@@ -188,9 +190,11 @@ def _cmd_chaos_shards(args: argparse.Namespace) -> int:
                 seeds=tuple(range(args.seed, args.seed + 3)),
                 engine=args.engine if args.engine != "both" else "in-process",
                 audit=audit,
+                iommu=args.iommu,
             )
         else:
-            spec = ClusterSpec(num_nodes=nodes, seed=args.seed)
+            spec = ClusterSpec(num_nodes=nodes, seed=args.seed,
+                               iommu=args.iommu)
             reports = [
                 ShardingOracle(audit=audit).compare_pooling(
                     spec,
@@ -219,10 +223,11 @@ def _cmd_chaos_shards(args: argparse.Namespace) -> int:
             seeds=tuple(range(args.seed, args.seed + 3)),
             audit=audit,
             also_worker=args.engine in ("worker", "both"),
+            iommu=args.iommu,
         )
     else:
         nodes = args.nodes if args.nodes >= 4 else 16
-        spec = ClusterSpec(num_nodes=nodes, seed=args.seed)
+        spec = ClusterSpec(num_nodes=nodes, seed=args.seed, iommu=args.iommu)
         oracle = ShardingOracle(audit=audit)
         engines = (
             ["in-process", "worker"] if args.engine == "both"
@@ -347,20 +352,78 @@ def _cmd_chaos_backend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_mode(args: argparse.Namespace) -> str:
+    """The chaos command's mode: one of ``schedule | backend | shards``.
+
+    Mode is selected by exactly one flag family; every other flag is
+    either orthogonal (composes with any mode) or scoped to one mode.
+    See the ``chaos --help`` epilog for the full matrix.
+    """
+    if args.backend is not None:
+        return "backend"
+    if args.shards is not None or args.no_pool:
+        return "shards"
+    return "schedule"
+
+
+def _validate_chaos(args: argparse.Namespace, mode: str) -> Optional[str]:
+    """Reject unsupported flag combinations with a one-line reason."""
+    if mode == "backend":
+        if args.shards is not None or args.no_pool:
+            return "--backend and --shards/--no-pool are distinct modes"
+        for flag, name in (
+            (args.reliable, "--reliable"),
+            (args.iommu, "--iommu"),
+            (args.profile, "--profile"),
+            (args.break_mode, "--break"),
+        ):
+            if flag:
+                return f"{name} is not supported in --backend mode"
+    elif mode == "shards":
+        for flag, name in (
+            (args.reliable, "--reliable"),
+            (args.profile, "--profile"),
+            (args.break_mode, "--break"),
+        ):
+            if flag:
+                return f"{name} is not supported in --shards/--no-pool mode"
+        if args.replay:
+            return "--shards replays spec artifacts; use --replay-spec"
+    else:
+        if args.replay_spec:
+            return "--replay-spec needs --shards; use --replay for schedules"
+        if args.iommu and args.nodes is not None and args.nodes < 2:
+            return "--iommu needs a cluster (--nodes 2 or more)"
+    return None
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
-    from repro.chaos import actions_from_json, run_chaos
+    from repro.chaos import SCHEDULE_PROFILES, actions_from_json, run_chaos
     from repro.chaos.world import BREAK_MODES
 
-    if args.backend is not None:
+    mode = _chaos_mode(args)
+    problem = _validate_chaos(args, mode)
+    if problem is not None:
+        print(f"bad flag combination: {problem}", file=sys.stderr)
+        return 2
+    if args.nodes is None:
+        # --iommu is a cluster feature: default to the smallest ring.
+        args.nodes = 2 if args.iommu else 1
+
+    if mode == "backend":
         return _cmd_chaos_backend(args)
-    if args.shards is not None or args.no_pool:
+    if mode == "shards":
         return _cmd_chaos_shards(args)
 
     if args.break_mode is not None and args.break_mode not in BREAK_MODES:
         print(f"unknown --break mode {args.break_mode!r}; "
               f"choose from {[m for m in BREAK_MODES if m]}", file=sys.stderr)
+        return 2
+    if args.profile is not None and args.profile not in SCHEDULE_PROFILES:
+        print(f"unknown --profile {args.profile!r}; "
+              f"choose from {sorted(SCHEDULE_PROFILES)}", file=sys.stderr)
         return 2
 
     actions = None
@@ -377,6 +440,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         actions=actions,
         max_shrink_evals=args.max_shrink_evals,
         reliability=args.reliable,
+        iommu=args.iommu,
+        profile=args.profile,
     )
     print(report.summary())
     if args.dump_log:
@@ -422,13 +487,46 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         help="adversarial schedule + invariant auditing + differential oracle",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+mode matrix -- pick at most one mode; toggles compose as marked:
+
+  mode (mutually exclusive)
+    (none)          schedule campaign: seeded adversarial schedule, invariant
+                    auditing, fast-vs-reference differential oracle, shrinker
+    --backend SPEC  protection-backend conformance: same schedule replayed
+                    under several protection backends, identical outcomes
+                    required (scoped flags: --schedules, --check-determinism)
+    --shards K      sharded-PDES differential: K-shard run diffed bit-for-bit
+                    against the single-process reference (scoped flags:
+                    --engine, --no-audit, --replay-spec)
+    --no-pool       pooling differential (a shard-mode variant): fast lane
+                    off vs on at --shards K (default 1)
+
+  orthogonal toggles
+    --reliable      schedule mode, cluster runs: ack/retransmit transport +
+                    the eventual-delivery oracle (wire faults must converge)
+    --iommu         schedule mode (cluster; --nodes defaults to 2) or shard
+                    mode: virtual-address RDMA on every node + the
+                    convergence oracle (paging faults must park-and-resume)
+    --profile P     schedule mode: action mix (default | churn | paging);
+                    defaults to "paging" with --iommu
+    --suite         backend or shard mode: run the whole seeded suite
+
+  examples
+    chaos --seed 7 --steps 200 --nodes 2 --reliable
+    chaos --iommu --steps 300                  # paging campaign, 2 nodes
+    chaos --iommu --shards 4                   # sharded iommu differential
+    chaos --backend all --suite --schedules 8
+""",
     )
     chaos.add_argument("--seed", type=int, default=0,
                        help="schedule RNG seed (default 0)")
     chaos.add_argument("--steps", type=int, default=100,
                        help="schedule length (default 100)")
-    chaos.add_argument("--nodes", type=int, default=1,
-                       help="1 = single node + sink; >= 2 = cluster ring")
+    chaos.add_argument("--nodes", type=int, default=None,
+                       help="1 = single node + sink; >= 2 = cluster ring "
+                            "(default 1, or 2 with --iommu)")
     chaos.add_argument("--break", dest="break_mode", default=None,
                        metavar="MODE",
                        help="plant a kernel bug: no-inval | stale-xlat")
@@ -479,6 +577,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the ack/retransmit transport and hold "
                             "the run to the eventual-delivery oracle "
                             "(cluster runs)")
+    chaos.add_argument("--iommu", action="store_true",
+                       help="enable the virtual-address RDMA tier on every "
+                            "node and hold the run to the convergence "
+                            "oracle (cluster runs; composes with --shards)")
+    chaos.add_argument("--profile", default=None, metavar="P",
+                       help="schedule action-mix profile: default | churn | "
+                            "paging (default: paging with --iommu)")
     chaos.set_defaults(func=_cmd_chaos)
     return parser
 

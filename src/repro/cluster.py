@@ -25,16 +25,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.config import ClusterConfig
 from repro.errors import ConfigurationError, SyscallError
 from repro.kernel.process import Process
 from repro.machine import Machine
-from repro.mem.layout import ProxyScheme
 from repro.net.interconnect import Interconnect
 from repro.net.nic import ShrimpNic
 from repro.net.pool import PacketPool
 from repro.net.reliable import ReliabilityConfig, ReliabilityPlane
-from repro.obs import Observability, ObsConfig, unflatten
-from repro.params import CostModel, shrimp
+from repro.obs import Observability, unflatten
+from repro.params import shrimp
 from repro.sim.clock import Clock
 from repro.sim.trace import Tracer
 
@@ -51,6 +51,10 @@ class Channel:
         dst_vaddr: receiver-process virtual base address of the buffer.
         dst_frames: receiver physical frames, one per page.
         page_size: the cluster's page size (offset arithmetic).
+        dst_asid: receiver address-space id when the channel rides the
+            virtual-address RDMA tier (sender NIPT entries name (asid,
+            vpage) and the receiver's IOMMU translates at delivery);
+            -1 for the paper's physical, pin-at-export channels.
     """
 
     src_node: int
@@ -60,6 +64,12 @@ class Channel:
     dst_vaddr: int
     dst_frames: Tuple[int, ...]
     page_size: int
+    dst_asid: int = -1
+
+    @property
+    def virtual(self) -> bool:
+        """True when this channel rides the IOMMU tier."""
+        return self.dst_asid >= 0
 
     def device_offset(self, byte_offset: int) -> int:
         """NIC device-proxy offset addressing ``byte_offset`` in the channel."""
@@ -74,46 +84,65 @@ class Channel:
 
 
 class ShrimpCluster:
-    """N SHRIMP nodes on one backplane."""
+    """N SHRIMP nodes on one backplane.
+
+    The front door is a typed config (see :mod:`repro.config`)::
+
+        from repro import ShrimpCluster
+        from repro.config import ClusterConfig
+
+        cluster = ShrimpCluster(config=ClusterConfig(num_nodes=2, iommu=True))
+
+    Legacy keyword construction (``ShrimpCluster(num_nodes=...)``) still
+    works through :meth:`~repro.config.ClusterConfig.from_kwargs`, which
+    emits a ``DeprecationWarning``.  The ``iommu`` option is config-only:
+    with it on, sender NIPT entries name (asid, virtual page) on the
+    receiver, exports take no pin, and receiver-side faults
+    park-and-replay through each node's IOMMU (:mod:`repro.iommu`).
+    """
 
     def __init__(
         self,
-        num_nodes: int = 4,
-        costs: Optional[CostModel] = None,
-        mem_size: int = 1 << 22,
-        nipt_entries: int = 1 << 12,
-        queue_depth: Optional[int] = None,
-        scheme: ProxyScheme = ProxyScheme.HIGH_BIT,
-        record_trace: bool = False,
-        cut_through: bool = True,
-        topology: str = "linear",
-        mesh_width: int = 0,
-        dma_burst_bytes: int = 0,
-        dma_bursts_per_event: int = 1,
-        fast_paths: bool = True,
-        obs: "Optional[ObsConfig | Observability]" = None,
-        reliability: "bool | ReliabilityConfig | None" = None,
-        pooling: bool = True,
-        pool_debug: bool = False,
-        pipelining: bool = True,
-        protection: Optional[str] = None,
+        config: Optional[ClusterConfig] = None,
+        **legacy: object,
     ) -> None:
-        if num_nodes <= 0:
-            raise ConfigurationError(f"num_nodes must be positive, got {num_nodes}")
-        self.costs = costs if costs is not None else shrimp()
+        if config is not None:
+            if legacy:
+                raise TypeError(
+                    "ShrimpCluster() takes config= or legacy keyword "
+                    f"arguments, not both (got {', '.join(sorted(legacy))})"
+                )
+            if not isinstance(config, ClusterConfig):
+                raise ConfigurationError(
+                    f"config must be a ClusterConfig, got {type(config).__name__}"
+                )
+        else:
+            config = ClusterConfig.from_kwargs(**legacy)
+        if config.num_nodes <= 0:
+            raise ConfigurationError(
+                f"num_nodes must be positive, got {config.num_nodes}"
+            )
+        self.config = config
+        num_nodes = config.num_nodes
+        self.costs = config.costs if config.costs is not None else shrimp()
         #: fast-lane toggles: ``pooling`` recycles events/packets/buffers,
         #: ``pipelining`` lets senders reuse cached initiation plans.  Both
         #: are exact -- simulated cycles and every curated counter are
         #: bit-identical on or off (chaos ``--no-pool`` gates this).
-        self.pooling = pooling
-        self.pipelining = pipelining
+        self.pooling = config.pooling
+        self.pipelining = config.pipelining
         #: protection-backend spec applied to every node (each node gets
         #: its own backend instance; see repro.protection)
-        self.protection = protection if protection is not None else "proxy"
-        self.clock = Clock(pooling=pooling, pool_debug=pool_debug)
+        self.protection = (
+            config.protection if config.protection is not None else "proxy"
+        )
+        self.clock = Clock(
+            pooling=config.pooling, pool_debug=config.pool_debug
+        )
         # One shared observability plane: every node registers its metrics
         # under a node{i}. namespace and all spans land on one tracker, so
         # a transfer's causality survives crossing the backplane.
+        obs = config.obs
         if isinstance(obs, Observability):
             self.obs = obs
         else:
@@ -123,33 +152,33 @@ class ShrimpCluster:
             self.tracer = self.obs.tracer
         else:
             self.tracer = Tracer(
-                record=record_trace or self.obs.config.record_trace
+                record=config.record_trace or self.obs.config.record_trace
             )
             self.obs.tracer = self.tracer
         self._metrics_bound = False
         self.interconnect = Interconnect(
             self.clock, self.costs, self.tracer,
-            topology=topology, mesh_width=mesh_width,
+            topology=config.topology, mesh_width=config.mesh_width,
         )
         # Fail fast on a node count that does not fill the configured
         # grid (ragged meshes would silently skew hop distances).
         self.interconnect.validate_topology(num_nodes)
-        if pooling:
-            self.interconnect.packet_pool = PacketPool(debug=pool_debug)
+        if config.pooling:
+            self.interconnect.packet_pool = PacketPool(debug=config.pool_debug)
         if self.obs.spans is not None:
             self.interconnect._spans = self.obs.spans
         # Optional ack/retransmit transport: one shared plane for the whole
         # backplane (channels are keyed per (src, dst) node pair).  The
         # default -- no plane -- leaves every NIC exactly as before.
         self.reliability: Optional[ReliabilityPlane] = None
-        if reliability:
-            config = (
-                reliability
-                if isinstance(reliability, ReliabilityConfig)
+        if config.reliability:
+            rel_config = (
+                config.reliability
+                if isinstance(config.reliability, ReliabilityConfig)
                 else None
             )
             self.reliability = ReliabilityPlane(
-                config,
+                rel_config,
                 clock=self.clock,
                 spans=self.obs.spans,
                 tracer=self.tracer,
@@ -160,27 +189,22 @@ class ShrimpCluster:
         # Starts as one big range, so allocation order matches the old
         # bump allocator until something is released.
         self._nipt_free: List[List[Tuple[int, int]]] = []
+        node_config = config.node_config().replace(
+            costs=self.costs, protection=self.protection, obs=self.obs
+        )
         for i in range(num_nodes):
             node = Machine(
-                costs=self.costs,
-                mem_size=mem_size,
-                scheme=scheme,
-                queue_depth=queue_depth,
+                config=node_config,
                 clock=self.clock,
                 tracer=self.tracer,
                 name=f"node{i}",
-                dma_burst_bytes=dma_burst_bytes,
-                dma_bursts_per_event=dma_bursts_per_event,
-                fast_paths=fast_paths,
-                obs=self.obs,
-                protection=self.protection,
             )
             nic = ShrimpNic(
                 node_id=i,
                 costs=self.costs,
                 physmem=node.physmem,
-                nipt_entries=nipt_entries,
-                cut_through=cut_through,
+                nipt_entries=config.nipt_entries,
+                cut_through=config.cut_through,
             )
             node.attach_device(nic)
             nic.connect(self.interconnect)
@@ -190,7 +214,7 @@ class ShrimpCluster:
             node.cpu.store_snoop = nic.snoop_store
             self.nodes.append(node)
             self.nics.append(nic)
-            self._nipt_free.append([(0, nipt_entries)])
+            self._nipt_free.append([(0, config.nipt_entries)])
         if self.obs.config.metrics:
             self._bind_metrics()
 
@@ -272,16 +296,34 @@ class ShrimpCluster:
 
     # ----------------------------------------------------------- channels
     def export_receive_buffer(
-        self, node_index: int, process: Process, vaddr: int, npages: int
+        self,
+        node_index: int,
+        process: Process,
+        vaddr: int,
+        npages: int,
+        physical: bool = True,
     ) -> Tuple[int, ...]:
         """Receiver-side export: make pages resident, dirty, and pinned.
 
         Returns the physical frames backing the buffer (what NIPT entries
         will name).  See the module docstring for the pinning rationale.
+
+        Under the virtual-address RDMA tier (``physical=False``) the
+        export takes *no pin* and sets no dirty bit: it registers
+        (asid, vpage) windows with the receiving node's IOMMU instead,
+        and delivery-time translation marks pages dirty as the device
+        actually writes them.  Pages are still touched resident once so
+        the fault-free path starts warm; they may be evicted freely
+        afterwards -- that is the whole point of the tier.
         """
         node = self.nodes[node_index]
         if vaddr % node.layout.page_size:
             raise SyscallError("EINVAL", "receive buffers must be page aligned")
+        if not physical and node.iommu is None:
+            raise ConfigurationError(
+                f"node {node_index} has no IOMMU; virtual exports need "
+                "ClusterConfig(iommu=...)"
+            )
         frames: List[int] = []
         base_vpage = vaddr // node.layout.page_size
         for i in range(npages):
@@ -291,10 +333,13 @@ class ShrimpCluster:
             if not process.vpage_is_writable(vpage):
                 raise SyscallError("EFAULT", f"vpage {vpage:#x} is read-only")
             frame = node.kernel.vm.touch_resident(process, vpage)
-            pte = process.page_table.get(vpage)
-            assert pte is not None
-            pte.dirty = True  # receiving-side I3: incoming DMA will write it
-            node.kernel.frames.pin(frame)
+            if physical:
+                pte = process.page_table.get(vpage)
+                assert pte is not None
+                pte.dirty = True  # receiving-side I3: incoming DMA will write it
+                node.kernel.frames.pin(frame)
+            else:
+                node.iommu.register_window(process.asid, vpage, writable=True)
             frames.append(frame)
         return tuple(frames)
 
@@ -305,6 +350,7 @@ class ShrimpCluster:
         dst_process: Process,
         dst_vaddr: int,
         nbytes: int,
+        physical: Optional[bool] = None,
     ) -> Channel:
         """Wire a deliberate-update channel (the OS-level setup path).
 
@@ -312,16 +358,35 @@ class ShrimpCluster:
         entries on ``src_node``'s NIC.  After this returns, any process on
         ``src_node`` holding a grant for the NIC window pages can send
         with pure user-level UDMA.
+
+        ``physical`` selects the tier: ``None`` (default) follows the
+        cluster config -- virtual channels when the IOMMU tier is on,
+        the paper's physical channels otherwise.  ``True`` forces the
+        physical path even under the tier (automatic-update bindings
+        need their fixed mappings); ``False`` demands the tier.
         """
         if src_node == dst_node:
             raise ConfigurationError("loopback channels are not supported")
+        if physical is None:
+            physical = self.nodes[dst_node].iommu is None
         page_size = self.costs.page_size
         npages = -(-nbytes // page_size)
-        frames = self.export_receive_buffer(dst_node, dst_process, dst_vaddr, npages)
+        frames = self.export_receive_buffer(
+            dst_node, dst_process, dst_vaddr, npages, physical=physical
+        )
         base = self._alloc_nipt(src_node, npages)
         nic = self.nics[src_node]
-        for i, frame in enumerate(frames):
-            nic.nipt.set_entry(base + i, dst_node, frame)
+        dst_asid = -1
+        if physical:
+            for i, frame in enumerate(frames):
+                nic.nipt.set_entry(base + i, dst_node, frame)
+        else:
+            # Virtual entries: name the destination (asid, vpage); the
+            # receiver's IOMMU resolves frames at delivery time.
+            dst_asid = dst_process.asid
+            base_vpage = dst_vaddr // page_size
+            for i in range(npages):
+                nic.nipt.set_entry(base + i, dst_node, base_vpage + i, dst_asid)
         return Channel(
             src_node=src_node,
             dst_node=dst_node,
@@ -330,6 +395,7 @@ class ShrimpCluster:
             dst_vaddr=dst_vaddr,
             dst_frames=frames,
             page_size=page_size,
+            dst_asid=dst_asid,
         )
 
     def bind_automatic_update(
@@ -362,7 +428,12 @@ class ShrimpCluster:
         if src_vaddr % page_size:
             raise SyscallError("EINVAL", "automatic-update source must be page aligned")
         npages = -(-nbytes // page_size)
-        channel = self.create_channel(src_node, dst_node, dst_process, dst_vaddr, nbytes)
+        # Automatic update relies on fixed source->destination mappings,
+        # so its channel stays on the paper's physical, pinned path even
+        # when the IOMMU tier is on.
+        channel = self.create_channel(
+            src_node, dst_node, dst_process, dst_vaddr, nbytes, physical=True
+        )
         nic = self.nics[src_node]
         base_vpage = src_vaddr // page_size
         for i in range(npages):
@@ -396,14 +467,25 @@ class ShrimpCluster:
         pinned.  This is the OS-level unmap a multi-tenant node performs
         when a process exits -- or when the kernel evicts a mapping to
         make room under NIPT pressure (see :mod:`repro.traffic.tenants`).
-        In-flight packets for the channel are unaffected: they already
-        carry resolved physical addresses, exactly like the hardware.
+        In-flight packets for a physical channel are unaffected: they
+        already carry resolved physical addresses, exactly like the
+        hardware.  A *virtual* channel's release additionally revokes
+        the receiver-side IOMMU windows (no unpin -- the export never
+        pinned), so an in-flight packet that arrives after the release
+        is refused at translation time: revocation is enforced at
+        delivery, a protection property the physical tier cannot offer.
         """
         nic = self.nics[channel.src_node]
         for i in range(channel.npages):
             nic.nipt.clear_entry(channel.nipt_base + i)
         self._free_nipt(channel.src_node, channel.nipt_base, channel.npages)
         node = self.nodes[channel.dst_node]
+        if channel.virtual:
+            assert node.iommu is not None
+            base_vpage = channel.dst_vaddr // channel.page_size
+            for i in range(channel.npages):
+                node.iommu.unregister_window(channel.dst_asid, base_vpage + i)
+            return
         for frame in channel.dst_frames:
             if node.kernel.frames.is_pinned(frame):
                 node.kernel.frames.unpin(frame)

@@ -1,0 +1,26 @@
+"""Virtual-address RDMA: IOMMU translation plus page-fault-and-resume.
+
+See :mod:`repro.iommu.iommu` for the model and ``docs/VM_RDMA.md`` for
+the design narrative.  Enabled only through the typed configs
+(:class:`repro.config.MachineConfig` / :class:`repro.config.ClusterConfig`
+with ``iommu=True`` or an :class:`repro.config.IommuConfig`); off by
+default and bit-identical-off.
+"""
+
+from repro.config import IommuConfig
+from repro.iommu.iommu import (
+    Iommu,
+    IoPageTable,
+    Iotlb,
+    ParkedTransfer,
+    RxVerdict,
+)
+
+__all__ = [
+    "Iommu",
+    "IommuConfig",
+    "IoPageTable",
+    "Iotlb",
+    "ParkedTransfer",
+    "RxVerdict",
+]

@@ -221,6 +221,16 @@ class VmManager:
         frame = self._alloc_frame()
         if self.backing.has(process.asid, vpage):
             self.clock.advance(self.costs.swap_io_cycles)
+            # The swap-in wait yields the clock, so a device-side fault
+            # service (Iommu._service -> dma_map_in) may have mapped this
+            # very page while the CPU slept.  Re-check and back out --
+            # the classic retry-after-blocking fault discipline: mapping
+            # over it would orphan the device's frame and lose the
+            # replayed delivery queued against it.
+            pte = process.page_table.get(vpage)
+            if pte is not None and pte.present:
+                self.frames.free(frame)
+                return pte.pfn
             data = self.backing.load(process.asid, vpage)
             assert data is not None
             self.physmem.write_frame(frame, data)
@@ -248,6 +258,44 @@ class VmManager:
     def touch_resident(self, process: Process, vpage: int) -> int:
         """Kernel-path residency guarantee (used by traditional DMA)."""
         return self._ensure_resident(process, vpage)
+
+    def dma_map_in(self, process: Process, vpage: int) -> Optional[Tuple[int, int]]:
+        """Device-fault service: make a page resident *without* coasting time.
+
+        The IOMMU's park-service path (:mod:`repro.iommu`) runs inside
+        clock event callbacks, where ``clock.advance`` / ``clock.run``
+        are forbidden (sharded clocks enforce this).  This is
+        :meth:`_ensure_resident` restructured for that context: it never
+        evicts and never advances the clock.  Returns ``(frame,
+        extra_cycles)`` -- ``extra_cycles`` is the swap-in I/O latency
+        the caller must model as a scheduled delay -- or ``None`` when
+        no frame is free (the caller re-parks and retries).
+        """
+        pte = process.page_table.get(vpage)
+        if pte is not None and pte.present:
+            return pte.pfn, 0
+        frame = self.frames.alloc()
+        if frame is None:
+            return None
+        extra = 0
+        if self.backing.has(process.asid, vpage):
+            data = self.backing.load(process.asid, vpage)
+            assert data is not None
+            self.physmem.write_frame(frame, data)
+            extra = self.costs.swap_io_cycles
+        else:
+            self.physmem.zero_frame(frame)
+        writable = process.vpage_is_writable(vpage)
+        process.page_table.map(vpage, frame, writable=writable, user=True)
+        self.mmu.tlb.invalidate(process.asid, vpage)
+        self._frame_meta[frame] = FrameMeta(
+            owner_asid=process.asid,
+            owner_vpage=vpage,
+            loaded_at=self.clock.now,
+            last_used_at=self.clock.now,
+        )
+        self.pages_in += 1
+        return frame, extra
 
     # ----------------------------------------------------------- protection
     def set_page_protection(self, process: Process, vpage: int, writable: bool) -> bool:

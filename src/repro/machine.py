@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.config import MachineConfig
 from repro.core.controller import UdmaController
 from repro.core.queueing import QueuedUdmaController
 from repro.cpu.cpu import CPU
@@ -33,14 +34,13 @@ from repro.devices.base import UDMADevice
 from repro.dma.engine import DmaEngine
 from repro.dma.traditional import TraditionalDmaController
 from repro.errors import ConfigurationError
+from repro.iommu import Iommu
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
-from repro.kernel.remap_guard import GuardStrategy
-from repro.kernel.vm_manager import I3_WRITE_PROTECT
-from repro.mem.layout import DeviceWindow, Layout, ProxyScheme
+from repro.mem.layout import DeviceWindow, Layout
 from repro.mem.physmem import PhysicalMemory
-from repro.obs import Observability, ObsConfig, unflatten
-from repro.params import CostModel, shrimp
+from repro.obs import Observability, unflatten
+from repro.params import shrimp
 from repro.protection import ProtectionBackend, make_backend
 from repro.sim.clock import Clock
 from repro.sim.trace import Tracer
@@ -50,78 +50,63 @@ from repro.vm.mmu import MMU
 class Machine:
     """One simulated node.
 
+    The front door is a typed config (see :mod:`repro.config` for every
+    option)::
+
+        from repro import Machine, MachineConfig
+
+        m = Machine(config=MachineConfig(mem_size=1 << 21, iommu=True))
+
+    Wiring parameters that name live objects owned by an enclosing
+    assembly stay keyword arguments here:
+
     Args:
-        costs: cost model; defaults to the SHRIMP preset.
-        mem_size: bytes of RAM.
-        scheme: PROXY() implementation (high-bit flip or fixed offset).
-        queue_depth: if positive, build the section-7 *queued* UDMA device
-            with this queue depth; 0 (default, or from the cost model)
-            builds the basic device.
-        replacement_policy: "fifo" | "lru" | "clock".
-        i3_strategy: "write-protect" (the paper's primary) or
-            "proxy-dirty" (the alternative of section 6).
-        guard_strategy: how the I4 remap guard queries the hardware.
-        record_trace: keep a full event trace (tests/debugging).
-        obs: observability plane configuration -- an
-            :class:`~repro.obs.ObsConfig` (build a private plane), a
-            shared :class:`~repro.obs.Observability` (cluster nodes share
-            one registry/span tracker, namespaced by node name), or None
-            for the metrics-only default.  See ``docs/OBSERVABILITY.md``.
-        dma_burst_bytes: > 0 runs the UDMA engine in word-stepping mode
-            with bursts of this many bytes (progress is observable).
-        dma_bursts_per_event: batch this many stepping bursts per clock
-            event -- same final memory and completion cycles, fewer host
-            events (see :class:`repro.dma.engine.DmaEngine`).
-        fast_paths: False disables the host-side fast paths (the CPU's
-            software translation cache and page-run buffer I/O), forcing
-            the reference word-stepped / full-walk paths.  Simulated
-            outcomes must be bit-identical either way -- the chaos
-            differential oracle replays workloads with this off to prove
-            it.
-        reliability: enable the ack/retransmit transport
-            (:mod:`repro.net.reliable`) on any
-            :class:`~repro.net.nic.ShrimpNic` attached to this machine --
-            ``True`` for defaults or a
-            :class:`~repro.net.reliable.ReliabilityConfig`.  Default off:
-            the NIC stays exactly the paper's (fast and lossy).  Clusters
-            normally pass ``reliability=`` to
-            :class:`~repro.cluster.ShrimpCluster` instead, which shares
-            one plane across all nodes.
+        config: a :class:`~repro.config.MachineConfig`; ``None`` builds
+            the defaults.
+        clock: share an existing clock (a cluster's); ``None`` builds a
+            private one configured from ``config.pooling``/``pool_debug``.
+        tracer: share an existing tracer; ``None`` derives one from the
+            observability plane / ``config.record_trace``.
+        name: node name (namespaces metrics and trace sources).
+
+    Legacy keyword construction (``Machine(mem_size=...)``) still works
+    -- the keywords are routed through
+    :meth:`~repro.config.MachineConfig.from_kwargs`, which emits a
+    ``DeprecationWarning``.  The ``iommu`` option is config-only.
     """
 
     def __init__(
         self,
-        costs: Optional[CostModel] = None,
-        mem_size: int = 1 << 22,
-        scheme: ProxyScheme = ProxyScheme.HIGH_BIT,
-        queue_depth: Optional[int] = None,
-        replacement_policy: str = "clock",
-        i3_strategy: str = I3_WRITE_PROTECT,
-        guard_strategy: GuardStrategy = GuardStrategy.REGISTERS,
-        bounce_frames: int = 8,
-        record_trace: bool = False,
+        config: Optional[MachineConfig] = None,
+        *,
         clock: Optional[Clock] = None,
         tracer: Optional[Tracer] = None,
         name: str = "node",
-        dma_burst_bytes: int = 0,
-        dma_bursts_per_event: int = 1,
-        swap: str = "dict",
-        fast_paths: bool = True,
-        obs: "Optional[ObsConfig | Observability]" = None,
-        reliability: "bool | object | None" = None,
-        pooling: bool = True,
-        pool_debug: bool = False,
-        protection: "str | ProtectionBackend | None" = None,
+        **legacy: object,
     ) -> None:
-        self.costs = costs if costs is not None else shrimp()
+        if config is not None:
+            if legacy:
+                raise TypeError(
+                    "Machine() takes config= or legacy keyword arguments, "
+                    f"not both (got {', '.join(sorted(legacy))})"
+                )
+            if not isinstance(config, MachineConfig):
+                raise ConfigurationError(
+                    f"config must be a MachineConfig, got {type(config).__name__}"
+                )
+        else:
+            config = MachineConfig.from_kwargs(**legacy)
+        self.config = config
+        self.costs = config.costs if config.costs is not None else shrimp()
         self.name = name
         # ``pooling``/``pool_debug`` apply only when the machine owns its
         # clock; a shared (cluster) clock arrives pre-configured.
         self.clock = (
             clock
             if clock is not None
-            else Clock(pooling=pooling, pool_debug=pool_debug)
+            else Clock(pooling=config.pooling, pool_debug=config.pool_debug)
         )
+        obs = config.obs
         if isinstance(obs, Observability):
             # Shared plane (a cluster's): namespace this node's metrics.
             self.obs = obs
@@ -136,26 +121,30 @@ class Machine:
             self.tracer = self.obs.tracer
         else:
             self.tracer = Tracer(
-                record=record_trace or self.obs.config.record_trace
+                record=config.record_trace or self.obs.config.record_trace
             )
         if self.obs.tracer is None:
             self.obs.tracer = self.tracer
         self._metrics_bound = False
         self.layout = Layout(
-            mem_size=mem_size,
-            scheme=scheme,
+            mem_size=config.mem_size,
+            scheme=config.scheme,
             page_size=self.costs.page_size,
         )
-        self.physmem = PhysicalMemory(mem_size, self.costs.page_size)
+        self.physmem = PhysicalMemory(config.mem_size, self.costs.page_size)
         self.mmu = MMU(self.costs, clock=None)  # walk penalty charged via CPU path
 
-        depth = queue_depth if queue_depth is not None else self.costs.udma_queue_depth
+        depth = (
+            config.queue_depth
+            if config.queue_depth is not None
+            else self.costs.udma_queue_depth
+        )
         self.udma_engine = DmaEngine(
             self.clock, self.costs, name=f"{name}.udma-engine",
-            tracer=self.tracer, burst_bytes=dma_burst_bytes,
-            bursts_per_event=dma_bursts_per_event,
+            tracer=self.tracer, burst_bytes=config.dma_burst_bytes,
+            bursts_per_event=config.dma_bursts_per_event,
         )
-        backend = make_backend(protection)
+        backend = make_backend(config.protection)
         if depth > 0:
             self.udma: UdmaController = QueuedUdmaController(
                 self.layout,
@@ -194,7 +183,7 @@ class Machine:
             udma=self.udma,
             tracer=self.tracer,
         )
-        if not fast_paths:
+        if not config.fast_paths:
             self.cpu.xlat_enabled = False
             self.cpu.bulk_io_enabled = False
         self.kernel = Kernel(
@@ -206,22 +195,36 @@ class Machine:
             cpu=self.cpu,
             udma_controllers=[self.udma],
             tdma=self.tdma,
-            replacement_policy=replacement_policy,
-            i3_strategy=i3_strategy,
-            guard_strategy=guard_strategy,
-            bounce_frames=bounce_frames,
+            replacement_policy=config.replacement_policy,
+            i3_strategy=config.i3_strategy,
+            guard_strategy=config.guard_strategy,
+            bounce_frames=config.bounce_frames,
             tracer=self.tracer,
         )
+        #: the virtual-address RDMA tier (:mod:`repro.iommu`); built only
+        #: when the config asks for it -- ``None`` keeps every receive
+        #: path byte-identical to the paper's physical-address NIC
+        self.iommu: Optional[Iommu] = None
+        iommu_config = config.iommu_config
+        if iommu_config is not None:
+            self.iommu = Iommu(
+                iommu_config,
+                clock=self.clock,
+                costs=self.costs,
+                kernel=self.kernel,
+                name=f"{name}.iommu",
+                tracer=self.tracer,
+            )
         if self.obs.spans is not None:
             self.udma._spans = self.obs.spans
             self.udma_engine._spans = self.obs.spans
         self.swap_disk = None
         #: requested reliability setting; the plane itself is created
         #: lazily when the first NIC is attached (most machines have none)
-        self._reliability_requested = reliability
+        self._reliability_requested = config.reliability
         self.reliability = None
-        if swap != "dict":
-            self._attach_swap_disk(swap, bounce_frames)
+        if config.swap != "dict":
+            self._attach_swap_disk(config.swap, config.bounce_frames)
         if self.obs.config.metrics:
             self._bind_metrics()
 
@@ -278,6 +281,10 @@ class Machine:
         window = self.udma.attach_device(device)
         if self.obs.spans is not None:
             device._spans = self.obs.spans
+        if self.iommu is not None and hasattr(device, "attach_iommu"):
+            # The virtual-address RDMA tier: the NIC's receive DMA
+            # translates through this node's IOMMU.
+            device.attach_iommu(self.iommu)
         if self._reliability_requested and hasattr(device, "enable_reliability"):
             # A NIC on a reliability-enabled machine joins the machine's
             # plane (created on first need).
@@ -381,6 +388,25 @@ class Machine:
             reg.counter(p + "udma.completions", lambda: sm.completions)
             reg.counter(p + "udma.bad_loads", lambda: sm.bad_loads)
             reg.counter(p + "udma.invals", lambda: sm.invals)
+        if self.iommu is not None:
+            # IOMMU names exist only when the tier does: default machines
+            # keep the historical metric name set bit-identical
+            # (golden-file gated).
+            io = self.iommu
+            reg.counter(p + "iommu.translations", lambda: io.translations)
+            reg.counter(p + "iommu.iotlb_hits", lambda: io.iotlb.hits)
+            reg.counter(p + "iommu.iotlb_misses", lambda: io.iotlb.misses)
+            reg.counter(
+                p + "iommu.delivered_direct", lambda: io.delivered_direct
+            )
+            reg.counter(
+                p + "iommu.delivered_replayed", lambda: io.delivered_replayed
+            )
+            reg.counter(p + "iommu.faults_parked", lambda: io.faults_parked)
+            reg.counter(p + "iommu.faults_reparked", lambda: io.faults_reparked)
+            reg.counter(p + "iommu.aborted", lambda: io.aborted)
+            reg.gauge(p + "iommu.parked_now", lambda: io.parked_count)
+            reg.gauge(p + "iommu.windows", lambda: io.table.windows)
         reg.gauge(p + "sim.now_cycles", lambda: self.clock.now)
         reg.counter(p + "sim.events_fired", lambda: self.clock.events_fired)
         self.udma._latency_hist = reg.histogram(

@@ -36,12 +36,13 @@ from repro.errors import ConfigurationError, NetworkError
 from repro.mem.physmem import PhysicalMemory
 from repro.net.fifo import BoundedFifo
 from repro.net.interconnect import Interconnect, ReceiverPort
-from repro.net.nipt import NetworkInterfacePageTable
-from repro.net.packet import Packet
+from repro.net.nipt import NetworkInterfacePageTable, NiptEntry
+from repro.net.packet import Packet, is_virtual, pack_virtual
 from repro.params import CostModel
 from repro.sim.clock import transfer_cycles
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.iommu import Iommu, ParkedTransfer
     from repro.net.reliable import ReliabilityPlane
 
 #: device-specific error bits (above the standard low bits)
@@ -93,6 +94,10 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         #: keeps the NIC exactly as fast -- and exactly as lossy -- as the
         #: paper's hardware
         self.reliability: Optional["ReliabilityPlane"] = None
+        #: the receive-side IOMMU (:mod:`repro.iommu`); ``None`` keeps the
+        #: receive DMA writing resolved physical addresses, exactly the
+        #: paper's EISA DMA logic
+        self.iommu: Optional["Iommu"] = None
         # Automatic-update bindings: local physical page -> NIPT index.
         self._automatic: Dict[int, int] = {}
         # Metrics and measurement hooks.
@@ -116,6 +121,10 @@ class ShrimpNic(UDMADevice, ReceiverPort):
     def enable_reliability(self, plane: "ReliabilityPlane") -> None:
         """Join an ack/retransmit transport plane (shared per backplane)."""
         self.reliability = plane
+
+    def attach_iommu(self, iommu: "Iommu") -> None:
+        """Put the node's IOMMU in front of this NIC's receive DMA."""
+        self.iommu = iommu
 
     # ----------------------------------------------------- UDMA device side
     def physical_errors(self, as_source: bool, offset: int, nbytes: int) -> int:
@@ -161,7 +170,7 @@ class ShrimpNic(UDMADevice, ReceiverPort):
             raise ConfigurationError(f"{self.name} is not attached/connected")
         index = offset // self.page_size
         entry = self.nipt.require(index)
-        dst_paddr = entry.dst_page * self.page_size + offset % self.page_size
+        dst_paddr = self._entry_dst(entry, offset % self.page_size)
         pkt_span = None
         if self._spans is not None and self._spans.current_data_span is not None:
             # The engine publishes the transfer span whose data this is;
@@ -203,6 +212,21 @@ class ShrimpNic(UDMADevice, ReceiverPort):
             )
             self._fill_cycles[nbytes] = fill_duration
         self._launch(packet, fill_start=self.clock.now - fill_duration)
+
+    def _entry_dst(self, entry: NiptEntry, in_page: int) -> int:
+        """Destination word for one NIPT entry + in-page byte offset.
+
+        A physical entry resolves to the destination physical address,
+        exactly the paper's header word.  A *virtual* entry (the IOMMU
+        tier) encodes (asid, virtual address) into the same 64-bit word
+        -- see :mod:`repro.net.packet` -- leaving the wire format and
+        every timing property byte-identical.
+        """
+        if entry.virtual:
+            return pack_virtual(
+                entry.dst_asid, entry.dst_page * self.page_size + in_page
+            )
+        return entry.dst_page * self.page_size + in_page
 
     # ------------------------------------------------------------ send path
     def _launch(self, packet: Packet, fill_start: Optional[int] = None) -> None:
@@ -309,8 +333,15 @@ class ShrimpNic(UDMADevice, ReceiverPort):
                 return
             self.reliability.on_ack(self, packet)
             return
-        if packet.dst_paddr + len(packet.payload) > self.physmem.size:
-            # The EISA DMA logic refuses to scribble outside RAM.
+        if (
+            not (self.iommu is not None and is_virtual(packet.dst_paddr))
+            and packet.dst_paddr + len(packet.payload) > self.physmem.size
+        ):
+            # The EISA DMA logic refuses to scribble outside RAM.  A tagged
+            # virtual destination (bit 63) is deferred to the IOMMU at
+            # delivery time -- unless this node has no IOMMU, in which case
+            # the huge raw word is refused right here, the correct
+            # behaviour for a mis-routed virtual packet.
             self.rx_errors += 1
             if self.tracer.enabled:
                 self.tracer.emit(
@@ -354,7 +385,41 @@ class ShrimpNic(UDMADevice, ReceiverPort):
     def _rx_dma_complete(self) -> None:
         assert self.clock is not None
         packet = self.incoming.pop()
-        self.physmem.write(packet.dst_paddr, packet.payload)
+        if self.iommu is not None and is_virtual(packet.dst_paddr):
+            verdict = self.iommu.receive(self, packet)
+            if verdict.stall:
+                # Translation (IOTLB hit or walk) occupies the receive DMA.
+                self._rx_free_at = max(
+                    self._rx_free_at, self.clock.now + verdict.stall
+                )
+            if verdict.kind == "deliver":
+                self._rx_deliver(packet, verdict.paddr)
+            elif verdict.kind == "park":
+                # The IOMMU snapshotted the payload (and retained the
+                # packet object if spans/reliability/hooks need it back at
+                # replay); a pooled shell can go home now.
+                if packet._pooled and not self.on_receive:
+                    self._release_pooled(packet)
+            else:  # abort: degrade to the classic refusal
+                self.rx_errors += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.clock.now,
+                        self.name,
+                        "rx-iommu-abort",
+                        reason=verdict.reason,
+                        src=packet.src_node,
+                        seq=packet.seq,
+                    )
+                if packet._pooled and not self.on_receive:
+                    self._release_pooled(packet)
+            return
+        self._rx_deliver(packet, packet.dst_paddr)
+
+    def _rx_deliver(self, packet: Packet, dst_paddr: int) -> None:
+        """Land one packet's payload at its resolved physical address."""
+        assert self.clock is not None
+        self.physmem.write(dst_paddr, packet.payload)
         self.packets_received += 1
         self.bytes_received += len(packet.payload)
         self.last_delivery_done = self.clock.now
@@ -362,7 +427,7 @@ class ShrimpNic(UDMADevice, ReceiverPort):
             # Cluster nodes share one tracker, so the receiving NIC can
             # close the span the sending NIC opened.
             self._spans.finish(
-                packet.span, status="delivered", paddr=f"{packet.dst_paddr:#x}"
+                packet.span, status="delivered", paddr=f"{dst_paddr:#x}"
             )
         if self.tracer.enabled:
             self.tracer.emit(
@@ -370,7 +435,7 @@ class ShrimpNic(UDMADevice, ReceiverPort):
                 self.name,
                 "packet-rx",
                 src=packet.src_node,
-                paddr=f"{packet.dst_paddr:#x}",
+                paddr=f"{dst_paddr:#x}",
                 bytes=len(packet.payload),
                 seq=packet.seq,
             )
@@ -383,13 +448,72 @@ class ShrimpNic(UDMADevice, ReceiverPort):
             # Delivered and nothing downstream retains it: recycle.  The
             # receiving backplane is the one that lent the packet (pools
             # are per-backplane, per-shard), so the shell goes home.
-            pool = (
-                self.interconnect.packet_pool
-                if self.interconnect is not None
-                else None
+            self._release_pooled(packet)
+
+    def _release_pooled(self, packet: Packet) -> None:
+        pool = (
+            self.interconnect.packet_pool
+            if self.interconnect is not None
+            else None
+        )
+        if pool is not None:
+            pool.release(packet)
+
+    # ----------------------------------------------- fault-and-resume hooks
+    def complete_parked(self, parked: "ParkedTransfer", dst_paddr: int) -> None:
+        """Replay one parked transfer at its now-resident destination.
+
+        Called by the IOMMU's replay path with the resolved physical
+        address; performs exactly the accounting a direct delivery would,
+        so delivered-vs-sent ledgers hold with or without faults.
+        """
+        assert self.clock is not None
+        self.physmem.write(dst_paddr, parked.payload)
+        self.packets_received += 1
+        self.bytes_received += len(parked.payload)
+        self.last_delivery_done = self.clock.now
+        if self._spans is not None:
+            self._spans.finish(
+                parked.span, status="delivered", paddr=f"{dst_paddr:#x}"
             )
-            if pool is not None:
-                pool.release(packet)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now,
+                self.name,
+                "packet-rx-replay",
+                src=parked.src_node,
+                paddr=f"{dst_paddr:#x}",
+                bytes=len(parked.payload),
+                seq=parked.seq,
+            )
+        packet = parked.packet
+        if packet is None and (self.on_receive or self.reliability is not None):
+            packet = Packet(
+                src_node=parked.src_node,
+                dst_node=self.node_id,
+                dst_paddr=parked.dst_word,
+                payload=parked.payload,
+                seq=parked.seq,
+            )
+        if packet is not None:
+            for hook in self.on_receive:
+                hook(packet)
+            if self.reliability is not None:
+                self.reliability.on_delivered(self, packet)
+
+    def abort_parked(self, parked: "ParkedTransfer", reason: str) -> None:
+        """A parked transfer degraded (budget/revocation): classic refusal."""
+        assert self.clock is not None
+        self.rx_errors += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock.now,
+                self.name,
+                "rx-iommu-abort",
+                reason=reason,
+                src=parked.src_node,
+                seq=parked.seq,
+            )
 
     # ------------------------------------------------------ automatic update
     def bind_automatic(self, local_page: int, nipt_index: int) -> None:
@@ -416,7 +540,7 @@ class ShrimpNic(UDMADevice, ReceiverPort):
         if index is None:
             return
         entry = self.nipt.require(index)
-        dst_paddr = entry.dst_page * self.page_size + paddr % self.page_size
+        dst_paddr = self._entry_dst(entry, paddr % self.page_size)
         packet = Packet(
             src_node=self.node_id,
             dst_node=entry.dst_node,

@@ -26,10 +26,25 @@ DEFAULT_NIPT_ENTRIES = 1 << 15
 
 @dataclass(frozen=True)
 class NiptEntry:
-    """One destination: a remote node and a physical page on it."""
+    """One destination: a remote node and a page on it.
+
+    ``dst_page`` is a *physical* frame number in the paper's design.
+    Under the virtual-address RDMA tier (``repro.iommu``) an entry may
+    instead name a destination address space: ``dst_asid >= 0`` marks the
+    entry virtual and ``dst_page`` becomes a virtual page number in that
+    ASID, translated by the receiving node's IOMMU at delivery time.
+    """
 
     dst_node: int
     dst_page: int
+    #: destination address-space id; -1 (the default) keeps the entry
+    #: physical, exactly the paper's NIPT
+    dst_asid: int = -1
+
+    @property
+    def virtual(self) -> bool:
+        """True when this entry names a virtual page (IOMMU tier)."""
+        return self.dst_asid >= 0
 
 
 class NetworkInterfacePageTable:
@@ -55,15 +70,21 @@ class NetworkInterfacePageTable:
         """Subscribe to set/clear events (host-side, costs nothing)."""
         self._listeners.append(listener)
 
-    def set_entry(self, index: int, dst_node: int, dst_page: int) -> None:
-        """OS-side: install a destination mapping."""
+    def set_entry(
+        self, index: int, dst_node: int, dst_page: int, dst_asid: int = -1
+    ) -> None:
+        """OS-side: install a destination mapping.
+
+        ``dst_asid >= 0`` installs a *virtual* entry (the IOMMU tier):
+        ``dst_page`` is then a virtual page in that remote address space.
+        """
         self._check_index(index)
         if dst_node < 0 or dst_page < 0:
             raise ConfigurationError(
                 f"NIPT entry must name a real destination, got node {dst_node} "
                 f"page {dst_page}"
             )
-        self._entries[index] = NiptEntry(dst_node, dst_page)
+        self._entries[index] = NiptEntry(dst_node, dst_page, dst_asid)
         self.generation += 1
         for listener in self._listeners:
             listener(index, True)

@@ -52,6 +52,39 @@ _KIND_BY_MAGIC = {_MAGIC: "data", _MAGIC_ACK: "ack"}
 
 _LITTLE_ENDIAN_HOST = sys.byteorder == "little"
 
+# ----------------------------------------------------- tagged destinations
+# The virtual-address RDMA tier (repro.iommu) rides in the header's
+# existing 64-bit destination word, so the wire format -- and therefore
+# every packet's wire timing -- is byte-identical whether the tier is on
+# or off.  Bit 63 flags a virtual destination; bits 48-62 carry the
+# destination ASID (15 bits, matching the NIPT's 15-bit index width);
+# bits 0-47 carry the destination *virtual* address.  Physical packets
+# never set bit 63 (RAM sizes are nowhere near 2^63), so an IOMMU-off
+# run produces exactly the historical address words.
+VIRT_FLAG = 1 << 63
+VIRT_ASID_SHIFT = 48
+VIRT_ASID_MASK = (1 << 15) - 1
+VIRT_ADDR_MASK = (1 << VIRT_ASID_SHIFT) - 1
+
+
+def pack_virtual(asid: int, vaddr: int) -> int:
+    """Encode (asid, virtual address) into a tagged destination word."""
+    if not 0 <= asid <= VIRT_ASID_MASK:
+        raise NetworkError(f"ASID {asid} does not fit the tagged-address field")
+    if not 0 <= vaddr <= VIRT_ADDR_MASK:
+        raise NetworkError(f"vaddr {vaddr:#x} does not fit the tagged-address field")
+    return VIRT_FLAG | (asid << VIRT_ASID_SHIFT) | vaddr
+
+
+def is_virtual(dst_word: int) -> bool:
+    """True when a destination word carries a virtual (IOMMU) address."""
+    return bool(dst_word & VIRT_FLAG)
+
+
+def unpack_virtual(dst_word: int) -> "tuple[int, int]":
+    """Decode a tagged destination word into (asid, virtual address)."""
+    return (dst_word >> VIRT_ASID_SHIFT) & VIRT_ASID_MASK, dst_word & VIRT_ADDR_MASK
+
 
 def _checksum(payload: "bytes | bytearray | memoryview") -> int:
     """A cheap 32-bit additive checksum over little-endian words.

@@ -112,6 +112,17 @@ class CostModel:
     #: store-and-forward ablation)
     rx_dma_bytes_per_cycle: float = 0.6
 
+    # ------------------------------------------------------------- IOMMU
+    #: IOTLB hit on the receive path (the I/O translation cache in front
+    #: of the receive DMA); charged as receive-DMA occupancy
+    iommu_iotlb_hit_cycles: int = 2
+    #: full I/O page-table walk on an IOTLB miss (two dependent uncached
+    #: table reads by the NIC-side walker)
+    iommu_walk_cycles: int = 140
+    #: kernel service of one parked transfer (interrupt + map-in fixup),
+    #: excluding swap I/O which is charged separately at swap_io_cycles
+    iommu_fault_service_cycles: int = 900
+
     # --------------------------------------------------------- generic disk
     disk_seek_cycles: int = 600_000          # ~10 ms at 60 MHz
     disk_bytes_per_cycle: float = 0.17       # ~10 MB/s streaming

@@ -40,8 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class CapTableBackend(ProtectionBackend):
     name = "captable"
-    #: indexed table lookup + slot-generation compare on the LOAD path
-    initiation_check_cycles = 6
+    #: Calibrated against CAPIO's measured fast path: their capability
+    #: validation is ~2 dependent cache-line reads (slot entry, then the
+    #: generation word) plus compares -- tens of ns on commodity cores,
+    #: i.e. ~10 cycles of a 100 MHz SHRIMP-era node once the accesses
+    #: hit cache.  The earlier placeholder of 6 undercounted the second
+    #: dependent read.
+    initiation_check_cycles = 10
     BUGS = ("stale-cap",)
 
     def __init__(self, bug=None) -> None:

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.workloads import make_payload
+from repro.config import MachineConfig
 from repro.errors import ConfigurationError, DmaError
 from repro.kernel.invariants import InvariantChecker
 from repro.kernel.process import Process
@@ -112,6 +113,8 @@ class NodeRuntime:
     messages_total: int
     gap: int
     next_step: Optional[int]
+    rx_proc: Process
+    rx_buf: int
     in_links: List[Tuple[int, int]] = field(default_factory=list)
     sent: int = 0
     steps: int = 0
@@ -128,12 +131,15 @@ def build_node(
 ) -> Tuple[Machine, ShrimpNic]:
     """Construct one node (machine + NIC) on a fresh ShardClock."""
     machine = Machine(
-        costs=costs,
-        mem_size=spec.mem_size,
+        config=MachineConfig(
+            costs=costs,
+            mem_size=spec.mem_size,
+            obs=obs,
+            fast_paths=True,
+            iommu=spec.iommu,
+        ),
         clock=ShardClock(pooling=spec.pooling),
         name=f"node{node_id}",
-        obs=obs,
-        fast_paths=True,
     )
     nic = ShrimpNic(
         node_id=node_id,
@@ -189,19 +195,36 @@ def setup_node(
 
     rx_proc = machine.create_process(f"rx{node_id}")
     rx_buf = kernel.syscalls.alloc(rx_proc, nbytes)
-    frames = _export_receive_buffer(machine, rx_proc, rx_buf, npages)
-    if canonical_frames is not None and frames != tuple(canonical_frames):
-        raise ConfigurationError(
-            f"node {node_id} receive frames {frames} diverged from the "
-            f"canonical {tuple(canonical_frames)}; deterministic "
-            "construction is broken"
-        )
-    # Sender side of the ring channel node_id -> dst: NIPT entries name
-    # the destination's canonical frames (identical construction makes
-    # them knowable without touching the destination's shard).
     dst = spec.dst_of(node_id)
-    for k, frame in enumerate(canonical_frames or frames):
-        nic.nipt.set_entry(k, dst, frame)
+    if spec.iommu:
+        # Virtual-address tier: export the window to the IOMMU and leave
+        # the buffer *cold* -- no residency, no pin -- so the first
+        # delivery to each page parks, fault-services and replays.  The
+        # NIPT names the destination's (asid, vpage); identical
+        # construction makes our own rx identifiers the destination's,
+        # so no canonical-frame probe is needed (or possible: frames are
+        # assigned at fault-service time).
+        assert machine.iommu is not None
+        base_vpage = rx_buf // ps
+        for i in range(npages):
+            machine.iommu.register_window(
+                rx_proc.asid, base_vpage + i, writable=True
+            )
+        for k in range(npages):
+            nic.nipt.set_entry(k, dst, base_vpage + k, rx_proc.asid)
+    else:
+        frames = _export_receive_buffer(machine, rx_proc, rx_buf, npages)
+        if canonical_frames is not None and frames != tuple(canonical_frames):
+            raise ConfigurationError(
+                f"node {node_id} receive frames {frames} diverged from the "
+                f"canonical {tuple(canonical_frames)}; deterministic "
+                "construction is broken"
+            )
+        # Sender side of the ring channel node_id -> dst: NIPT entries
+        # name the destination's canonical frames (identical construction
+        # makes them knowable without touching the destination's shard).
+        for k, frame in enumerate(canonical_frames or frames):
+            nic.nipt.set_entry(k, dst, frame)
 
     tx_proc = machine.create_process(f"tx{node_id}")
     grant = kernel.syscalls.grant_device_proxy(
@@ -225,6 +248,8 @@ def setup_node(
         msg_bytes=spec.msg_bytes,
         messages_total=spec.messages_per_node,
         gap=spec.gap_cycles,
+        rx_proc=rx_proc,
+        rx_buf=rx_buf,
         # Setup itself charges the node's clock (identically on every
         # node); the schedule is relative to that end so the per-node
         # jitter survives whatever setup costs.
@@ -236,6 +261,11 @@ def probe_canonical_frames(
     spec: ClusterSpec, costs: "CostModel | None" = None
 ) -> Tuple[int, ...]:
     """Build one throwaway template node; return its receive frames."""
+    if spec.iommu:
+        # Virtual NIPT entries carry (asid, vpage), not frames; frames
+        # are assigned at fault-service time, so there is nothing to
+        # probe and nothing for senders to need.
+        return ()
     costs = costs if costs is not None else shrimp()
     scratch = Interconnect(Clock(), costs, topology="linear")
     obs = Observability(ObsConfig(metrics=False))
@@ -520,7 +550,17 @@ class Shard:
         cpu, vm = machine.cpu, machine.kernel.vm
         sched = machine.kernel.scheduler
         i = rt.node_id
+        extra: Dict[str, int] = {}
+        if machine.iommu is not None:
+            # The park/replay ledger joins the determinism surface: a
+            # shard-count-dependent fault service would show up here
+            # before it corrupted a digest.
+            extra = {
+                f"io{i}.{key}": value
+                for key, value in machine.iommu.counters().items()
+            }
         return {
+            **extra,
             f"n{i}.now": rt.clock.now,
             f"n{i}.loads": cpu.loads,
             f"n{i}.stores": cpu.stores,

@@ -57,6 +57,14 @@ class ClusterSpec:
         pooling: enable the event/packet free-list fast lane (exact: the
             simulation is bit-identical on or off, which the chaos
             ``--no-pool`` differential mode verifies).
+        iommu: run every node with the virtual-address RDMA tier
+            (:mod:`repro.iommu`): NIPT entries name (asid, virtual page)
+            on the receiver, receive buffers start *cold* (allocated but
+            not resident, never pinned), and the first delivery to each
+            page takes the park / fault-service / replay path.  Park and
+            replay are local clock events, so the determinism contract
+            is unchanged: equal specs yield bit-identical artefacts at
+            any shard count.
     """
 
     num_nodes: int = 64
@@ -71,6 +79,7 @@ class ClusterSpec:
     channel_pages: int = 1
     nipt_entries: int = 16
     pooling: bool = True
+    iommu: bool = False
 
     def __post_init__(self) -> None:
         costs = shrimp()

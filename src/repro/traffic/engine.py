@@ -33,6 +33,7 @@ from repro.cluster import ShrimpCluster
 from repro.errors import ConfigurationError
 from repro.traffic.generators import TrafficPattern, Xorshift, _mix_seed, make_pattern
 from repro.traffic.tenants import TenantPlacement
+from repro.config import ClusterConfig
 
 #: Retry delay after a busy UDMA engine, mirroring the sharded transport's
 #: RETRY_GAP_CYCLES so single-clock and sharded workloads back off alike.
@@ -299,14 +300,16 @@ def run_scenario(
         nipt_need = max(nipt_need, placement.nipt_demand(node))
     mem_size = max((pages + 64) * 4096, 1 << 22)
     cluster = ShrimpCluster(
-        num_nodes=num_nodes,
-        mem_size=mem_size,
-        nipt_entries=nipt_entries if nipt_entries is not None else nipt_need,
-        topology=topology,
-        mesh_width=mesh_width,
-        pooling=pooling,
-        pipelining=pipelining,
-    )
+                  config=ClusterConfig(
+                      num_nodes=num_nodes,
+                      mem_size=mem_size,
+                      nipt_entries=nipt_entries if nipt_entries is not None else nipt_need,
+                      topology=topology,
+                      mesh_width=mesh_width,
+                      pooling=pooling,
+                      pipelining=pipelining,
+                  ),
+              )
     engine = TrafficEngine(
         cluster,
         placement,

@@ -50,6 +50,14 @@ class BackingStore:
         """True if a swap copy exists for this page."""
         return (asid, vpage) in self._pages
 
+    def peek(self, asid: int, vpage: int) -> Optional[bytes]:
+        """Inspection-only read: no counters, no simulated I/O.
+
+        Used by logical-memory digests (the chaos convergence oracle)
+        so observing a run never perturbs it.
+        """
+        return self._pages.get((asid, vpage))
+
     def discard(self, asid: int, vpage: int) -> None:
         """Drop the swap copy (process exit / unmap)."""
         self._pages.pop((asid, vpage), None)

@@ -19,7 +19,7 @@ import os
 import pytest
 from hypothesis import HealthCheck, settings
 
-from repro import Machine, ShrimpCluster
+from repro import ClusterConfig, Machine, MachineConfig, ShrimpCluster
 from repro.devices import SinkDevice
 from repro.userlib import DeviceRef, MemoryRef, Receiver, Sender, UdmaUser
 
@@ -42,13 +42,13 @@ settings.load_profile("ci" if os.environ.get("CI") else "dev")
 @pytest.fixture
 def machine():
     """A small single node with default (basic, unqueued) UDMA."""
-    return Machine(mem_size=1 << 20)
+    return Machine(config=MachineConfig(mem_size=1 << 20))
 
 
 @pytest.fixture
 def queued_machine():
     """A small single node with the section-7 queued UDMA device."""
-    return Machine(mem_size=1 << 20, queue_depth=8)
+    return Machine(config=MachineConfig(mem_size=1 << 20, queue_depth=8))
 
 
 @pytest.fixture
@@ -57,13 +57,18 @@ def sink_machine():
 
     Returns a simple namespace with everything a UDMA test needs.
     """
-    return _build_sink_machine(Machine(mem_size=1 << 20))
+    return _build_sink_machine(Machine(config=MachineConfig(mem_size=1 << 20)))
 
 
 @pytest.fixture
 def queued_sink_machine():
     """Queued-device variant of :func:`sink_machine`."""
-    return _build_sink_machine(Machine(mem_size=1 << 20, queue_depth=8))
+    return _build_sink_machine(Machine(
+                                   config=MachineConfig(
+                                       mem_size=1 << 20,
+                                       queue_depth=8,
+                                   ),
+                               ))
 
 
 class SinkRig:
@@ -100,7 +105,7 @@ def _build_sink_machine(machine) -> SinkRig:
 @pytest.fixture
 def cluster2():
     """Two SHRIMP nodes on one backplane."""
-    return ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    return ShrimpCluster(config=ClusterConfig(num_nodes=2, mem_size=1 << 21))
 
 
 class ChannelRig:

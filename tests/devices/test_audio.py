@@ -5,6 +5,7 @@ import pytest
 from repro.devices.audio import ERR_NOT_SEQUENTIAL, AudioDevice
 from repro.errors import DeviceError
 from repro.sim.clock import Clock
+from repro.config import MachineConfig
 
 
 @pytest.fixture
@@ -95,7 +96,7 @@ class TestEndToEndUdma:
         from repro import Machine
         from repro.userlib import DeviceRef, MemoryRef, UdmaUser
 
-        machine = Machine(mem_size=1 << 20)
+        machine = Machine(config=MachineConfig(mem_size=1 << 20))
         audio = AudioDevice(ring_bytes=8192, bytes_per_cycle=0.01)
         machine.attach_device(audio)
         p = machine.create_process("player")

@@ -9,6 +9,7 @@ from repro.dma.engine import DeviceEndpoint, DmaEngine, MemoryEndpoint
 from repro.mem.physmem import PhysicalMemory
 from repro.params import shrimp
 from repro.sim.clock import Clock
+from repro.config import MachineConfig
 
 
 @pytest.fixture
@@ -129,7 +130,12 @@ class TestSteppingMachine:
         from repro.userlib import DeviceRef, MemoryRef, UdmaUser
         from repro.bench.workloads import make_payload
 
-        machine = Machine(mem_size=1 << 20, dma_burst_bytes=64)
+        machine = Machine(
+                      config=MachineConfig(
+                          mem_size=1 << 20,
+                          dma_burst_bytes=64,
+                      ),
+                  )
         sink = SinkDevice("sink", size=1 << 14)
         machine.attach_device(sink)
         p = machine.create_process("app")
@@ -145,7 +151,12 @@ class TestSteppingMachine:
     def test_remaining_bytes_tracks_true_progress(self):
         from repro import Machine, UdmaStatus
 
-        machine = Machine(mem_size=1 << 20, dma_burst_bytes=64)
+        machine = Machine(
+                      config=MachineConfig(
+                          mem_size=1 << 20,
+                          dma_burst_bytes=64,
+                      ),
+                  )
         sink = SinkDevice("sink", size=1 << 14)
         machine.attach_device(sink)
         p = machine.create_process("app")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.errors import ConfigurationError, SyscallError
 
 PAGE = 4096
@@ -10,7 +10,9 @@ PAGE = 4096
 
 @pytest.fixture
 def bound_pair():
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 20),
+              )
     src = cluster.node(0).create_process("writer")
     dst = cluster.node(1).create_process("mirror")
     src_buf = cluster.node(0).kernel.syscalls.alloc(src, 2 * PAGE)
@@ -77,7 +79,9 @@ class TestAutomaticUpdate:
         assert not cluster.node(0).kernel.frames.is_pinned(frame)
 
     def test_unaligned_source_rejected(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=1 << 20),
+                  )
         src = cluster.node(0).create_process("w")
         dst = cluster.node(1).create_process("m")
         dst_buf = cluster.node(1).kernel.syscalls.alloc(dst, PAGE)
@@ -88,7 +92,9 @@ class TestAutomaticUpdate:
             )
 
     def test_loopback_rejected(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=1 << 20),
+                  )
         p = cluster.node(0).create_process("p")
         buf = cluster.node(0).kernel.syscalls.alloc(p, PAGE)
         with pytest.raises(ConfigurationError):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, MachineConfig, ShrimpCluster
 from repro.bench.workloads import make_payload
 from repro.userlib import CollectiveGroup, MessageRing, Receiver, Sender
 
@@ -12,8 +12,13 @@ PAGE = 4096
 class TestCollectivesOnMesh:
     def test_collectives_work_on_the_2d_mesh(self):
         cluster = ShrimpCluster(
-            num_nodes=4, mem_size=1 << 21, topology="mesh2d", mesh_width=2
-        )
+                      config=ClusterConfig(
+                          num_nodes=4,
+                          mem_size=1 << 21,
+                          topology="mesh2d",
+                          mesh_width=2,
+                      ),
+                  )
         procs = [cluster.node(i).create_process(f"r{i}") for i in range(4)]
         group = CollectiveGroup(cluster, procs, slot_bytes=PAGE)
         data = make_payload(512)
@@ -24,7 +29,13 @@ class TestCollectivesOnMesh:
 
 class TestRingOnQueuedDevice:
     def test_message_ring_over_queued_udma(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, queue_depth=8)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(
+                          num_nodes=2,
+                          mem_size=1 << 21,
+                          queue_depth=8,
+                      ),
+                  )
         src = cluster.node(0).create_process("p")
         dst = cluster.node(1).create_process("c")
         ring = MessageRing(cluster, 0, src, 1, dst, data_bytes=2 * PAGE)
@@ -40,8 +51,13 @@ class TestTracingAcrossTheCluster:
     def test_timeline_renders_a_cluster_run(self):
         from repro.sim.timeline import render_timeline
 
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21,
-                                record_trace=True)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(
+                          num_nodes=2,
+                          mem_size=1 << 21,
+                          record_trace=True,
+                      ),
+                  )
         rx = cluster.node(1).create_process("rx")
         buf = cluster.node(1).kernel.syscalls.alloc(rx, PAGE)
         channel = cluster.create_channel(0, 1, rx, buf, PAGE)
@@ -59,8 +75,13 @@ class TestTracingAcrossTheCluster:
     def test_traffic_report_measures_the_same_run(self):
         from repro.analysis import traffic_report
 
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21,
-                                record_trace=True)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(
+                          num_nodes=2,
+                          mem_size=1 << 21,
+                          record_trace=True,
+                      ),
+                  )
         rx = cluster.node(1).create_process("rx")
         buf = cluster.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
         channel = cluster.create_channel(0, 1, rx, buf, 2 * PAGE)
@@ -81,9 +102,13 @@ class TestSwapWithStepping:
         from repro.kernel.invariants import InvariantChecker
 
         machine = Machine(
-            mem_size=16 * PAGE, bounce_frames=4, swap="disk",
-            dma_burst_bytes=128,
-        )
+                      config=MachineConfig(
+                          mem_size=16 * PAGE,
+                          bounce_frames=4,
+                          swap="disk",
+                          dma_burst_bytes=128,
+                      ),
+                  )
         p = machine.create_process("app")
         va = machine.kernel.syscalls.alloc(p, 14 * PAGE)
         for round_no in range(2):

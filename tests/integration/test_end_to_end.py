@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine, ShrimpCluster
+from repro import ClusterConfig, Machine, MachineConfig, ShrimpCluster
 from repro.bench.workloads import make_payload
 from repro.devices import Disk, FrameBuffer, SinkDevice
 from repro.errors import ProtectionFault
@@ -16,7 +16,9 @@ class TestFourNodePrototype:
     """The paper's four-processor prototype shape."""
 
     def test_all_pairs_can_communicate(self):
-        cluster = ShrimpCluster(num_nodes=4, mem_size=1 << 21)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=4, mem_size=1 << 21),
+                  )
         procs = [cluster.node(i).create_process(f"p{i}") for i in range(4)]
         for src in range(4):
             for dst in range(4):
@@ -32,7 +34,9 @@ class TestFourNodePrototype:
                 assert receiver.recv_bytes(len(message)) == message
 
     def test_concurrent_senders_to_one_receiver(self):
-        cluster = ShrimpCluster(num_nodes=3, mem_size=1 << 21)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=3, mem_size=1 << 21),
+                  )
         rx = cluster.node(2).create_process("rx")
         buf = cluster.node(2).kernel.syscalls.alloc(rx, 2 * PAGE)
         ch0 = cluster.create_channel(0, 2, rx, buf, PAGE)
@@ -52,7 +56,7 @@ class TestFourNodePrototype:
 class TestMultiDeviceNode:
     def test_three_device_families_coexist(self):
         """Disk, frame-buffer and sink share one UDMA controller."""
-        machine = Machine(mem_size=1 << 20)
+        machine = Machine(config=MachineConfig(mem_size=1 << 20))
         disk = Disk("disk", num_blocks=128, block_size=512,
                     seek_cycles=100, bytes_per_cycle=1.0)
         fb = FrameBuffer("fb", width=64, height=32)
@@ -146,7 +150,9 @@ class TestProtectionBetweenProcesses:
 class TestPagingDuringCommunication:
     def test_invariants_hold_under_memory_pressure_with_traffic(self):
         """Paging pressure while a channel is streaming: I1-I4 all hold."""
-        cluster = ShrimpCluster(num_nodes=2, mem_size=24 * PAGE)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=24 * PAGE),
+                  )
         rx = cluster.node(1).create_process("rx")
         buf = cluster.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
         channel = cluster.create_channel(0, 1, rx, buf, 2 * PAGE)
@@ -168,7 +174,9 @@ class TestPagingDuringCommunication:
         assert Receiver(cluster, rx, channel).recv_bytes(2 * PAGE) == data
 
     def test_send_buffer_survives_eviction_between_messages(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=20 * PAGE)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=20 * PAGE),
+                  )
         rx = cluster.node(1).create_process("rx")
         buf = cluster.node(1).kernel.syscalls.alloc(rx, PAGE)
         channel = cluster.create_channel(0, 1, rx, buf, PAGE)

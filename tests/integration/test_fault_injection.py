@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Receiver, Sender, ShrimpCluster
+from repro import ClusterConfig, Receiver, Sender, ShrimpCluster
 from repro.bench import make_payload
 
 PAGE = 4096
@@ -10,7 +10,9 @@ PAGE = 4096
 
 @pytest.fixture
 def lossy_rig():
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 21),
+              )
     rx = cluster.node(1).create_process("rx")
     buf = cluster.node(1).kernel.syscalls.alloc(rx, 4 * PAGE)
     channel = cluster.create_channel(0, 1, rx, buf, 4 * PAGE)

@@ -8,7 +8,7 @@ up as a concrete diff, not as a silently shifted curve.
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench.workloads import make_payload
 from repro.devices import SinkDevice
 from repro.userlib import DeviceRef, MemoryRef, UdmaUser
@@ -18,7 +18,9 @@ PAGE = 4096
 
 @pytest.fixture
 def traced_machine():
-    machine = Machine(mem_size=1 << 20, record_trace=True)
+    machine = Machine(
+                  config=MachineConfig(mem_size=1 << 20, record_trace=True),
+              )
     machine.attach_device(SinkDevice("sink", size=1 << 14))
     p = machine.create_process("app")
     buf = machine.kernel.syscalls.alloc(p, 2 * PAGE)
@@ -73,7 +75,12 @@ class TestGoldenSingleTransfer:
     def test_trace_is_deterministic(self):
         """Two identical machines produce byte-identical traces."""
         def run():
-            machine = Machine(mem_size=1 << 20, record_trace=True)
+            machine = Machine(
+                          config=MachineConfig(
+                              mem_size=1 << 20,
+                              record_trace=True,
+                          ),
+                      )
             machine.attach_device(SinkDevice("sink", size=1 << 14))
             p = machine.create_process("app")
             buf = machine.kernel.syscalls.alloc(p, PAGE)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine, ShrimpCluster
+from repro import ClusterConfig, Machine, MachineConfig, ShrimpCluster
 from repro.bench.workloads import make_payload
 from repro.devices import SinkDevice
 from repro.errors import ProtectionFault
@@ -71,8 +71,13 @@ class TestClusterQueueDepthFromCosts:
         from repro.core.queueing import QueuedUdmaController
         from repro.params import shrimp_queued
 
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20,
-                                costs=shrimp_queued(4))
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(
+                          num_nodes=2,
+                          mem_size=1 << 20,
+                          costs=shrimp_queued(4),
+                      ),
+                  )
         assert isinstance(cluster.node(0).udma, QueuedUdmaController)
 
 
@@ -111,9 +116,9 @@ class TestTwoSendersSameNic:
 
 class TestMachineAttributes:
     def test_swap_disk_attribute(self):
-        plain = Machine(mem_size=1 << 20)
+        plain = Machine(config=MachineConfig(mem_size=1 << 20))
         assert plain.swap_disk is None
-        disky = Machine(mem_size=1 << 20, swap="disk")
+        disky = Machine(config=MachineConfig(mem_size=1 << 20, swap="disk"))
         assert disky.swap_disk is not None
         assert disky.swap_disk.name == "swapdisk"
 

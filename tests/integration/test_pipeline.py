@@ -8,7 +8,7 @@ user-level deliberate update; the only kernel work is channel setup.
 
 import pytest
 
-from repro import Receiver, Sender, ShrimpCluster
+from repro import ClusterConfig, Receiver, Sender, ShrimpCluster
 from repro.bench.workloads import make_payload
 from repro.kernel.invariants import InvariantChecker
 
@@ -19,7 +19,9 @@ RECORDS = 6
 
 @pytest.fixture
 def pipeline():
-    cluster = ShrimpCluster(num_nodes=3, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=3, mem_size=1 << 21),
+              )
     producer = cluster.node(0).create_process("producer")
     transformer = cluster.node(1).create_process("transformer")
     archiver = cluster.node(2).create_process("archiver")

@@ -7,7 +7,7 @@ must behave cycle-for-cycle like the high-bit-flip one.
 
 import pytest
 
-from repro import Receiver, Sender, ShrimpCluster
+from repro import ClusterConfig, Receiver, Sender, ShrimpCluster
 from repro.bench import make_payload
 from repro.kernel.invariants import InvariantChecker
 from repro.mem.layout import ProxyScheme
@@ -16,7 +16,13 @@ PAGE = 4096
 
 
 def run_cluster(scheme):
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, scheme=scheme)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(
+                      num_nodes=2,
+                      mem_size=1 << 21,
+                      scheme=scheme,
+                  ),
+              )
     rx = cluster.node(1).create_process("rx")
     buf = cluster.node(1).kernel.syscalls.alloc(rx, 2 * PAGE)
     channel = cluster.create_channel(0, 1, rx, buf, 2 * PAGE)
@@ -46,7 +52,13 @@ class TestSchemeParity:
     def test_protection_holds_under_both(self, scheme):
         from repro.errors import ProtectionFault
 
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20, scheme=scheme)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(
+                          num_nodes=2,
+                          mem_size=1 << 20,
+                          scheme=scheme,
+                      ),
+                  )
         victim = cluster.node(0).create_process("victim")
         buf = cluster.node(0).kernel.syscalls.alloc(victim, PAGE)
         cluster.node(0).cpu.store(buf, 1)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Receiver, Sender, ShrimpCluster
+from repro import ClusterConfig, Receiver, Sender, ShrimpCluster
 from repro.bench import make_payload, measure_message
 from repro.core.queueing import QueuedUdmaController
 from repro.kernel.invariants import InvariantChecker
@@ -12,7 +12,13 @@ PAGE = 4096
 
 @pytest.fixture
 def queued_cluster():
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, queue_depth=8)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(
+                      num_nodes=2,
+                      mem_size=1 << 21,
+                      queue_depth=8,
+                  ),
+              )
     rx = cluster.node(1).create_process("rx")
     buf = cluster.node(1).kernel.syscalls.alloc(rx, 1 << 16)
     channel = cluster.create_channel(0, 1, rx, buf, 1 << 16)
@@ -38,8 +44,12 @@ class TestQueuedMessaging:
         """Pipelining initiation with DMA must not lose to the basic device."""
         def time_message(queue_depth):
             cluster = ShrimpCluster(
-                num_nodes=2, mem_size=1 << 21, queue_depth=queue_depth
-            )
+                          config=ClusterConfig(
+                              num_nodes=2,
+                              mem_size=1 << 21,
+                              queue_depth=queue_depth,
+                          ),
+                      )
             rx = cluster.node(1).create_process("rx")
             buf = cluster.node(1).kernel.syscalls.alloc(rx, 1 << 16)
             channel = cluster.create_channel(0, 1, rx, buf, 1 << 16)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench.scenarios import (
     WorkloadDriver,
     paging_workload,
@@ -17,7 +17,12 @@ PAGE = 4096
 
 
 def build_machine(mem_pages=64):
-    machine = Machine(mem_size=mem_pages * PAGE, bounce_frames=2)
+    machine = Machine(
+                  config=MachineConfig(
+                      mem_size=mem_pages * PAGE,
+                      bounce_frames=2,
+                  ),
+              )
     machine.attach_device(SinkDevice("sink", size=1 << 17))
     return machine
 

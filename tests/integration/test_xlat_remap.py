@@ -13,7 +13,7 @@ survive that cache:
   references complete another's latch.
 """
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench.workloads import make_payload
 from repro.devices import SinkDevice
 from repro.userlib import DeviceRef, MemoryRef, UdmaUser
@@ -22,7 +22,9 @@ PAGE = 4096
 
 
 def make_machine():
-    machine = Machine(mem_size=16 * PAGE, bounce_frames=2)
+    machine = Machine(
+                  config=MachineConfig(mem_size=16 * PAGE, bounce_frames=2),
+              )
     machine.attach_device(SinkDevice("sink", size=1 << 14))
     return machine
 

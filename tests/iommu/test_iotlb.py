@@ -1,0 +1,105 @@
+"""Unit tests for the IOTLB and the I/O page table.
+
+The coherence contract under test: an IOTLB entry is honoured only while
+*both* its generation stamps (CPU page table, I/O page table) are
+current, so any remap/unmap/page-out (CPU side) or export/revocation
+(I/O side) silently invalidates it -- shootdown coherence with zero new
+kernel hooks.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iommu import IoPageTable, Iotlb
+
+
+class FakePte:
+    def __init__(self, pfn):
+        self.pfn = pfn
+        self.dirty = False
+
+
+class TestIoPageTable:
+    def test_register_lookup_unregister(self):
+        table = IoPageTable()
+        assert table.lookup(1, 0x10) is None
+        table.register(1, 0x10, writable=True)
+        assert table.lookup(1, 0x10) is True
+        assert table.windows == 1
+        table.unregister(1, 0x10)
+        assert table.lookup(1, 0x10) is None
+        assert table.windows == 0
+
+    def test_readonly_window_keeps_permission(self):
+        table = IoPageTable()
+        table.register(2, 0x20, writable=False)
+        assert table.lookup(2, 0x20) is False
+
+    def test_generation_bumps_on_mutation_only(self):
+        table = IoPageTable()
+        g0 = table.generation
+        table.register(1, 1)
+        assert table.generation == g0 + 1
+        table.unregister(1, 1)
+        assert table.generation == g0 + 2
+        # Unregistering an absent window is a no-op: no spurious shootdown.
+        table.unregister(1, 1)
+        assert table.generation == g0 + 2
+
+
+class TestIotlb:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ConfigurationError):
+            Iotlb(0)
+
+    def test_fill_then_hit(self):
+        tlb = Iotlb(4)
+        pte = FakePte(7)
+        tlb.fill(1, 0x10, 7, pte, cpu_gen=5, io_gen=3)
+        assert tlb.lookup(1, 0x10, cpu_gen=5, io_gen=3) == (7, pte)
+        assert tlb.hits == 1 and tlb.misses == 0
+
+    def test_miss_on_absent_entry(self):
+        tlb = Iotlb(4)
+        assert tlb.lookup(1, 0x10, 0, 0) is None
+        assert tlb.misses == 1
+
+    def test_stale_cpu_generation_invalidates(self):
+        tlb = Iotlb(4)
+        tlb.fill(1, 0x10, 7, FakePte(7), cpu_gen=5, io_gen=3)
+        # A CPU-side remap bumped the page-table generation.
+        assert tlb.lookup(1, 0x10, cpu_gen=6, io_gen=3) is None
+        assert tlb.occupancy == 0  # the stale entry is dropped, not kept
+
+    def test_stale_io_generation_invalidates(self):
+        tlb = Iotlb(4)
+        tlb.fill(1, 0x10, 7, FakePte(7), cpu_gen=5, io_gen=3)
+        # An export/revocation bumped the I/O page-table generation.
+        assert tlb.lookup(1, 0x10, cpu_gen=5, io_gen=4) is None
+        assert tlb.occupancy == 0
+
+    def test_fifo_eviction_at_capacity(self):
+        tlb = Iotlb(2)
+        tlb.fill(1, 0xA, 1, FakePte(1), 0, 0)
+        tlb.fill(1, 0xB, 2, FakePte(2), 0, 0)
+        tlb.fill(1, 0xC, 3, FakePte(3), 0, 0)  # evicts (1, 0xA)
+        assert tlb.occupancy == 2
+        assert tlb.lookup(1, 0xA, 0, 0) is None
+        assert tlb.lookup(1, 0xB, 0, 0) is not None
+        assert tlb.lookup(1, 0xC, 0, 0) is not None
+
+    def test_refill_of_cached_key_does_not_evict(self):
+        tlb = Iotlb(2)
+        tlb.fill(1, 0xA, 1, FakePte(1), 0, 0)
+        tlb.fill(1, 0xB, 2, FakePte(2), 0, 0)
+        tlb.fill(1, 0xA, 9, FakePte(9), 1, 0)  # refresh in place
+        assert tlb.occupancy == 2
+        assert tlb.lookup(1, 0xB, 0, 0) is not None
+        frame, _ = tlb.lookup(1, 0xA, 1, 0)
+        assert frame == 9
+
+    def test_explicit_invalidate(self):
+        tlb = Iotlb(4)
+        tlb.fill(1, 0xA, 1, FakePte(1), 0, 0)
+        tlb.invalidate(1, 0xA)
+        assert tlb.lookup(1, 0xA, 0, 0) is None

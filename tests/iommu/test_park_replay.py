@@ -1,0 +1,252 @@
+"""Directed tests for the IOMMU's translate / park / service / replay path.
+
+These drive :class:`repro.iommu.Iommu` directly with a stub NIC so each
+outcome class -- direct delivery, park-and-replay, follow-park ordering,
+queue-full refusal, park-budget degradation, window revocation, and the
+abort vocabulary -- is provoked deterministically, without a cluster.
+"""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.config import IommuConfig
+from repro.net.packet import Packet, pack_virtual
+
+PAGE = 4096
+
+
+class StubNic:
+    """The slice of the ShrimpNic surface the IOMMU touches."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.reliability = None
+        self.on_receive = []
+        self.completed = []   # (payload, paddr)
+        self.aborted = []     # (payload, reason)
+
+    def complete_parked(self, parked, paddr):
+        self.machine.physmem.write(paddr, parked.payload)
+        self.completed.append((bytes(parked.payload), paddr))
+
+    def abort_parked(self, parked, reason):
+        self.aborted.append((bytes(parked.payload), reason))
+
+
+def make_rig(iommu_config=None, mem_pages=64):
+    machine = Machine(config=MachineConfig(
+        mem_size=mem_pages * PAGE,
+        iommu=iommu_config if iommu_config is not None else True,
+    ))
+    process = machine.create_process("rx")
+    buf = machine.kernel.syscalls.alloc(process, 8 * PAGE)
+    return machine, process, buf, StubNic(machine)
+
+
+def vpacket(process, vaddr, payload, seq=0):
+    return Packet(
+        src_node=0,
+        dst_node=1,
+        dst_paddr=pack_virtual(process.asid, vaddr),
+        payload=payload,
+        seq=seq,
+    )
+
+
+class TestDirectDelivery:
+    def test_resident_page_delivers_with_walk_then_iotlb_hit(self):
+        machine, proc, buf, nic = make_rig()
+        io = machine.iommu
+        vpage = buf // PAGE
+        io.register_window(proc.asid, vpage)
+        frame = machine.kernel.vm.touch_resident(proc, vpage)
+
+        v1 = io.receive(nic, vpacket(proc, buf + 64, b"abcd"))
+        assert v1.kind == "deliver"
+        assert v1.paddr == frame * PAGE + 64
+        assert v1.stall == machine.costs.iommu_walk_cycles
+
+        v2 = io.receive(nic, vpacket(proc, buf + 128, b"efgh"))
+        assert v2.kind == "deliver"
+        assert v2.stall == machine.costs.iommu_iotlb_hit_cycles
+        assert io.iotlb.hits == 1
+        assert io.delivered_direct == 2
+
+    def test_delivery_marks_the_page_dirty(self):
+        machine, proc, buf, nic = make_rig()
+        vpage = buf // PAGE
+        machine.iommu.register_window(proc.asid, vpage)
+        machine.kernel.vm.touch_resident(proc, vpage)
+        pte = proc.page_table.get(vpage)
+        pte.dirty = False
+        machine.iommu.receive(nic, vpacket(proc, buf, b"abcd"))
+        assert pte.dirty  # receiving-side I3: the device wrote the page
+
+    def test_cpu_remap_invalidates_the_iotlb_entry(self):
+        machine, proc, buf, nic = make_rig()
+        io = machine.iommu
+        vpage = buf // PAGE
+        io.register_window(proc.asid, vpage)
+        machine.kernel.vm.touch_resident(proc, vpage)
+        io.receive(nic, vpacket(proc, buf, b"abcd"))  # fills the IOTLB
+        proc.page_table.generation += 1  # any CPU-side remap/shootdown
+        io.receive(nic, vpacket(proc, buf, b"efgh"))
+        assert io.iotlb.hits == 0  # stamp mismatch forced a re-walk
+        assert io.iotlb.misses == 2
+
+
+class TestAbortVocabulary:
+    def test_unmapped_window_aborts(self):
+        machine, proc, buf, nic = make_rig()
+        verdict = machine.iommu.receive(nic, vpacket(proc, buf, b"abcd"))
+        assert verdict.kind == "abort" and verdict.reason == "unmapped"
+
+    def test_readonly_window_aborts(self):
+        machine, proc, buf, nic = make_rig()
+        vpage = buf // PAGE
+        machine.iommu.register_window(proc.asid, vpage, writable=False)
+        verdict = machine.iommu.receive(nic, vpacket(proc, buf, b"abcd"))
+        assert verdict.kind == "abort" and verdict.reason == "readonly"
+
+    def test_dead_address_space_aborts(self):
+        machine, proc, buf, nic = make_rig()
+        ghost = proc.asid + 7
+        machine.iommu.register_window(ghost, buf // PAGE)
+        packet = Packet(0, 1, pack_virtual(ghost, buf), b"abcd")
+        verdict = machine.iommu.receive(nic, packet)
+        assert verdict.kind == "abort" and verdict.reason == "no-asid"
+
+    def test_page_crossing_transfer_aborts(self):
+        machine, proc, buf, nic = make_rig()
+        machine.iommu.register_window(proc.asid, buf // PAGE)
+        packet = vpacket(proc, buf + PAGE - 2, b"abcd")
+        verdict = machine.iommu.receive(nic, packet)
+        assert verdict.kind == "abort" and verdict.reason == "page-cross"
+
+    def test_every_outcome_lands_in_the_ledger(self):
+        machine, proc, buf, nic = make_rig()
+        io = machine.iommu
+        io.receive(nic, vpacket(proc, buf, b"abcd"))  # unmapped -> abort
+        io.register_window(proc.asid, buf // PAGE)
+        machine.kernel.vm.touch_resident(proc, buf // PAGE)
+        io.receive(nic, vpacket(proc, buf, b"abcd"))  # deliver
+        total = io.delivered_direct + io.delivered_replayed + io.aborted
+        assert total == io.translations == 2
+
+
+class TestParkAndReplay:
+    def test_nonresident_page_parks_then_replays(self):
+        machine, proc, buf, nic = make_rig()
+        io = machine.iommu
+        vpage = buf // PAGE
+        io.register_window(proc.asid, vpage)
+        assert proc.page_table.get(vpage) is None  # demand-paged: cold
+
+        verdict = io.receive(nic, vpacket(proc, buf + 8, b"zzzz"))
+        assert verdict.kind == "park"
+        assert io.parked_count == 1
+        machine.clock.run_until_idle()
+
+        assert io.parked_count == 0
+        assert io.delivered_replayed == 1 and io.aborted == 0
+        pte = proc.page_table.get(vpage)
+        assert pte is not None and pte.present and pte.dirty
+        assert nic.completed == [(b"zzzz", pte.pfn * PAGE + 8)]
+
+    def test_followers_park_behind_and_replay_in_arrival_order(self):
+        machine, proc, buf, nic = make_rig()
+        io = machine.iommu
+        vpage = buf // PAGE
+        io.register_window(proc.asid, vpage)
+        io.receive(nic, vpacket(proc, buf, b"old!", seq=0))
+        io.receive(nic, vpacket(proc, buf, b"new!", seq=1))  # same offset
+        assert io.parked_count == 2
+        machine.clock.run_until_idle()
+        assert [p for p, _ in nic.completed] == [b"old!", b"new!"]
+        pte = proc.page_table.get(vpage)
+        assert machine.physmem.read(pte.pfn * PAGE, 4) == b"new!"
+        assert io.delivered_replayed == 2
+
+    def test_arrival_after_service_still_queues_behind_parked(self):
+        machine, proc, buf, nic = make_rig()
+        io = machine.iommu
+        vpage = buf // PAGE
+        io.register_window(proc.asid, vpage)
+        io.receive(nic, vpacket(proc, buf, b"AAAA"))
+        # The page becomes resident before the fault service fires; an
+        # arrival now must still queue behind the parked predecessor so
+        # per-page delivery order matches the fault-free execution.
+        machine.kernel.vm.touch_resident(proc, vpage)
+        verdict = io.receive(nic, vpacket(proc, buf, b"BBBB"))
+        assert verdict.kind == "park"
+        machine.clock.run_until_idle()
+        assert [p for p, _ in nic.completed] == [b"AAAA", b"BBBB"]
+
+    def test_full_fault_queue_degrades_to_refusal(self):
+        machine, proc, buf, nic = make_rig(
+            IommuConfig(fault_queue_depth=1)
+        )
+        io = machine.iommu
+        for i in range(2):
+            io.register_window(proc.asid, buf // PAGE + i)
+        assert io.receive(nic, vpacket(proc, buf, b"aaaa")).kind == "park"
+        v = io.receive(nic, vpacket(proc, buf + PAGE, b"bbbb"))
+        assert v.kind == "abort" and v.reason == "queue-full"
+        machine.clock.run_until_idle()
+        assert io.delivered_replayed == 1 and io.aborted == 1
+
+    def test_park_budget_degrades_when_no_frame_frees_up(self):
+        machine, proc, buf, nic = make_rig(IommuConfig(park_budget=2))
+        io = machine.iommu
+        vpage = buf // PAGE
+        io.register_window(proc.asid, vpage)
+        # Drain the frame pool so dma_map_in keeps failing.
+        frames = machine.kernel.frames
+        while frames.alloc() is not None:
+            pass
+        io.receive(nic, vpacket(proc, buf, b"abcd"))
+        machine.clock.run_until_idle()
+        assert io.faults_reparked >= 1
+        assert io.aborted == 1 and io.delivered_replayed == 0
+        assert nic.aborted == [(b"abcd", "park-budget")]
+        assert io.parked_count == 0
+
+    def test_window_revocation_aborts_parked_transfers(self):
+        machine, proc, buf, nic = make_rig()
+        io = machine.iommu
+        vpage = buf // PAGE
+        io.register_window(proc.asid, vpage)
+        io.receive(nic, vpacket(proc, buf, b"abcd"))
+        io.unregister_window(proc.asid, vpage)
+        assert io.parked_count == 0
+        assert nic.aborted == [(b"abcd", "window-revoked")]
+        machine.clock.run_until_idle()  # the in-flight service is a no-op
+        assert io.aborted == 1 and io.delivered_replayed == 0
+
+    def test_swapped_out_page_replays_with_swap_latency(self):
+        machine, proc, buf, nic = make_rig()
+        io = machine.iommu
+        vpage = buf // PAGE
+        io.register_window(proc.asid, vpage)
+        machine.kernel.scheduler.switch_to(proc)
+        machine.cpu.write_bytes(buf, b"persisted")
+        evicted = False
+        for _ in range(64):
+            if machine.kernel.vm.resident_frame(proc, vpage) is None:
+                evicted = True
+                break
+            machine.kernel.vm.evict_for_pressure()
+        assert evicted, "could not page the receive page out"
+
+        t0 = machine.clock.now
+        io.receive(nic, vpacket(proc, buf + 16, b"RDMA"))
+        machine.clock.run_until_idle()
+        # Service fired, then the swap-in I/O latency, then the replay.
+        assert machine.clock.now - t0 >= (
+            machine.costs.iommu_fault_service_cycles
+            + machine.costs.swap_io_cycles
+        )
+        pte = proc.page_table.get(vpage)
+        data = machine.physmem.read(pte.pfn * PAGE, 20)
+        assert data[:9] == b"persisted"  # swap-in restored the old bytes
+        assert data[16:20] == b"RDMA"    # then the replay landed on top

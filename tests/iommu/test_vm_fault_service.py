@@ -1,0 +1,107 @@
+"""Regression tests for the CPU-fault / device-fault-service race.
+
+``VmManager._ensure_resident`` coasts ``swap_io_cycles`` when the page
+lives on backing store.  That wait yields the clock, so a scheduled
+IOMMU fault service (``dma_map_in``) can map the *same* page mid-coast.
+Without the retry-after-blocking re-check the CPU path would map its own
+frame over the device's, orphaning a frame and losing the device's
+replayed delivery.  These tests pin the fixed behaviour down directly.
+"""
+
+from repro import Machine, MachineConfig
+
+PAGE = 4096
+
+
+def _rig():
+    machine = Machine(config=MachineConfig(mem_size=64 * PAGE, iommu=True))
+    proc = machine.create_process("p")
+    buf = machine.kernel.syscalls.alloc(proc, 2 * PAGE)
+    machine.kernel.scheduler.switch_to(proc)
+    return machine, proc, buf
+
+
+def _page_out(machine, proc, buf):
+    vpage = buf // PAGE
+    machine.cpu.write_bytes(buf, b"race-proof contents!")
+    for _ in range(64):
+        if machine.kernel.vm.resident_frame(proc, vpage) is None:
+            return vpage
+        machine.kernel.vm.evict_for_pressure()
+    raise AssertionError("could not page the buffer out")
+
+
+class TestRetryAfterBlocking:
+    def test_device_service_mid_coast_wins_and_cpu_backs_out(self):
+        machine, proc, buf = _rig()
+        vm = machine.kernel.vm
+        vpage = _page_out(machine, proc, buf)
+        free_before = machine.kernel.frames.available
+
+        mapped = {}
+
+        def device_fault_service():
+            result = vm.dma_map_in(proc, vpage)
+            assert result is not None
+            mapped["frame"] = result[0]
+
+        # The service must fire *during* the swap-in coast: after the
+        # handler's fixed page_fault_cycles charge (too early and the
+        # page is mapped before _ensure_resident runs at all) but well
+        # before the swap_io_cycles coast completes.
+        delay = (
+            machine.costs.page_fault_cycles
+            + machine.costs.swap_io_cycles // 2
+        )
+        machine.clock.schedule(delay, device_fault_service)
+        machine.cpu.load(buf)  # faults; _ensure_resident coasts
+
+        pte = proc.page_table.get(vpage)
+        assert pte is not None and pte.present
+        # The CPU adopted the device's mapping instead of clobbering it.
+        assert pte.pfn == mapped["frame"]
+        # Exactly one frame was consumed: the CPU's speculative frame
+        # went back to the pool (no orphan).
+        assert machine.kernel.frames.available == free_before - 1
+        # And the swapped-out bytes survived the whole dance.
+        assert machine.cpu.read_bytes(buf, 20) == b"race-proof contents!"
+
+    def test_no_race_path_is_unaffected(self):
+        machine, proc, buf = _rig()
+        vpage = _page_out(machine, proc, buf)
+        free_before = machine.kernel.frames.available
+        assert machine.cpu.read_bytes(buf, 20) == b"race-proof contents!"
+        pte = proc.page_table.get(vpage)
+        assert pte is not None and pte.present
+        assert machine.kernel.frames.available == free_before - 1
+
+    def test_dma_map_in_is_idempotent_on_resident_page(self):
+        machine, proc, buf = _rig()
+        vm = machine.kernel.vm
+        vpage = buf // PAGE
+        machine.cpu.write_bytes(buf, b"already here")
+        frame = vm.resident_frame(proc, vpage)
+        assert frame is not None
+        free_before = machine.kernel.frames.available
+        assert vm.dma_map_in(proc, vpage) == (frame, 0)
+        assert machine.kernel.frames.available == free_before
+
+    def test_dma_map_in_reports_swap_latency_as_extra_cycles(self):
+        machine, proc, buf = _rig()
+        vm = machine.kernel.vm
+        vpage = _page_out(machine, proc, buf)
+        t0 = machine.clock.now
+        result = vm.dma_map_in(proc, vpage)
+        assert result is not None
+        frame, extra = result
+        assert extra == machine.costs.swap_io_cycles
+        assert machine.clock.now == t0  # never advances the clock itself
+        assert machine.physmem.read(frame * PAGE, 20) == b"race-proof contents!"
+
+    def test_dma_map_in_returns_none_when_pool_is_dry(self):
+        machine, proc, buf = _rig()
+        vm = machine.kernel.vm
+        vpage = _page_out(machine, proc, buf)
+        while machine.kernel.frames.alloc() is not None:
+            pass
+        assert vm.dma_map_in(proc, vpage) is None

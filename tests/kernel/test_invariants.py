@@ -7,7 +7,7 @@ specific way the invariant forbids.
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.devices import SinkDevice
 from repro.errors import InvariantViolation
 from repro.kernel.invariants import InvariantChecker
@@ -17,7 +17,9 @@ PAGE = 4096
 
 @pytest.fixture
 def rig():
-    machine = Machine(mem_size=32 * PAGE, bounce_frames=2)
+    machine = Machine(
+                  config=MachineConfig(mem_size=32 * PAGE, bounce_frames=2),
+              )
     machine.attach_device(SinkDevice("sink", size=1 << 16))
     p = machine.create_process("a")
     vaddr = machine.kernel.syscalls.alloc(p, 4 * PAGE)

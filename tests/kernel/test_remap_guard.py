@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.devices import SinkDevice
 from repro.kernel.remap_guard import GuardStrategy
 
@@ -11,11 +11,13 @@ PAGE = 4096
 
 def build(queue_depth=0, strategy=GuardStrategy.REGISTERS):
     machine = Machine(
-        mem_size=32 * PAGE,
-        queue_depth=queue_depth,
-        guard_strategy=strategy,
-        bounce_frames=2,
-    )
+                  config=MachineConfig(
+                      mem_size=32 * PAGE,
+                      queue_depth=queue_depth,
+                      guard_strategy=strategy,
+                      bounce_frames=2,
+                  ),
+              )
     machine.attach_device(SinkDevice("sink", size=1 << 16))
     p = machine.create_process("a")
     vaddr = machine.kernel.syscalls.alloc(p, 4 * PAGE)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.devices import SinkDevice
 from repro.errors import ConfigurationError
 from repro.kernel.invariants import InvariantChecker
@@ -16,7 +16,7 @@ def swap_machine(mode, **kwargs):
     kwargs.setdefault("bounce_frames", 2)
     if mode == "disk-system-queue":
         kwargs.setdefault("queue_depth", 4)
-    machine = Machine(swap=mode, **kwargs)
+    machine = Machine(config=MachineConfig(swap=mode, **kwargs))
     machine.attach_device(SinkDevice("sink", size=1 << 14))
     return machine
 
@@ -67,8 +67,13 @@ class TestSwapRoundtrip:
 
         disk_time, disk_pages = run(swap_machine(mode, bounce_frames=4))
         dict_time, dict_pages = run(
-            Machine(mem_size=16 * PAGE, bounce_frames=4,
-                    queue_depth=4 if mode == "disk-system-queue" else None)
+            Machine(
+                config=MachineConfig(
+                    mem_size=16 * PAGE,
+                    bounce_frames=4,
+                    queue_depth=4 if mode == "disk-system-queue" else None,
+                ),
+            )
         )
         assert disk_pages > 0 and dict_pages > 0  # both really paged
         # Same workload, but the disk path pays seeks + transfer time
@@ -110,15 +115,26 @@ class TestSystemQueueTransport:
 
     def test_system_queue_requires_queued_device(self):
         with pytest.raises(ConfigurationError):
-            Machine(mem_size=16 * PAGE, swap="disk-system-queue")
+            Machine(
+                config=MachineConfig(
+                    mem_size=16 * PAGE,
+                    swap="disk-system-queue",
+                ),
+            )
 
     def test_swap_disk_needs_two_bounce_frames(self):
         with pytest.raises(ConfigurationError):
-            Machine(mem_size=16 * PAGE, swap="disk", bounce_frames=1)
+            Machine(
+                config=MachineConfig(
+                    mem_size=16 * PAGE,
+                    swap="disk",
+                    bounce_frames=1,
+                ),
+            )
 
     def test_unknown_swap_mode_rejected(self):
         with pytest.raises(ConfigurationError):
-            Machine(mem_size=16 * PAGE, swap="cloud")
+            Machine(config=MachineConfig(mem_size=16 * PAGE, swap="cloud"))
 
 
 class TestSlotManagement:

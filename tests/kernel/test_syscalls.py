@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.devices import SinkDevice
 from repro.errors import SyscallError
 
@@ -11,7 +11,7 @@ PAGE = 4096
 
 @pytest.fixture
 def rig():
-    machine = Machine(mem_size=64 * PAGE)
+    machine = Machine(config=MachineConfig(mem_size=64 * PAGE))
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     p = machine.create_process("a")

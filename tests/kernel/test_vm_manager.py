@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.devices import SinkDevice
 from repro.errors import ProtectionFault
 from repro.kernel.vm_manager import I3_PROXY_DIRTY
@@ -15,7 +15,7 @@ def small_machine(**kwargs):
     """A machine with few frames so paging pressure is easy to create."""
     kwargs.setdefault("mem_size", 16 * PAGE)
     kwargs.setdefault("bounce_frames", 2)
-    machine = Machine(**kwargs)
+    machine = Machine(config=MachineConfig(**kwargs))
     machine.attach_device(SinkDevice("sink", size=1 << 14))
     return machine
 

@@ -7,6 +7,7 @@ from repro.net.interconnect import Interconnect, ReceiverPort
 from repro.net.packet import Packet
 from repro.params import shrimp
 from repro.sim.clock import Clock
+from repro.config import ClusterConfig
 
 
 class RecordingPort(ReceiverPort):
@@ -170,8 +171,13 @@ class TestMesh2dTopology:
     def test_cluster_builds_on_mesh(self):
         from repro import ShrimpCluster
         cluster = ShrimpCluster(
-            num_nodes=4, mem_size=1 << 20, topology="mesh2d", mesh_width=2
-        )
+                      config=ClusterConfig(
+                          num_nodes=4,
+                          mem_size=1 << 20,
+                          topology="mesh2d",
+                          mesh_width=2,
+                      ),
+                  )
         assert cluster.interconnect.hops(0, 3) == 2
 
     def test_route_path_is_dimension_ordered(self):
@@ -293,15 +299,24 @@ class TestTopologyValidation:
         from repro import ShrimpCluster
         with pytest.raises(ConfigurationError):
             ShrimpCluster(
-                num_nodes=3, mem_size=1 << 20,
-                topology="mesh2d", mesh_width=2,
+                config=ClusterConfig(
+                    num_nodes=3,
+                    mem_size=1 << 20,
+                    topology="mesh2d",
+                    mesh_width=2,
+                ),
             )
 
     def test_cluster_builds_on_torus(self):
         from repro import ShrimpCluster
         cluster = ShrimpCluster(
-            num_nodes=4, mem_size=1 << 20, topology="torus2d", mesh_width=2
-        )
+                      config=ClusterConfig(
+                          num_nodes=4,
+                          mem_size=1 << 20,
+                          topology="torus2d",
+                          mesh_width=2,
+                      ),
+                  )
         # On a 2x2 torus wraparound cannot beat the direct path.
         assert cluster.interconnect.hops(0, 1) == 1
         assert cluster.interconnect.hops(0, 3) == 2

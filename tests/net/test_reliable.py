@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Receiver, Sender, ShrimpCluster
+from repro import ClusterConfig, Receiver, Sender, ShrimpCluster
 from repro.bench import make_payload
 from repro.net.reliable import (
     ReliabilityConfig,
@@ -54,7 +54,9 @@ class TestConfig:
 
 
 def _rig(**cluster_kwargs):
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, **cluster_kwargs)
+    cluster = ShrimpCluster(
+        config=ClusterConfig(num_nodes=2, mem_size=1 << 21, **cluster_kwargs)
+    )
     rx = cluster.node(1).create_process("rx")
     buf = cluster.node(1).kernel.syscalls.alloc(rx, 4 * PAGE)
     channel = cluster.create_channel(0, 1, rx, buf, 4 * PAGE)
@@ -217,8 +219,16 @@ class TestSequencing:
         assert plane.next_seq(1, 0) == 1  # directions are independent
 
     def test_metrics_surface_appears_only_with_plane(self):
-        on = ShrimpCluster(num_nodes=2, mem_size=1 << 21, reliability=True)
-        off = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+        on = ShrimpCluster(
+                 config=ClusterConfig(
+                     num_nodes=2,
+                     mem_size=1 << 21,
+                     reliability=True,
+                 ),
+             )
+        off = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 21),
+              )
         on.metrics()
         off.metrics()
         on_names = [n for n in on.obs.registry.names() if n.startswith("net.")]

@@ -10,7 +10,7 @@ import os
 
 import pytest
 
-from repro import Machine, ShrimpCluster
+from repro import ClusterConfig, Machine, MachineConfig, ShrimpCluster
 
 DATA = os.path.join(os.path.dirname(__file__), "data")
 
@@ -32,17 +32,19 @@ def _diff_message(actual, expected):
 
 class TestGoldenNames:
     def test_machine_basic(self):
-        names = Machine(mem_size=1 << 20).obs.registry.names()
+        names = Machine(config=MachineConfig(mem_size=1 << 20)).obs.registry.names()
         expected = _golden("metric_names_machine_basic.txt")
         assert names == expected, _diff_message(names, expected)
 
     def test_machine_queued(self):
-        names = Machine(mem_size=1 << 20, queue_depth=8).obs.registry.names()
+        names = Machine(config=MachineConfig(mem_size=1 << 20, queue_depth=8)).obs.registry.names()
         expected = _golden("metric_names_machine_queued.txt")
         assert names == expected, _diff_message(names, expected)
 
     def test_cluster(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=1 << 21),
+                  )
         cluster.metrics()  # bind node namespaces
         names = cluster.obs.registry.names()
         expected = _golden("metric_names_cluster.txt")
@@ -51,7 +53,13 @@ class TestGoldenNames:
     def test_cluster_reliable(self):
         """Reliability on adds the ``net.*`` transport metrics -- and
         nothing else -- to the cluster name set."""
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21, reliability=True)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(
+                          num_nodes=2,
+                          mem_size=1 << 21,
+                          reliability=True,
+                      ),
+                  )
         cluster.metrics()
         names = cluster.obs.registry.names()
         expected = _golden("metric_names_cluster_reliable.txt")
@@ -71,7 +79,7 @@ class TestGoldenNames:
 
 class TestSnapshotDeterminism:
     def _run(self):
-        machine = Machine(mem_size=1 << 20)
+        machine = Machine(config=MachineConfig(mem_size=1 << 20))
         from repro.devices import SinkDevice
         from repro.userlib import DeviceRef, MemoryRef, UdmaUser
 

@@ -4,39 +4,64 @@
 import pytest
 
 import repro
-from repro import Machine, ObsConfig, ShrimpCluster
+from repro import (
+    ClusterConfig,
+    Machine,
+    MachineConfig,
+    ObsConfig,
+    ShrimpCluster,
+)
 from repro.obs import Observability
 from repro.sim.trace import Tracer
 
 
 class TestObsConfigWiring:
     def test_default_machine_has_metrics_no_spans(self):
-        m = Machine(mem_size=1 << 20)
+        m = Machine(config=MachineConfig(mem_size=1 << 20))
         assert m.obs.config.metrics is True
         assert m.obs.config.spans is False
         assert m.obs.spans is None
 
     def test_spans_opt_in(self):
-        m = Machine(mem_size=1 << 20, obs=ObsConfig(spans=True))
+        m = Machine(
+                config=MachineConfig(
+                    mem_size=1 << 20,
+                    obs=ObsConfig(spans=True),
+                ),
+            )
         assert m.obs.spans is not None
         assert m.udma._spans is m.obs.spans
         assert m.udma_engine._spans is m.obs.spans
 
     def test_metrics_opt_out_leaves_registry_empty(self):
-        m = Machine(mem_size=1 << 20, obs=ObsConfig(metrics=False))
+        m = Machine(
+                config=MachineConfig(
+                    mem_size=1 << 20,
+                    obs=ObsConfig(metrics=False),
+                ),
+            )
         assert len(m.obs.registry) == 0
         # metrics() binds lazily on first call, so it still works
         assert "cpu" in m.metrics()
 
     def test_shared_observability_instance(self):
         shared = Observability(ObsConfig(spans=True))
-        m = Machine(mem_size=1 << 20, obs=shared, name="nodex")
+        m = Machine(
+                config=MachineConfig(mem_size=1 << 20, obs=shared),
+                name="nodex",
+            )
         assert m.obs is shared
         assert shared.clock is m.clock
         assert any(n.startswith("nodex.") for n in shared.registry.names())
 
     def test_cluster_nodes_share_one_plane(self):
-        c = ShrimpCluster(num_nodes=2, mem_size=1 << 21, obs=ObsConfig(spans=True))
+        c = ShrimpCluster(
+                config=ClusterConfig(
+                    num_nodes=2,
+                    mem_size=1 << 21,
+                    obs=ObsConfig(spans=True),
+                ),
+            )
         assert c.node(0).obs is c.obs
         assert c.node(1).obs is c.obs
         assert c.node(0).obs.spans is c.obs.spans
@@ -44,7 +69,12 @@ class TestObsConfigWiring:
 
     def test_obs_tracer_is_machine_tracer(self):
         tracer = Tracer(record=True)
-        m = Machine(mem_size=1 << 20, obs=Observability(tracer=tracer))
+        m = Machine(
+                config=MachineConfig(
+                    mem_size=1 << 20,
+                    obs=Observability(tracer=tracer),
+                ),
+            )
         assert m.tracer is tracer
         assert m.obs.tracer is tracer
 

@@ -6,7 +6,13 @@ import json
 
 import pytest
 
-from repro import Machine, ObsConfig, ShrimpCluster
+from repro import (
+    ClusterConfig,
+    Machine,
+    MachineConfig,
+    ObsConfig,
+    ShrimpCluster,
+)
 from repro.core.controller import UdmaController
 from repro.core.queueing import QueuedUdmaController
 from repro.devices.sink import SinkDevice
@@ -167,8 +173,12 @@ class TestControllerSpans:
 
 def _run_cluster_send(nbytes=2100):
     cluster = ShrimpCluster(
-        num_nodes=2, mem_size=1 << 21, obs=ObsConfig(spans=True)
-    )
+                  config=ClusterConfig(
+                      num_nodes=2,
+                      mem_size=1 << 21,
+                      obs=ObsConfig(spans=True),
+                  ),
+              )
     rx = cluster.node(1).create_process("rx")
     buf = cluster.node(1).kernel.syscalls.alloc(rx, 1 << 16)
     channel = cluster.create_channel(0, 1, rx, buf, 1 << 16)
@@ -212,7 +222,7 @@ class TestClusterTransferTree:
 class TestBitIdenticalSimulation:
     def test_spans_do_not_change_cycles_or_counters(self):
         def run(obs):
-            m = Machine(mem_size=MEM, obs=obs)
+            m = Machine(config=MachineConfig(mem_size=MEM, obs=obs))
             sink = SinkDevice("sink", size=1 << 14)
             m.attach_device(sink)
             p = m.create_process("p")
@@ -270,7 +280,7 @@ class TestChromeExport:
 
 class TestObservabilityHandle:
     def test_chrome_trace_requires_spans_enabled(self):
-        m = Machine(mem_size=MEM)  # spans off by default
+        m = Machine(config=MachineConfig(mem_size=MEM))  # spans off by default
         from repro.errors import ConfigurationError
         with pytest.raises(ConfigurationError):
             m.obs.chrome_trace()

@@ -20,6 +20,7 @@ from repro.chaos.sharding_oracle import ShardingOracle
 from repro.cluster import ShrimpCluster
 from repro.sharding import ClusterSpec
 from repro.traffic import TenantPlacement, TrafficEngine, make_pattern
+from repro.config import ClusterConfig
 
 
 @given(
@@ -54,14 +55,16 @@ def _run_traffic(pattern_name, num_nodes, tenants, messages, seed,
     )
     churn_pages = tenants * messages if churn_every else 0
     cluster = ShrimpCluster(
-        num_nodes=num_nodes,
-        mem_size=(pages + churn_pages + 64) * 4096,
-        nipt_entries=max(
-            8, max(placement.nipt_demand(n) for n in range(num_nodes))
-        ),
-        pooling=pooling,
-        pipelining=pooling,
-    )
+                  config=ClusterConfig(
+                      num_nodes=num_nodes,
+                      mem_size=(pages + churn_pages + 64) * 4096,
+                      nipt_entries=max(
+                                  8, max(placement.nipt_demand(n) for n in range(num_nodes))
+                              ),
+                      pooling=pooling,
+                      pipelining=pooling,
+                  ),
+              )
     engine = TrafficEngine(
         cluster, placement, messages=messages, msg_bytes=256,
         gap_cycles=1500, churn_every=churn_every,

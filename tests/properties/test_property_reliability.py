@@ -10,7 +10,7 @@ and the plane quiesces with nothing left in flight.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import Receiver, Sender, ShrimpCluster
+from repro import ClusterConfig, Receiver, Sender, ShrimpCluster
 from repro.net.reliable import ReliabilityConfig
 
 PAGE = 4096
@@ -90,8 +90,12 @@ def test_seeded_faults_deliver_exactly_once_in_order(data):
     )
 
     cluster = ShrimpCluster(
-        num_nodes=nodes, mem_size=1 << 21, reliability=_CONFIG
-    )
+                  config=ClusterConfig(
+                      num_nodes=nodes,
+                      mem_size=1 << 21,
+                      reliability=_CONFIG,
+                  ),
+              )
     senders, receivers = [], []
     for i in range(nodes):
         dst = (i + 1) % nodes

@@ -2,7 +2,7 @@
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import Machine, ShrimpCluster
+from repro import ClusterConfig, Machine, MachineConfig, ShrimpCluster
 from repro.devices import SinkDevice
 from repro.errors import ProtectionFault
 from repro.kernel.invariants import InvariantChecker
@@ -30,7 +30,9 @@ _actions = st.lists(
 def test_random_workloads_preserve_invariants(actions):
     """Two processes randomly write, transfer, clean and context-switch
     under a small memory; I1-I4 must hold at every step."""
-    machine = Machine(mem_size=24 * PAGE, bounce_frames=2)
+    machine = Machine(
+                  config=MachineConfig(mem_size=24 * PAGE, bounce_frames=2),
+              )
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     procs = []
@@ -90,7 +92,9 @@ def test_cluster_random_workloads_preserve_invariants(actions):
     *every* node after *every* action."""
     from repro.bench.workloads import make_payload
 
-    cluster = ShrimpCluster(num_nodes=2, mem_size=64 * PAGE)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=64 * PAGE),
+              )
     nbytes = 4 * PAGE
     rx_procs, rx_bufs = [], []
     for i in range(2):
@@ -140,7 +144,7 @@ def test_transfers_always_deliver_exact_bytes(sizes, offset):
     bytes named, regardless of page splitting."""
     from repro.bench.workloads import make_payload
 
-    machine = Machine(mem_size=1 << 20)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))
     sink = SinkDevice("sink", size=1 << 16)
     machine.attach_device(sink)
     p = machine.create_process("app")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Machine, ShrimpCluster
+from repro import ClusterConfig, Machine, MachineConfig, ShrimpCluster
 from repro.devices import SinkDevice
 from repro.protection import BACKEND_NAMES
 from repro.userlib import Receiver, Sender, UdmaUser
@@ -24,8 +24,12 @@ class ProtSinkRig:
     def __init__(self, protection=None, alignment=0, queue_depth=None,
                  sink_size=1 << 16):
         self.machine = Machine(
-            mem_size=1 << 20, protection=protection, queue_depth=queue_depth
-        )
+                           config=MachineConfig(
+                               mem_size=1 << 20,
+                               protection=protection,
+                               queue_depth=queue_depth,
+                           ),
+                       )
         self.sink = SinkDevice("sink", size=sink_size, alignment=alignment)
         self.machine.attach_device(self.sink)
         self.process = self.machine.create_process("app")
@@ -44,8 +48,12 @@ class ProtChannelRig:
 
     def __init__(self, protection=None):
         self.cluster = ShrimpCluster(
-            num_nodes=2, mem_size=1 << 21, protection=protection
-        )
+                           config=ClusterConfig(
+                               num_nodes=2,
+                               mem_size=1 << 21,
+                               protection=protection,
+                           ),
+                       )
         self.rx = self.cluster.node(1).create_process("rx")
         self.rx_buf = self.cluster.node(1).kernel.syscalls.alloc(
             self.rx, self.CHANNEL_BYTES

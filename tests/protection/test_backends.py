@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench import make_payload
 from repro.errors import ConfigurationError, DmaError
 from repro.protection import (
@@ -247,13 +247,23 @@ class TestCapTableState:
 
 class TestMachineWiring:
     def test_protection_property_reports_backend(self):
-        machine = Machine(mem_size=1 << 20, protection="handler")
+        machine = Machine(
+                      config=MachineConfig(
+                          mem_size=1 << 20,
+                          protection="handler",
+                      ),
+                  )
         assert machine.protection.name == "handler"
         assert machine.udma.backend is machine.protection
 
     def test_backend_instance_accepted(self):
         backend = CapTableBackend()
-        machine = Machine(mem_size=1 << 20, protection=backend)
+        machine = Machine(
+                      config=MachineConfig(
+                          mem_size=1 << 20,
+                          protection=backend,
+                      ),
+                  )
         assert machine.protection is backend
 
     def test_grant_bumps_generation(self, prot_sink_rig):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.errors import ConfigurationError, SyscallError
 
 PAGE = 4096
@@ -18,11 +18,13 @@ class TestConstruction:
             assert cluster2.nic(i).interconnect is cluster2.interconnect
 
     def test_num_nodes(self):
-        assert ShrimpCluster(num_nodes=4, mem_size=1 << 20).num_nodes == 4
+        assert ShrimpCluster(
+                   config=ClusterConfig(num_nodes=4, mem_size=1 << 20),
+               ).num_nodes == 4
 
     def test_bad_node_count(self):
         with pytest.raises(ConfigurationError):
-            ShrimpCluster(num_nodes=0)
+            ShrimpCluster(config=ClusterConfig(num_nodes=0))
 
 
 class TestChannelSetup:
@@ -85,7 +87,13 @@ class TestChannelSetup:
         assert channel.nbytes == 2 * PAGE
 
     def test_nipt_exhaustion(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20, nipt_entries=2)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(
+                          num_nodes=2,
+                          mem_size=1 << 20,
+                          nipt_entries=2,
+                      ),
+                  )
         rx = cluster.node(1).create_process("rx")
         buf = cluster.node(1).kernel.syscalls.alloc(rx, 3 * PAGE)
         with pytest.raises(SyscallError):

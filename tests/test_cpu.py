@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.devices import SinkDevice
 from repro.errors import AddressError, ProtectionFault
 
@@ -11,7 +11,7 @@ PAGE = 4096
 
 @pytest.fixture
 def rig():
-    machine = Machine(mem_size=1 << 20)
+    machine = Machine(config=MachineConfig(mem_size=1 << 20))
     machine.attach_device(SinkDevice("sink", size=1 << 14))
     p = machine.create_process("app")
     vaddr = machine.kernel.syscalls.alloc(p, 4 * PAGE)
@@ -50,7 +50,7 @@ class TestWordAccess:
         assert machine.cpu.loads == loads + 1
 
     def test_no_address_space_is_fatal(self):
-        machine = Machine(mem_size=1 << 20)
+        machine = Machine(config=MachineConfig(mem_size=1 << 20))
         with pytest.raises(ProtectionFault):
             machine.cpu.load(0)
 

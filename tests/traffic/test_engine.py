@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.traffic import TenantPlacement, TrafficEngine, make_pattern, run_scenario
+from repro.config import ClusterConfig
 
 
 def test_incast_delivers_every_message():
@@ -80,7 +81,13 @@ def test_quota_splits_across_drivers():
     placement = TenantPlacement(pattern, tenants_per_node=2)
     from repro.cluster import ShrimpCluster
 
-    cluster = ShrimpCluster(num_nodes=4, mem_size=1 << 22, nipt_entries=16)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(
+                      num_nodes=4,
+                      mem_size=1 << 22,
+                      nipt_entries=16,
+                  ),
+              )
     engine = TrafficEngine(cluster, placement, messages=21, msg_bytes=64)
     quotas = [d.quota for d in engine._drivers]
     assert sum(quotas) == 21
@@ -92,7 +99,13 @@ def test_rejects_bad_parameters():
     placement = TenantPlacement(pattern)
     from repro.cluster import ShrimpCluster
 
-    cluster = ShrimpCluster(num_nodes=4, mem_size=1 << 22, nipt_entries=16)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(
+                      num_nodes=4,
+                      mem_size=1 << 22,
+                      nipt_entries=16,
+                  ),
+              )
     with pytest.raises(ConfigurationError, match="messages"):
         TrafficEngine(cluster, placement, messages=0)
     with pytest.raises(ConfigurationError, match="multiple of 4"):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.bench.workloads import make_payload
 from repro.errors import ConfigurationError, DmaError
 from repro.userlib.collectives import CollectiveGroup
@@ -12,7 +12,9 @@ PAGE = 4096
 
 @pytest.fixture(scope="module")
 def group():
-    cluster = ShrimpCluster(num_nodes=3, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=3, mem_size=1 << 21),
+              )
     procs = [cluster.node(i).create_process(f"rank{i}") for i in range(3)]
     return CollectiveGroup(cluster, procs, slot_bytes=2 * PAGE)
 
@@ -84,13 +86,17 @@ class TestBarrierAndRing:
 
 class TestConstruction:
     def test_process_count_must_match(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=1 << 20),
+                  )
         p0 = cluster.node(0).create_process("p0")
         with pytest.raises(ConfigurationError):
             CollectiveGroup(cluster, [p0])
 
     def test_mesh_channel_count(self):
-        cluster = ShrimpCluster(num_nodes=3, mem_size=1 << 21)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=3, mem_size=1 << 21),
+                  )
         procs = [cluster.node(i).create_process(f"r{i}") for i in range(3)]
         group = CollectiveGroup(cluster, procs, slot_bytes=PAGE)
         assert len(group._senders) == 3 * 2  # full mesh

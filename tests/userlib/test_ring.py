@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.bench.workloads import make_payload
 from repro.errors import ConfigurationError, DmaError
 from repro.userlib.ring import MessageRing
@@ -12,7 +12,9 @@ PAGE = 4096
 
 @pytest.fixture
 def ring_pair():
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 21),
+              )
     src = cluster.node(0).create_process("producer")
     dst = cluster.node(1).create_process("consumer")
     ring = MessageRing(cluster, 0, src, 1, dst, data_bytes=2 * PAGE)
@@ -112,7 +114,9 @@ class TestAccounting:
         assert cluster.interconnect.packets_routed == packets
 
     def test_bad_ring_size_rejected(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=1 << 20),
+                  )
         src = cluster.node(0).create_process("p")
         dst = cluster.node(1).create_process("c")
         with pytest.raises(ConfigurationError):

@@ -2,14 +2,16 @@
 
 import pytest
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.errors import ConfigurationError, DmaError
 from repro.userlib.rpc import _frame, _parse, connect
 
 
 @pytest.fixture(scope="module")
 def rpc_pair():
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 21)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 21),
+              )
     client_proc = cluster.node(0).create_process("client")
     server_proc = cluster.node(1).create_process("server")
     client, server = connect(cluster, 0, client_proc, 1, server_proc)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ShrimpCluster
+from repro import ClusterConfig, ShrimpCluster
 from repro.errors import ConfigurationError, DmaError
 from repro.userlib.shmem import SharedRegion
 
@@ -11,7 +11,9 @@ PAGE = 4096
 
 @pytest.fixture
 def region():
-    cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+    cluster = ShrimpCluster(
+                  config=ClusterConfig(num_nodes=2, mem_size=1 << 20),
+              )
     writer = cluster.node(0).create_process("writer")
     reader = cluster.node(1).create_process("reader")
     return SharedRegion(cluster, 0, writer, 1, reader, 2 * PAGE)
@@ -58,7 +60,9 @@ class TestBounds:
             region.read(region.nbytes, 1)
 
     def test_bad_size_rejected(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=1 << 20),
+                  )
         w = cluster.node(0).create_process("w")
         r = cluster.node(1).create_process("r")
         with pytest.raises(ConfigurationError):
@@ -85,7 +89,9 @@ class TestLifecycle:
         assert not node.kernel.frames.is_pinned(frame)
 
     def test_bidirectional_via_two_regions(self):
-        cluster = ShrimpCluster(num_nodes=2, mem_size=1 << 20)
+        cluster = ShrimpCluster(
+                      config=ClusterConfig(num_nodes=2, mem_size=1 << 20),
+                  )
         a = cluster.node(0).create_process("a")
         b = cluster.node(1).create_process("b")
         a_to_b = SharedRegion(cluster, 0, a, 1, b, PAGE)

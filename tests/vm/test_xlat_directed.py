@@ -9,7 +9,7 @@ fast/reference equivalence the differential oracle relies on.
 
 import pytest
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.bench.workloads import make_payload
 from repro.errors import AddressError, ProtectionFault
 
@@ -17,7 +17,9 @@ PAGE = 4096
 
 
 def _one_proc_machine(fast_paths=True):
-    machine = Machine(mem_size=1 << 20, fast_paths=fast_paths)
+    machine = Machine(
+                  config=MachineConfig(mem_size=1 << 20, fast_paths=fast_paths),
+              )
     process = machine.create_process("app")
     buffer = machine.kernel.syscalls.alloc(process, 6 * PAGE)
     return machine, process, buffer

@@ -15,14 +15,14 @@ or a missing ProtectionFault.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import Machine
+from repro import Machine, MachineConfig
 from repro.errors import ProtectionFault
 
 PAGE = 4096
 
 
 def make_machine():
-    return Machine(mem_size=1 << 20)
+    return Machine(config=MachineConfig(mem_size=1 << 20))
 
 
 # ------------------------------------------------------------- directed
@@ -56,7 +56,9 @@ class TestShootdownDirected:
         assert machine.cpu.load(va) == 1  # reads still fine, value intact
 
     def test_page_out_invalidates_cached_translation(self):
-        machine = Machine(mem_size=16 * PAGE, bounce_frames=2)
+        machine = Machine(
+                      config=MachineConfig(mem_size=16 * PAGE, bounce_frames=2),
+                  )
         a = machine.create_process("a")
         va = machine.kernel.syscalls.alloc(a, PAGE)
         machine.kernel.scheduler.switch_to(a)
