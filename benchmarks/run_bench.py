@@ -294,6 +294,11 @@ def main(argv=None) -> int:
                              "to PATH")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N host timing (default 3)")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="build each scenario's world once and fork "
+                             "it per repeat (repro.snapshot) instead of "
+                             "reconstructing machines; simulated numbers "
+                             "are bit-identical either way")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed fractional MB/s drop for --check "
                              "(default 0.30)")
@@ -327,7 +332,8 @@ def main(argv=None) -> int:
         parser.error("--no-sweep cannot be combined with --check/--json "
                      "(both need the scenario sweep)")
     if args.scale and (args.no_sweep or args.obs_overhead
-                       or args.reliability_overhead or args.shards):
+                       or args.reliability_overhead or args.shards
+                       or args.warm_start):
         parser.error("--scale is its own suite; combine it only with "
                      "--quick/--json/--check/--scenario/--no-baseline/"
                      "--profile")
@@ -352,14 +358,17 @@ def main(argv=None) -> int:
             from bench_host_throughput import SCENARIOS
 
             for spec in SCENARIOS.values():
-                kwargs = spec.quick if args.quick else spec.full
+                kwargs = dict(spec.quick if args.quick else spec.full)
+                if args.warm_start and spec.warm:
+                    kwargs["warm_start"] = True
                 results[spec.name] = profile_call(
                     lambda spec=spec, kwargs=kwargs: spec.fn(**kwargs),
                     args.profile, spec.name,
                 )
             print(f"profile written to {args.profile}")
         else:
-            results = run_all(quick=args.quick, repeats=args.repeats)
+            results = run_all(quick=args.quick, repeats=args.repeats,
+                              warm_start=args.warm_start)
         print(format_results(results))
 
     obs_failures = []

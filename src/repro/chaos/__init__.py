@@ -165,6 +165,7 @@ def run_chaos(
     reliability: bool = False,
     iommu: bool = False,
     profile: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> ChaosReport:
     """Run one chaos campaign: explore, audit, diff, and shrink failures.
 
@@ -190,6 +191,11 @@ def run_chaos(
             ``reliability`` and the differential oracle).
         profile: schedule profile (see SCHEDULE_PROFILES); defaults to
             ``"paging"`` for iommu campaigns, ``"default"`` otherwise.
+        checkpoint_every: snapshot the live world every N actions
+            (``repro.snapshot``) so shrink candidates sharing a prefix
+            resume from the checkpoint instead of replaying from t=0.
+            Exact: the report -- including the shrunk reproducer -- is
+            bit-identical with checkpointing on or off.
     """
     if profile is None:
         profile = "paging" if iommu else "default"
@@ -199,7 +205,8 @@ def run_chaos(
         else generate_schedule(seed, steps, profile=profile)
     )
     explorer = ScheduleExplorer(
-        nodes=nodes, break_mode=break_mode, reliability=reliability, iommu=iommu
+        nodes=nodes, break_mode=break_mode, reliability=reliability, iommu=iommu,
+        checkpoint_every=checkpoint_every,
     )
     fast = explorer.run(schedule, fast_paths=True)
 

@@ -42,6 +42,7 @@ from repro.chaos.actions import (
     generate_schedule,
 )
 from repro.chaos.explorer import RunResult, ScheduleExplorer
+from repro.chaos.oracle import strip_wire_faults
 from repro.chaos.shrinker import ShrinkResult, shrink
 from repro.protection import BACKEND_NAMES
 
@@ -152,6 +153,16 @@ class ConformanceOracle:
         self.check_determinism = check_determinism
 
     def compare(self, actions: Sequence[Action]) -> ConformanceReport:
+        # Wire faults arm against "the next packet", and which packet that
+        # is depends on timing -- which legitimately differs across
+        # backends (captable/handler charge extra initiation cycles that
+        # shift how sends from different nodes interleave).  The same
+        # armed drop can therefore swallow *different* transfers under
+        # different backends, diverging the memory digest without any
+        # protection bug.  Strip them, exactly as IommuConvergenceOracle
+        # does for its paged-vs-pinned comparison; within-backend wire
+        # fault handling is covered by the differential chaos tier.
+        actions = strip_wire_faults(actions)
         report = ConformanceReport(
             nodes=self.nodes,
             backends=list(self.backends),

@@ -12,10 +12,21 @@ final curated counters and memory digest, and -- if anything went wrong
 Audit logs double as the determinism witness (two runs of the same seed
 must produce byte-identical logs) and as the differential oracle's
 line-by-line comparison medium.
+
+**Checkpoint bisection** (``checkpoint_every=N``): the explorer pickles
+the live (world, auditor, partial log) capsule every N actions, keyed by
+the exact action prefix that produced it.  A later run whose schedule
+shares a checkpointed prefix restores the capsule and replays only the
+tail -- which turns ddmin shrinking from quadratic re-execution into
+suffix replay, since every shrink candidate shares a long prefix with
+the original schedule.  Restore-equivalence (``tests/snapshot/``)
+guarantees a restored run is bit-identical to an uninterrupted one, so
+checkpointing never changes a run's outcome, log, or shrunk reproducer.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,6 +34,12 @@ from repro.chaos.actions import Action
 from repro.chaos.auditor import InvariantAuditor
 from repro.chaos.world import ChaosWorld
 from repro.errors import InvariantViolation
+from repro.snapshot import reattach
+
+#: retained checkpoint capsules per explorer; oldest evicted first.  Deep
+#: enough for ddmin (which probes prefixes of one schedule), bounded so a
+#: long campaign cannot hold hundreds of pickled worlds.
+_CHECKPOINT_CACHE_CAP = 64
 
 
 @dataclass
@@ -82,30 +99,52 @@ class ScheduleExplorer:
         reliability: bool = False,
         protection: str = "proxy",
         iommu: bool = False,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
         self.nodes = nodes
         self.break_mode = break_mode
         self.audit = audit
         self.reliability = reliability
         self.protection = protection
         self.iommu = iommu
+        self.checkpoint_every = checkpoint_every
+        #: (fast_paths, action prefix) -> pickled capsule; insertion order
+        #: doubles as the eviction order (oldest first)
+        self._checkpoints: Dict[Tuple[bool, Tuple[Action, ...]], bytes] = {}
+        #: observability: runs resumed from a capsule / capsules written
+        self.checkpoint_hits = 0
+        self.checkpoints_stored = 0
 
     def run(self, actions: Sequence[Action], fast_paths: bool = True) -> RunResult:
         """Replay ``actions`` on a fresh world; never raises for findings."""
-        world = ChaosWorld(
-            nodes=self.nodes,
-            fast_paths=fast_paths,
-            break_mode=self.break_mode,
-            reliability=self.reliability,
-            protection=self.protection,
-            iommu=self.iommu,
-        )
-        auditor = InvariantAuditor(world)
+        actions = list(actions)
+        world = auditor = None
+        result = RunResult(fast_paths=fast_paths)
+        start = 0
+        if self.checkpoint_every:
+            resumed = self._resume(actions, fast_paths, result)
+            if resumed is not None:
+                world, auditor, start = resumed
+        if world is None:
+            world = ChaosWorld(
+                nodes=self.nodes,
+                fast_paths=fast_paths,
+                break_mode=self.break_mode,
+                reliability=self.reliability,
+                protection=self.protection,
+                iommu=self.iommu,
+            )
+            auditor = InvariantAuditor(world)
         if self.audit:
             auditor.install()
-        result = RunResult(fast_paths=fast_paths)
+        every = self.checkpoint_every
         try:
-            for i, action in enumerate(actions):
+            for i in range(start, len(actions)):
+                action = actions[i]
                 try:
                     outcome = world.apply(action)
                     if self.audit:
@@ -120,6 +159,8 @@ class ScheduleExplorer:
                     break
                 result.outcomes.append(outcome)
                 result.audit_log.append(self._log_line(i, action, outcome, world))
+                if every and (i + 1) % every == 0 and i + 1 < len(actions):
+                    self._store(actions[: i + 1], fast_paths, world, auditor, result)
             if result.failure is None:
                 try:
                     world.settle()
@@ -143,6 +184,58 @@ class ScheduleExplorer:
         result.event_audits = auditor.event_audits
         result.boundary_audits = auditor.boundary_audits
         return result
+
+    # ---------------------------------------------------------- checkpoints
+    def _store(
+        self,
+        prefix: List[Action],
+        fast_paths: bool,
+        world: ChaosWorld,
+        auditor: InvariantAuditor,
+        result: RunResult,
+    ) -> None:
+        """Capture a capsule for ``prefix`` (the actions applied so far).
+
+        World, auditor and the partial log pickle as one graph, so the
+        auditor's checkers keep pointing at the capsule world's kernels.
+        Capture must not perturb the run -- guaranteed by the
+        restore-equivalence tier, which diffs checkpointed runs against
+        uninterrupted ones line by line.
+        """
+        key = (fast_paths, tuple(prefix))
+        if key in self._checkpoints:
+            return
+        capsule = (world, auditor, result.audit_log, result.outcomes)
+        self._checkpoints[key] = pickle.dumps(
+            capsule, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self.checkpoints_stored += 1
+        while len(self._checkpoints) > _CHECKPOINT_CACHE_CAP:
+            self._checkpoints.pop(next(iter(self._checkpoints)))
+
+    def _resume(
+        self, actions: List[Action], fast_paths: bool, result: RunResult
+    ) -> Optional[Tuple[ChaosWorld, InvariantAuditor, int]]:
+        """Restore the longest checkpointed prefix of ``actions``, if any.
+
+        Returns ``(world, auditor, k)`` positioned after action ``k - 1``
+        with the partial log already copied into ``result``, or ``None``
+        when no stored prefix matches.  Every load is a fresh unpickle,
+        so a capsule can seed any number of future runs.
+        """
+        every = self.checkpoint_every
+        k = (len(actions) // every) * every
+        while k > 0:
+            blob = self._checkpoints.get((fast_paths, tuple(actions[:k])))
+            if blob is not None:
+                world, auditor, log, outcomes = pickle.loads(blob)
+                reattach(world)
+                result.audit_log.extend(log)
+                result.outcomes.extend(outcomes)
+                self.checkpoint_hits += 1
+                return world, auditor, k
+            k -= every
+        return None
 
     @staticmethod
     def _log_line(i: int, action: Action, outcome: str, world: ChaosWorld) -> str:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.bench.workloads import make_payload
 from repro.chaos.actions import Action
@@ -68,6 +68,65 @@ class _ProcRig:
     buf_pages: int
     udma: Optional[UdmaUser] = None
     grant: Optional[int] = None
+
+
+class _NoInvalSwitch:
+    """The planted I1 bug: ``switch_to`` with the controller list hidden.
+
+    Installed as an instance attribute shadowing the scheduler's method.
+    Calls the method through ``type(sched)`` so it keeps working after a
+    pickle round trip (see the deliberate-bugs note in ChaosWorld).
+    """
+
+    __slots__ = ("sched",)
+
+    def __init__(self, sched) -> None:
+        self.sched = sched
+
+    def __call__(self, process) -> None:
+        sched = self.sched
+        saved = sched.udma_controllers
+        sched.udma_controllers = []
+        try:
+            type(sched).switch_to(sched, process)
+        finally:
+            sched.udma_controllers = saved
+
+
+class _GenerationFreeze:
+    """The planted stale-xlat bug: one method with its generation bump undone.
+
+    Shadows ``name`` on ``obj`` and restores ``obj.generation`` after
+    each call, so fast-path stamps never see mapping changes.
+    """
+
+    __slots__ = ("obj", "name")
+
+    def __init__(self, obj, name: str) -> None:
+        self.obj = obj
+        self.name = name
+
+    def __call__(self, *args, **kwargs):
+        obj = self.obj
+        before = obj.generation
+        try:
+            return getattr(type(obj), self.name)(obj, *args, **kwargs)
+        finally:
+            obj.generation = before
+
+
+class _RecordingRoute:
+    """Armed-fault route shadow: remembers (src, dst) for the injector."""
+
+    __slots__ = ("world", "ic")
+
+    def __init__(self, world: "ChaosWorld", ic) -> None:
+        self.world = world
+        self.ic = ic
+
+    def __call__(self, src: int, dst: int, wire) -> None:
+        self.world._route_ctx = (src, dst)
+        type(self.ic).route(self.ic, src, dst, wire)
 
 
 class ChaosWorld:
@@ -127,7 +186,6 @@ class ChaosWorld:
         self._armed: Optional[list] = None  # [mode, remaining, salt]
         self._held: List[Tuple[int, int, bytes]] = []
         self._route_ctx: Tuple[int, int] = (0, 0)
-        self._orig_route: Optional[Callable] = None
 
         if self.num_nodes == 1:
             self._build_single()
@@ -268,21 +326,19 @@ class ChaosWorld:
             self._rigs.append(rigs)
 
     # ------------------------------------------------------- deliberate bugs
+    # The planted bugs shadow methods with *instance* attributes.  The
+    # shadows are callable classes, not closures: a broken world must
+    # survive snapshot/restore (chaos checkpointing pickles worlds
+    # mid-schedule), and a closure cannot pickle -- nor can a captured
+    # bound method, which would resolve back to the shadowing attribute
+    # after a restore.  Each shadow therefore reaches the real method
+    # through the *class*.
+
     def _break_no_inval(self) -> None:
         """Plant the I1 bug: context switches stop firing device Invals."""
         for machine in self.machines:
             sched = machine.kernel.scheduler
-            orig = sched.switch_to
-
-            def broken(process, _sched=sched, _orig=orig):
-                saved = _sched.udma_controllers
-                _sched.udma_controllers = []
-                try:
-                    _orig(process)
-                finally:
-                    _sched.udma_controllers = saved
-
-            sched.switch_to = broken
+            sched.switch_to = _NoInvalSwitch(sched)
 
     def _break_stale_xlat(self) -> None:
         """Plant the fast-path bug: mapping changes skip generation bumps.
@@ -297,16 +353,7 @@ class ChaosWorld:
 
         def freeze(obj, names: "tuple[str, ...]") -> None:
             for name in names:
-                orig = getattr(obj, name)
-
-                def wrapped(*a, _obj=obj, _orig=orig, **kw):
-                    before = _obj.generation
-                    try:
-                        return _orig(*a, **kw)
-                    finally:
-                        _obj.generation = before
-
-                setattr(obj, name, wrapped)
+                setattr(obj, name, _GenerationFreeze(obj, name))
 
         for machine in self.machines:
             freeze(
@@ -595,13 +642,9 @@ class ChaosWorld:
         self._disarm()
         ic = self.interconnect
         self._armed = [mode, 2 if mode == "reorder" else 1, action.size]
-        self._orig_route = ic.route
-
-        def recording_route(src, dst, wire, _orig=ic.route):
-            self._route_ctx = (src, dst)
-            _orig(src, dst, wire)
-
-        ic.route = recording_route
+        # Callable class, not a closure: an armed world must pickle (see
+        # the planted-bug note above).
+        ic.route = _RecordingRoute(self, ic)
         ic.fault_injector = self._inject
         return "armed"
 
@@ -639,9 +682,10 @@ class ChaosWorld:
         if self.interconnect is None:
             return
         self.interconnect.fault_injector = None
-        if self._orig_route is not None:
-            self.interconnect.route = self._orig_route
-            self._orig_route = None
+        # Un-shadow rather than re-assign a saved bound method: popping
+        # the instance attribute re-exposes the class's route() and keeps
+        # nothing unpicklable (or self-referential) behind.
+        self.interconnect.__dict__.pop("route", None)
         self._armed = None
 
     def _flush_held(self) -> None:
@@ -658,6 +702,21 @@ class ChaosWorld:
         self._flush_held()
         self._disarm()
         self.clock.run_until_idle()
+
+    # -------------------------------------------------------- snapshotting
+    def _reattach_after_restore(self) -> None:
+        """Re-attach observers after a checkpoint restore (repro.snapshot).
+
+        The planted bugs, armed wire faults and held packets all pickle
+        with the world (their shadows are callable classes, see the
+        deliberate-bugs note); only the metric bindings the underlying
+        machine/cluster dropped need re-attaching.
+        """
+        if self.cluster is not None:
+            self.cluster._reattach_after_restore()
+        else:
+            for machine in self.machines:
+                machine._reattach_after_restore()
 
     # ----------------------------------------------------------- observers
     def counters(self) -> "dict[str, int]":

@@ -376,6 +376,7 @@ def _validate_chaos(args: argparse.Namespace, mode: str) -> Optional[str]:
             (args.iommu, "--iommu"),
             (args.profile, "--profile"),
             (args.break_mode, "--break"),
+            (args.checkpoint_every, "--checkpoint-every"),
         ):
             if flag:
                 return f"{name} is not supported in --backend mode"
@@ -384,6 +385,7 @@ def _validate_chaos(args: argparse.Namespace, mode: str) -> Optional[str]:
             (args.reliable, "--reliable"),
             (args.profile, "--profile"),
             (args.break_mode, "--break"),
+            (args.checkpoint_every, "--checkpoint-every"),
         ):
             if flag:
                 return f"{name} is not supported in --shards/--no-pool mode"
@@ -394,6 +396,8 @@ def _validate_chaos(args: argparse.Namespace, mode: str) -> Optional[str]:
             return "--replay-spec needs --shards; use --replay for schedules"
         if args.iommu and args.nodes is not None and args.nodes < 2:
             return "--iommu needs a cluster (--nodes 2 or more)"
+        if args.checkpoint_every is not None and args.checkpoint_every <= 0:
+            return "--checkpoint-every needs a positive action count"
     return None
 
 
@@ -442,6 +446,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         reliability=args.reliable,
         iommu=args.iommu,
         profile=args.profile,
+        checkpoint_every=args.checkpoint_every,
     )
     print(report.summary())
     if args.dump_log:
@@ -584,6 +589,13 @@ mode matrix -- pick at most one mode; toggles compose as marked:
     chaos.add_argument("--profile", default=None, metavar="P",
                        help="schedule action-mix profile: default | churn | "
                             "paging (default: paging with --iommu)")
+    chaos.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="schedule mode: snapshot the live world every N "
+                            "actions so shrink candidates resume from the "
+                            "checkpointed prefix instead of replaying from "
+                            "t=0 (exact -- reports and shrunk reproducers "
+                            "are bit-identical with or without checkpoints)")
     chaos.set_defaults(func=_cmd_chaos)
     return parser
 

@@ -269,6 +269,20 @@ class ShrimpCluster:
                 (lambda n: lambda: n.incoming.high_water)(nic),
             )
 
+    def _reattach_after_restore(self) -> None:
+        """Re-attach observers dropped by snapshotting (see repro.snapshot).
+
+        Rebinds the backplane/NIC metric samples and then each node's
+        (all on the one shared registry); see
+        :meth:`Machine._reattach_after_restore` for the mechanism.
+        """
+        if self._metrics_bound:
+            self._metrics_bound = False
+            with self.obs.registry.rebinding():
+                self._bind_metrics()
+        for node in self.nodes:
+            node._reattach_after_restore()
+
     def metrics(self) -> dict:
         """Whole-multicomputer counters: per node plus the backplane.
 

@@ -23,6 +23,7 @@ view -- see ``docs/PERFORMANCE.md`` for the ownership rules.
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Callable, List, Optional, Protocol, Union
 
 from repro.errors import DmaError
@@ -204,7 +205,9 @@ class DmaEngine:
         self._completion_event: Optional[Event] = None
         self._burst_events: List[Event] = []
         self._staged: Optional[bytearray] = None
-        self._source_snapshot: Optional[memoryview] = None
+        #: private copy of a device source's bytes (kept as bytes, not
+        #: a memoryview, so an in-flight transfer can be pickled)
+        self._source_snapshot: "Optional[bytes | bytearray]" = None
         self._oneshot: List[Callable[[], None]] = []
         self._listeners: List[Callable[[], None]] = []
         # Observability (see repro.obs): the span tracker when tracing is
@@ -330,7 +333,7 @@ class DmaEngine:
         # A device source streams into the engine FIFO as the transfer
         # starts (device reads can have side effects, so exactly once).
         if not isinstance(self.source, MemoryEndpoint):
-            self._source_snapshot = memoryview(self.source.read(self.count))
+            self._source_snapshot = self.source.read(self.count)
         bursts = max(1, math.ceil(self.count / self.burst_bytes))
         lead = duration - transfer_cycles(self.count, self.costs.dma_bytes_per_cycle)
         data_cycles = duration - lead
@@ -341,29 +344,30 @@ class DmaEngine:
             at = lead + math.ceil(data_cycles * i / bursts)
             offset = (first - 1) * self.burst_bytes
             size = min(self.count, i * self.burst_bytes) - offset
+            # partial (not a closure): pending burst events are snapshot
+            # state and must pickle with the event queue.
             event = self.clock.schedule(
-                at, self._make_chunk(offset, size, i == bursts)
+                at, partial(self._chunk_event, offset, size, i == bursts)
             )
             self._burst_events.append(event)
 
-    def _make_chunk(self, offset: int, size: int, last: bool) -> Callable[[], None]:
-        def chunk_event() -> None:
-            assert self.source is not None and self.destination is not None
-            if self._source_snapshot is not None:
-                chunk: Buffer = self._source_snapshot[offset : offset + size]
-            else:
-                chunk = self.source.view_slice(offset, size)  # type: ignore[attr-defined]
+    def _chunk_event(self, offset: int, size: int, last: bool) -> None:
+        assert self.source is not None and self.destination is not None
+        if self._source_snapshot is not None:
+            chunk: Buffer = memoryview(self._source_snapshot)[
+                offset : offset + size
+            ]
+        else:
+            chunk = self.source.view_slice(offset, size)  # type: ignore[attr-defined]
+        if self._staged is not None:
+            self._staged[offset : offset + size] = chunk
+        else:
+            self.destination.write_slice(offset, chunk)  # type: ignore[attr-defined]
+        self.progress_bytes = offset + size
+        if last:
             if self._staged is not None:
-                self._staged[offset : offset + size] = chunk
-            else:
-                self.destination.write_slice(offset, chunk)  # type: ignore[attr-defined]
-            self.progress_bytes = offset + size
-            if last:
-                if self._staged is not None:
-                    self._deliver(memoryview(self._staged))
-                self._finish()
-
-        return chunk_event
+                self._deliver(memoryview(self._staged))
+            self._finish()
 
     def _deliver(self, data: Buffer) -> None:
         """Hand the payload to the destination, tagging the data's span.

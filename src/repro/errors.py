@@ -169,3 +169,32 @@ class PoolIntegrityError(ReproError):
 
     def __init__(self, detail: str) -> None:
         super().__init__(f"pool integrity violated: {detail}")
+
+
+class SnapshotError(ReproError):
+    """A machine snapshot could not be captured or restored.
+
+    Covers structural failures: a blob that is not a snapshot at all
+    (bad magic), a truncated or corrupted payload, or an object graph
+    that cannot be serialised.  Version skew raises the more specific
+    :class:`SnapshotVersionError`.
+    """
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot blob's format version is not the one this code writes.
+
+    Snapshots are point-in-time serialisations of internal object
+    graphs, so there is no cross-version compatibility promise: the
+    reader refuses anything but its own version, naming both versions so
+    the mismatch is diagnosable from the message alone.
+    """
+
+    def __init__(self, found: int, expected: int) -> None:
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"snapshot format version {found} is not readable by this "
+            f"build (expects version {expected}); re-capture the snapshot "
+            "with the current code"
+        )

@@ -47,12 +47,14 @@ IOMMU convergence oracle (``repro.chaos``) is built on that guarantee.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import IommuConfig
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet, unpack_virtual
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.snapshot.protocol import SnapshotMixin
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.kernel import Kernel
@@ -182,7 +184,7 @@ class RxVerdict:
     reason: str = ""         # abort cause (kind == "abort")
 
 
-class Iommu:
+class Iommu(SnapshotMixin):
     """One node's IOMMU: translate, park, service, replay.
 
     Built by :class:`~repro.machine.Machine` when its config carries an
@@ -322,9 +324,11 @@ class Iommu:
         if queue is None:
             self._parked[key] = [parked]
             # Head of a new queue: schedule the kernel's fault service.
+            # partial (not a lambda): parked fault-service events are
+            # snapshot state and must pickle with the event queue.
             self.clock.schedule(
                 self.costs.iommu_fault_service_cycles,
-                lambda: self._service(key),
+                partial(self._service, key),
             )
         else:
             queue.append(parked)
@@ -367,7 +371,7 @@ class Iommu:
                     return
                 self.clock.schedule(
                     self.costs.iommu_fault_service_cycles,
-                    lambda: self._service(key),
+                    partial(self._service, key),
                 )
                 return
             frame, extra = mapped
@@ -379,7 +383,9 @@ class Iommu:
             self.kernel.frames.pin(frame)
         if extra > 0:
             # Swap-in I/O: the replay happens when the disk transfer lands.
-            self.clock.schedule(extra, lambda: self._replay(key, frame, was_pinned))
+            self.clock.schedule(
+                extra, partial(self._replay, key, frame, was_pinned)
+            )
         else:
             self._replay(key, frame, was_pinned)
 

@@ -47,6 +47,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 from repro.vm.backing_store import BackingStore
 from repro.vm.mmu import MMU
 from repro.vm.replacement import FrameView, ReplacementPolicy, make_policy
+from repro.snapshot.protocol import SnapshotMixin
 
 #: I3 maintenance strategies (section 6, "Maintaining I3").
 I3_WRITE_PROTECT = "write-protect"
@@ -63,7 +64,7 @@ class FrameMeta:
     last_used_at: int
 
 
-class VmManager:
+class VmManager(SnapshotMixin):
     """One node's VM manager."""
 
     def __init__(

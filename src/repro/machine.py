@@ -414,6 +414,20 @@ class Machine:
             help="initiation-to-completion latency per UDMA transfer",
         )
 
+    def _reattach_after_restore(self) -> None:
+        """Re-attach observers dropped by snapshotting (see repro.snapshot).
+
+        Sampled metric bindings close over live components and are not
+        pickled; the registry keeps the detached instruments (preserving
+        histogram distributions), and this re-runs the binding under
+        :meth:`MetricsRegistry.rebinding` so every counter/gauge samples
+        *this* machine's restored components.
+        """
+        if self._metrics_bound:
+            self._metrics_bound = False
+            with self.obs.registry.rebinding():
+                self._bind_metrics()
+
     def metrics(self) -> dict:
         """This node's counters, grouped by subsystem.
 

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from repro.errors import AddressError
 from repro.params import DEFAULT_PAGE_SIZE, WORD_SIZE
+from repro.snapshot.protocol import SnapshotMixin
 
 
-class PhysicalMemory:
+class PhysicalMemory(SnapshotMixin):
     """Main memory of one node.
 
     Args:
@@ -46,6 +47,18 @@ class PhysicalMemory:
     def num_frames(self) -> int:
         """Number of physical frames."""
         return self.size // self.page_size
+
+    # -------------------------------------------------------- snapshotting
+    def __getstate__(self) -> dict:
+        # memoryviews do not pickle; the long-lived view is rebuilt over
+        # the restored bytearray.
+        state = self.__dict__.copy()
+        del state["_mv"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mv = memoryview(self._data)
 
     # -------------------------------------------------------- zero-copy I/O
     def view(self, paddr: int, nbytes: int) -> memoryview:

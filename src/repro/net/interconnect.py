@@ -20,6 +20,7 @@ the same decode path.
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Callable, Dict, Optional, Union
 
 from repro.errors import ConfigurationError, NetworkError
@@ -280,7 +281,9 @@ class Interconnect:
                 bytes=nbytes,
                 delay=delay,
             )
-        self.clock.schedule(delay, lambda: port.deliver(wire))
+        # partial (not a lambda): delivery events must survive
+        # snapshot/restore, and partials of bound methods pickle cleanly.
+        self.clock.schedule(delay, partial(port.deliver, wire))
 
     @property
     def node_ids(self) -> "list[int]":

@@ -34,6 +34,7 @@ from typing import Dict, List, Set
 
 from repro.errors import PoolIntegrityError
 from repro.net.packet import Packet
+from repro.snapshot.protocol import SnapshotMixin
 
 #: retained Packet shells (beyond this, releases fall back to the GC)
 PACKET_FREE_LIST_CAP = 4096
@@ -41,7 +42,7 @@ PACKET_FREE_LIST_CAP = 4096
 BUFFER_FREE_LIST_CAP = 1024
 
 
-class PacketPool:
+class PacketPool(SnapshotMixin):
     """Free lists for :class:`Packet` shells and payload ``bytearray``\\ s.
 
     ``debug=True`` keeps an ownership ledger and raises
@@ -139,6 +140,25 @@ class PacketPool:
                 bufs = self._buffers[nbytes] = []
             if len(bufs) < BUFFER_FREE_LIST_CAP:
                 bufs.append(payload)
+
+    # -------------------------------------------------------- snapshotting
+    def __getstate__(self) -> dict:
+        # The debug ownership ledgers key on id(); object identities do
+        # not survive a pickle round trip, so they are rebuilt from the
+        # free lists on restore.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_owned_packet_ids", "_owned_buffer_ids")
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._owned_packet_ids = {id(p) for p in self._packets}
+        self._owned_buffer_ids = {
+            id(buf) for bufs in self._buffers.values() for buf in bufs
+        }
 
     def stats(self) -> Dict[str, int]:
         """Pool-effectiveness counters (reported by the bench harness)."""

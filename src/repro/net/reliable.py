@@ -44,9 +44,11 @@ names to every previous release.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.snapshot.protocol import SnapshotMixin
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (nic -> reliable)
     from repro.net.nic import ShrimpNic
@@ -139,7 +141,7 @@ class _RxChannel:
         self.buffer: Dict[int, "Packet"] = {}  # out-of-order holding area
 
 
-class ReliabilityPlane:
+class ReliabilityPlane(SnapshotMixin):
     """Shared transport state for every NIC of one cluster (or machine).
 
     One plane per backplane: channels are keyed by (src, dst) node id,
@@ -238,8 +240,10 @@ class ReliabilityPlane:
         if pending.timer is not None:
             pending.timer.cancel()
         timeout = self.config.retry_timeout(pending.attempt)
+        # partial (not a lambda): a pending retransmit timer is part of
+        # the snapshot surface and must pickle with the event queue.
         pending.timer = self.clock.schedule(
-            timeout, lambda: self._on_timeout(pending)
+            timeout, partial(self._on_timeout, pending)
         )
 
     def _on_timeout(self, pending: _Pending) -> None:

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.snapshot.protocol import SnapshotMixin
 
 #: dotted lowercase names: ``cpu.loads``, ``node0.nic.packets_sent``
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
@@ -51,7 +53,35 @@ class Metric:
         return f"<{type(self).__name__} {self.name!r}>"
 
 
-class Counter(Metric):
+class _SampledStateMixin:
+    """Pickle support for sampled instruments.
+
+    A ``read`` callback closes over a live component, so it cannot (and
+    must not) ride along in a snapshot.  Pickling drops the callback and
+    marks the instrument *detached*; reading a detached instrument raises
+    instead of silently returning the stale owned value.  Restore paths
+    re-run the owner's metric binding under
+    :meth:`MetricsRegistry.rebinding`, which re-attaches the callbacks.
+    """
+
+    _detached = False
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if state.get("_read") is not None:
+            state["_read"] = None
+            state["_detached"] = True
+        return state
+
+    def _check_attached(self) -> None:
+        if self._detached:
+            raise ConfigurationError(
+                f"metric {self.name!r} was detached by snapshot/restore "
+                "and has not been rebound to its component"
+            )
+
+
+class Counter(_SampledStateMixin, Metric):
     """A monotonically increasing count.
 
     Either *sampled* (``read`` callback over a component's live
@@ -83,10 +113,11 @@ class Counter(Metric):
         self._value += amount
 
     def value(self) -> Any:
+        self._check_attached()
         return self._read() if self._read is not None else self._value
 
 
-class Gauge(Metric):
+class Gauge(_SampledStateMixin, Metric):
     """A point-in-time value (may go up, down, or be a label string)."""
 
     kind = "gauge"
@@ -110,6 +141,7 @@ class Gauge(Metric):
         self._value = value
 
     def value(self) -> Any:
+        self._check_attached()
         return self._read() if self._read is not None else self._value
 
 
@@ -178,11 +210,14 @@ class Histogram(Metric):
         }
 
 
-class MetricsRegistry:
+class MetricsRegistry(SnapshotMixin):
     """All of one observability plane's instruments, by stable name."""
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        #: transient flag set by :meth:`rebinding`; never pickled as True
+        #: because it is only set inside the context manager
+        self._rebinding = False
 
     # --------------------------------------------------------- registration
     def register(self, metric: Metric) -> Metric:
@@ -194,6 +229,22 @@ class MetricsRegistry:
         self._metrics[metric.name] = metric
         return metric
 
+    @contextmanager
+    def rebinding(self) -> Iterator[None]:
+        """Re-run a component's metric bindings after snapshot restore.
+
+        Inside the context, registering an already-present name is not a
+        duplicate error: counters and gauges get their ``read`` callback
+        re-attached (clearing the detached marker), histograms return the
+        existing instrument so recorded distributions survive the round
+        trip.  Outside the context the strict duplicate check stands.
+        """
+        self._rebinding = True
+        try:
+            yield
+        finally:
+            self._rebinding = False
+
     def counter(
         self,
         name: str,
@@ -201,6 +252,15 @@ class MetricsRegistry:
         help: str = "",
     ) -> Counter:
         """Register a counter (sampled when ``read`` is given)."""
+        if self._rebinding and name in self._metrics:
+            metric = self._metrics[name]
+            if not isinstance(metric, Counter):
+                raise ConfigurationError(
+                    f"metric {name!r} rebound with a different kind"
+                )
+            metric._read = read
+            metric._detached = False
+            return metric
         metric = Counter(name, help=help, read=read)
         self.register(metric)
         return metric
@@ -212,6 +272,15 @@ class MetricsRegistry:
         help: str = "",
     ) -> Gauge:
         """Register a gauge (sampled when ``read`` is given)."""
+        if self._rebinding and name in self._metrics:
+            metric = self._metrics[name]
+            if not isinstance(metric, Gauge):
+                raise ConfigurationError(
+                    f"metric {name!r} rebound with a different kind"
+                )
+            metric._read = read
+            metric._detached = False
+            return metric
         metric = Gauge(name, help=help, read=read)
         self.register(metric)
         return metric
@@ -223,6 +292,13 @@ class MetricsRegistry:
         help: str = "",
     ) -> Histogram:
         """Register a recording histogram."""
+        if self._rebinding and name in self._metrics:
+            metric = self._metrics[name]
+            if not isinstance(metric, Histogram):
+                raise ConfigurationError(
+                    f"metric {name!r} rebound with a different kind"
+                )
+            return metric
         metric = Histogram(name, help=help, buckets=buckets)
         self.register(metric)
         return metric

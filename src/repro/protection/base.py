@@ -25,6 +25,8 @@ so new backends diff against fixed strings instead of ad-hoc messages.
 
 from __future__ import annotations
 
+from functools import partial
+
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.state_machine import ProxyOperand, SpaceKind
@@ -141,11 +143,9 @@ class ProtectionBackend:
         """
         nipt = getattr(device, "nipt", None)
         if nipt is not None:
-            nipt.add_listener(
-                lambda index, installed, device=device: self.nipt_changed(
-                    device, index, installed
-                )
-            )
+            # partial (not a lambda): NIPT listener lists are part of the
+            # machine snapshot and must pickle with the device.
+            nipt.add_listener(partial(self.nipt_changed, device))
 
     # ----------------------------------------------------- change events
     def nipt_changed(self, device: "UDMADevice", index: int, installed: bool) -> None:

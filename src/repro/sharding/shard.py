@@ -29,6 +29,7 @@ need to coast the clock.
 from __future__ import annotations
 
 import hashlib
+from functools import partial
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -349,6 +350,26 @@ class Shard:
         reg.counter(p + "backplane.bytes_routed", lambda: ic.bytes_routed)
         reg.counter(p + "ops_executed", lambda: self.ops_executed)
 
+    def _reattach_after_restore(self) -> None:
+        """Rebind sampled metric reads after a snapshot restore.
+
+        Node machines rebind their own instruments first (each takes the
+        registry's rebinding window itself), then the shard-level
+        backplane counters get fresh closures over the restored
+        interconnect.
+        """
+        for rt in self.runtimes.values():
+            rt.machine._reattach_after_restore()
+        reg = self.obs.registry
+        ic = self.interconnect
+        p = f"shard{self.shard_spec.index}."
+        with reg.rebinding():
+            reg.counter(
+                p + "backplane.packets_routed", lambda: ic.packets_routed
+            )
+            reg.counter(p + "backplane.bytes_routed", lambda: ic.bytes_routed)
+            reg.counter(p + "ops_executed", lambda: self.ops_executed)
+
     # ----------------------------------------------------------- delivery
     def handoff(self, src: int, dst: int, delay: int, wire) -> None:
         """Deliver a routed packet: keyed local arrival or cross-shard.
@@ -373,8 +394,10 @@ class Shard:
             )
         rt = self.runtimes.get(dst)
         if rt is not None:
+            # partial (not a lambda): in-flight handoffs are snapshot
+            # state and must pickle with the shard clock's event queue.
             rt.clock.schedule_keyed(
-                arrival, (1, src, chseq), lambda: rt.nic.deliver(wire)
+                arrival, (1, src, chseq), partial(rt.nic.deliver, wire)
             )
             return
         if isinstance(wire, Packet):
@@ -395,7 +418,7 @@ class Shard:
         """Accept a cross-shard arrival (wire bytes; the decode path)."""
         rt = self.runtimes[dst]
         rt.clock.schedule_keyed(
-            arrival, (1, src, chseq), lambda: rt.nic.deliver(data)
+            arrival, (1, src, chseq), partial(rt.nic.deliver, data)
         )
 
     def set_chan_bound(self, src: int, dst: int, bound: "float | None") -> None:

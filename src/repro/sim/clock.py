@@ -50,6 +50,7 @@ from repro.errors import (
     PoolIntegrityError,
     SimulationLimitError,
 )
+from repro.snapshot.protocol import SnapshotMixin
 
 #: Compaction fires when ``len(queue) > 2 * live + COMPACT_SLACK``: the
 #: slack keeps tiny queues from compacting on every cancel.
@@ -118,7 +119,7 @@ class KeyedEvent(Event):
         return self.seq < other.seq
 
 
-class Clock:
+class Clock(SnapshotMixin):
     """A shared cycle counter with an event queue.
 
     The clock never runs backwards.  Events scheduled for a time that has
@@ -162,6 +163,23 @@ class Clock:
         #: the empty key, appended in seq order (sorted by construction)
         self._bucket: Deque[Event] = deque()
         self._bucket_time = 0
+
+    # ---------------------------------------------------------- snapshotting
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # The audit hook is an observer owned by whoever installed it
+        # (the chaos InvariantAuditor); pickling it would drag the whole
+        # auditor -- and its captured log -- into every snapshot.  It is
+        # dropped here and re-installed by the owner after restore.
+        state["audit_hook"] = None
+        # The pool-debug ownership ledger keys on id(); identities do not
+        # survive restore, so it is rebuilt from the free list instead.
+        state["_free_ids"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._free_ids = {id(e) for e in self._free}
 
     # ------------------------------------------------------------- reading
     @property

@@ -11,6 +11,7 @@ internals.
 from __future__ import annotations
 
 import logging
+from repro.snapshot.protocol import SnapshotMixin
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -38,7 +39,7 @@ class TraceEvent:
         return f"[{self.time:>10}] {self.source}.{self.kind} {fields}".rstrip()
 
 
-class Tracer:
+class Tracer(SnapshotMixin):
     """Collects trace events and dispatches them to subscribers.
 
     With ``record=False`` and no subscribers, :meth:`emit` is a cheap no-op
@@ -96,6 +97,24 @@ class Tracer:
                     "trace subscriber %r raised on %s.%s", handler, source, kind
                 )
 
+    # -------------------------------------------------------- snapshotting
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Subscribers are external observers (test harnesses, exporters);
+        # a snapshot captures the machine, not its audience.  Dropping
+        # them also drops ``enabled`` back to the record flag alone.
+        state["_subscribers"] = []
+        state["enabled"] = state["_record"]
+        return state
+
+    def __reduce_ex__(self, protocol: int):
+        # The process-wide null tracer must restore to the *same* object:
+        # components compare it by identity, and duplicating it would give
+        # a restored machine a private, orphaned default tracer.
+        if self is NULL_TRACER:
+            return (_null_tracer, ())
+        return super().__reduce_ex__(protocol)
+
     # ------------------------------------------------------------ querying
     def of_kind(self, kind: str) -> List[TraceEvent]:
         """All recorded events with the given kind."""
@@ -119,3 +138,8 @@ class Tracer:
 #: A process-wide tracer that drops everything; components use it as the
 #: default so callers never need to pass a tracer explicitly.
 NULL_TRACER = Tracer(record=False)
+
+
+def _null_tracer() -> Tracer:
+    """Pickle target restoring the module-level null tracer by identity."""
+    return NULL_TRACER

@@ -1,0 +1,70 @@
+"""The per-component state protocol behind whole-system snapshots.
+
+Whole-system capture (:func:`repro.snapshot.snapshot`) pickles the
+object graph in one piece, so cross-component references (every device
+holding the shared clock, packets in two FIFOs at once) are preserved
+exactly.  Alongside that, each stateful component exposes a uniform
+*single-component* surface:
+
+* ``state_dict()`` -- a detached deep copy of the component's persisted
+  state, keyed by attribute name;
+* ``load_state(state)`` -- overwrite the component's state from such a
+  dict.
+
+The pair is built on the same ``__getstate__``/``__setstate__`` hooks
+pickling uses, so a component's snapshot behaviour is defined once:
+whatever a component excludes from pickling (memoryviews, observer
+callbacks, id()-keyed ledgers) is equally excluded from -- and rebuilt
+after -- ``state_dict()``/``load_state()``.  Directed tests use the pair
+to freeze and reset one subsystem without serialising a whole machine.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """Anything exposing the single-component state surface."""
+
+    def state_dict(self) -> Dict[str, Any]: ...
+
+    def load_state(self, state: Dict[str, Any]) -> None: ...
+
+
+class SnapshotMixin:
+    """Derives ``state_dict``/``load_state`` from the pickle hooks.
+
+    Components inherit this (or just copy the two methods) and define
+    ``__getstate__``/``__setstate__`` only when they hold something that
+    must not ride through serialisation.  ``object.__getstate__`` (3.11)
+    already handles plain ``__dict__`` and ``__slots__`` layouts, so
+    most components need nothing beyond the mixin itself.
+    """
+
+    def state_dict(self) -> Dict[str, Any]:
+        """A detached deep copy of this component's persisted state."""
+        state = self.__getstate__()
+        if isinstance(state, tuple):
+            # object.__getstate__ on a __slots__ layout: (dict, slots).
+            managed, slots = state
+            merged = dict(managed or {})
+            merged.update(slots or {})
+            return copy.deepcopy(merged)
+        return copy.deepcopy(dict(state or {}))
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite this component's state from a ``state_dict()``."""
+        state = copy.deepcopy(dict(state))
+        setstate = getattr(type(self), "__setstate__", None)
+        if setstate is not None:
+            # Components with a custom __setstate__ take the flat dict
+            # their __getstate__ produced (the repo-wide convention).
+            setstate(self, state)
+            return
+        if hasattr(self, "__dict__"):
+            self.__dict__.clear()
+        for name, value in state.items():
+            setattr(self, name, value)

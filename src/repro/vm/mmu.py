@@ -31,6 +31,7 @@ from repro.params import CostModel
 from repro.sim.clock import Clock
 from repro.vm.page_table import PageTable
 from repro.vm.tlb import TLB, TlbEntry
+from repro.snapshot.protocol import SnapshotMixin
 
 
 class Access(enum.Enum):
@@ -40,7 +41,7 @@ class Access(enum.Enum):
     WRITE = "write"
 
 
-class MMU:
+class MMU(SnapshotMixin):
     """Translates virtual addresses and enforces page protection.
 
     Args:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
+from repro.snapshot.protocol import SnapshotMixin
 
 
 @dataclass(frozen=True)
@@ -40,7 +41,7 @@ class TlbEntry:
     user: bool
 
 
-class TLB:
+class TLB(SnapshotMixin):
     """Fully associative, FIFO-replacement TLB keyed by ``(asid, vpage)``."""
 
     def __init__(self, capacity: int = 64) -> None:

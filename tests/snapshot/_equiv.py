@@ -1,0 +1,76 @@
+"""Restore-equivalence harness shared by the snapshot test tier.
+
+The contract under test: a run snapshotted at step *k*, restored, and
+driven to completion is observably identical -- outcome log, curated
+counters, memory and VM digests, protection-fault ledger, NIPT state --
+to the run that was never interrupted.  Both runners below apply the
+same schedule to a :class:`~repro.chaos.world.ChaosWorld` and return the
+same observation dict, so a test is one equality assert.
+
+Planted-bug worlds raise :class:`~repro.errors.InvariantViolation`
+mid-schedule; the violation message becomes part of the log, so
+equivalence must hold for failing runs exactly as for passing ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.chaos import Action, ChaosWorld
+from repro.errors import InvariantViolation
+from repro.snapshot import restore, snapshot
+
+
+def observe(world: ChaosWorld, log: List[str]) -> Dict[str, object]:
+    return {
+        "log": list(log),
+        "counters": world.counters(),
+        "mem": world.mem_digest(),
+        "vm": world.vm_digest(),
+        "faults": world.protection_faults(),
+        "nipt": world.nipt_state(),
+    }
+
+
+def _finish(
+    world: ChaosWorld, actions: Sequence[Action], log: List[str]
+) -> Dict[str, object]:
+    for action in actions:
+        try:
+            log.append(world.apply(action))
+        except InvariantViolation as exc:
+            log.append(f"violation: {exc}")
+            return observe(world, log)
+    try:
+        world.settle()
+    except InvariantViolation as exc:
+        log.append(f"settle-violation: {exc}")
+    return observe(world, log)
+
+
+def run_plain(actions: Sequence[Action], **world_kwargs) -> Dict[str, object]:
+    """The uninterrupted reference run."""
+    return _finish(ChaosWorld(**world_kwargs), list(actions), [])
+
+
+def run_snapshotted(
+    actions: Sequence[Action], k: int, **world_kwargs
+) -> Dict[str, object]:
+    """Apply ``actions[:k]``, snapshot/restore, finish on the restored twin.
+
+    The original world is abandoned at the snapshot point; everything
+    after step ``k`` runs on the deserialised copy.  If the world fails
+    before ``k`` the observation is taken where it stopped -- matching
+    what :func:`run_plain` reports for the same schedule.
+    """
+    actions = list(actions)
+    world = ChaosWorld(**world_kwargs)
+    log: List[str] = []
+    for action in actions[:k]:
+        try:
+            log.append(world.apply(action))
+        except InvariantViolation as exc:
+            log.append(f"violation: {exc}")
+            return observe(world, log)
+    twin = restore(snapshot(world))
+    return _finish(twin, actions[k:], log)
